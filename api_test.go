@@ -1,0 +1,212 @@
+package sgl_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	sgl "repro"
+	"repro/internal/value"
+)
+
+func TestLoadErrorsPropagate(t *testing.T) {
+	if _, err := sgl.Load("class {"); err == nil {
+		t.Error("parse error must surface")
+	}
+	if _, err := sgl.Load(`class C { state: number x = 0; run { y <- 1; } }`); err == nil {
+		t.Error("semantic error must surface")
+	}
+}
+
+func TestGameAccessors(t *testing.T) {
+	data, err := os.ReadFile("testdata/unit.sgl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sgl.Load(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Classes(); len(got) != 1 || got[0] != "Unit" {
+		t.Errorf("Classes = %v", got)
+	}
+	if !strings.Contains(g.Explain("Unit"), "rectangular range") {
+		t.Error("Explain must show the recognized index join")
+	}
+	if g.Explain("Nope") != "" {
+		t.Error("unknown class explains empty")
+	}
+	src := g.Source()
+	if _, err := sgl.Load(src); err != nil {
+		t.Errorf("canonical source must reparse: %v", err)
+	}
+	if g.Info() == nil {
+		t.Error("Info accessor")
+	}
+}
+
+const srcAccumOverSet = `
+class Squad {
+  state:
+    number x = 0;
+    number morale = 0;
+    set<ref<Squad>> friends;
+  effects:
+    number dmorale : sum;
+  update:
+    morale = morale + dmorale;
+  run {
+    accum number total with sum over Squad f from friends {
+      total <- f.x;
+    } in {
+      dmorale <- total;
+    }
+  }
+}
+`
+
+func TestAccumOverSetSource(t *testing.T) {
+	g := mustLoad(t, srcAccumOverSet)
+	w, err := g.NewWorld(sgl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.Spawn("Squad", map[string]sgl.Value{"x": sgl.Num(3)})
+	b, _ := w.Spawn("Squad", map[string]sgl.Value{"x": sgl.Num(4)})
+	dead, _ := w.Spawn("Squad", map[string]sgl.Value{"x": sgl.Num(100)})
+	friends := value.NewSet(value.Ref(a), value.Ref(b), value.Ref(dead))
+	c, _ := w.Spawn("Squad", map[string]sgl.Value{"friends": value.SetVal(friends)})
+	// Kill one friend: the dangling ref must be skipped, not crash.
+	w.Kill("Squad", dead)
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MustGet("Squad", c, "morale").AsNumber(); got != 7 {
+		t.Fatalf("morale = %v, want 7 (3+4, dangling friend skipped)", got)
+	}
+	// Baseline agrees.
+	bw := g.NewBaseline()
+	ba, _ := bw.Spawn("Squad", map[string]sgl.Value{"x": sgl.Num(3)})
+	bb, _ := bw.Spawn("Squad", map[string]sgl.Value{"x": sgl.Num(4)})
+	bdead, _ := bw.Spawn("Squad", map[string]sgl.Value{"x": sgl.Num(100)})
+	bc, _ := bw.Spawn("Squad", map[string]sgl.Value{
+		"friends": value.SetVal(value.NewSet(value.Ref(ba), value.Ref(bb), value.Ref(bdead))),
+	})
+	bw.Kill("Squad", bdead)
+	if err := bw.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := bw.Get("Squad", bc, "morale"); got.AsNumber() != 7 {
+		t.Fatalf("baseline morale = %v", got.AsNumber())
+	}
+}
+
+const srcHashJoin = `
+class Piece {
+  state:
+    number player = 0;
+    number strength = 0;
+    number allies = 0;
+  effects:
+    number cnt : sum;
+  update:
+    allies = cnt;
+  run {
+    accum number k with count over Piece p from Piece {
+      if (p.player == player) {
+        k <- 1;
+      }
+    } in {
+      cnt <- k;
+    }
+  }
+}
+`
+
+func TestHashJoinStrategy(t *testing.T) {
+	g := mustLoad(t, srcHashJoin)
+	for _, strat := range []sgl.Strategy{sgl.HashIndex, sgl.NestedLoop, sgl.Auto} {
+		w, err := g.NewWorld(sgl.Options{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []sgl.ID
+		for i := 0; i < 30; i++ {
+			id, _ := w.Spawn("Piece", map[string]sgl.Value{"player": sgl.Num(float64(i % 3))})
+			ids = append(ids, id)
+		}
+		if err := w.RunTick(); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		for _, id := range ids {
+			// Each player has 10 pieces (including self).
+			if got := w.MustGet("Piece", id, "allies").AsNumber(); got != 10 {
+				t.Fatalf("%v: allies = %v, want 10", strat, got)
+			}
+		}
+	}
+}
+
+const srcSetEffects = `
+class Collector {
+  state:
+    number x = 0;
+    set<number> seen;
+  effects:
+    set<number> dseen : union;
+  update:
+    seen = dseen;
+  run {
+    accum set<number> vals with union over Collector c from Collector {
+      if (c.x >= x - 5 && c.x <= x + 5) {
+        vals <= c.x;
+      }
+    } in {
+      dseen <- vals;
+    }
+  }
+}
+`
+
+func TestSetEffectsAndSetAccum(t *testing.T) {
+	g := mustLoad(t, srcSetEffects)
+	w, err := g.NewWorld(sgl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []sgl.ID
+	for _, x := range []float64{0, 3, 50} {
+		id, _ := w.Spawn("Collector", map[string]sgl.Value{"x": sgl.Num(x)})
+		ids = append(ids, id)
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	s0 := w.MustGet("Collector", ids[0], "seen").AsSet()
+	if s0.Len() != 2 || !s0.Contains(sgl.Num(0)) || !s0.Contains(sgl.Num(3)) {
+		t.Fatalf("seen[0] = %v", s0)
+	}
+	s2 := w.MustGet("Collector", ids[2], "seen").AsSet()
+	if s2.Len() != 1 || !s2.Contains(sgl.Num(50)) {
+		t.Fatalf("seen[2] = %v", s2)
+	}
+}
+
+func TestSpawnDuringTickVisibleNextTick(t *testing.T) {
+	g := mustLoad(t, srcHashJoin)
+	w, _ := g.NewWorld(sgl.Options{})
+	first, _ := w.Spawn("Piece", map[string]sgl.Value{"player": sgl.Num(0)})
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MustGet("Piece", first, "allies").AsNumber(); got != 1 {
+		t.Fatalf("allies = %v", got)
+	}
+	w.Spawn("Piece", map[string]sgl.Value{"player": sgl.Num(0)})
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MustGet("Piece", first, "allies").AsNumber(); got != 2 {
+		t.Fatalf("allies after spawn = %v", got)
+	}
+}

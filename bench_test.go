@@ -1,0 +1,396 @@
+// Benchmarks regenerating the paper's quantitative claims, one per
+// experiment in DESIGN.md §5 / EXPERIMENTS.md. The CIDR 2009 paper is a
+// vision paper without numbered evaluation tables, so each benchmark
+// operationalizes one of its claims; cmd/sglbench prints the corresponding
+// full tables.
+package sgl_test
+
+import (
+	"fmt"
+	"testing"
+
+	sgl "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/physics"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// worldSide sizes a square world so each unit has ~k neighbors in a box of
+// half-width r (constant density across n).
+func worldSide(n, k int, r float64) float64 {
+	area := float64(n) * (2 * r) * (2 * r) / float64(k)
+	side := 1.0
+	for side*side < area {
+		side *= 1.2
+	}
+	return side
+}
+
+func fig2World(b *testing.B, n int, opts engine.Options) *engine.World {
+	b.Helper()
+	sc := core.MustLoad("fig2", core.SrcFig2)
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := worldSide(n, 6, 10)
+	if _, err := core.PopulateUnits(w, workload.Uniform(n, side, side, 42), 10); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func fig2Baseline(b *testing.B, n int) interface{ RunTick() error } {
+	b.Helper()
+	sc := core.MustLoad("fig2", core.SrcFig2)
+	w := sc.NewBaseline()
+	side := worldSide(n, 6, 10)
+	if _, err := core.PopulateUnits(w, workload.Uniform(n, side, side, 42), 10); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// E1 — §1–2: set-at-a-time processing vs the object-at-a-time middleware
+// model; the gap must grow with n.
+
+func BenchmarkE1_ObjectAtATime(b *testing.B) {
+	for _, n := range []int{1000, 2000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := fig2Baseline(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE1_SetAtATime(b *testing.B) {
+	for _, n := range []int{1000, 2000, 5000, 20000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := fig2World(b, n, engine.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E2 — §2.1 Fig. 2: the accum-loop compiled to a join, per physical plan.
+
+func BenchmarkE2_AccumJoin(b *testing.B) {
+	for _, strat := range []plan.Strategy{plan.NestedLoop, plan.GridIndex, plan.RangeTreeIndex} {
+		for _, n := range []int{1000, 5000} {
+			b.Run(fmt.Sprintf("%s/n=%d", strat, n), func(b *testing.B) {
+				w := fig2World(b, n, engine.Options{Strategy: strat})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.RunTick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E3 — §2.2: the physics update component resolving conflicting intentions.
+
+func BenchmarkE3_PhysicsUpdate(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		b.Run(fmt.Sprintf("colliders=%d", n), func(b *testing.B) {
+			sc := core.MustLoad("rts", core.SrcRTS)
+			w, err := sc.NewWorld(engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ph := physics.New2D(physics.Config{
+				Class: "Soldier", XAttr: "x", YAttr: "y",
+				VXEffect: "vx", VYEffect: "vy", Radius: 1, MaxSpeed: 3,
+			})
+			if err := w.Register(ph); err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range workload.Clustered(n, 1, 40, 200, 200, 9) {
+				if _, err := w.Spawn("Soldier", map[string]value.Value{
+					"player": value.Num(0),
+					"x":      value.Num(p.X), "y": value.Num(p.Y),
+					"tx": value.Num(100), "ty": value.Num(100),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4 — §3.1: transaction admission under contention.
+
+func BenchmarkE4_Transactions(b *testing.B) {
+	for _, bpi := range []int{2, 8} {
+		b.Run(fmt.Sprintf("buyersPerItem=%d", bpi), func(b *testing.B) {
+			sc := core.MustLoad("market", core.SrcMarket)
+			w, err := sc.NewWorld(engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sellers, _, err := core.PopulateMarket(w, workload.Market{
+				Sellers: 100, BuyersPerItem: bpi, Stock: 1, Price: 25, Gold: 1000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, id := range sellers {
+					w.SetState("Trader", id, "stock", value.Num(1))
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// E5 — §3.2: waitNextTick lowering vs a hand-written state machine.
+
+func BenchmarkE5_MultiTick(b *testing.B) {
+	for _, variant := range []struct{ name, src string }{
+		{"waitNextTick", core.SrcGuard},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			sc := core.MustLoad(variant.name, variant.src)
+			w, err := sc.NewWorld(engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 10000; i++ {
+				if _, err := w.Spawn("Guard", map[string]value.Value{
+					"px": value.Num(float64(i % 50)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E6 — §3.2: reactive handler dispatch cost.
+
+func BenchmarkE6_Reactive(b *testing.B) {
+	sc := core.MustLoad("guard", core.SrcGuard)
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if _, err := w.Spawn("Guard", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunTick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — §4.1: adaptive plan selection vs static plans across regimes.
+
+func BenchmarkE7_Adaptive(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		strat plan.Strategy
+	}{
+		{"staticNL", plan.NestedLoop},
+		{"staticTree", plan.RangeTreeIndex},
+		{"adaptive", plan.Auto},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const n = 2000
+			sc := core.MustLoad("fig2", core.SrcFig2)
+			w, err := sc.NewWorld(engine.Options{Strategy: cfg.strat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			side := worldSide(n, 6, 10)
+			ids, err := core.PopulateUnits(w, workload.Uniform(n, side, side, 1), 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate regimes every 5 iterations.
+				if i%5 == 0 {
+					b.StopTimer()
+					regime := workload.RegimeSchedule(i, 5)
+					ps := workload.Positions(regime, n, side, side, int64(i))
+					for j, id := range ids {
+						w.SetState("Unit", id, "x", value.Num(ps[j].X))
+						w.SetState("Unit", id, "y", value.Num(ps[j].Y))
+					}
+					b.StartTimer()
+				}
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E8 — §4.1: statistics collection must be cheap.
+
+func BenchmarkE8_StatsOverhead(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run("stats="+name, func(b *testing.B) {
+			w := fig2World(b, 10000, engine.Options{Strategy: plan.RangeTreeIndex, DisableStats: disabled})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E9 — §4.2: lock-free parallel effect computation.
+
+func BenchmarkE9_Parallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := fig2World(b, 20000, engine.Options{Workers: workers, Strategy: plan.RangeTreeIndex})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10 — §4.2: range-tree build cost and Θ(n·log^{d−1} n) space.
+
+func BenchmarkE10_RangeTreeSpace(b *testing.B) {
+	for _, d := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d/n=20000", d), func(b *testing.B) {
+			const n = 20000
+			es := make([]index.Entry, n)
+			for i := range es {
+				c := make([]float64, d)
+				for k := range c {
+					c[k] = float64((i*2654435761 + k*40503) % 1000003)
+				}
+				es[i] = index.Entry{ID: value.ID(i + 1), Coords: c}
+			}
+			var tree *index.RangeTree
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree = index.BuildRangeTree(d, es)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tree.StoredEntries())/n, "replicas/pt")
+			b.ReportMetric(float64(tree.EstimatedBytes())/(1<<20), "MB")
+		})
+	}
+}
+
+// E11 — §4.2: cluster partitioning strategies.
+
+func BenchmarkE11_Cluster(b *testing.B) {
+	const vehicles = 50000
+	net := workload.TrafficNetwork{W: 4000, H: 4000, Roads: 60, Speed: 3}
+	for _, cfg := range []struct {
+		name string
+		part cluster.Partitioner
+	}{
+		{"strip4", cluster.StripPartitioner{N: 4, MinX: 0, MaxX: 4000}},
+		{"hash4", cluster.HashPartitioner{N: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			sim, err := cluster.New(cluster.Config{
+				Part: cfg.part, InteractRadius: 12,
+			}, net.Vehicles(vehicles, 21))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := sim.Step()
+				msgs += m.Messages
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/tick")
+		})
+	}
+}
+
+// Ablation — DESIGN.md: per-tick index rebuild cost in isolation, the
+// design choice of rebuilding instead of maintaining indexes incrementally
+// under O(n) updates per tick (§4.1).
+
+func BenchmarkAblation_IndexRebuild(b *testing.B) {
+	const n = 20000
+	side := worldSide(n, 6, 10)
+	ps := workload.Uniform(n, side, side, 4)
+	es := make([]index.Entry, n)
+	coords := make([]float64, 2*n)
+	for i, p := range ps {
+		coords[2*i], coords[2*i+1] = p.X, p.Y
+		es[i] = index.Entry{ID: value.ID(i + 1), Coords: coords[2*i : 2*i+2]}
+	}
+	b.Run("rangeTree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.BuildRangeTree(2, es)
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.BuildGrid(20, es)
+		}
+	})
+}
+
+// Ablation — compilation cost: loading (parse+check+compile) a scenario.
+
+func BenchmarkAblation_CompileScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sgl.Load(core.SrcRTS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

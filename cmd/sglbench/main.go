@@ -1,0 +1,103 @@
+// Command sglbench regenerates every experiment table in EXPERIMENTS.md
+// (the reproduction of the paper's quantitative claims; see DESIGN.md §5
+// for the experiment index).
+//
+// Usage:
+//
+//	sglbench [-quick] [-md] [-only E1,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller populations and fewer ticks")
+	md := flag.Bool("md", false, "emit markdown tables")
+	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	// The baseline and nested-loop arms are O(n²); population sizes keep
+	// the full run under a few minutes while preserving the scaling shape.
+	sizes := []int{1000, 2000, 5000}
+	e1Ticks, e2Ticks := 3, 3
+	e7N, e7Block, e7Blocks := 2000, 10, 6
+	e9N := 20000
+	e10 := []int{10000, 30000, 100000}
+	e11V, e11Ticks := 50000, 3
+	e12V := 50000
+	if *quick {
+		sizes = []int{500, 1000, 2000}
+		e1Ticks, e2Ticks = 3, 3
+		e7N, e7Block, e7Blocks = 1000, 5, 4
+		e9N = 5000
+		e10 = []int{5000, 20000}
+		e11V, e11Ticks = 20000, 2
+		e12V = 20000
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	start := time.Now()
+	emit := func(t experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.ID, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+
+	if sel("E1") {
+		emit(experiments.E1(sizes, e1Ticks))
+	}
+	if sel("E2") {
+		emit(experiments.E2(sizes, e2Ticks))
+	}
+	if sel("E3") {
+		emit(experiments.E3([]int{100, 400, 1000}, 5))
+	}
+	if sel("E4") {
+		emit(experiments.E4([]int{1, 2, 4, 8, 16}))
+	}
+	if sel("E5") {
+		emit(experiments.E5(10000, 9))
+	}
+	if sel("E6") {
+		emit(experiments.E6(20000, 10))
+	}
+	if sel("E7") {
+		emit(experiments.E7(e7N, e7Block, e7Blocks))
+	}
+	if sel("E8") {
+		emit(experiments.E8(10000, 10))
+	}
+	if sel("E9") {
+		emit(experiments.E9(e9N, []int{1, 2, 4, 8}, 5))
+	}
+	if sel("E10") {
+		emit(experiments.E10(e10), nil)
+	}
+	if sel("E11") {
+		emit(experiments.E11(e11V, []int{2, 4, 8, 16}, e11Ticks))
+	}
+	if sel("E12") {
+		emit(experiments.E12(e12V, []int{1, 2, 4, 8, 16}))
+	}
+	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
+}

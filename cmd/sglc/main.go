@@ -1,0 +1,81 @@
+// Command sglc is the SGL compiler front end: it parses, type-checks and
+// compiles SGL source, then reports the derived relational schema, the
+// relational-algebra view of each class plan, or the canonicalized source.
+//
+// Usage:
+//
+//	sglc [-plan] [-schema] [-src] file.sgl
+//
+// With no flags, sglc prints everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sgl "repro"
+	"repro/internal/schema"
+)
+
+func main() {
+	plan := flag.Bool("plan", false, "print the relational-algebra plan per class")
+	sch := flag.Bool("schema", false, "print the generated relational schema")
+	src := flag.Bool("src", false, "print the canonicalized SGL source")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sglc [-plan] [-schema] [-src] file.sgl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	game, err := sgl.Load(string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	all := !*plan && !*sch && !*src
+	if *src || all {
+		fmt.Println("// canonicalized source")
+		fmt.Print(game.Source())
+		fmt.Println()
+	}
+	if *sch || all {
+		fmt.Println("// generated relational schema (single-table layout)")
+		for _, class := range game.Classes() {
+			printSchema(game, class)
+		}
+		fmt.Println()
+	}
+	if *plan || all {
+		fmt.Println("// compiled tick plans")
+		for _, class := range game.Classes() {
+			fmt.Print(game.Explain(class))
+		}
+	}
+}
+
+func printSchema(game *sgl.Game, class string) {
+	info := game.Info()
+	cls, ok := info.Schema.Class(class)
+	if !ok {
+		return
+	}
+	for _, spec := range schema.Layout(cls, schema.LayoutSingle, nil) {
+		fmt.Printf("table %s(", spec.Name)
+		for i, a := range spec.Attrs {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(a)
+		}
+		fmt.Println(")")
+	}
+}

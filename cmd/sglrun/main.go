@@ -1,0 +1,119 @@
+// Command sglrun executes an SGL script: it spawns a population of the
+// first declared class at random positions and runs the tick loop,
+// optionally logging per-tick summaries, dumping state, or tracing one
+// NPC's effects — the §3.3 debugging workflow from the shell.
+//
+// Usage:
+//
+//	sglrun [-n 1000] [-ticks 100] [-workers 1] [-strategy auto]
+//	       [-world 500] [-log] [-dump] [-trace id] [-seed 42] file.sgl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sgl "repro"
+	"repro/internal/debug"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "objects to spawn (first declared class)")
+	ticks := flag.Int("ticks", 100, "ticks to run")
+	workers := flag.Int("workers", 1, "effect-phase parallelism")
+	strategy := flag.String("strategy", "auto", "accum join strategy: auto|nested-loop|grid|range-tree")
+	world := flag.Float64("world", 500, "world side length for random x/y placement")
+	logTicks := flag.Bool("log", false, "log per-tick class counts")
+	dump := flag.Bool("dump", false, "dump final state")
+	trace := flag.Int64("trace", -1, "trace effects assigned to this object id")
+	seed := flag.Int64("seed", 42, "placement seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sglrun [flags] file.sgl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	game, err := sgl.Load(string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	var strat sgl.Strategy
+	switch *strategy {
+	case "auto":
+		strat = sgl.Auto
+	case "nested-loop":
+		strat = sgl.NestedLoop
+	case "grid":
+		strat = sgl.GridIndex
+	case "range-tree":
+		strat = sgl.RangeTreeIndex
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	w, err := game.NewWorld(sgl.Options{Workers: *workers, Strategy: strat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if missing := w.MissingOwners(); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "script declares owner components not available to sglrun: %v\n", missing)
+		os.Exit(1)
+	}
+	class := game.Classes()[0]
+	cls, _ := game.Info().Schema.Class(class)
+	hasX := cls.StateIndex("x") >= 0 && cls.StateIndex("y") >= 0
+	for _, p := range workload.Uniform(*n, *world, *world, *seed) {
+		init := map[string]sgl.Value{}
+		if hasX {
+			init["x"] = sgl.Num(p.X)
+			init["y"] = sgl.Num(p.Y)
+		}
+		if _, err := w.Spawn(class, init); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *logTicks {
+		w.AddInspector(debug.NewLogger(os.Stdout))
+	}
+	var npcTrace *debug.NPCTrace
+	if *trace >= 0 {
+		npcTrace = &debug.NPCTrace{ID: sgl.ID(*trace)}
+		w.SetTracer(npcTrace.Fn())
+	}
+	start := time.Now()
+	if err := w.Run(*ticks); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d ticks over %d %s objects in %v (%.2f ms/tick)\n",
+		*ticks, *n, class, elapsed.Round(time.Millisecond),
+		float64(elapsed.Microseconds())/float64(*ticks)/1000)
+	for _, s := range w.SiteStrategies() {
+		fmt.Println("plan:", s)
+	}
+	if npcTrace != nil {
+		fmt.Printf("trace of #%d: %d events\n", *trace, len(npcTrace.Events))
+		for i, e := range npcTrace.Events {
+			if i >= 20 {
+				fmt.Printf("... %d more\n", len(npcTrace.Events)-20)
+				break
+			}
+			fmt.Println("  ", e)
+		}
+	}
+	if *dump {
+		fmt.Print(debug.Dump(w, class))
+	}
+}

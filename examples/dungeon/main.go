@@ -1,0 +1,140 @@
+// Dungeon patrol: multi-tick intentions with pathfinding and reactive
+// interrupts (§2.2 + §3.2). Guards patrol between two posts through a
+// walled dungeon; the A* planner update component owns their positions and
+// walks them around obstacles; a reactive interrupt redirects any guard
+// whose health drops (an "attack") to phase 0 — and resumes the interrupted
+// intention once the threat clears, the resumable-exception model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	sgl "repro"
+	"repro/internal/pathfind"
+	"repro/internal/reactive"
+)
+
+const src = `
+class Guard {
+  state:
+    number x = 1 by pathfind;
+    number y = 1 by pathfind;
+    number ax = 0;
+    number ay = 0;
+    number bx = 0;
+    number pby = 0;
+    number health = 100;
+    number patrols = 0;
+  effects:
+    number goalx : avg;
+    number goaly : avg;
+    number damage : sum;
+    number arrived : sum;
+  update:
+    health = min(health - damage + 0.2, 100);
+    patrols = patrols + arrived;
+  run {
+    goalx <- ax;
+    goaly <- ay;
+    waitNextTick;
+    if (x == ax && y == ay) {
+      arrived <- 1;
+    }
+    goalx <- bx;
+    goaly <- pby;
+    waitNextTick;
+    if (x == bx && y == pby) {
+      arrived <- 1;
+    }
+  }
+}
+`
+
+func main() {
+	game, err := sgl.Load(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := game.NewWorld(sgl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A dungeon with an interior wall and a doorway.
+	grid := pathfind.NewGrid(24, 12)
+	grid.BlockRect(12, 0, 12, 8) // wall with a gap at y=9..11
+	planner := pathfind.New(pathfind.Config{
+		Class: "Guard", XAttr: "x", YAttr: "y",
+		GoalXEff: "goalx", GoalYEff: "goaly", Grid: grid,
+	})
+	if err := world.Register(planner); err != nil {
+		log.Fatal(err)
+	}
+
+	var ids []sgl.ID
+	for i := 0; i < 3; i++ {
+		id, err := world.Spawn("Guard", map[string]sgl.Value{
+			"x": sgl.Num(1), "y": sgl.Num(float64(1 + i*3)),
+			"ax": sgl.Num(2), "ay": sgl.Num(float64(1 + i*3)),
+			"bx": sgl.Num(22), "pby": sgl.Num(float64(1 + i*3)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Reactive interrupt: when hurt, jump to phase 0 (head for post A) and
+	// resume the interrupted intention once recovered.
+	mgr := reactive.NewManager(world, "Guard")
+	if err := mgr.InterruptWhen(game.Info(), "health < 95", 0, true); err != nil {
+		log.Fatal(err)
+	}
+	world.AddInspector(reactive.Resumer{M: mgr})
+
+	render := func() {
+		rows := make([][]byte, 12)
+		for y := range rows {
+			rows[y] = []byte(strings.Repeat(".", 24))
+			for x := 0; x < 24; x++ {
+				if !grid.Walkable(x, y) {
+					rows[y][x] = '#'
+				}
+			}
+		}
+		for i, id := range ids {
+			x := int(world.MustGet("Guard", id, "x").AsNumber())
+			y := int(world.MustGet("Guard", id, "y").AsNumber())
+			rows[y][x] = byte('A' + i)
+		}
+		for _, r := range rows {
+			fmt.Println(string(r))
+		}
+	}
+
+	fmt.Println("initial dungeon (guards A,B,C patrol to the right through the door):")
+	render()
+
+	if err := world.Run(40); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter 40 ticks:")
+	render()
+
+	// Guard A is ambushed: damage arrives, the interrupt redirects it.
+	fmt.Println("\nguard A is attacked (health drops); interrupt fires, then resumes")
+	world.SetState("Guard", ids[0], "health", sgl.Num(80))
+	if err := world.Run(30); err != nil {
+		log.Fatal(err)
+	}
+	render()
+	for i, id := range ids {
+		fmt.Printf("guard %c: patrol legs completed=%v health=%.1f plans=%d\n",
+			'A'+i,
+			world.MustGet("Guard", id, "patrols").AsNumber(),
+			world.MustGet("Guard", id, "health").AsNumber(),
+			planner.Plans)
+	}
+}

@@ -1,0 +1,293 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combinator"
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/token"
+	"repro/internal/value"
+)
+
+// evalCtx interprets statements and expressions for one object, walking the
+// AST directly — the per-NPC script-engine model the paper's middleware
+// baseline represents.
+type evalCtx struct {
+	w     *World
+	cb    *classBase
+	id    value.ID
+	obj   *object
+	frame []value.Value
+
+	accums map[int]*combinator.Accumulator // active accum slots
+	curTxn *txn
+
+	effects   bool // update-rule mode: effect attrs readable
+	tentative bool // constraint mode: rule-bearing attrs replay their rule
+}
+
+func (ev *evalCtx) runStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.LetStmt:
+			ev.frame[s.Slot] = ev.eval(s.Expr)
+		case *ast.IfStmt:
+			if ev.eval(s.Cond).AsBool() {
+				ev.runStmts(s.Then.Stmts)
+			} else if s.Else != nil {
+				ev.runStmts(s.Else.Stmts)
+			}
+		case *ast.EffectAssign:
+			ev.runEffectAssign(s)
+		case *ast.AccumStmt:
+			ev.runAccum(s)
+		case *ast.AtomicStmt:
+			t := &txn{
+				class:       ev.cb.name,
+				source:      ev.id,
+				frame:       append([]value.Value(nil), ev.frame...),
+				constraints: s.Constraints,
+			}
+			prev := ev.curTxn
+			ev.curTxn = t
+			ev.runStmts(s.Body.Stmts)
+			ev.curTxn = prev
+			if len(t.emissions) > 0 {
+				ev.w.txns = append(ev.w.txns, t)
+			}
+		case *ast.WaitStmt:
+			// Phases are pre-split; nothing to do.
+		}
+	}
+}
+
+func (ev *evalCtx) runEffectAssign(s *ast.EffectAssign) {
+	val := ev.eval(s.Value)
+	var key float64
+	if s.Key != nil {
+		key = ev.eval(s.Key).AsNumber()
+	}
+	if s.AccumSlot >= 0 {
+		ev.accums[s.AccumSlot].Add(val, key)
+		return
+	}
+	target := ev.id
+	if s.Target != nil {
+		ref := ev.eval(s.Target)
+		if ref.IsNullRef() {
+			return
+		}
+		target = ref.AsRef()
+	}
+	if ev.curTxn != nil {
+		ev.curTxn.emissions = append(ev.curTxn.emissions, emission{
+			class: s.TargetClass, target: target, attrIdx: s.AttrIdx, val: val, key: key,
+		})
+		return
+	}
+	cb := ev.w.classes[s.TargetClass]
+	if o, ok := cb.objs[target]; ok {
+		o.fx[s.AttrIdx].Add(val, key)
+	}
+}
+
+func (ev *evalCtx) runAccum(s *ast.AccumStmt) {
+	comb, _ := combinator.Parse(s.Comb)
+	acc := combinator.New(comb, s.ValType.Kind)
+	if ev.accums == nil {
+		ev.accums = make(map[int]*combinator.Accumulator)
+	}
+	ev.accums[s.Slot] = &acc
+
+	srcCB := ev.w.classes[s.IterClass]
+	runOne := func(id value.ID) {
+		ev.frame[s.IterSlot] = value.Ref(id)
+		ev.runStmts(s.Body.Stmts)
+	}
+	if id, ok := s.Source.(*ast.Ident); ok && id.Bind.Kind == ast.BindExtent {
+		// Naive object-at-a-time: scan the whole extent per NPC — the
+		// O(n²) behaviour the set-at-a-time engine's index joins remove.
+		for _, oid := range srcCB.order {
+			runOne(oid)
+		}
+	} else {
+		set := ev.eval(s.Source).AsSet()
+		for _, e := range set.Elems() {
+			if e.Kind() == value.KindRef {
+				if _, ok := srcCB.objs[e.AsRef()]; ok {
+					runOne(e.AsRef())
+				}
+			}
+		}
+	}
+	delete(ev.accums, s.Slot)
+	v, ok := acc.Result()
+	if !ok {
+		v = value.Zero(comb.ResultKind(s.ValType.Kind))
+	}
+	ev.frame[s.Slot] = v
+	ev.runStmts(s.In.Stmts)
+}
+
+func (ev *evalCtx) eval(e ast.Expr) value.Value {
+	switch e := e.(type) {
+	case *ast.NumLit:
+		return value.Num(e.V)
+	case *ast.BoolLit:
+		return value.Bool(e.V)
+	case *ast.StrLit:
+		return value.Str(e.V)
+	case *ast.NullLit:
+		return value.NullRef()
+	case *ast.Ident:
+		return ev.evalIdent(e)
+	case *ast.FieldExpr:
+		return ev.evalField(e)
+	case *ast.UnaryExpr:
+		x := ev.eval(e.X)
+		if e.Op == token.MINUS {
+			return value.Num(-x.AsNumber())
+		}
+		return value.Bool(!x.AsBool())
+	case *ast.BinaryExpr:
+		return ev.evalBinary(e)
+	case *ast.CondExpr:
+		if ev.eval(e.C).AsBool() {
+			return ev.eval(e.T)
+		}
+		return ev.eval(e.F)
+	case *ast.CallExpr:
+		return ev.evalCall(e)
+	default:
+		panic(fmt.Sprintf("baseline: cannot evaluate %T", e))
+	}
+}
+
+func (ev *evalCtx) evalIdent(e *ast.Ident) value.Value {
+	switch e.Bind.Kind {
+	case ast.BindStateAttr:
+		return ev.stateOf(ev.cb, ev.id, ev.obj, e.Bind.AttrIdx)
+	case ast.BindLocal, ast.BindIter:
+		return ev.frame[e.Bind.Slot]
+	case ast.BindSelf:
+		return value.Ref(ev.id)
+	case ast.BindEffectAttr:
+		v, ok := ev.obj.fx[e.Bind.AttrIdx].Result()
+		if !ok {
+			a := ev.cb.cls.Effects[e.Bind.AttrIdx]
+			return value.Zero(a.Comb.ResultKind(a.Kind))
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("baseline: unresolved identifier %q", e.Name))
+	}
+}
+
+// stateOf reads a state attribute, replaying the update rule in tentative
+// (constraint) mode — mirroring engine.tentWorld.
+func (ev *evalCtx) stateOf(cb *classBase, id value.ID, o *object, attrIdx int) value.Value {
+	if !ev.tentative {
+		return o.state[attrIdx]
+	}
+	name := cb.cls.State[attrIdx].Name
+	for _, r := range cb.decl.Updates {
+		if r.Attr != name {
+			continue
+		}
+		sub := &evalCtx{w: ev.w, cb: cb, id: id, obj: o, effects: true}
+		return sub.eval(r.Expr)
+	}
+	return o.state[attrIdx]
+}
+
+func (ev *evalCtx) evalField(e *ast.FieldExpr) value.Value {
+	ref := ev.eval(e.X)
+	zero := value.Zero(e.Ty.Kind)
+	if e.Ty.Kind == value.KindRef {
+		zero = value.NullRef()
+	}
+	if ref.IsNullRef() {
+		return zero
+	}
+	cb := ev.w.classes[e.Class]
+	o, ok := cb.objs[ref.AsRef()]
+	if !ok {
+		return zero
+	}
+	return ev.stateOf(cb, ref.AsRef(), o, e.AttrIdx)
+}
+
+func (ev *evalCtx) evalBinary(e *ast.BinaryExpr) value.Value {
+	switch e.Op {
+	case token.ANDAND:
+		if !ev.eval(e.X).AsBool() {
+			return value.Bool(false)
+		}
+		return value.Bool(ev.eval(e.Y).AsBool())
+	case token.OROR:
+		if ev.eval(e.X).AsBool() {
+			return value.Bool(true)
+		}
+		return value.Bool(ev.eval(e.Y).AsBool())
+	}
+	x, y := ev.eval(e.X), ev.eval(e.Y)
+	switch e.Op {
+	case token.PLUS:
+		return value.Num(x.AsNumber() + y.AsNumber())
+	case token.MINUS:
+		return value.Num(x.AsNumber() - y.AsNumber())
+	case token.STAR:
+		return value.Num(x.AsNumber() * y.AsNumber())
+	case token.SLASH:
+		return value.Num(x.AsNumber() / y.AsNumber())
+	case token.PERCENT:
+		return value.Num(math.Mod(x.AsNumber(), y.AsNumber()))
+	case token.EQ:
+		return value.Bool(x.Equal(y))
+	case token.NEQ:
+		return value.Bool(!x.Equal(y))
+	case token.LT:
+		return value.Bool(x.Compare(y) < 0)
+	case token.LE:
+		return value.Bool(x.Compare(y) <= 0)
+	case token.GT:
+		return value.Bool(x.Compare(y) > 0)
+	case token.GE:
+		return value.Bool(x.Compare(y) >= 0)
+	default:
+		panic("baseline: unknown binary operator")
+	}
+}
+
+func (ev *evalCtx) evalCall(e *ast.CallExpr) value.Value {
+	arg := func(i int) value.Value { return ev.eval(e.Args[i]) }
+	switch e.Builtin {
+	case ast.BAbs:
+		return value.Num(math.Abs(arg(0).AsNumber()))
+	case ast.BMin:
+		return value.Num(math.Min(arg(0).AsNumber(), arg(1).AsNumber()))
+	case ast.BMax:
+		return value.Num(math.Max(arg(0).AsNumber(), arg(1).AsNumber()))
+	case ast.BFloor:
+		return value.Num(math.Floor(arg(0).AsNumber()))
+	case ast.BCeil:
+		return value.Num(math.Ceil(arg(0).AsNumber()))
+	case ast.BSqrt:
+		return value.Num(math.Sqrt(arg(0).AsNumber()))
+	case ast.BClamp:
+		return value.Num(math.Min(math.Max(arg(0).AsNumber(), arg(1).AsNumber()), arg(2).AsNumber()))
+	case ast.BDist:
+		return value.Num(math.Hypot(arg(0).AsNumber()-arg(2).AsNumber(), arg(1).AsNumber()-arg(3).AsNumber()))
+	case ast.BSize:
+		return value.Num(float64(arg(0).AsSet().Len()))
+	case ast.BContains:
+		return value.Bool(arg(0).AsSet().Contains(arg(1)))
+	case ast.BID:
+		return value.Num(float64(arg(0).AsRef()))
+	case ast.BSelfFn:
+		return value.Ref(ev.id)
+	default:
+		panic(fmt.Sprintf("baseline: unknown builtin %q", e.Name))
+	}
+}

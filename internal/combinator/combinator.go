@@ -1,0 +1,324 @@
+// Package combinator implements the ⊕ effect-combination operators of SGL
+// (§2, §3.1 of the paper). Every write to an effect variable during a tick
+// is folded through the attribute's combinator; combinators must be
+// commutative and associative so that writes can be combined in any order,
+// including in parallel.
+package combinator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// Kind enumerates the built-in combinators.
+type Kind uint8
+
+const (
+	Invalid  Kind = iota
+	Sum           // numeric addition
+	Avg           // numeric mean over contributions
+	Min           // numeric minimum
+	Max           // numeric maximum
+	Count         // number of contributions (payload ignored)
+	And           // boolean conjunction
+	Or            // boolean disjunction
+	MinBy         // value carried by the smallest key (deterministic tie-break on key)
+	MaxBy         // value carried by the largest key
+	SetUnion      // set union (used by the `<=` set-insert operator)
+)
+
+// Parse maps an SGL source keyword to a combinator kind.
+func Parse(name string) (Kind, error) {
+	switch name {
+	case "sum":
+		return Sum, nil
+	case "avg":
+		return Avg, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "count":
+		return Count, nil
+	case "and":
+		return And, nil
+	case "or":
+		return Or, nil
+	case "minby":
+		return MinBy, nil
+	case "maxby":
+		return MaxBy, nil
+	case "union":
+		return SetUnion, nil
+	default:
+		return Invalid, fmt.Errorf("combinator: unknown combinator %q", name)
+	}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Count:
+		return "count"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case MinBy:
+		return "minby"
+	case MaxBy:
+		return "maxby"
+	case SetUnion:
+		return "union"
+	default:
+		return "invalid"
+	}
+}
+
+// ResultKind returns the value kind a combinator produces given the kind of
+// the effect attribute it combines.
+func (k Kind) ResultKind(attr value.Kind) value.Kind {
+	switch k {
+	case Count:
+		return value.KindNumber
+	case And, Or:
+		return value.KindBool
+	case SetUnion:
+		return value.KindSet
+	default:
+		return attr
+	}
+}
+
+// Accepts reports whether the combinator may be declared on an effect
+// attribute of the given kind.
+func (k Kind) Accepts(attr value.Kind) bool {
+	switch k {
+	case Sum, Avg, Min, Max:
+		return attr == value.KindNumber
+	case And, Or:
+		return attr == value.KindBool
+	case Count:
+		return true
+	case MinBy, MaxBy:
+		// Payload must be scalar so that ties can be broken
+		// deterministically regardless of combination order.
+		return attr != value.KindSet
+	case SetUnion:
+		return attr == value.KindSet
+	default:
+		return false
+	}
+}
+
+// Accumulator folds effect contributions for a single (object, attribute)
+// pair during one tick. The zero Accumulator (after New) represents "no
+// contributions"; Result reports whether any arrived.
+//
+// Accumulators are value types so they can live densely in per-worker
+// buffers; Merge combines two partial accumulations, enabling parallel
+// effect computation with no synchronization (paper §4.2).
+type Accumulator struct {
+	kind  Kind
+	n     int64
+	num   float64     // sum / min / max / bool fold
+	key   float64     // MinBy/MaxBy selection key
+	val   value.Value // MinBy/MaxBy payload
+	set   *value.Set
+	attrK value.Kind
+}
+
+// New returns an empty accumulator for combinator k over attribute kind ak.
+func New(k Kind, ak value.Kind) Accumulator {
+	return Accumulator{kind: k, attrK: ak}
+}
+
+// Kind returns the combinator kind.
+func (a *Accumulator) Kind() Kind { return a.kind }
+
+// Add folds one contribution into the accumulator. For MinBy/MaxBy, key
+// selects the winner; other combinators ignore key.
+func (a *Accumulator) Add(v value.Value, key float64) {
+	switch a.kind {
+	case Sum, Avg:
+		a.num += v.AsNumber()
+	case Min:
+		if a.n == 0 || v.AsNumber() < a.num {
+			a.num = v.AsNumber()
+		}
+	case Max:
+		if a.n == 0 || v.AsNumber() > a.num {
+			a.num = v.AsNumber()
+		}
+	case Count:
+		// payload ignored
+	case And:
+		if a.n == 0 {
+			a.num = 1
+		}
+		if !v.AsBool() {
+			a.num = 0
+		}
+	case Or:
+		if v.AsBool() {
+			a.num = 1
+		}
+	case MinBy:
+		if a.n == 0 || key < a.key || (key == a.key && v.Compare(a.val) < 0) {
+			a.key, a.val = key, v
+		}
+	case MaxBy:
+		if a.n == 0 || key > a.key || (key == a.key && v.Compare(a.val) < 0) {
+			a.key, a.val = key, v
+		}
+	case SetUnion:
+		if a.set == nil {
+			a.set = value.NewSet()
+		}
+		switch v.Kind() {
+		case value.KindSet:
+			for _, e := range v.AsSet().Elems() {
+				a.set.Add(e)
+			}
+		default:
+			a.set.Add(v)
+		}
+	}
+	a.n++
+}
+
+// Merge folds another partial accumulation of the same combinator into a.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	switch a.kind {
+	case Sum, Avg:
+		a.num += b.num
+	case Min:
+		if b.num < a.num {
+			a.num = b.num
+		}
+	case Max:
+		if b.num > a.num {
+			a.num = b.num
+		}
+	case Count:
+	case And:
+		if b.num == 0 {
+			a.num = 0
+		}
+	case Or:
+		if b.num != 0 {
+			a.num = 1
+		}
+	case MinBy:
+		if b.key < a.key || (b.key == a.key && b.val.Compare(a.val) < 0) {
+			a.key, a.val = b.key, b.val
+		}
+	case MaxBy:
+		if b.key > a.key || (b.key == a.key && b.val.Compare(a.val) < 0) {
+			a.key, a.val = b.key, b.val
+		}
+	case SetUnion:
+		if a.set == nil {
+			a.set = value.NewSet()
+		}
+		if b.set != nil {
+			for _, e := range b.set.Elems() {
+				a.set.Add(e)
+			}
+		}
+	}
+	a.n += b.n
+}
+
+// Result returns the combined value and whether any contribution arrived.
+// With no contributions the second result is false and the first is the
+// zero value of the result kind.
+func (a *Accumulator) Result() (value.Value, bool) {
+	if a.n == 0 {
+		return value.Zero(a.kind.ResultKind(a.attrK)), false
+	}
+	switch a.kind {
+	case Sum, Min, Max:
+		return value.Num(a.num), true
+	case Avg:
+		return value.Num(a.num / float64(a.n)), true
+	case Count:
+		return value.Num(float64(a.n)), true
+	case And, Or:
+		return value.Bool(a.num != 0), true
+	case MinBy, MaxBy:
+		return a.val, true
+	case SetUnion:
+		if a.set == nil {
+			return value.SetVal(value.NewSet()), true
+		}
+		return value.SetVal(a.set.Clone()), true
+	default:
+		return value.Value{}, false
+	}
+}
+
+// N returns the number of contributions folded so far.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Remove undoes a prior Add. Only the invertible combinators (sum, avg,
+// count) support removal; it returns false otherwise. Transaction rollback
+// (§3.1) relies on this, which is why the language requires additive
+// effects inside atomic blocks.
+func (a *Accumulator) Remove(v value.Value, key float64) bool {
+	switch a.kind {
+	case Sum, Avg:
+		a.num -= v.AsNumber()
+	case Count:
+		// payload ignored
+	default:
+		return false
+	}
+	a.n--
+	return true
+}
+
+// Reset empties the accumulator for reuse, preserving kind information.
+func (a *Accumulator) Reset() {
+	a.n, a.num, a.key = 0, 0, 0
+	a.val = value.Value{}
+	a.set = nil
+}
+
+// Identity returns the identity element of the combinator where one exists
+// (Sum→0, Min→+inf, Max→-inf, Count→0, And→true, Or→false, SetUnion→{}).
+// Avg, MinBy and MaxBy have no identity; the second result is false.
+func (k Kind) Identity() (value.Value, bool) {
+	switch k {
+	case Sum, Count:
+		return value.Num(0), true
+	case Min:
+		return value.Num(math.Inf(1)), true
+	case Max:
+		return value.Num(math.Inf(-1)), true
+	case And:
+		return value.Bool(true), true
+	case Or:
+		return value.Bool(false), true
+	case SetUnion:
+		return value.SetVal(value.NewSet()), true
+	default:
+		return value.Value{}, false
+	}
+}

@@ -1,0 +1,307 @@
+// Package core is the heart of the reproduction: it assembles the paper's
+// primary contribution — imperative SGL scripts compiled to relational tick
+// plans and executed set-at-a-time — into ready-to-run scenarios shared by
+// the tests, the benchmark harness and the examples. Each scenario pairs a
+// canonical SGL source (mirroring the paper's figures and motivating
+// examples) with spawn helpers, so every consumer measures exactly the same
+// workload.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/compile"
+	"repro/internal/engine"
+	"repro/internal/sgl/parser"
+	"repro/internal/sgl/sem"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// SrcFig2 is the paper's Figure 2 accum-loop, embedded in a complete class:
+// each unit counts neighbors in a square range and suffers crowding damage.
+const SrcFig2 = `
+class Unit {
+  state:
+    number player = 0;
+    number x = 0;
+    number y = 0;
+    number range = 10;
+    number health = 100;
+  effects:
+    number damage : sum;
+  update:
+    health = health - damage;
+  run {
+    accum number cnt with sum over Unit u from Unit {
+      if (u.x >= x - range && u.x <= x + range &&
+          u.y >= y - range && u.y <= y + range) {
+        cnt <- 1;
+      }
+    } in {
+      if (cnt > 3) {
+        damage <- (cnt - 3) * 0.125;
+      }
+    }
+  }
+}
+`
+
+// SrcRTS is a two-player combat script: units seek the weakest enemy in
+// range (maxby selection), deal damage, and regenerate; movement intentions
+// go to the physics component via avg-combined velocity effects (the
+// paper's Figure 1 effect declarations).
+const SrcRTS = `
+class Soldier {
+  state:
+    number player = 0;
+    number x = 0 by physics;
+    number y = 0 by physics;
+    number tx = 0;
+    number ty = 0;
+    number range = 15;
+    number health = 100;
+    number attack = 2;
+  effects:
+    number vx : avg;
+    number vy : avg;
+    number damage : sum;
+  update:
+    health = health - damage + 0.1;
+  run {
+    accum ref<Soldier> foe with maxby over Soldier u from Soldier {
+      if (u.player != player &&
+          u.x >= x - range && u.x <= x + range &&
+          u.y >= y - range && u.y <= y + range) {
+        foe <- u by (0 - u.health);
+      }
+    } in {
+      if (foe != null) {
+        foe.damage <- attack;
+      } else {
+        vx <- (tx - x) * 0.1;
+        vy <- (ty - y) * 0.1;
+      }
+    }
+  }
+}
+`
+
+// SrcMarket is the §3.1 marketplace: buyers purchase from a seller inside
+// an atomic block constrained against negative balances and stock — the
+// scenario whose race is the classic duping bug.
+const SrcMarket = `
+class Trader {
+  state:
+    number gold = 0;
+    number stock = 0;
+    number wants = 0;
+    number price = 25;
+    ref<Trader> seller = null;
+  effects:
+    number dgold : sum;
+    number dstock : sum;
+  update:
+    gold = gold + dgold;
+    stock = stock + dstock;
+  run {
+    if (wants > 0 && seller != null && gold >= price) {
+      atomic (gold >= 0, seller.stock >= 0) {
+        dgold <- 0 - price;
+        seller.dgold <- price;
+        dstock <- 1;
+        seller.dstock <- 0 - 1;
+      }
+    }
+  }
+}
+`
+
+// SrcMarketUnsafe is SrcMarket without the atomic block: the same writes
+// flow as plain effects, reproducing the duping behaviour transactions
+// exist to prevent (experiment E4's control arm).
+const SrcMarketUnsafe = `
+class Trader {
+  state:
+    number gold = 0;
+    number stock = 0;
+    number wants = 0;
+    number price = 25;
+    ref<Trader> seller = null;
+  effects:
+    number dgold : sum;
+    number dstock : sum;
+  update:
+    gold = gold + dgold;
+    stock = stock + dstock;
+  run {
+    if (wants > 0 && seller != null && gold >= price) {
+      dgold <- 0 - price;
+      seller.dgold <- price;
+      dstock <- 1;
+      seller.dstock <- 0 - 1;
+    }
+  }
+}
+`
+
+// SrcGuard is the multi-tick + reactive example of §3.2: move to a post,
+// pick up an item, attack — with a handler that arms fleeing at low health.
+const SrcGuard = `
+class Guard {
+  state:
+    number x = 0;
+    number y = 0;
+    number px = 0;
+    number py = 0;
+    number health = 100;
+    number fleeing = 0;
+    number items = 0;
+    ref<Guard> foe = null;
+  effects:
+    number dx : avg;
+    number dy : avg;
+    number damage : sum;
+    number pickup : sum;
+    number flee : max;
+  update:
+    x = x + dx;
+    y = y + dy;
+    health = health - damage;
+    items = items + pickup;
+    fleeing = flee;
+  handlers:
+    when (health < 30) {
+      flee <- 1;
+    }
+  run {
+    dx <- (px - x) * 0.5;
+    dy <- (py - y) * 0.5;
+    waitNextTick;
+    pickup <- 1;
+    waitNextTick;
+    if (foe != null) {
+      foe.damage <- 5;
+    }
+  }
+}
+`
+
+// Scenario bundles a loaded program with its spawn recipe.
+type Scenario struct {
+	Name string
+	Info *sem.Info
+	Prog *compile.Program
+}
+
+// LoadScenario parses, checks and compiles one of the canonical sources.
+func LoadScenario(name, src string) (*Scenario, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	prog, err := compile.CompileChecked(info)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	return &Scenario{Name: name, Info: info, Prog: prog}, nil
+}
+
+// MustLoad panics on load errors (for benchmarks and examples with
+// compile-time-constant sources).
+func MustLoad(name, src string) *Scenario {
+	s, err := LoadScenario(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewWorld instantiates the engine for the scenario.
+func (s *Scenario) NewWorld(opts engine.Options) (*engine.World, error) {
+	return engine.New(s.Prog, opts)
+}
+
+// NewBaseline instantiates the object-at-a-time interpreter.
+func (s *Scenario) NewBaseline() *baseline.World { return baseline.New(s.Info) }
+
+// Spawner abstracts the engine and baseline worlds for shared population
+// helpers.
+type Spawner interface {
+	Spawn(class string, init map[string]value.Value) (value.ID, error)
+}
+
+// PopulateUnits spawns Fig-2 units at the given positions.
+func PopulateUnits(w Spawner, ps []workload.Pos, rng float64) ([]value.ID, error) {
+	ids := make([]value.ID, 0, len(ps))
+	for _, p := range ps {
+		id, err := w.Spawn("Unit", map[string]value.Value{
+			"x": value.Num(p.X), "y": value.Num(p.Y), "range": value.Num(rng),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// PopulateMarket spawns sellers and contending buyers per the market
+// workload; it returns seller ids then buyer ids.
+func PopulateMarket(w Spawner, m workload.Market) (sellers, buyers []value.ID, err error) {
+	for i := 0; i < m.Sellers; i++ {
+		id, err := w.Spawn("Trader", map[string]value.Value{
+			"gold": value.Num(0), "stock": value.Num(float64(m.Stock)),
+			"price": value.Num(m.Price),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sellers = append(sellers, id)
+	}
+	for i := 0; i < m.TotalBuyers(); i++ {
+		sid := sellers[i%len(sellers)]
+		id, err := w.Spawn("Trader", map[string]value.Value{
+			"gold": value.Num(m.Gold), "wants": value.Num(1),
+			"price": value.Num(m.Price), "seller": value.Ref(sid),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		buyers = append(buyers, id)
+	}
+	return sellers, buyers, nil
+}
+
+// PopulateSoldiers spawns two armies at the given positions, alternating
+// players, with movement targets at the overall centroid so the armies
+// close distance and engage.
+func PopulateSoldiers(w Spawner, ps []workload.Pos) ([]value.ID, error) {
+	var cx, cy float64
+	for _, p := range ps {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(ps))
+	if n > 0 {
+		cx, cy = cx/n, cy/n
+	}
+	ids := make([]value.ID, 0, len(ps))
+	for i, p := range ps {
+		id, err := w.Spawn("Soldier", map[string]value.Value{
+			"player": value.Num(float64(i % 2)),
+			"x":      value.Num(p.X), "y": value.Num(p.Y),
+			"tx": value.Num(cx), "ty": value.Num(cy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

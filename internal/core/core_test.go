@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func TestAllScenariosLoad(t *testing.T) {
+	for name, src := range map[string]string{
+		"fig2":          SrcFig2,
+		"rts":           SrcRTS,
+		"market":        SrcMarket,
+		"market-unsafe": SrcMarketUnsafe,
+		"guard":         SrcGuard,
+	} {
+		sc, err := LoadScenario(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := sc.NewWorld(engine.Options{}); err != nil {
+			t.Fatalf("%s: NewWorld: %v", name, err)
+		}
+		if sc.NewBaseline() == nil {
+			t.Fatalf("%s: NewBaseline", name)
+		}
+	}
+}
+
+func TestLoadScenarioError(t *testing.T) {
+	if _, err := LoadScenario("bad", "class {"); err == nil {
+		t.Error("syntax error must surface")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLoad must panic on bad source")
+		}
+	}()
+	MustLoad("bad", "class {")
+}
+
+func TestPopulateUnits(t *testing.T) {
+	sc := MustLoad("fig2", SrcFig2)
+	w, _ := sc.NewWorld(engine.Options{})
+	ids, err := PopulateUnits(w, workload.Uniform(25, 100, 100, 1), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 25 || w.Count("Unit") != 25 {
+		t.Fatal("population size")
+	}
+	if got := w.MustGet("Unit", ids[0], "range").AsNumber(); got != 12 {
+		t.Errorf("range = %v", got)
+	}
+}
+
+func TestPopulateMarketWiring(t *testing.T) {
+	sc := MustLoad("market", SrcMarket)
+	w, _ := sc.NewWorld(engine.Options{})
+	m := workload.Market{Sellers: 2, BuyersPerItem: 3, Stock: 4, Price: 10, Gold: 50}
+	sellers, buyers, err := PopulateMarket(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sellers) != 2 || len(buyers) != 6 {
+		t.Fatalf("sellers=%d buyers=%d", len(sellers), len(buyers))
+	}
+	// Buyers alternate across sellers.
+	s0 := w.MustGet("Trader", buyers[0], "seller").AsRef()
+	s1 := w.MustGet("Trader", buyers[1], "seller").AsRef()
+	if s0 == s1 {
+		t.Error("buyers must spread across sellers")
+	}
+	if w.MustGet("Trader", sellers[0], "stock").AsNumber() != 4 {
+		t.Error("seller stock")
+	}
+}
+
+func TestPopulateSoldiers(t *testing.T) {
+	sc := MustLoad("rts", SrcRTS)
+	w, _ := sc.NewWorld(engine.Options{})
+	ids, err := PopulateSoldiers(w, workload.Uniform(10, 100, 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := w.MustGet("Soldier", ids[0], "player").AsNumber()
+	p1 := w.MustGet("Soldier", ids[1], "player").AsNumber()
+	if p0 == p1 {
+		t.Error("players must alternate")
+	}
+}

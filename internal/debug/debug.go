@@ -1,0 +1,239 @@
+// Package debug implements the debugging substrate of §3.3. SGL is
+// data-parallel — the same script runs for thousands of NPCs per tick — so
+// print-debugging is useless and the paper asks instead for:
+//
+//   - inspection of state attributes at tick boundaries, via the mapping
+//     between relation columns and SGL attributes (Dump, Watch);
+//   - logging with resumable checkpoints (Logger, Recorder, SaveCheckpoint);
+//   - selecting an individual NPC and viewing the effects assigned to it
+//     (TraceNPC).
+package debug
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// Dump renders all live objects of a class at a tick boundary: one row per
+// object, one column per SGL state attribute — the column↔attribute mapping
+// the paper calls "fairly easy" and indispensable.
+func Dump(w *engine.World, class string) string {
+	cls, ok := w.Schema().Class(class)
+	if !ok {
+		return fmt.Sprintf("debug: unknown class %q\n", class)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s (tick %d, %d objects) ==\n", class, w.Tick(), w.Count(class))
+	names := make([]string, len(cls.State))
+	for i, a := range cls.State {
+		names[i] = a.Name
+	}
+	fmt.Fprintf(&b, "%8s | %s\n", "id", strings.Join(names, " | "))
+	for _, id := range w.IDs(class) {
+		cells := make([]string, len(cls.State))
+		for i, a := range cls.State {
+			v, _ := w.Get(class, id, a.Name)
+			cells[i] = v.String()
+		}
+		fmt.Fprintf(&b, "%8d | %s\n", id, strings.Join(cells, " | "))
+	}
+	return b.String()
+}
+
+// Watch reads a set of attributes for one object, for assertions in test
+// scenarios and REPL-style inspection.
+func Watch(w *engine.World, class string, id value.ID, attrs ...string) map[string]value.Value {
+	out := make(map[string]value.Value, len(attrs))
+	for _, a := range attrs {
+		if v, ok := w.Get(class, id, a); ok {
+			out[a] = v
+		}
+	}
+	return out
+}
+
+// Logger is an engine.Inspector writing one summary line per tick.
+type Logger struct {
+	W io.Writer
+	// Classes restricts the summary; empty logs every class.
+	Classes []string
+}
+
+// NewLogger logs to w (os.Stderr when nil).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{W: w}
+}
+
+// TickStart implements engine.Inspector.
+func (l *Logger) TickStart(w *engine.World, tick int64) {}
+
+// TickEnd implements engine.Inspector.
+func (l *Logger) TickEnd(w *engine.World, tick int64) {
+	classes := l.Classes
+	if len(classes) == 0 {
+		for _, c := range w.Schema().Classes() {
+			classes = append(classes, c.Name)
+		}
+	}
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, w.Count(c)))
+	}
+	fmt.Fprintf(l.W, "tick %d: %s\n", tick, strings.Join(parts, " "))
+}
+
+// TraceEvent is one observed effect emission.
+type TraceEvent struct {
+	Tick     int64
+	SrcClass string
+	Src      value.ID
+	DstClass string
+	Dst      value.ID
+	Attr     string
+	Val      value.Value
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("tick %d: %s#%d -> %s#%d.%s <- %s",
+		e.Tick, e.SrcClass, e.Src, e.DstClass, e.Dst, e.Attr, e.Val)
+}
+
+// NPCTrace records every effect assigned to (or emitted by) one object —
+// the per-NPC view the paper lists among its desiderata. Install with
+// w.SetTracer(trace.Fn()).
+type NPCTrace struct {
+	ID     value.ID
+	Events []TraceEvent
+	// IncludeOutgoing also records emissions the NPC makes to others.
+	IncludeOutgoing bool
+}
+
+// Fn returns the engine.TraceFn to install.
+func (t *NPCTrace) Fn() engine.TraceFn {
+	return func(tick int64, srcClass string, src value.ID, dstClass string, dst value.ID, attr string, v value.Value) {
+		if dst == t.ID || (t.IncludeOutgoing && src == t.ID) {
+			t.Events = append(t.Events, TraceEvent{
+				Tick: tick, SrcClass: srcClass, Src: src,
+				DstClass: dstClass, Dst: dst, Attr: attr, Val: v,
+			})
+		}
+	}
+}
+
+// Recorder keeps periodic checkpoints in memory so a session can rewind —
+// "logging, including resumable checkpoints".
+type Recorder struct {
+	Every int // checkpoint period in ticks (default 10)
+	snaps []*engine.Checkpoint
+	err   error
+}
+
+// NewRecorder checkpoints every n ticks.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 10
+	}
+	return &Recorder{Every: n}
+}
+
+// TickStart implements engine.Inspector.
+func (r *Recorder) TickStart(w *engine.World, tick int64) {}
+
+// TickEnd implements engine.Inspector. It snapshots at tick boundaries
+// (every r.Every completed ticks), where the engine permits checkpoints.
+func (r *Recorder) TickEnd(w *engine.World, tick int64) {
+	if w.Tick()%int64(r.Every) != 0 {
+		return
+	}
+	c, err := w.Checkpoint()
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.snaps = append(r.snaps, c)
+}
+
+// Err returns the first checkpoint error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Checkpoints returns the recorded snapshots in tick order.
+func (r *Recorder) Checkpoints() []*engine.Checkpoint { return r.snaps }
+
+// Rewind restores the latest checkpoint at or before tick. It returns the
+// restored tick, or an error when none qualifies.
+func (r *Recorder) Rewind(w *engine.World, tick int64) (int64, error) {
+	var best *engine.Checkpoint
+	for _, c := range r.snaps {
+		if c.Tick <= tick && (best == nil || c.Tick > best.Tick) {
+			best = c
+		}
+	}
+	if best == nil {
+		return 0, fmt.Errorf("debug: no checkpoint at or before tick %d", tick)
+	}
+	if err := w.Restore(best); err != nil {
+		return 0, err
+	}
+	return best.Tick, nil
+}
+
+// SaveCheckpoint writes a checkpoint as JSON.
+func SaveCheckpoint(w io.Writer, c *engine.Checkpoint) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// LoadCheckpoint reads a JSON checkpoint.
+func LoadCheckpoint(r io.Reader) (*engine.Checkpoint, error) {
+	var c engine.Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// DiffStates compares the same class across two worlds (e.g. engine vs
+// baseline) and reports mismatching (id, attr) pairs — the tool behind the
+// equivalence property tests.
+func DiffStates(a, b stateReader, class string, attrs []string, eps float64) []string {
+	var diffs []string
+	ids := a.IDs(class)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, attr := range attrs {
+			av, aok := a.Get(class, id, attr)
+			bv, bok := b.Get(class, id, attr)
+			if aok != bok {
+				diffs = append(diffs, fmt.Sprintf("%s#%d.%s: presence %v vs %v", class, id, attr, aok, bok))
+				continue
+			}
+			if !aok {
+				continue
+			}
+			if av.Kind() == value.KindNumber && bv.Kind() == value.KindNumber {
+				if !value.NumbersEqual(av.AsNumber(), bv.AsNumber(), eps) {
+					diffs = append(diffs, fmt.Sprintf("%s#%d.%s: %v vs %v", class, id, attr, av, bv))
+				}
+			} else if !av.Equal(bv) {
+				diffs = append(diffs, fmt.Sprintf("%s#%d.%s: %v vs %v", class, id, attr, av, bv))
+			}
+		}
+	}
+	return diffs
+}
+
+// stateReader is the read surface shared by engine and baseline worlds.
+type stateReader interface {
+	IDs(class string) []value.ID
+	Get(class string, id value.ID, attr string) (value.Value, bool)
+}

@@ -1,0 +1,173 @@
+package debug_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/debug"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+func guardWorld(t *testing.T) *engine.World {
+	t.Helper()
+	sc, err := core.LoadScenario("guard", core.SrcGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDump(t *testing.T) {
+	w := guardWorld(t)
+	w.Spawn("Guard", map[string]value.Value{"px": value.Num(3)})
+	w.Spawn("Guard", map[string]value.Value{"px": value.Num(7)})
+	out := debug.Dump(w, "Guard")
+	for _, want := range []string{"Guard", "px", "health", "100", "2 objects"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+	if got := debug.Dump(w, "Nope"); !strings.Contains(got, "unknown class") {
+		t.Error("unknown class dump")
+	}
+}
+
+func TestWatch(t *testing.T) {
+	w := guardWorld(t)
+	id, _ := w.Spawn("Guard", map[string]value.Value{"px": value.Num(5)})
+	got := debug.Watch(w, "Guard", id, "px", "health", "bogus")
+	if got["px"].AsNumber() != 5 || got["health"].AsNumber() != 100 {
+		t.Errorf("Watch = %v", got)
+	}
+	if _, ok := got["bogus"]; ok {
+		t.Error("unknown attrs must be omitted")
+	}
+}
+
+func TestLogger(t *testing.T) {
+	w := guardWorld(t)
+	w.Spawn("Guard", nil)
+	var buf bytes.Buffer
+	w.AddInspector(&debug.Logger{W: &buf})
+	w.Run(2)
+	out := buf.String()
+	if !strings.Contains(out, "tick 0: Guard=1") || !strings.Contains(out, "tick 1:") {
+		t.Errorf("log output:\n%s", out)
+	}
+}
+
+func TestNPCTrace(t *testing.T) {
+	w := guardWorld(t)
+	a, _ := w.Spawn("Guard", nil)
+	b, _ := w.Spawn("Guard", nil)
+	w.SetState("Guard", a, "foe", value.Ref(b))
+	trace := &debug.NPCTrace{ID: b}
+	w.SetTracer(trace.Fn())
+	// Phase 2 (attack) happens on tick 3.
+	w.Run(3)
+	if len(trace.Events) == 0 {
+		t.Fatal("no events traced for the attacked NPC")
+	}
+	ev := trace.Events[len(trace.Events)-1]
+	if ev.Dst != b || ev.Attr != "damage" || ev.Src != a {
+		t.Errorf("event = %+v", ev)
+	}
+	if !strings.Contains(ev.String(), "damage") {
+		t.Error("event String")
+	}
+	// Self-movement effects (dx/dy) by other NPCs must not be captured.
+	for _, e := range trace.Events {
+		if e.Dst != b {
+			t.Errorf("captured foreign event: %+v", e)
+		}
+	}
+}
+
+func TestRecorderAndRewind(t *testing.T) {
+	w := guardWorld(t)
+	id, _ := w.Spawn("Guard", map[string]value.Value{"px": value.Num(10), "py": value.Num(0)})
+	rec := debug.NewRecorder(2)
+	w.AddInspector(rec)
+	w.Run(6)
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if len(rec.Checkpoints()) != 3 { // after ticks 2, 4, 6
+		t.Fatalf("checkpoints = %d", len(rec.Checkpoints()))
+	}
+	xAt6 := w.MustGet("Guard", id, "x").AsNumber()
+	tick, err := rec.Rewind(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick != 4 || w.Tick() != 4 {
+		t.Fatalf("rewound to %d (world %d)", tick, w.Tick())
+	}
+	// Re-running the remaining ticks reproduces the trajectory.
+	w.Run(2)
+	if got := w.MustGet("Guard", id, "x").AsNumber(); got != xAt6 {
+		t.Fatalf("replay diverged: %v vs %v", got, xAt6)
+	}
+	if _, err := rec.Rewind(w, 1); err == nil {
+		t.Error("rewind before the first checkpoint must fail")
+	}
+}
+
+func TestSaveLoadCheckpoint(t *testing.T) {
+	w := guardWorld(t)
+	id, _ := w.Spawn("Guard", map[string]value.Value{"px": value.Num(4)})
+	w.Run(3)
+	cp, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := debug.SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := debug.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := guardWorld(t)
+	// Same schema: restore into a fresh world.
+	if err := w2.Restore(loaded); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Tick() != 3 {
+		t.Errorf("tick = %d", w2.Tick())
+	}
+	a := w.MustGet("Guard", id, "x").AsNumber()
+	b := w2.MustGet("Guard", id, "x").AsNumber()
+	if a != b {
+		t.Errorf("restored x = %v, want %v", b, a)
+	}
+	// Both continue identically (checkpoint is resumable, §3.3).
+	w.Run(2)
+	w2.Run(2)
+	if w.MustGet("Guard", id, "x").AsNumber() != w2.MustGet("Guard", id, "x").AsNumber() {
+		t.Error("resumed runs diverged")
+	}
+}
+
+func TestDiffStates(t *testing.T) {
+	sc, _ := core.LoadScenario("fig2", core.SrcFig2)
+	a, _ := sc.NewWorld(engine.Options{})
+	b := sc.NewBaseline()
+	ia, _ := a.Spawn("Unit", map[string]value.Value{"x": value.Num(1)})
+	b.Spawn("Unit", map[string]value.Value{"x": value.Num(1)})
+	if diffs := debug.DiffStates(a, b, "Unit", []string{"x", "health"}, 1e-9); len(diffs) != 0 {
+		t.Fatalf("identical worlds diff: %v", diffs)
+	}
+	a.SetState("Unit", ia, "x", value.Num(99))
+	if diffs := debug.DiffStates(a, b, "Unit", []string{"x"}, 1e-9); len(diffs) != 1 {
+		t.Fatalf("diff not detected: %v", diffs)
+	}
+}

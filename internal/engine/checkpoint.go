@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Checkpoint is a resumable snapshot of world state at a tick boundary
+// (§3.3). Effects are transient and not captured: handler-armed effects for
+// the next tick are reconstructed on Restore by re-running the (pure)
+// handlers against the restored state.
+type Checkpoint struct {
+	Tick   int64                     `json:"tick"`
+	NextID value.ID                  `json:"nextId"`
+	Tables map[string]table.Snapshot `json:"tables"`
+}
+
+// Checkpoint captures the world between ticks.
+func (w *World) Checkpoint() (*Checkpoint, error) {
+	if w.inTick {
+		return nil, fmt.Errorf("engine: checkpoint is only valid at tick boundaries")
+	}
+	c := &Checkpoint{
+		Tick:   w.tick,
+		NextID: w.nextID,
+		Tables: make(map[string]table.Snapshot, len(w.order)),
+	}
+	for _, rt := range w.order {
+		c.Tables[rt.name] = rt.tab.Snapshot()
+	}
+	return c, nil
+}
+
+// Restore replaces the world state with a checkpoint and re-arms reactive
+// handlers, resuming execution exactly where the checkpoint was taken.
+func (w *World) Restore(c *Checkpoint) error {
+	if w.inTick {
+		return fmt.Errorf("engine: restore is only valid at tick boundaries")
+	}
+	for name := range c.Tables {
+		if _, ok := w.classes[name]; !ok {
+			return fmt.Errorf("engine: checkpoint has unknown class %q", name)
+		}
+	}
+	for _, rt := range w.order {
+		snap, ok := c.Tables[rt.name]
+		if !ok {
+			rt.tab.Clear()
+			continue
+		}
+		rt.tab.Restore(snap)
+		for i := range rt.fx {
+			rt.fx[i].acc = rt.fx[i].acc[:0]
+			rt.fx[i].touched = rt.fx[i].touched[:0]
+			rt.fx[i].ensure(rt.tab.Cap())
+		}
+	}
+	w.tick = c.Tick
+	w.nextID = c.NextID
+	w.pendingSpawn = w.pendingSpawn[:0]
+	w.pendingKill = w.pendingKill[:0]
+	w.txns = w.txns[:0]
+	// Handlers are pure functions of post-update state; re-running them
+	// reconstructs the effects that were armed for the next tick.
+	w.runHandlers()
+	return nil
+}

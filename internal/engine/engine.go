@@ -1,0 +1,595 @@
+// Package engine executes compiled SGL programs with the state-effect tick
+// cycle of §2: a query/effect phase in which scripts read frozen state and
+// emit effect contributions set-at-a-time, a transaction-admission step
+// (§3.1), an update step in which strictly partitioned update components
+// compute new state (§2.2), and a reactive-handler step that arms effects
+// for the next tick (§3.2). Accum-loop joins are executed through per-tick
+// spatial/hash indexes chosen adaptively per site (§4.1, §4.2).
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/combinator"
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Options configure a World.
+type Options struct {
+	// Workers sets the effect-phase parallelism; 0 or 1 runs serially.
+	Workers int
+	// Strategy forces a single physical strategy for every accum join
+	// (plan.Auto enables adaptive selection, the default).
+	Strategy plan.Strategy
+	// DisableStats turns off runtime statistics collection (experiment E8).
+	DisableStats bool
+}
+
+// World is a running game: tables for every class, compiled plans, effect
+// buffers, update components and the tick loop.
+type World struct {
+	prog    *compile.Program
+	classes map[string]*classRT
+	order   []*classRT
+
+	comps      []UpdateComponent
+	compByName map[string]UpdateComponent
+	interrupts []interrupt
+	txnPolicy  TxnPolicy
+
+	tick   int64
+	nextID value.ID
+	inTick bool
+
+	pendingSpawn []pendingSpawn
+	pendingKill  []pendingKill
+
+	sites     []*siteRT
+	siteIndex map[*compile.AccumStep]*siteRT
+	opts      Options
+
+	txns []*Txn
+
+	tracer      TraceFn
+	inspectors  []Inspector
+	workerSinks []*workerSink
+
+	// scratch evaluation context reused across rows in serial execution
+	ctx expr.Ctx
+}
+
+type pendingSpawn struct {
+	class string
+	id    value.ID
+	init  map[string]value.Value
+}
+
+type pendingKill struct {
+	class string
+	id    value.ID
+}
+
+type interrupt struct {
+	class string
+	cond  func(w *World, id value.ID) bool
+	phase int
+}
+
+// TraceFn observes effect emissions for debugging (§3.3). It runs inline;
+// keep it cheap or filter by id.
+type TraceFn func(tick int64, srcClass string, src value.ID, dstClass string, dst value.ID, attr string, v value.Value)
+
+// Inspector receives tick life-cycle callbacks (§3.3).
+type Inspector interface {
+	TickStart(w *World, tick int64)
+	TickEnd(w *World, tick int64)
+}
+
+// classRT is the runtime of one class: its columnar table (state attrs plus
+// a hidden pc column), effect accumulators and compiled plan.
+type classRT struct {
+	name  string
+	cls   *schema.Class
+	plan  *compile.ClassPlan
+	tab   *table.Table
+	pcCol int
+
+	fx []fxColumn
+
+	// hasRule[i] is true when state attr i has an expression update rule.
+	hasRule []bool
+	// staged new-state values for the update step.
+	staged map[int]map[value.ID]value.Value // attrIdx -> id -> value
+}
+
+// fxColumn is the per-tick effect accumulation for one effect attribute,
+// dense over physical rows.
+type fxColumn struct {
+	comb    combinator.Kind
+	kind    value.Kind
+	acc     []combinator.Accumulator
+	touched []int
+}
+
+func (f *fxColumn) ensure(capacity int) {
+	for len(f.acc) < capacity {
+		f.acc = append(f.acc, combinator.New(f.comb, f.kind))
+	}
+}
+
+func (f *fxColumn) reset() {
+	for _, r := range f.touched {
+		f.acc[r].Reset()
+	}
+	f.touched = f.touched[:0]
+}
+
+func (f *fxColumn) add(row int, v value.Value, key float64) {
+	if f.acc[row].N() == 0 {
+		f.touched = append(f.touched, row)
+	}
+	f.acc[row].Add(v, key)
+}
+
+// New builds a World for a compiled program.
+func New(prog *compile.Program, opts Options) (*World, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	w := &World{
+		prog:       prog,
+		classes:    make(map[string]*classRT),
+		compByName: make(map[string]UpdateComponent),
+		siteIndex:  make(map[*compile.AccumStep]*siteRT),
+		opts:       opts,
+		nextID:     1,
+	}
+	for _, cls := range prog.Info.Schema.Classes() {
+		cp := prog.Classes[cls.Name]
+		cols := make([]table.Column, 0, len(cls.State)+1)
+		for _, a := range cls.State {
+			cols = append(cols, table.Column{Name: a.Name, Kind: a.Kind})
+		}
+		cols = append(cols, table.Column{Name: "$pc", Kind: value.KindNumber})
+		rt := &classRT{
+			name:    cls.Name,
+			cls:     cls,
+			plan:    cp,
+			tab:     table.New(cls.Name, cols),
+			pcCol:   len(cls.State),
+			hasRule: make([]bool, len(cls.State)),
+			staged:  make(map[int]map[value.ID]value.Value),
+		}
+		for _, u := range cp.Updates {
+			rt.hasRule[u.AttrIdx] = true
+		}
+		for _, e := range cls.Effects {
+			rt.fx = append(rt.fx, fxColumn{comb: e.Comb, kind: e.Kind})
+		}
+		w.classes[cls.Name] = rt
+		w.order = append(w.order, rt)
+	}
+	// Register the implicit expression-rule component and validate the
+	// strict ownership partition (§2.2).
+	if err := w.validateOwnership(); err != nil {
+		return nil, err
+	}
+	w.collectSites()
+	return w, nil
+}
+
+// validateOwnership ensures no state attribute has both a rule and an
+// owner, and records which attrs are unowned (carry-over).
+func (w *World) validateOwnership() error {
+	for _, rt := range w.order {
+		for _, u := range rt.plan.Updates {
+			name := rt.cls.State[u.AttrIdx].Name
+			if owner, ok := rt.plan.OwnedBy[name]; ok {
+				return fmt.Errorf("engine: class %s: attribute %s has both update rule and owner %q", rt.name, name, owner)
+			}
+		}
+	}
+	return nil
+}
+
+// Register adds an update component. Components must be registered before
+// the first tick and must own only attributes declared `by <name>`.
+func (w *World) Register(c UpdateComponent) error {
+	name := c.Name()
+	if _, dup := w.compByName[name]; dup {
+		return fmt.Errorf("engine: duplicate update component %q", name)
+	}
+	for _, rt := range w.order {
+		for attr, owner := range rt.plan.OwnedBy {
+			if owner != name {
+				continue
+			}
+			if rt.cls.StateIndex(attr) < 0 {
+				return fmt.Errorf("engine: component %q claims unknown attribute %s.%s", name, rt.name, attr)
+			}
+		}
+	}
+	w.comps = append(w.comps, c)
+	w.compByName[name] = c
+	return nil
+}
+
+// MissingOwners returns "class.attr" strings whose declared owner component
+// has not been registered; ticking with missing owners is an error.
+func (w *World) MissingOwners() []string {
+	var out []string
+	for _, rt := range w.order {
+		for attr, owner := range rt.plan.OwnedBy {
+			if _, ok := w.compByName[owner]; !ok {
+				out = append(out, rt.name+"."+attr+" (by "+owner+")")
+			}
+		}
+	}
+	return out
+}
+
+// RegisterInterrupt installs a reactive interrupt: after each update step,
+// if cond holds for an object of the class, its program counter is reset to
+// phase (§3.2's interruptible intentions).
+func (w *World) RegisterInterrupt(class string, cond func(w *World, id value.ID) bool, phase int) error {
+	rt, ok := w.classes[class]
+	if !ok {
+		return fmt.Errorf("engine: unknown class %q", class)
+	}
+	if phase < 0 || phase >= rt.plan.NumPhases {
+		return fmt.Errorf("engine: class %s has %d phases; cannot interrupt to %d", class, rt.plan.NumPhases, phase)
+	}
+	w.interrupts = append(w.interrupts, interrupt{class: class, cond: cond, phase: phase})
+	return nil
+}
+
+// SetTracer installs an effect-emission trace hook (§3.3). Pass nil to
+// disable.
+func (w *World) SetTracer(fn TraceFn) { w.tracer = fn }
+
+// AddInspector attaches a tick-boundary inspector (§3.3).
+func (w *World) AddInspector(i Inspector) { w.inspectors = append(w.inspectors, i) }
+
+// Tick returns the current tick number (number of completed ticks).
+func (w *World) Tick() int64 { return w.tick }
+
+// PlanSwitches returns the total number of adaptive plan switches across
+// all accum sites (§4.1).
+func (w *World) PlanSwitches() int64 {
+	var n int64
+	for _, s := range w.sites {
+		n += s.selector.Switches()
+	}
+	return n
+}
+
+// SiteStrategies reports each accum site's current physical strategy, for
+// the debugger and the adaptive-optimization experiments.
+func (w *World) SiteStrategies() []string {
+	out := make([]string, 0, len(w.sites))
+	for _, s := range w.sites {
+		out = append(out, fmt.Sprintf("%s accum(phase %d) -> %s", s.class, s.phase, s.strategy))
+	}
+	return out
+}
+
+// Schema returns the program schema.
+func (w *World) Schema() *schema.Schema { return w.prog.Info.Schema }
+
+// Program returns the compiled program.
+func (w *World) Program() *compile.Program { return w.prog }
+
+// Spawn creates an object. Attribute defaults come from the class
+// declaration; init overrides by name. Mid-tick spawns take effect at the
+// next tick boundary.
+func (w *World) Spawn(class string, init map[string]value.Value) (value.ID, error) {
+	rt, ok := w.classes[class]
+	if !ok {
+		return value.NullID, fmt.Errorf("engine: unknown class %q", class)
+	}
+	for name := range init {
+		if rt.cls.StateIndex(name) < 0 {
+			return value.NullID, fmt.Errorf("engine: class %s has no state attribute %q", class, name)
+		}
+	}
+	id := w.nextID
+	w.nextID++
+	if w.inTick {
+		w.pendingSpawn = append(w.pendingSpawn, pendingSpawn{class: class, id: id, init: init})
+		return id, nil
+	}
+	w.doSpawn(rt, id, init)
+	return id, nil
+}
+
+func (w *World) doSpawn(rt *classRT, id value.ID, init map[string]value.Value) {
+	vals := make([]value.Value, len(rt.cls.State)+1)
+	for i, a := range rt.cls.State {
+		v := a.Default
+		if ov, ok := init[a.Name]; ok {
+			if ov.Kind() != a.Kind {
+				panic(fmt.Sprintf("engine: spawn %s: attribute %s wants %s, got %s", rt.name, a.Name, a.Kind, ov.Kind()))
+			}
+			v = ov
+		}
+		if a.Kind == value.KindSet {
+			v = value.SetVal(v.AsSet().Clone())
+		}
+		vals[i] = v
+	}
+	vals[rt.pcCol] = value.Num(0)
+	rt.tab.Insert(id, vals)
+	for i := range rt.fx {
+		rt.fx[i].ensure(rt.tab.Cap())
+	}
+}
+
+// Kill removes an object. Mid-tick kills take effect at the next tick
+// boundary.
+func (w *World) Kill(class string, id value.ID) error {
+	rt, ok := w.classes[class]
+	if !ok {
+		return fmt.Errorf("engine: unknown class %q", class)
+	}
+	if w.inTick {
+		w.pendingKill = append(w.pendingKill, pendingKill{class: class, id: id})
+		return nil
+	}
+	rt.tab.Delete(id)
+	return nil
+}
+
+// Count returns the number of live objects of a class.
+func (w *World) Count(class string) int {
+	if rt, ok := w.classes[class]; ok {
+		return rt.tab.Len()
+	}
+	return 0
+}
+
+// IDs returns the live object ids of a class in storage order.
+func (w *World) IDs(class string) []value.ID {
+	if rt, ok := w.classes[class]; ok {
+		return rt.tab.IDs()
+	}
+	return nil
+}
+
+// Get reads a state attribute.
+func (w *World) Get(class string, id value.ID, attr string) (value.Value, bool) {
+	rt, ok := w.classes[class]
+	if !ok {
+		return value.Value{}, false
+	}
+	return rt.tab.Get(id, attr)
+}
+
+// MustGet reads a state attribute, panicking when absent (test helper).
+func (w *World) MustGet(class string, id value.ID, attr string) value.Value {
+	v, ok := w.Get(class, id, attr)
+	if !ok {
+		panic(fmt.Sprintf("engine: no %s.%s for id %d", class, attr, id))
+	}
+	return v
+}
+
+// SetState directly assigns a state attribute outside of a tick (scenario
+// setup and checkpoint restore only).
+func (w *World) SetState(class string, id value.ID, attr string, v value.Value) error {
+	if w.inTick {
+		return fmt.Errorf("engine: SetState during a tick violates the state-effect pattern")
+	}
+	rt, ok := w.classes[class]
+	if !ok {
+		return fmt.Errorf("engine: unknown class %q", class)
+	}
+	if !rt.tab.Set(id, attr, v) {
+		return fmt.Errorf("engine: no %s.%s for id %d", class, attr, id)
+	}
+	return nil
+}
+
+// SetPC jumps an object's script to a phase between ticks — the resumption
+// half of §3.2's interruptible intentions.
+func (w *World) SetPC(class string, id value.ID, phase int) error {
+	rt, ok := w.classes[class]
+	if !ok {
+		return fmt.Errorf("engine: unknown class %q", class)
+	}
+	if phase < 0 || phase >= rt.plan.NumPhases {
+		return fmt.Errorf("engine: class %s has %d phases", class, rt.plan.NumPhases)
+	}
+	row := rt.tab.Row(id)
+	if row < 0 {
+		return fmt.Errorf("engine: no object %d", id)
+	}
+	rt.tab.SetAt(row, rt.pcCol, value.Num(float64(phase)))
+	return nil
+}
+
+// PC returns the current phase of an object's script.
+func (w *World) PC(class string, id value.ID) int {
+	rt, ok := w.classes[class]
+	if !ok {
+		return -1
+	}
+	row := rt.tab.Row(id)
+	if row < 0 {
+		return -1
+	}
+	return int(rt.tab.At(row, rt.pcCol).AsNumber())
+}
+
+// StateValue implements expr.World over committed (tick-start) state.
+func (w *World) StateValue(class string, id value.ID, attrIdx int) (value.Value, bool) {
+	rt, ok := w.classes[class]
+	if !ok {
+		return value.Value{}, false
+	}
+	row := rt.tab.Row(id)
+	if row < 0 {
+		return value.Value{}, false
+	}
+	return rt.tab.At(row, attrIdx), true
+}
+
+// rowReader adapts a physical table row to expr.RowReader.
+type rowReader struct {
+	rt  *classRT
+	row int
+}
+
+func (r rowReader) Attr(attrIdx int) value.Value { return r.rt.tab.At(r.row, attrIdx) }
+
+// fxReader adapts a row's effect accumulators to expr.EffectReader.
+type fxReader struct {
+	rt  *classRT
+	row int
+}
+
+func (r fxReader) EffectValue(attrIdx int) (value.Value, bool) {
+	return r.rt.fx[attrIdx].acc[r.row].Result()
+}
+
+func effectZeroFn(rt *classRT) func(int) value.Value {
+	return func(attrIdx int) value.Value {
+		e := rt.cls.Effects[attrIdx]
+		return value.Zero(e.Comb.ResultKind(e.Kind))
+	}
+}
+
+// EffectValue returns the ⊕-combined effect contribution for an object this
+// tick (valid during update components and inspectors).
+func (w *World) EffectValue(class string, id value.ID, attr string) (value.Value, bool) {
+	rt, ok := w.classes[class]
+	if !ok {
+		return value.Value{}, false
+	}
+	idx := rt.cls.EffectIndex(attr)
+	if idx < 0 {
+		return value.Value{}, false
+	}
+	row := rt.tab.Row(id)
+	if row < 0 {
+		return value.Value{}, false
+	}
+	return rt.fx[idx].acc[row].Result()
+}
+
+// Txn is a transaction intent collected from an atomic block (§3.1).
+type Txn struct {
+	Class       string
+	Source      value.ID
+	Frame       []value.Value
+	Constraints []expr.Fn
+	Emissions   []Emission
+	// Aborted is set by the admission policy during the update step.
+	Aborted bool
+}
+
+// Emission is one effect contribution, either inside a Txn or flowing
+// directly into the effect buffers.
+type Emission struct {
+	Class     string
+	Target    value.ID
+	AttrIdx   int
+	Val       value.Value
+	Key       float64
+	SetInsert bool
+}
+
+// Txns returns the transactions collected during the current tick (valid
+// for admission policies and inspectors).
+func (w *World) Txns() []*Txn { return w.txns }
+
+// siteRT is the per-accum-site runtime: adaptive selector, statistics and
+// the per-tick prepared index.
+type siteRT struct {
+	step  *compile.AccumStep
+	class string // probing class
+	phase int
+
+	selector   *plan.Selector
+	stats      *stats.SiteStats
+	mu         sync.Mutex
+	boxExtent  stats.EMA
+	candidates []plan.Strategy
+
+	// Per-tick prepared execution state.
+	strategy plan.Strategy
+	tree     interface {
+		Query(lo, hi []float64, out []value.ID) []value.ID
+	}
+	hash interface {
+		Lookup(v value.Value) []value.ID
+	}
+	dims []int // range-dim attr indices
+}
+
+// collectSites walks all compiled plans and registers every accum site.
+func (w *World) collectSites() {
+	for _, rt := range w.order {
+		var walk func(steps []compile.Step, phase int)
+		walk = func(steps []compile.Step, phase int) {
+			for _, s := range steps {
+				switch s := s.(type) {
+				case *compile.IfStep:
+					walk(s.Then, phase)
+					walk(s.Else, phase)
+				case *compile.AtomicStep:
+					walk(s.Body, phase)
+				case *compile.AccumStep:
+					site := &siteRT{
+						step:      s,
+						class:     rt.name,
+						phase:     phase,
+						stats:     stats.NewSiteStats(),
+						boxExtent: stats.NewEMA(0.3),
+					}
+					site.candidates = candidatesFor(s)
+					site.selector = plan.NewSelector(site.candidates[0])
+					w.sites = append(w.sites, site)
+					w.siteIndex[s] = site
+					walk(s.Body, phase)
+					if s.Join != nil {
+						walk(s.Join.Inner, phase)
+					}
+				}
+			}
+		}
+		for p, steps := range rt.plan.Phases {
+			walk(steps, p)
+		}
+		for _, h := range rt.plan.Handlers {
+			walk(h.Body, -1)
+		}
+	}
+}
+
+func candidatesFor(s *compile.AccumStep) []plan.Strategy {
+	if s.SourceFn != nil || s.Join == nil {
+		return []plan.Strategy{plan.NestedLoop}
+	}
+	j := s.Join
+	switch {
+	case len(j.Ranges) >= 1:
+		c := []plan.Strategy{plan.RangeTreeIndex, plan.NestedLoop}
+		if len(j.Ranges) == 2 && bounded(j.Ranges[0]) && bounded(j.Ranges[1]) {
+			c = append(c, plan.GridIndex)
+		}
+		return c
+	case len(j.Eqs) >= 1:
+		return []plan.Strategy{plan.HashIndex, plan.NestedLoop}
+	default:
+		return []plan.Strategy{plan.NestedLoop}
+	}
+}
+
+func bounded(r compile.RangeDim) bool { return len(r.Lo) > 0 && len(r.Hi) > 0 }

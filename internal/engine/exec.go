@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/combinator"
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// emitSink receives effect emissions and transaction intents. The serial
+// executor writes straight into the world's effect buffers; parallel
+// workers write into private buffers merged afterwards (§4.2: effect
+// computation needs no synchronization).
+type emitSink interface {
+	emit(w *World, e Emission)
+	addTxn(t *Txn)
+}
+
+// directSink writes into the world's effect buffers.
+type directSink struct{ w *World }
+
+func (d directSink) emit(w *World, e Emission) {
+	rt := w.classes[e.Class]
+	row := rt.tab.Row(e.Target)
+	if row < 0 {
+		return // dangling target: contribution is dropped
+	}
+	rt.fx[e.AttrIdx].add(row, e.Val, e.Key)
+}
+
+func (d directSink) addTxn(t *Txn) { d.w.txns = append(d.w.txns, t) }
+
+// execCtx executes compiled steps for one row at a time.
+type execCtx struct {
+	w     *World
+	ctx   expr.Ctx
+	frame []value.Value
+	accum []*combinator.Accumulator // active accum accumulators by slot
+
+	rt  *classRT
+	row int
+	id  value.ID
+
+	sink   emitSink
+	curTxn *Txn
+
+	// scratch buffers reused across rows
+	idsBuf []value.ID
+	loBuf  []float64
+	hiBuf  []float64
+}
+
+func newExecCtx(w *World, sink emitSink, slots int) *execCtx {
+	x := &execCtx{
+		w:     w,
+		frame: make([]value.Value, slots),
+		accum: make([]*combinator.Accumulator, slots),
+		sink:  sink,
+	}
+	x.ctx.W = w
+	x.ctx.Frame = x.frame
+	return x
+}
+
+// bindRow points the context at one executing object.
+func (x *execCtx) bindRow(rt *classRT, row int) {
+	x.rt, x.row, x.id = rt, row, rt.tab.ID(row)
+	x.ctx.Class = rt.name
+	x.ctx.SelfID = x.id
+	x.ctx.Self = rowReader{rt: rt, row: row}
+}
+
+func (x *execCtx) runSteps(steps []compile.Step) {
+	for _, s := range steps {
+		switch s := s.(type) {
+		case *compile.LetStep:
+			x.frame[s.Slot] = s.Fn(&x.ctx)
+		case *compile.IfStep:
+			if s.Cond(&x.ctx).AsBool() {
+				x.runSteps(s.Then)
+			} else if s.Else != nil {
+				x.runSteps(s.Else)
+			}
+		case *compile.EmitStep:
+			x.runEmit(s)
+		case *compile.AtomicStep:
+			x.runAtomic(s)
+		case *compile.AccumStep:
+			x.runAccum(s)
+		}
+	}
+}
+
+func (x *execCtx) runEmit(s *compile.EmitStep) {
+	val := s.ValFn(&x.ctx)
+	if s.AccumSlot >= 0 {
+		acc := x.accum[s.AccumSlot]
+		var key float64
+		if s.KeyFn != nil {
+			key = s.KeyFn(&x.ctx).AsNumber()
+		}
+		acc.Add(val, key)
+		return
+	}
+	target := x.id
+	if s.TargetFn != nil {
+		ref := s.TargetFn(&x.ctx)
+		if ref.IsNullRef() {
+			return
+		}
+		target = ref.AsRef()
+	}
+	var key float64
+	if s.KeyFn != nil {
+		key = s.KeyFn(&x.ctx).AsNumber()
+	}
+	e := Emission{Class: s.Class, Target: target, AttrIdx: s.AttrIdx, Val: val, Key: key, SetInsert: s.SetInsert}
+	if x.w.tracer != nil {
+		attr := x.w.classes[s.Class].cls.Effects[s.AttrIdx].Name
+		x.w.tracer(x.w.tick, x.rt.name, x.id, s.Class, target, attr, val)
+	}
+	if x.curTxn != nil {
+		x.curTxn.Emissions = append(x.curTxn.Emissions, e)
+		return
+	}
+	x.sink.emit(x.w, e)
+}
+
+func (x *execCtx) runAtomic(s *compile.AtomicStep) {
+	txn := &Txn{
+		Class:       x.rt.name,
+		Source:      x.id,
+		Constraints: s.Constraints,
+	}
+	txn.Frame = append([]value.Value(nil), x.frame...)
+	prev := x.curTxn
+	x.curTxn = txn
+	x.runSteps(s.Body)
+	x.curTxn = prev
+	if len(txn.Emissions) > 0 {
+		x.sink.addTxn(txn)
+	}
+}
+
+func (x *execCtx) runAccum(s *compile.AccumStep) {
+	site := x.w.siteIndex[s]
+	acc := combinator.New(s.Comb, s.ValKind)
+	x.accum[s.Slot] = &acc
+
+	srcRT := x.w.classes[s.SourceClass]
+	iterSlot := s.IterSlot
+
+	runBody := func(id value.ID) {
+		x.frame[iterSlot] = value.Ref(id)
+		x.runSteps(s.Body)
+	}
+
+	switch {
+	case s.SourceFn != nil:
+		// Iterate a computed set of refs (deterministic element order).
+		set := s.SourceFn(&x.ctx).AsSet()
+		for _, e := range set.Elems() {
+			if e.Kind() == value.KindRef && srcRT.tab.Has(e.AsRef()) {
+				runBody(e.AsRef())
+			}
+		}
+	case site == nil || site.strategy == plan.NestedLoop:
+		tab := srcRT.tab
+		for r := 0; r < tab.Cap(); r++ {
+			if tab.Alive(r) {
+				runBody(tab.ID(r))
+			}
+		}
+		if site != nil {
+			// Upper bound; the cost model treats NL matches as whole-scan.
+			site.observe(x.w, 1, int64(tab.Len()), nil, nil)
+		}
+	case site.strategy == plan.HashIndex:
+		key := site.eqKey(&x.ctx)
+		ids := site.hash.Lookup(key)
+		for _, id := range ids {
+			runBody(id)
+		}
+		site.observe(x.w, 1, int64(len(ids)), nil, nil)
+	default: // RangeTreeIndex or GridIndex
+		lo, hi := x.evalBox(site)
+		x.idsBuf = x.idsBuf[:0]
+		x.idsBuf = site.tree.Query(lo, hi, x.idsBuf)
+		for _, id := range x.idsBuf {
+			runBody(id)
+		}
+		site.observe(x.w, 1, int64(len(x.idsBuf)), lo, hi)
+	}
+
+	// Publish the combined result for the `in` block and later steps.
+	v, ok := acc.Result()
+	if !ok {
+		v = value.Zero(s.Comb.ResultKind(s.ValKind))
+	}
+	x.frame[s.Slot] = v
+	x.accum[s.Slot] = nil
+}
+
+// evalBox computes the probe rectangle for the current row from the site's
+// range dimensions.
+func (x *execCtx) evalBox(site *siteRT) (lo, hi []float64) {
+	d := len(site.step.Join.Ranges)
+	if cap(x.loBuf) < d {
+		x.loBuf = make([]float64, d)
+		x.hiBuf = make([]float64, d)
+	}
+	lo, hi = x.loBuf[:d], x.hiBuf[:d]
+	for i, r := range site.step.Join.Ranges {
+		l := math.Inf(-1)
+		for _, f := range r.Lo {
+			if v := f(&x.ctx).AsNumber(); v > l {
+				l = v
+			}
+		}
+		h := math.Inf(1)
+		for _, f := range r.Hi {
+			if v := f(&x.ctx).AsNumber(); v < h {
+				h = v
+			}
+		}
+		lo[i], hi[i] = l, h
+	}
+	return lo, hi
+}
+
+// eqKey evaluates the hash-join key for the current row.
+func (s *siteRT) eqKey(ctx *expr.Ctx) value.Value {
+	return s.step.Join.Eqs[0].Key(ctx)
+}
+
+// observe records execution feedback. Counters use atomics because the
+// parallel effect phase probes sites from several workers; the box-extent
+// EMA is sampled under a mutex on a small fraction of probes.
+func (s *siteRT) observe(w *World, probes, matches int64, lo, hi []float64) {
+	if w.opts.DisableStats {
+		return
+	}
+	p := atomic.AddInt64(&s.stats.Probes, probes)
+	atomic.AddInt64(&s.stats.Matches, matches)
+	if lo != nil && p&15 == 1 {
+		ext := 0.0
+		for d := range lo {
+			ext += hi[d] - lo[d]
+		}
+		s.mu.Lock()
+		s.boxExtent.Add(ext / float64(len(lo)))
+		s.mu.Unlock()
+	}
+}
+
+// prepareSites runs once per tick before the effect phase: it lets each
+// site's selector choose this tick's strategy from feedback statistics and
+// builds the per-tick indexes (§4.1's multi-plan switching).
+func (w *World) prepareSites() {
+	for _, site := range w.sites {
+		st := site.step
+		if st.SourceFn != nil || st.Join == nil {
+			site.strategy = plan.NestedLoop
+			continue
+		}
+		srcRT := w.classes[st.SourceClass]
+		n := srcRT.tab.Len()
+		p := w.classes[site.class].tab.Len()
+		if site.phase >= 0 && w.classes[site.class].plan.NumPhases > 1 {
+			// Only rows in this phase probe; approximate evenly.
+			p = p/w.classes[site.class].plan.NumPhases + 1
+		}
+
+		if w.opts.Strategy != plan.Auto {
+			site.strategy = forceStrategy(w.opts.Strategy, site)
+		} else {
+			kHat := 8.0 // optimistic prior before feedback arrives
+			var sstats = site.stats
+			if w.opts.DisableStats {
+				sstats = nil
+			}
+			site.strategy = forceStrategy(
+				site.selector.Choose(site.candidates, n, p, kHat, len(st.Join.Ranges), sstats), site)
+		}
+		w.buildSiteIndex(site, srcRT, n)
+	}
+}
+
+// forceStrategy clamps a forced strategy to what the site supports.
+func forceStrategy(s plan.Strategy, site *siteRT) plan.Strategy {
+	for _, c := range site.candidates {
+		if c == s {
+			return s
+		}
+	}
+	return site.candidates[0]
+}
+
+func (w *World) buildSiteIndex(site *siteRT, srcRT *classRT, n int) {
+	site.tree, site.hash = nil, nil
+	j := site.step.Join
+	switch site.strategy {
+	case plan.RangeTreeIndex:
+		site.dims = site.dims[:0]
+		for _, r := range j.Ranges {
+			site.dims = append(site.dims, r.AttrIdx)
+		}
+		entries := make([]index.Entry, 0, n)
+		coords := make([]float64, n*len(site.dims))
+		k := 0
+		srcRT.tab.ForEach(func(row int, id value.ID) {
+			c := coords[k : k+len(site.dims) : k+len(site.dims)]
+			k += len(site.dims)
+			for di, ai := range site.dims {
+				c[di] = srcRT.tab.At(row, ai).AsNumber()
+			}
+			entries = append(entries, index.Entry{ID: id, Coords: c})
+		})
+		site.tree = index.BuildRangeTree(len(site.dims), entries)
+	case plan.GridIndex:
+		cell := site.boxExtent.Value()
+		if cell <= 0 {
+			cell = 64
+		}
+		entries := make([]index.Entry, 0, n)
+		coords := make([]float64, n*2)
+		k := 0
+		a0, a1 := j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx
+		srcRT.tab.ForEach(func(row int, id value.ID) {
+			c := coords[k : k+2 : k+2]
+			k += 2
+			c[0] = srcRT.tab.At(row, a0).AsNumber()
+			c[1] = srcRT.tab.At(row, a1).AsNumber()
+			entries = append(entries, index.Entry{ID: id, Coords: c})
+		})
+		site.tree = index.BuildGrid(cell, entries)
+	case plan.HashIndex:
+		attr := j.Eqs[0].AttrIdx
+		keys := make([]value.Value, 0, n)
+		ids := make([]value.ID, 0, n)
+		srcRT.tab.ForEach(func(row int, id value.ID) {
+			keys = append(keys, srcRT.tab.At(row, attr))
+			ids = append(ids, id)
+		})
+		site.hash = index.BuildHash(keys, ids)
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import "sync"
+
+// The parallel effect phase exploits the paper's §4.2 observation: during
+// the query/effect steps all tables are read-only, so effect computation
+// needs no synchronization. Rows are partitioned contiguously across
+// workers; each worker evaluates scripts against the shared frozen state
+// and folds contributions into private accumulators, which merge (⊕ is
+// commutative and associative) after a barrier. Transactions collected by
+// workers are concatenated in worker order, keeping admission
+// deterministic.
+
+// workerSink buffers effect emissions privately per worker.
+type workerSink struct {
+	w    *World
+	cols map[*classRT][]fxColumn
+	txns []*Txn
+}
+
+func newWorkerSink(w *World) *workerSink {
+	return &workerSink{w: w, cols: make(map[*classRT][]fxColumn)}
+}
+
+func (s *workerSink) emit(w *World, e Emission) {
+	rt := w.classes[e.Class]
+	row := rt.tab.Row(e.Target)
+	if row < 0 {
+		return
+	}
+	cols := s.cols[rt]
+	if cols == nil {
+		cols = make([]fxColumn, len(rt.fx))
+		for i, f := range rt.fx {
+			cols[i] = fxColumn{comb: f.comb, kind: f.kind}
+		}
+		s.cols[rt] = cols
+	}
+	c := &cols[e.AttrIdx]
+	c.ensure(rt.tab.Cap())
+	c.add(row, e.Val, e.Key)
+}
+
+func (s *workerSink) addTxn(t *Txn) { s.txns = append(s.txns, t) }
+
+func (s *workerSink) reset() {
+	for _, cols := range s.cols {
+		for i := range cols {
+			cols[i].reset()
+		}
+	}
+	s.txns = s.txns[:0]
+}
+
+// mergeInto folds the worker's private accumulators into the world buffers.
+func (s *workerSink) mergeInto(w *World) {
+	for rt, cols := range s.cols {
+		for ai := range cols {
+			c := &cols[ai]
+			dst := &rt.fx[ai]
+			for _, row := range c.touched {
+				if dst.acc[row].N() == 0 {
+					dst.touched = append(dst.touched, row)
+				}
+				dst.acc[row].Merge(c.acc[row])
+			}
+		}
+	}
+	w.txns = append(w.txns, s.txns...)
+}
+
+func (w *World) runEffectPhaseParallel() {
+	workers := w.opts.Workers
+	if w.workerSinks == nil {
+		w.workerSinks = make([]*workerSink, workers)
+		for i := range w.workerSinks {
+			w.workerSinks[i] = newWorkerSink(w)
+		}
+	}
+	for _, s := range w.workerSinks {
+		s.reset()
+	}
+	for _, rt := range w.order {
+		if rt.plan.Decl.Run == nil || rt.tab.Len() == 0 {
+			continue
+		}
+		capRows := rt.tab.Cap()
+		chunk := (capRows + workers - 1) / workers
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			lo := wi * chunk
+			if lo >= capRows {
+				break
+			}
+			hi := lo + chunk
+			if hi > capRows {
+				hi = capRows
+			}
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				x := newExecCtx(w, w.workerSinks[wi], rt.plan.NumSlots)
+				tab := rt.tab
+				for r := lo; r < hi; r++ {
+					if !tab.Alive(r) {
+						continue
+					}
+					pc := int(tab.At(r, rt.pcCol).AsNumber())
+					steps := rt.plan.Phases[pc]
+					if len(steps) == 0 {
+						continue
+					}
+					x.bindRow(rt, r)
+					x.runSteps(steps)
+				}
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, s := range w.workerSinks {
+		s.mergeInto(w)
+	}
+}

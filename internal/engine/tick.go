@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// RunTick executes one complete state-effect cycle:
+//
+//  1. adaptive plan selection and per-tick index builds (§4.1);
+//  2. the query/effect phase: every object's current script phase runs,
+//     reading frozen state and emitting effect contributions (§2);
+//  3. transaction admission over the collected atomic intents (§3.1);
+//  4. the update step: expression rules, then registered update components,
+//     each over old state + combined effects; staged writes apply
+//     atomically (§2.2);
+//  5. program-counter advance and reactive interrupts (§3.2);
+//  6. reactive handlers evaluate on the new state and emit effects for the
+//     next tick (§3.2);
+//  7. deferred spawns/kills apply and statistics fold (§4.1).
+func (w *World) RunTick() error {
+	if missing := w.MissingOwners(); len(missing) > 0 {
+		return fmt.Errorf("engine: unregistered owner components: %v", missing)
+	}
+	w.inTick = true
+	for _, ins := range w.inspectors {
+		ins.TickStart(w, w.tick)
+	}
+	w.prepareSites()
+
+	// (2) Query/effect phase.
+	if w.opts.Workers > 1 && w.tracer == nil {
+		w.runEffectPhaseParallel()
+	} else {
+		w.runEffectPhaseSerial()
+	}
+
+	// (3) Transaction admission.
+	if len(w.txns) > 0 {
+		if err := w.admitTxns(); err != nil {
+			w.inTick = false
+			return err
+		}
+	}
+
+	// (4) Update step.
+	if err := w.runUpdateStep(); err != nil {
+		w.inTick = false
+		return err
+	}
+
+	// (5) pc advance + interrupts.
+	w.advancePCs()
+
+	// Effects are consumed; clear before handlers arm next tick's buffers.
+	for _, rt := range w.order {
+		for i := range rt.fx {
+			rt.fx[i].reset()
+		}
+	}
+	w.txns = w.txns[:0]
+
+	// (6) Reactive handlers on the new state.
+	w.runHandlers()
+
+	// (7) Tick boundary.
+	w.inTick = false
+	w.applyPending()
+	for _, site := range w.sites {
+		site.stats.EndTick()
+	}
+	w.tick++
+	for _, ins := range w.inspectors {
+		ins.TickEnd(w, w.tick-1)
+	}
+	return nil
+}
+
+// Run executes n ticks.
+func (w *World) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.RunTick(); err != nil {
+			return fmt.Errorf("tick %d: %w", w.tick, err)
+		}
+	}
+	return nil
+}
+
+func (w *World) runEffectPhaseSerial() {
+	sink := directSink{w: w}
+	for _, rt := range w.order {
+		if rt.plan.Decl.Run == nil {
+			continue
+		}
+		x := newExecCtx(w, sink, rt.plan.NumSlots)
+		tab := rt.tab
+		for r := 0; r < tab.Cap(); r++ {
+			if !tab.Alive(r) {
+				continue
+			}
+			pc := int(tab.At(r, rt.pcCol).AsNumber())
+			steps := rt.plan.Phases[pc]
+			if len(steps) == 0 {
+				continue
+			}
+			x.bindRow(rt, r)
+			x.runSteps(steps)
+		}
+	}
+}
+
+// admitTxns delegates to the registered transaction policy, or the built-in
+// greedy arrival-order policy.
+func (w *World) admitTxns() error {
+	uctx := &UpdateCtx{w: w}
+	if w.txnPolicy != nil {
+		return w.txnPolicy.Admit(uctx, w.txns)
+	}
+	return GreedyPolicy{}.Admit(uctx, w.txns)
+}
+
+// SetTxnPolicy installs the transaction admission policy (§3.1). Nil
+// restores the default greedy policy.
+func (w *World) SetTxnPolicy(p TxnPolicy) { w.txnPolicy = p }
+
+func (w *World) runUpdateStep() error {
+	// (a) Expression rules, evaluated over old state + combined effects.
+	ruleCtx := &UpdateCtx{w: w}
+	for _, rt := range w.order {
+		if len(rt.plan.Updates) == 0 {
+			continue
+		}
+		ectx := expr.Ctx{W: w, Class: rt.name}
+		tab := rt.tab
+		for r := 0; r < tab.Cap(); r++ {
+			if !tab.Alive(r) {
+				continue
+			}
+			ectx.SelfID = tab.ID(r)
+			ectx.Self = rowReader{rt: rt, row: r}
+			ectx.Effects = fxReader{rt: rt, row: r}
+			ectx.EffectZero = effectZeroFn(rt)
+			for _, u := range rt.plan.Updates {
+				v := u.Fn(&ectx)
+				ruleCtx.stageRule(rt, u.AttrIdx, ectx.SelfID, v)
+			}
+		}
+	}
+	// (b) Owner components.
+	for _, c := range w.comps {
+		uctx := &UpdateCtx{w: w, owner: c.Name()}
+		if err := c.Update(uctx); err != nil {
+			return fmt.Errorf("component %q: %w", c.Name(), err)
+		}
+	}
+	// (c) Apply all staged writes atomically.
+	for _, rt := range w.order {
+		for attrIdx, m := range rt.staged {
+			for id, v := range m {
+				row := rt.tab.Row(id)
+				if row < 0 {
+					continue // object died this tick
+				}
+				rt.tab.SetAt(row, attrIdx, v)
+			}
+			delete(rt.staged, attrIdx)
+		}
+	}
+	return nil
+}
+
+func (w *World) advancePCs() {
+	for _, rt := range w.order {
+		if rt.plan.NumPhases <= 1 {
+			continue
+		}
+		tab := rt.tab
+		n := float64(rt.plan.NumPhases)
+		for r := 0; r < tab.Cap(); r++ {
+			if !tab.Alive(r) {
+				continue
+			}
+			pc := tab.At(r, rt.pcCol).AsNumber()
+			pc = pc + 1
+			if pc >= n {
+				pc = 0
+			}
+			tab.SetAt(r, rt.pcCol, value.Num(pc))
+		}
+	}
+	for _, in := range w.interrupts {
+		rt := w.classes[in.class]
+		tab := rt.tab
+		for r := 0; r < tab.Cap(); r++ {
+			if !tab.Alive(r) {
+				continue
+			}
+			if in.cond(w, tab.ID(r)) {
+				tab.SetAt(r, rt.pcCol, value.Num(float64(in.phase)))
+			}
+		}
+	}
+}
+
+func (w *World) runHandlers() {
+	sink := directSink{w: w}
+	for _, rt := range w.order {
+		if len(rt.plan.Handlers) == 0 {
+			continue
+		}
+		x := newExecCtx(w, sink, rt.plan.NumSlots)
+		tab := rt.tab
+		for r := 0; r < tab.Cap(); r++ {
+			if !tab.Alive(r) {
+				continue
+			}
+			x.bindRow(rt, r)
+			for _, h := range rt.plan.Handlers {
+				if h.Cond(&x.ctx).AsBool() {
+					x.runSteps(h.Body)
+				}
+			}
+		}
+	}
+}
+
+func (w *World) applyPending() {
+	for _, p := range w.pendingKill {
+		w.classes[p.class].tab.Delete(p.id)
+	}
+	w.pendingKill = w.pendingKill[:0]
+	for _, p := range w.pendingSpawn {
+		w.doSpawn(w.classes[p.class], p.id, p.init)
+	}
+	w.pendingSpawn = w.pendingSpawn[:0]
+	// Deletions may have freed rows reused by spawns: accumulators for
+	// those rows must be clean. fx reset already ran; sizes may grow.
+	for _, rt := range w.order {
+		for i := range rt.fx {
+			rt.fx[i].ensure(rt.tab.Cap())
+		}
+	}
+}
+
+// GreedyPolicy is the default transaction admission policy: transactions
+// are considered in deterministic (class, source id) order; each commits if
+// its constraints hold on the tentative state including all previously
+// committed transactions, otherwise it aborts (§3.1).
+type GreedyPolicy struct{}
+
+// Admit implements TxnPolicy.
+func (GreedyPolicy) Admit(ctx *UpdateCtx, txns []*Txn) error {
+	return AdmitOrdered(ctx, txns)
+}

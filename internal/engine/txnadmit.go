@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// AdmitOrdered is the core greedy admission algorithm (§3.1): transactions
+// are considered in deterministic (class, source id) order. Each candidate's
+// emissions are applied tentatively to the effect accumulators; its
+// constraints are then evaluated against the *tentative post-update state*
+// (old state with expression update rules replayed over the accumulated
+// effects, including every previously committed transaction). If any
+// constraint fails, the candidate's emissions are rolled back and the
+// transaction aborts — none of its effects apply, giving atomicity.
+func AdmitOrdered(ctx *UpdateCtx, txns []*Txn) error {
+	sort.SliceStable(txns, func(i, j int) bool {
+		if txns[i].Class != txns[j].Class {
+			return txns[i].Class < txns[j].Class
+		}
+		return txns[i].Source < txns[j].Source
+	})
+	return AdmitPrepared(ctx, txns)
+}
+
+// AdmitPrepared runs greedy admission over transactions in the exact order
+// given. Custom policies (priority, fairness rotation) order the slice
+// themselves and delegate here.
+func AdmitPrepared(ctx *UpdateCtx, txns []*Txn) error {
+	w := ctx.w
+	tw := &tentWorld{w: w}
+	for _, t := range txns {
+		admitOne(w, tw, t)
+	}
+	return nil
+}
+
+type appliedEmission struct {
+	rt   *classRT
+	row  int
+	attr int
+	val  value.Value
+	key  float64
+}
+
+func admitOne(w *World, tw *tentWorld, t *Txn) {
+	applied := make([]appliedEmission, 0, len(t.Emissions))
+	for _, e := range t.Emissions {
+		rt := w.classes[e.Class]
+		row := rt.tab.Row(e.Target)
+		if row < 0 {
+			continue // dangling target: contribution is dropped
+		}
+		rt.fx[e.AttrIdx].add(row, e.Val, e.Key)
+		applied = append(applied, appliedEmission{rt: rt, row: row, attr: e.AttrIdx, val: e.Val, key: e.Key})
+	}
+	if constraintsHold(w, tw, t) {
+		return
+	}
+	for _, a := range applied {
+		a.rt.fx[a.attr].acc[a.row].Remove(a.val, a.key)
+	}
+	t.Aborted = true
+}
+
+func constraintsHold(w *World, tw *tentWorld, t *Txn) bool {
+	rt := w.classes[t.Class]
+	row := rt.tab.Row(t.Source)
+	if row < 0 {
+		return false // source died; abort
+	}
+	ectx := expr.Ctx{
+		W:      tw,
+		Class:  t.Class,
+		SelfID: t.Source,
+		Self:   tentRowReader{tw: tw, rt: rt, row: row},
+		Frame:  t.Frame,
+	}
+	for _, c := range t.Constraints {
+		if !c(&ectx).AsBool() {
+			return false
+		}
+	}
+	return true
+}
+
+// tentWorld serves tentative post-update state: for attributes with an
+// expression update rule, the rule is replayed over the currently
+// accumulated effects; other attributes read their tick-start value.
+// Update rules by definition read *old* state plus combined effects
+// (new = f(old, fx)), so rule replay evaluates against the committed
+// snapshot — there is no recursion through the tentative view.
+type tentWorld struct {
+	w *World
+}
+
+func (t *tentWorld) StateValue(class string, id value.ID, attrIdx int) (value.Value, bool) {
+	rt, ok := t.w.classes[class]
+	if !ok {
+		return value.Value{}, false
+	}
+	row := rt.tab.Row(id)
+	if row < 0 {
+		return value.Value{}, false
+	}
+	if !rt.hasRule[attrIdx] {
+		return rt.tab.At(row, attrIdx), true
+	}
+	for _, u := range rt.plan.Updates {
+		if u.AttrIdx != attrIdx {
+			continue
+		}
+		ectx := expr.Ctx{
+			W:          t.w, // rules read old state
+			Class:      class,
+			SelfID:     id,
+			Self:       rowReader{rt: rt, row: row},
+			Effects:    fxReader{rt: rt, row: row},
+			EffectZero: effectZeroFn(rt),
+		}
+		return u.Fn(&ectx), true
+	}
+	return rt.tab.At(row, attrIdx), true
+}
+
+// tentRowReader reads the executing object's attributes through the
+// tentative view, so that constraints like `gold >= 0` see the post-update
+// balance.
+type tentRowReader struct {
+	tw  *tentWorld
+	rt  *classRT
+	row int
+}
+
+func (r tentRowReader) Attr(attrIdx int) value.Value {
+	id := r.rt.tab.ID(r.row)
+	v, _ := r.tw.StateValue(r.rt.name, id, attrIdx)
+	return v
+}

@@ -1,0 +1,222 @@
+package expr_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/parser"
+	"repro/internal/sgl/sem"
+	"repro/internal/value"
+)
+
+// testEnv compiles expressions in the context of a small class and
+// evaluates them against an in-memory row.
+type testEnv struct {
+	info  *sem.Info
+	state []value.Value
+}
+
+func newEnv(t *testing.T) *testEnv {
+	t.Helper()
+	src := `
+class E {
+  state:
+    number x = 0;
+    number y = 0;
+    bool flag = false;
+    string name = "";
+    ref<E> friend = null;
+    set<number> bag;
+}
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{info: info}
+}
+
+type sliceReader []value.Value
+
+func (s sliceReader) Attr(i int) value.Value { return s[i] }
+
+type nilWorld struct{}
+
+func (nilWorld) StateValue(class string, id value.ID, attrIdx int) (value.Value, bool) {
+	return value.Value{}, false
+}
+
+func (e *testEnv) eval(t *testing.T, src string) value.Value {
+	t.Helper()
+	ex, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if _, err := e.info.AnalyzeExpr("E", ex); err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	fn := expr.Compile(ex)
+	state := e.state
+	if state == nil {
+		state = []value.Value{
+			value.Num(3), value.Num(4), value.Bool(true), value.Str("bob"),
+			value.NullRef(), value.SetVal(value.NewSet(value.Num(1), value.Num(2))),
+		}
+	}
+	ctx := expr.Ctx{
+		W: nilWorld{}, Class: "E", SelfID: 7, Self: sliceReader(state),
+	}
+	return fn(&ctx)
+}
+
+func TestArithmetic(t *testing.T) {
+	env := newEnv(t)
+	cases := map[string]float64{
+		"1 + 2 * 3":        7,
+		"(1 + 2) * 3":      9,
+		"10 / 4":           2.5,
+		"7 % 3":            1,
+		"-x":               -3,
+		"x + y":            7,
+		"x - y":            -1,
+		"abs(0 - 5)":       5,
+		"min(x, y)":        3,
+		"max(x, y)":        4,
+		"floor(2.9)":       2,
+		"ceil(2.1)":        3,
+		"sqrt(16)":         4,
+		"clamp(10, 0, 5)":  5,
+		"clamp(-1, 0, 5)":  0,
+		"dist(0, 0, 3, 4)": 5,
+	}
+	for src, want := range cases {
+		if got := env.eval(t, src).AsNumber(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	if got := env.eval(t, "1 / 0").AsNumber(); !math.IsInf(got, 1) {
+		t.Errorf("1/0 = %v, want +Inf (IEEE total semantics)", got)
+	}
+}
+
+func TestLogicAndComparison(t *testing.T) {
+	env := newEnv(t)
+	cases := map[string]bool{
+		"x < y":                true,
+		"x >= y":               false,
+		"x == 3":               true,
+		"x != 3":               false,
+		"flag && x > 0":        true,
+		"!flag || x > 100":     false,
+		"name == \"bob\"":      true,
+		"name < \"zed\"":       true,
+		"friend == null":       true,
+		"friend != null":       false,
+		"contains(bag, 2)":     true,
+		"contains(bag, 9)":     false,
+		"size(bag) == 2":       true,
+		"x > 0 ? flag : !flag": true,
+	}
+	for src, want := range cases {
+		if got := env.eval(t, src).AsBool(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	env := newEnv(t)
+	// friend is null: friend.x would read through null, which yields zero
+	// rather than failing — but && must not even matter here.
+	if got := env.eval(t, "friend != null && friend.x > 0").AsBool(); got {
+		t.Error("short-circuit and")
+	}
+	if got := env.eval(t, "friend == null || friend.x > 0").AsBool(); !got {
+		t.Error("short-circuit or")
+	}
+}
+
+func TestNullAndDanglingReads(t *testing.T) {
+	env := newEnv(t)
+	// Reading through a null ref yields the zero value of the attr type.
+	if got := env.eval(t, "friend.x").AsNumber(); got != 0 {
+		t.Errorf("null.x = %v", got)
+	}
+	if got := env.eval(t, "friend.name").AsString(); got != "" {
+		t.Errorf("null.name = %q", got)
+	}
+	// Dangling (non-null id unknown to the world) also reads zero.
+	env.state = []value.Value{
+		value.Num(3), value.Num(4), value.Bool(true), value.Str("bob"),
+		value.Ref(999), value.SetVal(value.NewSet()),
+	}
+	if got := env.eval(t, "friend.y").AsNumber(); got != 0 {
+		t.Errorf("dangling.y = %v", got)
+	}
+}
+
+func TestSelfBuiltins(t *testing.T) {
+	env := newEnv(t)
+	if got := env.eval(t, "id(self())").AsNumber(); got != 7 {
+		t.Errorf("id(self()) = %v", got)
+	}
+	if got := env.eval(t, "self() == self()").AsBool(); !got {
+		t.Error("self equality")
+	}
+}
+
+func TestEffectReads(t *testing.T) {
+	src := `
+class F {
+  state:
+    number hp = 10;
+  effects:
+    number dmg : sum;
+    number boost : max;
+  update:
+    hp = hp - dmg + boost;
+}
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := info.Program.Classes[0].Updates[0]
+	fn := expr.Compile(rule.Expr)
+	ctx := expr.Ctx{
+		W: nilWorld{}, Class: "F", SelfID: 1,
+		Self:       sliceReader([]value.Value{value.Num(10)}),
+		Effects:    fakeFx{present: map[int]value.Value{0: value.Num(3)}},
+		EffectZero: func(i int) value.Value { return value.Num(0) },
+	}
+	// dmg present (3), boost absent (zero): 10 - 3 + 0 = 7.
+	if got := fn(&ctx).AsNumber(); got != 7 {
+		t.Errorf("rule = %v, want 7", got)
+	}
+}
+
+type fakeFx struct{ present map[int]value.Value }
+
+func (f fakeFx) EffectValue(i int) (value.Value, bool) {
+	v, ok := f.present[i]
+	return v, ok
+}
+
+func TestCompilePanicsOnUnresolved(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("compiling an unresolved identifier must panic")
+		}
+	}()
+	expr.Compile(&ast.Ident{Name: "loose"})
+}

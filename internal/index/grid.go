@@ -1,0 +1,89 @@
+package index
+
+import (
+	"math"
+
+	"repro/internal/value"
+)
+
+// Grid is a uniform spatial hash grid over 2-D points. It is the cheap
+// alternative physical plan the adaptive optimizer (§4.1) weighs against
+// the range tree: O(n) build, queries proportional to the cells touched —
+// excellent for clustered "combat" regimes, poor for huge query boxes.
+type Grid struct {
+	cell  float64
+	cells map[gridKey][]Entry
+	n     int
+}
+
+type gridKey struct{ x, y int32 }
+
+// BuildGrid buckets entries (first two coordinates) into square cells of
+// the given size. cellSize must be positive.
+func BuildGrid(cellSize float64, entries []Entry) *Grid {
+	if cellSize <= 0 {
+		panic("index: grid cell size must be positive")
+	}
+	g := &Grid{
+		cell:  cellSize,
+		cells: make(map[gridKey][]Entry, len(entries)/4+1),
+		n:     len(entries),
+	}
+	for _, e := range entries {
+		k := g.keyOf(e.Coords[0], e.Coords[1])
+		g.cells[k] = append(g.cells[k], e)
+	}
+	return g
+}
+
+func (g *Grid) keyOf(x, y float64) gridKey {
+	return gridKey{int32(math.Floor(x / g.cell)), int32(math.Floor(y / g.cell))}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return g.n }
+
+// Cells returns the number of occupied cells.
+func (g *Grid) Cells() int { return len(g.cells) }
+
+// Query appends the ids of points in the closed box [lo0,hi0]×[lo1,hi1].
+func (g *Grid) Query(lo, hi []float64, out []value.ID) []value.ID {
+	k0 := g.keyOf(lo[0], lo[1])
+	k1 := g.keyOf(hi[0], hi[1])
+	for cx := k0.x; cx <= k1.x; cx++ {
+		for cy := k0.y; cy <= k1.y; cy++ {
+			for _, e := range g.cells[gridKey{cx, cy}] {
+				x, y := e.Coords[0], e.Coords[1]
+				if x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] {
+					out = append(out, e.ID)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of points in the closed box.
+func (g *Grid) Count(lo, hi []float64) int {
+	n := 0
+	k0 := g.keyOf(lo[0], lo[1])
+	k1 := g.keyOf(hi[0], hi[1])
+	for cx := k0.x; cx <= k1.x; cx++ {
+		for cy := k0.y; cy <= k1.y; cy++ {
+			for _, e := range g.cells[gridKey{cx, cy}] {
+				x, y := e.Coords[0], e.Coords[1]
+				if x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// EstimatedBytes approximates resident memory.
+func (g *Grid) EstimatedBytes() int {
+	const entrySize = 8 + 2*8
+	const cellOverhead = 48
+	return g.n*entrySize + len(g.cells)*cellOverhead
+}

@@ -1,0 +1,250 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func randEntries(n, dims int, seed int64, span float64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entry, n)
+	for i := range out {
+		c := make([]float64, dims)
+		for d := range c {
+			c[d] = rng.Float64() * span
+		}
+		out[i] = Entry{ID: value.ID(i + 1), Coords: c}
+	}
+	return out
+}
+
+func naiveQuery(es []Entry, lo, hi []float64) []value.ID {
+	var out []value.ID
+	for _, e := range es {
+		ok := true
+		for d := range lo {
+			if e.Coords[d] < lo[d] || e.Coords[d] > hi[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []value.ID) []value.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []value.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a, b = sortIDs(a), sortIDs(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeTreeMatchesNaive(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		es := randEntries(500, dims, int64(dims)*7, 100)
+		tree := BuildRangeTree(dims, es)
+		if tree.Len() != 500 {
+			t.Fatalf("d=%d: Len = %d", dims, tree.Len())
+		}
+		rng := rand.New(rand.NewSource(99))
+		for q := 0; q < 50; q++ {
+			lo := make([]float64, dims)
+			hi := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				a, b := rng.Float64()*100, rng.Float64()*100
+				lo[d], hi[d] = math.Min(a, b), math.Max(a, b)
+			}
+			want := naiveQuery(es, lo, hi)
+			got := tree.Query(lo, hi, nil)
+			if !equalIDs(got, want) {
+				t.Fatalf("d=%d query %v..%v: got %d ids, want %d", dims, lo, hi, len(got), len(want))
+			}
+			if c := tree.Count(lo, hi); c != len(want) {
+				t.Fatalf("d=%d Count = %d, want %d", dims, c, len(want))
+			}
+		}
+	}
+}
+
+func TestRangeTreeUnboundedBox(t *testing.T) {
+	es := randEntries(200, 2, 5, 50)
+	tree := BuildRangeTree(2, es)
+	inf := math.Inf(1)
+	got := tree.Query([]float64{math.Inf(-1), math.Inf(-1)}, []float64{inf, inf}, nil)
+	if len(got) != 200 {
+		t.Fatalf("unbounded query returned %d of 200", len(got))
+	}
+	// Half-open on one side.
+	got = tree.Query([]float64{25, math.Inf(-1)}, []float64{inf, inf}, nil)
+	want := naiveQuery(es, []float64{25, math.Inf(-1)}, []float64{inf, inf})
+	if !equalIDs(got, want) {
+		t.Fatalf("half-open: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestRangeTreeEmpty(t *testing.T) {
+	tree := BuildRangeTree(2, nil)
+	if got := tree.Query([]float64{0, 0}, []float64{1, 1}, nil); len(got) != 0 {
+		t.Error("empty tree must return nothing")
+	}
+	if tree.Count([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Error("empty tree count")
+	}
+}
+
+func TestRangeTreeDuplicateCoords(t *testing.T) {
+	es := make([]Entry, 64)
+	for i := range es {
+		es[i] = Entry{ID: value.ID(i + 1), Coords: []float64{5, 5}}
+	}
+	tree := BuildRangeTree(2, es)
+	got := tree.Query([]float64{5, 5}, []float64{5, 5}, nil)
+	if len(got) != 64 {
+		t.Fatalf("duplicate coords: got %d of 64", len(got))
+	}
+	if got := tree.Query([]float64{6, 6}, []float64{7, 7}, nil); len(got) != 0 {
+		t.Error("miss query must be empty")
+	}
+}
+
+// TestRangeTreeSpaceGrowth pins the Θ(n·log^{d−1} n) storage behaviour the
+// paper's §4.2 memory analysis depends on: stored replicas per point grow
+// roughly with log^{d−1} n.
+func TestRangeTreeSpaceGrowth(t *testing.T) {
+	perPoint := func(n, dims int) float64 {
+		tree := BuildRangeTree(dims, randEntries(n, dims, 1, 1000))
+		return float64(tree.StoredEntries()) / float64(n)
+	}
+	// d=1: exactly one copy per point.
+	if got := perPoint(4096, 1); got != 1 {
+		t.Errorf("d=1 replicas per point = %v, want 1", got)
+	}
+	// d=2: replicas grow with log n.
+	small, big := perPoint(1024, 2), perPoint(16384, 2)
+	if big <= small {
+		t.Errorf("d=2 replicas must grow with n: %v -> %v", small, big)
+	}
+	if big > 3*small {
+		t.Errorf("d=2 replica growth too fast: %v -> %v", small, big)
+	}
+	// d=3 stores more than d=2 at the same n.
+	if d3 := perPoint(4096, 3); d3 <= perPoint(4096, 2) {
+		t.Errorf("d=3 must store more replicas than d=2, got %v", d3)
+	}
+	if BuildRangeTree(2, randEntries(1000, 2, 3, 10)).EstimatedBytes() <= 0 {
+		t.Error("EstimatedBytes must be positive")
+	}
+}
+
+func TestGridMatchesNaive(t *testing.T) {
+	es := randEntries(400, 2, 11, 200)
+	for _, cell := range []float64{5, 32, 500} {
+		g := BuildGrid(cell, es)
+		rng := rand.New(rand.NewSource(4))
+		for q := 0; q < 40; q++ {
+			a, b := rng.Float64()*200, rng.Float64()*200
+			c, d := rng.Float64()*200, rng.Float64()*200
+			lo := []float64{math.Min(a, b), math.Min(c, d)}
+			hi := []float64{math.Max(a, b), math.Max(c, d)}
+			want := naiveQuery(es, lo, hi)
+			got := g.Query(lo, hi, nil)
+			if !equalIDs(got, want) {
+				t.Fatalf("cell %v: got %d, want %d", cell, len(got), len(want))
+			}
+			if g.Count(lo, hi) != len(want) {
+				t.Fatalf("cell %v: Count mismatch", cell)
+			}
+		}
+		if g.Len() != 400 || g.Cells() == 0 || g.EstimatedBytes() <= 0 {
+			t.Error("grid accounting")
+		}
+	}
+}
+
+func TestGridNegativeCoords(t *testing.T) {
+	es := []Entry{
+		{ID: 1, Coords: []float64{-10, -10}},
+		{ID: 2, Coords: []float64{-0.5, 0.5}},
+		{ID: 3, Coords: []float64{10, 10}},
+	}
+	g := BuildGrid(4, es)
+	got := g.Query([]float64{-11, -11}, []float64{0, 1}, nil)
+	if !equalIDs(got, []value.ID{1, 2}) {
+		t.Fatalf("negative coords query = %v", got)
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	keys := []value.Value{value.Num(1), value.Num(2), value.Num(1), value.Str("a")}
+	ids := []value.ID{10, 20, 30, 40}
+	h := BuildHash(keys, ids)
+	if got := h.Lookup(value.Num(1)); !equalIDs(append([]value.ID(nil), got...), []value.ID{10, 30}) {
+		t.Errorf("Lookup(1) = %v", got)
+	}
+	if got := h.Lookup(value.Str("a")); len(got) != 1 || got[0] != 40 {
+		t.Errorf("Lookup(a) = %v", got)
+	}
+	if got := h.Lookup(value.Num(9)); len(got) != 0 {
+		t.Errorf("Lookup(miss) = %v", got)
+	}
+	if h.Len() != 4 {
+		t.Error("Len")
+	}
+}
+
+func TestSortedIndex(t *testing.T) {
+	keys := []float64{5, 1, 3, 3, 9}
+	ids := []value.ID{50, 10, 30, 31, 90}
+	s := BuildSorted(keys, ids)
+	if got := s.Range(2, 5, nil); !equalIDs(got, []value.ID{30, 31, 50}) {
+		t.Errorf("Range = %v", got)
+	}
+	if got := s.CountRange(2, 5); got != 3 {
+		t.Errorf("CountRange = %d", got)
+	}
+	if got := s.CountRange(10, 20); got != 0 {
+		t.Errorf("CountRange miss = %d", got)
+	}
+	if got := s.Range(3, 3, nil); len(got) != 2 {
+		t.Errorf("point range = %v", got)
+	}
+}
+
+// Property: tree and grid agree with the naive scan on random data and
+// random boxes — the core correctness invariant behind every accum join.
+func TestIndexEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, n uint8, qx, qy, qw, qh float64) bool {
+		m := int(n)%200 + 10
+		es := randEntries(m, 2, seed, 100)
+		lo := []float64{math.Mod(math.Abs(qx), 100), math.Mod(math.Abs(qy), 100)}
+		hi := []float64{lo[0] + math.Mod(math.Abs(qw), 60), lo[1] + math.Mod(math.Abs(qh), 60)}
+		want := naiveQuery(es, lo, hi)
+		tree := BuildRangeTree(2, es).Query(lo, hi, nil)
+		grid := BuildGrid(13, es).Query(lo, hi, nil)
+		return equalIDs(tree, append([]value.ID(nil), want...)) &&
+			equalIDs(grid, append([]value.ID(nil), want...))
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

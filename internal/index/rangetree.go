@@ -1,0 +1,237 @@
+// Package index provides the main-memory indexes used by the SGL query
+// engine: a multi-dimensional orthogonal range tree (the paper's choice,
+// §4.2, with Θ(n·log^{d−1} n) space), a uniform grid, a sorted 1-D index
+// and a hash index for equi-joins.
+//
+// Because a large fraction of game state changes every tick (§4.1), the
+// engine rebuilds spatial indexes per tick rather than maintaining them
+// incrementally; builds are O(n log n) and allocation-conscious.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Entry is one indexed point: an object id plus its coordinates.
+type Entry struct {
+	ID     value.ID
+	Coords []float64
+}
+
+// RangeTree is a static d-dimensional orthogonal range tree. Dimension 0 is
+// the primary tree; every canonical node carries an associated tree over
+// the remaining dimensions, giving O(log^d n + k) queries at
+// Θ(n·log^{d−1} n) space — the trade-off the paper calls out when sizing
+// cluster memory.
+type RangeTree struct {
+	dims int
+	n    int
+	root *rtNode
+
+	// storedEntries counts every point replica across all associated
+	// structures, the quantity that realizes Θ(n·log^{d−1} n).
+	storedEntries int
+	nodes         int
+}
+
+type rtNode struct {
+	key   float64 // split key in the node's dimension
+	min   float64 // subtree coordinate range in the node's dimension
+	max   float64
+	left  *rtNode
+	right *rtNode
+	assoc *RangeTree // tree over remaining dimensions (nil at the last)
+	// Leaf / last-dimension payload: entries sorted by the node's
+	// dimension. Internal nodes at the last dimension keep nil pts.
+	pts []Entry
+}
+
+const rtLeafSize = 16
+
+// BuildRangeTree constructs a range tree over the entries. dims must be
+// >= 1 and every entry must have at least dims coordinates. The input slice
+// is not retained but is reordered.
+func BuildRangeTree(dims int, entries []Entry) *RangeTree {
+	if dims < 1 {
+		panic("index: range tree needs dims >= 1")
+	}
+	t := &RangeTree{dims: dims, n: len(entries)}
+	if len(entries) == 0 {
+		return t
+	}
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	t.root = t.build(es, 0)
+	return t
+}
+
+func (t *RangeTree) build(es []Entry, dim int) *rtNode {
+	sort.Slice(es, func(i, j int) bool { return es[i].Coords[dim] < es[j].Coords[dim] })
+	return t.buildSorted(es, dim)
+}
+
+func (t *RangeTree) buildSorted(es []Entry, dim int) *rtNode {
+	t.nodes++
+	n := &rtNode{
+		min: es[0].Coords[dim],
+		max: es[len(es)-1].Coords[dim],
+	}
+	last := dim == t.dims-1
+	if len(es) <= rtLeafSize {
+		n.pts = es
+		t.storedEntries += len(es)
+		n.key = es[len(es)/2].Coords[dim]
+		if !last {
+			// Leaves at non-final dimensions still answer the remaining
+			// dimensions by brute force over <= rtLeafSize points.
+		}
+		return n
+	}
+	mid := len(es) / 2
+	n.key = es[mid].Coords[dim]
+	if !last {
+		// The associated structure indexes this node's whole point set on
+		// the remaining dimensions.
+		sub := make([]Entry, len(es))
+		copy(sub, es)
+		n.assoc = &RangeTree{dims: t.dims}
+		n.assoc.n = len(sub)
+		n.assoc.root = n.assoc.build(sub, dim+1)
+		t.storedEntries += n.assoc.storedEntries
+		t.nodes += n.assoc.nodes
+	}
+	// At the last dimension points are stored only in leaf blocks, which
+	// the leaf case above accounts for.
+	n.left = t.buildSorted(es[:mid], dim)
+	n.right = t.buildSorted(es[mid:], dim)
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *RangeTree) Len() int { return t.n }
+
+// Dims returns the dimensionality.
+func (t *RangeTree) Dims() int { return t.dims }
+
+// StoredEntries returns the total number of point replicas stored across
+// the primary and all associated structures — the space term the paper's
+// Θ(n·log^{d−1} n) analysis counts.
+func (t *RangeTree) StoredEntries() int { return t.storedEntries }
+
+// EstimatedBytes approximates resident memory: each stored replica keeps an
+// id plus dims coordinates; each node costs its header.
+func (t *RangeTree) EstimatedBytes() int {
+	const nodeHeader = 8 * 8 // key, min, max, 3 pointers, slice header parts
+	return t.storedEntries*(8+8*t.dims) + t.nodes*nodeHeader
+}
+
+// Query appends to out the ids of all points inside the closed box
+// [lo[i], hi[i]] for each dimension i, and returns the extended slice.
+func (t *RangeTree) Query(lo, hi []float64, out []value.ID) []value.ID {
+	if t.root == nil {
+		return out
+	}
+	t.checkBox(lo, hi)
+	return t.query(t.root, 0, lo, hi, out)
+}
+
+func (t *RangeTree) checkBox(lo, hi []float64) {
+	if len(lo) != t.dims || len(hi) != t.dims {
+		panic(fmt.Sprintf("index: query box dims %d/%d, tree dims %d", len(lo), len(hi), t.dims))
+	}
+}
+
+func (t *RangeTree) query(n *rtNode, dim int, lo, hi []float64, out []value.ID) []value.ID {
+	if n == nil || n.min > hi[dim] || n.max < lo[dim] {
+		return out
+	}
+	if n.pts != nil {
+		// Leaf (or last-dimension block): filter brute force over all dims
+		// from dim onward; earlier dims were fixed by ancestors.
+		for _, e := range n.pts {
+			ok := true
+			for d := dim; d < t.dims; d++ {
+				c := e.Coords[d]
+				if c < lo[d] || c > hi[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, e.ID)
+			}
+		}
+		return out
+	}
+	if n.min >= lo[dim] && n.max <= hi[dim] {
+		// Canonical node: the whole subtree satisfies this dimension.
+		if dim == t.dims-1 {
+			return t.collect(n, out)
+		}
+		return n.assoc.query(n.assoc.root, dim+1, lo, hi, out)
+	}
+	out = t.query(n.left, dim, lo, hi, out)
+	out = t.query(n.right, dim, lo, hi, out)
+	return out
+}
+
+func (t *RangeTree) collect(n *rtNode, out []value.ID) []value.ID {
+	if n.pts != nil {
+		for _, e := range n.pts {
+			out = append(out, e.ID)
+		}
+		return out
+	}
+	out = t.collect(n.left, out)
+	return t.collect(n.right, out)
+}
+
+// Count returns the number of points inside the closed box without
+// materializing ids.
+func (t *RangeTree) Count(lo, hi []float64) int {
+	if t.root == nil {
+		return 0
+	}
+	t.checkBox(lo, hi)
+	return t.count(t.root, 0, lo, hi)
+}
+
+func (t *RangeTree) count(n *rtNode, dim int, lo, hi []float64) int {
+	if n == nil || n.min > hi[dim] || n.max < lo[dim] {
+		return 0
+	}
+	if n.pts != nil {
+		c := 0
+		for _, e := range n.pts {
+			ok := true
+			for d := dim; d < t.dims; d++ {
+				v := e.Coords[d]
+				if v < lo[d] || v > hi[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c++
+			}
+		}
+		return c
+	}
+	if n.min >= lo[dim] && n.max <= hi[dim] {
+		if dim == t.dims-1 {
+			return t.size(n)
+		}
+		return n.assoc.count(n.assoc.root, dim+1, lo, hi)
+	}
+	return t.count(n.left, dim, lo, hi) + t.count(n.right, dim, lo, hi)
+}
+
+func (t *RangeTree) size(n *rtNode) int {
+	if n.pts != nil {
+		return len(n.pts)
+	}
+	return t.size(n.left) + t.size(n.right)
+}

@@ -1,0 +1,135 @@
+package pathfind_test
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/engine"
+	"repro/internal/pathfind"
+	"repro/internal/sgl/parser"
+	"repro/internal/sgl/sem"
+	"repro/internal/value"
+)
+
+func TestFindPathStraightLine(t *testing.T) {
+	g := pathfind.NewGrid(10, 10)
+	path := g.FindPath(pathfind.Point{X: 0, Y: 0}, pathfind.Point{X: 4, Y: 0})
+	if len(path) != 5 {
+		t.Fatalf("path len = %d, want 5", len(path))
+	}
+	if path[0] != (pathfind.Point{X: 0, Y: 0}) || path[4] != (pathfind.Point{X: 4, Y: 0}) {
+		t.Fatalf("endpoints: %v", path)
+	}
+}
+
+func TestFindPathAroundWall(t *testing.T) {
+	g := pathfind.NewGrid(10, 10)
+	// Vertical wall at x=5 with a gap at y=9.
+	g.BlockRect(5, 0, 5, 8)
+	path := g.FindPath(pathfind.Point{X: 0, Y: 0}, pathfind.Point{X: 9, Y: 0})
+	if path == nil {
+		t.Fatal("no path found around wall")
+	}
+	// The path must pass through the gap.
+	hasGap := false
+	for _, p := range path {
+		if !g.Walkable(p.X, p.Y) {
+			t.Fatalf("path crosses blocked cell %v", p)
+		}
+		if p.X == 5 && p.Y == 9 {
+			hasGap = true
+		}
+	}
+	if !hasGap {
+		t.Error("path does not use the gap")
+	}
+	// Optimality: manhattan distance 9 + detour up and back = 9 + 18.
+	if len(path)-1 != 27 {
+		t.Errorf("path length = %d steps, want 27", len(path)-1)
+	}
+}
+
+func TestFindPathUnreachable(t *testing.T) {
+	g := pathfind.NewGrid(10, 10)
+	g.BlockRect(5, 0, 5, 9) // solid wall
+	if path := g.FindPath(pathfind.Point{X: 0, Y: 0}, pathfind.Point{X: 9, Y: 9}); path != nil {
+		t.Fatal("path through a solid wall")
+	}
+	if path := g.FindPath(pathfind.Point{X: -1, Y: 0}, pathfind.Point{X: 1, Y: 0}); path != nil {
+		t.Fatal("out-of-grid start")
+	}
+	g2 := pathfind.NewGrid(3, 3)
+	g2.Block(1, 1)
+	if path := g2.FindPath(pathfind.Point{X: 1, Y: 1}, pathfind.Point{X: 0, Y: 0}); path != nil {
+		t.Fatal("blocked start")
+	}
+}
+
+func TestFindPathTrivial(t *testing.T) {
+	g := pathfind.NewGrid(5, 5)
+	p := pathfind.Point{X: 2, Y: 2}
+	path := g.FindPath(p, p)
+	if len(path) != 1 || path[0] != p {
+		t.Fatalf("self path = %v", path)
+	}
+}
+
+const walkerSrc = `
+class Walker {
+  state:
+    number x = 0 by pathfind;
+    number y = 0 by pathfind;
+    number gx = 0;
+    number gy = 0;
+  effects:
+    number goalx : avg;
+    number goaly : avg;
+  run {
+    goalx <- gx;
+    goaly <- gy;
+  }
+}
+`
+
+func TestPlannerComponent(t *testing.T) {
+	p, err := parser.Parse(walkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.CompileChecked(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := engine.New(prog, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := pathfind.NewGrid(20, 20)
+	grid.BlockRect(5, 0, 5, 15)
+	planner := pathfind.New(pathfind.Config{
+		Class: "Walker", XAttr: "x", YAttr: "y",
+		GoalXEff: "goalx", GoalYEff: "goaly", Grid: grid,
+	})
+	if err := w.Register(planner); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Spawn("Walker", map[string]value.Value{"gx": value.Num(10), "gy": value.Num(0)})
+	if err := w.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	x := w.MustGet("Walker", id, "x").AsNumber()
+	y := w.MustGet("Walker", id, "y").AsNumber()
+	if x != 10 || y != 0 {
+		t.Fatalf("walker at %v,%v, want 10,0", x, y)
+	}
+	if planner.Plans == 0 {
+		t.Error("planner never planned")
+	}
+	if planner.Plans > 3 {
+		t.Errorf("planner replanned %d times for a static goal (cache broken)", planner.Plans)
+	}
+}

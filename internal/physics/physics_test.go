@@ -1,0 +1,164 @@
+package physics_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/engine"
+	"repro/internal/physics"
+	"repro/internal/sgl/parser"
+	"repro/internal/sgl/sem"
+	"repro/internal/value"
+)
+
+const src = `
+class Ball {
+  state:
+    number x = 0 by physics;
+    number y = 0 by physics;
+    number gx = 0;
+    number gy = 0;
+  effects:
+    number vx : avg;
+    number vy : avg;
+  run {
+    vx <- (gx - x) * 0.5;
+    vy <- (gy - y) * 0.5;
+  }
+}
+`
+
+func world(t *testing.T, cfg physics.Config) (*engine.World, *physics.Physics) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.CompileChecked(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := engine.New(prog, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Class == "" {
+		cfg = physics.Config{Class: "Ball", XAttr: "x", YAttr: "y", VXEffect: "vx", VYEffect: "vy"}
+	}
+	ph := physics.New2D(cfg)
+	if err := w.Register(ph); err != nil {
+		t.Fatal(err)
+	}
+	return w, ph
+}
+
+func TestIntegration(t *testing.T) {
+	w, _ := world(t, physics.Config{})
+	id, _ := w.Spawn("Ball", map[string]value.Value{"gx": value.Num(10), "gy": value.Num(0)})
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	// vx = (10-0)*0.5 = 5 → x = 5.
+	if got := w.MustGet("Ball", id, "x").AsNumber(); got != 5 {
+		t.Fatalf("x = %v, want 5", got)
+	}
+	// Converges to the goal over ticks.
+	w.Run(20)
+	if got := w.MustGet("Ball", id, "x").AsNumber(); math.Abs(got-10) > 0.1 {
+		t.Fatalf("x = %v, want ~10", got)
+	}
+}
+
+func TestNoIntentionNoMovement(t *testing.T) {
+	w, _ := world(t, physics.Config{})
+	id, _ := w.Spawn("Ball", map[string]value.Value{"gx": value.Num(0), "gy": value.Num(0)})
+	w.SetState("Ball", id, "x", value.Num(0))
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	// Intention is (0-0)*0.5 = 0: stays put.
+	if got := w.MustGet("Ball", id, "x").AsNumber(); got != 0 {
+		t.Fatalf("x = %v, want 0", got)
+	}
+}
+
+func TestConflictingIntentionsSeparate(t *testing.T) {
+	// Two balls aiming at the same spot: the physics engine must place
+	// them at adjacent positions (§2.2's motivating example).
+	w, ph := world(t, physics.Config{
+		Class: "Ball", XAttr: "x", YAttr: "y", VXEffect: "vx", VYEffect: "vy",
+		Radius: 1, Iterations: 8,
+	})
+	a, _ := w.Spawn("Ball", map[string]value.Value{
+		"x": value.Num(0), "gx": value.Num(5), "gy": value.Num(0),
+	})
+	b, _ := w.Spawn("Ball", map[string]value.Value{
+		"x": value.Num(10), "gx": value.Num(5), "gy": value.Num(0),
+	})
+	if err := w.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	ax := w.MustGet("Ball", a, "x").AsNumber()
+	bx := w.MustGet("Ball", b, "x").AsNumber()
+	ay := w.MustGet("Ball", a, "y").AsNumber()
+	by := w.MustGet("Ball", b, "y").AsNumber()
+	d := math.Hypot(ax-bx, ay-by)
+	if d < 1.9 { // 2*radius with small tolerance
+		t.Fatalf("balls overlap: dist = %v (a=%v,%v b=%v,%v)", d, ax, ay, bx, by)
+	}
+	if ph.Collisions == 0 {
+		t.Error("no collisions recorded despite contention")
+	}
+}
+
+func TestBoundsClamp(t *testing.T) {
+	w, _ := world(t, physics.Config{
+		Class: "Ball", XAttr: "x", YAttr: "y", VXEffect: "vx", VYEffect: "vy",
+		Bounds: &physics.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8},
+	})
+	id, _ := w.Spawn("Ball", map[string]value.Value{"gx": value.Num(100), "gy": value.Num(100)})
+	w.Run(10)
+	x := w.MustGet("Ball", id, "x").AsNumber()
+	y := w.MustGet("Ball", id, "y").AsNumber()
+	if x > 8 || y > 8 {
+		t.Fatalf("escaped bounds: %v,%v", x, y)
+	}
+}
+
+func TestMaxSpeed(t *testing.T) {
+	w, _ := world(t, physics.Config{
+		Class: "Ball", XAttr: "x", YAttr: "y", VXEffect: "vx", VYEffect: "vy",
+		MaxSpeed: 1,
+	})
+	id, _ := w.Spawn("Ball", map[string]value.Value{"gx": value.Num(1000)})
+	w.RunTick()
+	if got := w.MustGet("Ball", id, "x").AsNumber(); got > 1.0001 {
+		t.Fatalf("x = %v, speed not clamped", got)
+	}
+}
+
+func TestSamePointDeterministicSeparation(t *testing.T) {
+	w, _ := world(t, physics.Config{
+		Class: "Ball", XAttr: "x", YAttr: "y", VXEffect: "vx", VYEffect: "vy",
+		Radius: 1,
+	})
+	// Both at the exact same point with no movement intention.
+	a, _ := w.Spawn("Ball", map[string]value.Value{"x": value.Num(5), "y": value.Num(5), "gx": value.Num(5), "gy": value.Num(5)})
+	b, _ := w.Spawn("Ball", map[string]value.Value{"x": value.Num(5), "y": value.Num(5), "gx": value.Num(5), "gy": value.Num(5)})
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	ax := w.MustGet("Ball", a, "x").AsNumber()
+	bx := w.MustGet("Ball", b, "x").AsNumber()
+	if ax == bx {
+		t.Fatal("coincident balls not separated")
+	}
+	if ax >= bx {
+		t.Fatalf("separation not deterministic by id: a=%v b=%v", ax, bx)
+	}
+}

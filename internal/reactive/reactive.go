@@ -1,0 +1,140 @@
+// Package reactive builds on the engine's handler and interrupt hooks to
+// implement §3.2's intention model: multi-tick scripts are interruptible
+// and resumable, in the style of resumable exceptions. An Intention names a
+// contiguous phase range of a class's script; rules interrupt the script to
+// a handler phase when a condition fires, optionally remembering where to
+// resume.
+package reactive
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sgl/parser"
+	"repro/internal/sgl/sem"
+	"repro/internal/value"
+)
+
+// Condition compiles an SGL boolean expression over a class's state
+// attributes into a predicate usable with engine interrupts, e.g.
+// Condition(info, "Guard", "health < 20 && fleeing == 0").
+func Condition(info *sem.Info, class, src string) (func(*engine.World, value.ID) bool, error) {
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	t, err := info.AnalyzeExpr(class, e)
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != value.KindBool {
+		return nil, fmt.Errorf("reactive: condition has type %s, want bool", t)
+	}
+	fn := expr.Compile(e)
+	return func(w *engine.World, id value.ID) bool {
+		ctx := expr.Ctx{
+			W:      w,
+			Class:  class,
+			SelfID: id,
+			Self:   selfReader{w: w, class: class, id: id},
+		}
+		return fn(&ctx).AsBool()
+	}, nil
+}
+
+type selfReader struct {
+	w     *engine.World
+	class string
+	id    value.ID
+}
+
+func (r selfReader) Attr(attrIdx int) value.Value {
+	v, _ := r.w.StateValue(r.class, r.id, attrIdx)
+	return v
+}
+
+// Intention is a named phase range of a multi-tick script.
+type Intention struct {
+	Name  string
+	Start int // first phase of the intention
+	End   int // last phase (inclusive)
+}
+
+// Manager coordinates interrupt rules with resumption: when a rule fires,
+// the NPC's program counter jumps to the rule's target phase; when Resume
+// is enabled, the interrupted phase is remembered and restored once the
+// rule's condition clears — the "resumable exception" model of §3.2.
+type Manager struct {
+	w     *engine.World
+	class string
+
+	mu      sync.Mutex
+	saved   map[value.ID]int
+	pending map[value.ID]int
+}
+
+// NewManager creates an intention manager for one class.
+func NewManager(w *engine.World, class string) *Manager {
+	return &Manager{w: w, class: class, saved: make(map[value.ID]int)}
+}
+
+// InterruptWhen interrupts the script to targetPhase while cond holds.
+// With resume=true, the pre-interrupt phase is saved on the first firing
+// and restored when the condition clears (otherwise the script continues
+// from targetPhase onward, the "termination model").
+func (m *Manager) InterruptWhen(info *sem.Info, condSrc string, targetPhase int, resume bool) error {
+	cond, err := Condition(info, m.class, condSrc)
+	if err != nil {
+		return err
+	}
+	return m.w.RegisterInterrupt(m.class, func(w *engine.World, id value.ID) bool {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if cond(w, id) {
+			if resume {
+				if _, ok := m.saved[id]; !ok {
+					m.saved[id] = w.PC(m.class, id)
+				}
+			}
+			return true
+		}
+		if resume {
+			if pc, ok := m.saved[id]; ok {
+				delete(m.saved, id)
+				// Resume by re-interrupting to the saved phase once.
+				m.resumeTo(id, pc)
+			}
+		}
+		return false
+	}, targetPhase)
+}
+
+// resumeTo records a one-shot resumption, applied by ApplyResumptions.
+func (m *Manager) resumeTo(id value.ID, phase int) {
+	if m.pending == nil {
+		m.pending = make(map[value.ID]int)
+	}
+	m.pending[id] = phase
+}
+
+// ApplyResumptions restores saved phases recorded by resume-enabled rules.
+// Call between ticks — attach the Resumer inspector to do it automatically.
+func (m *Manager) ApplyResumptions() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, phase := range m.pending {
+		m.w.SetPC(m.class, id, phase)
+		delete(m.pending, id)
+	}
+}
+
+// Resumer is an engine.Inspector applying resumptions at each tick end.
+type Resumer struct{ M *Manager }
+
+// TickStart implements engine.Inspector.
+func (r Resumer) TickStart(w *engine.World, tick int64) {}
+
+// TickEnd implements engine.Inspector.
+func (r Resumer) TickEnd(w *engine.World, tick int64) { r.M.ApplyResumptions() }

@@ -1,0 +1,128 @@
+package reactive_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/reactive"
+	"repro/internal/value"
+)
+
+// srcPatrol is a 3-phase intention: patrol A (phase 0), patrol B (phase 1),
+// rest (phase 2). Phase 0 is also the "respond to attack" handler target.
+const srcPatrol = `
+class Bot {
+  state:
+    number phase0 = 0;
+    number phase1 = 0;
+    number phase2 = 0;
+    number threat = 0;
+  effects:
+    number p0 : sum;
+    number p1 : sum;
+    number p2 : sum;
+  update:
+    phase0 = phase0 + p0;
+    phase1 = phase1 + p1;
+    phase2 = phase2 + p2;
+  run {
+    p0 <- 1;
+    waitNextTick;
+    p1 <- 1;
+    waitNextTick;
+    p2 <- 1;
+  }
+}
+`
+
+func load(t *testing.T) (*core.Scenario, *engine.World) {
+	t.Helper()
+	sc, err := core.LoadScenario("patrol", srcPatrol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, w
+}
+
+func TestCondition(t *testing.T) {
+	sc, w := load(t)
+	cond, err := reactive.Condition(sc.Info, "Bot", "threat > 0 && phase2 == 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Spawn("Bot", nil)
+	if cond(w, id) {
+		t.Error("condition true on fresh bot")
+	}
+	w.SetState("Bot", id, "threat", value.Num(1))
+	if !cond(w, id) {
+		t.Error("condition false after threat set")
+	}
+	if _, err := reactive.Condition(sc.Info, "Bot", "threat +"); err == nil {
+		t.Error("syntax error must surface")
+	}
+	if _, err := reactive.Condition(sc.Info, "Bot", "threat + 1"); err == nil {
+		t.Error("non-bool condition must be rejected")
+	}
+	if _, err := reactive.Condition(sc.Info, "Nope", "threat > 0"); err == nil {
+		t.Error("unknown class must be rejected")
+	}
+}
+
+func TestInterruptTerminationModel(t *testing.T) {
+	sc, w := load(t)
+	m := reactive.NewManager(w, "Bot")
+	// While threatened, restart the script at phase 0 (termination model).
+	if err := m.InterruptWhen(sc.Info, "threat > 0", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Spawn("Bot", nil)
+	w.SetState("Bot", id, "threat", value.Num(1))
+	w.Run(4)
+	// Every tick the interrupt resets pc to 0, so only phase 0 runs.
+	if got := w.MustGet("Bot", id, "phase0").AsNumber(); got != 4 {
+		t.Fatalf("phase0 = %v, want 4", got)
+	}
+	if got := w.MustGet("Bot", id, "phase1").AsNumber(); got != 0 {
+		t.Fatalf("phase1 = %v, want 0", got)
+	}
+}
+
+func TestInterruptResumeModel(t *testing.T) {
+	sc, w := load(t)
+	m := reactive.NewManager(w, "Bot")
+	if err := m.InterruptWhen(sc.Info, "threat > 0", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	w.AddInspector(reactive.Resumer{M: m})
+	id, _ := w.Spawn("Bot", nil)
+	// Tick 1: phase 0 runs, pc -> 1.
+	w.Run(1)
+	// Threat arrives mid-patrol. Tick 2 still executes phase 1 (the threat
+	// is only observed at the end of the update step); the interrupt then
+	// saves the phase the script would run next (2) and pins pc to 0.
+	w.SetState("Bot", id, "threat", value.Num(1))
+	w.Run(2) // tick 2: phase1; tick 3: interrupted, phase0
+	if got := w.MustGet("Bot", id, "phase0").AsNumber(); got != 2 {
+		t.Fatalf("phase0 during threat = %v, want 2", got)
+	}
+	if got := w.MustGet("Bot", id, "phase1").AsNumber(); got != 1 {
+		t.Fatalf("phase1 = %v, want 1", got)
+	}
+	// Threat clears: the bot resumes the saved phase (2) instead of
+	// restarting — the resumable-exception model of §3.2.
+	w.SetState("Bot", id, "threat", value.Num(0))
+	w.Run(1) // tick 4: still phase0; interrupt clears, resumption applies
+	if pc := w.PC("Bot", id); pc != 2 {
+		t.Fatalf("pc after resume = %d, want 2", pc)
+	}
+	w.Run(1) // tick 5: phase2 runs
+	if got := w.MustGet("Bot", id, "phase2").AsNumber(); got != 1 {
+		t.Fatalf("phase2 = %v, want 1", got)
+	}
+}

@@ -1,0 +1,265 @@
+// Package schema models SGL class definitions and generates the relational
+// schema that backs them (§2.1 of the paper). The programmer never writes a
+// schema: the compiler derives tables from class declarations, including the
+// vertical-partitioning strategies the paper reports experimenting with.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/combinator"
+	"repro/internal/value"
+)
+
+// Attr describes one state or effect attribute of a class.
+type Attr struct {
+	Name     string
+	Kind     value.Kind
+	RefClass string     // for KindRef: the referenced class name
+	ElemKind value.Kind // for KindSet: the element kind
+	ElemRef  string     // for KindSet of refs: the referenced class name
+
+	// Effect-only: the ⊕ combinator applied to contributions each tick.
+	Comb combinator.Kind
+
+	// State-only: the initial value for new objects, and the update
+	// component that owns this attribute ("" means an expression update
+	// rule or script-managed state; see engine.UpdateComponent).
+	Default value.Value
+	Owner   string
+}
+
+// IsEffect reports whether the attribute is an effect variable.
+func (a Attr) IsEffect() bool { return a.Comb != combinator.Invalid }
+
+// Class is an SGL class declaration: state attributes (read-only during a
+// tick) and effect attributes (write-only, combined by ⊕ at tick end).
+type Class struct {
+	Name    string
+	State   []Attr
+	Effects []Attr
+
+	stateIdx  map[string]int
+	effectIdx map[string]int
+}
+
+// NewClass builds a class and validates attribute name uniqueness and
+// combinator/type compatibility.
+func NewClass(name string, state, effects []Attr) (*Class, error) {
+	c := &Class{
+		Name:      name,
+		State:     state,
+		Effects:   effects,
+		stateIdx:  make(map[string]int, len(state)),
+		effectIdx: make(map[string]int, len(effects)),
+	}
+	seen := make(map[string]bool, len(state)+len(effects))
+	for i, a := range state {
+		if seen[a.Name] {
+			return nil, fmt.Errorf("schema: class %s: duplicate attribute %q", name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Comb != combinator.Invalid {
+			return nil, fmt.Errorf("schema: class %s: state attribute %q declares a combinator", name, a.Name)
+		}
+		if !a.Default.IsValid() {
+			c.State[i].Default = value.Zero(a.Kind)
+		}
+		c.stateIdx[a.Name] = i
+	}
+	for i, a := range effects {
+		if seen[a.Name] {
+			return nil, fmt.Errorf("schema: class %s: duplicate attribute %q", name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Comb == combinator.Invalid {
+			return nil, fmt.Errorf("schema: class %s: effect attribute %q has no combinator", name, a.Name)
+		}
+		if !a.Comb.Accepts(a.Kind) {
+			return nil, fmt.Errorf("schema: class %s: combinator %s cannot combine %s attribute %q",
+				name, a.Comb, a.Kind, a.Name)
+		}
+		c.effectIdx[a.Name] = i
+	}
+	return c, nil
+}
+
+// StateAttr looks up a state attribute by name.
+func (c *Class) StateAttr(name string) (Attr, bool) {
+	i, ok := c.stateIdx[name]
+	if !ok {
+		return Attr{}, false
+	}
+	return c.State[i], true
+}
+
+// StateIndex returns the position of a state attribute, or -1.
+func (c *Class) StateIndex(name string) int {
+	if i, ok := c.stateIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// EffectAttr looks up an effect attribute by name.
+func (c *Class) EffectAttr(name string) (Attr, bool) {
+	i, ok := c.effectIdx[name]
+	if !ok {
+		return Attr{}, false
+	}
+	return c.Effects[i], true
+}
+
+// EffectIndex returns the position of an effect attribute, or -1.
+func (c *Class) EffectIndex(name string) int {
+	if i, ok := c.effectIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Schema is a collection of classes, the unit the compiler operates on.
+type Schema struct {
+	classes map[string]*Class
+	order   []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{classes: make(map[string]*Class)}
+}
+
+// Add registers a class. Class names must be unique.
+func (s *Schema) Add(c *Class) error {
+	if _, ok := s.classes[c.Name]; ok {
+		return fmt.Errorf("schema: duplicate class %q", c.Name)
+	}
+	s.classes[c.Name] = c
+	s.order = append(s.order, c.Name)
+	return nil
+}
+
+// Class looks up a class by name.
+func (s *Schema) Class(name string) (*Class, bool) {
+	c, ok := s.classes[name]
+	return c, ok
+}
+
+// Classes returns all classes in declaration order.
+func (s *Schema) Classes() []*Class {
+	out := make([]*Class, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.classes[n])
+	}
+	return out
+}
+
+// Validate checks cross-class integrity: every ref attribute must point at
+// a declared class.
+func (s *Schema) Validate() error {
+	check := func(cls string, a Attr) error {
+		if a.Kind == value.KindRef && a.RefClass != "" {
+			if _, ok := s.classes[a.RefClass]; !ok {
+				return fmt.Errorf("schema: class %s: attribute %q references unknown class %q", cls, a.Name, a.RefClass)
+			}
+		}
+		if a.Kind == value.KindSet && a.ElemKind == value.KindRef && a.ElemRef != "" {
+			if _, ok := s.classes[a.ElemRef]; !ok {
+				return fmt.Errorf("schema: class %s: attribute %q references unknown class %q", cls, a.Name, a.ElemRef)
+			}
+		}
+		return nil
+	}
+	for _, c := range s.Classes() {
+		for _, a := range c.State {
+			if err := check(c.Name, a); err != nil {
+				return err
+			}
+		}
+		for _, a := range c.Effects {
+			if err := check(c.Name, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LayoutStrategy selects how class attributes are mapped onto tables
+// (§2.1: "it is often best to break a class up into multiple tables
+// containing those attributes that commonly appear in expressions
+// together; in other cases ... a single table for all of the state
+// variables, and a separate table for each individual effect variable").
+type LayoutStrategy uint8
+
+const (
+	// LayoutSingle puts all state attributes of a class in one table and
+	// each effect attribute in its own (sparse) delta table.
+	LayoutSingle LayoutStrategy = iota
+	// LayoutPerAttribute gives every state attribute its own table.
+	LayoutPerAttribute
+	// LayoutAffinity groups state attributes that co-occur in script
+	// expressions (the co-occurrence sets are supplied by the compiler).
+	LayoutAffinity
+)
+
+// TableSpec names one generated table and the attributes it stores.
+type TableSpec struct {
+	Name  string
+	Class string
+	Attrs []string
+}
+
+// Layout computes the table layout for a class. affinity supplies groups of
+// attribute names that commonly appear together (used by LayoutAffinity;
+// ignored otherwise). Attributes not covered by any group each get their
+// own table. Effect attributes always get one delta table each, because
+// effect contributions are sparse per tick.
+func Layout(c *Class, strategy LayoutStrategy, affinity [][]string) []TableSpec {
+	var specs []TableSpec
+	switch strategy {
+	case LayoutSingle:
+		names := make([]string, len(c.State))
+		for i, a := range c.State {
+			names[i] = a.Name
+		}
+		specs = append(specs, TableSpec{Name: c.Name + "_state", Class: c.Name, Attrs: names})
+	case LayoutPerAttribute:
+		for _, a := range c.State {
+			specs = append(specs, TableSpec{Name: c.Name + "_" + a.Name, Class: c.Name, Attrs: []string{a.Name}})
+		}
+	case LayoutAffinity:
+		covered := make(map[string]bool)
+		for gi, group := range affinity {
+			var names []string
+			for _, n := range group {
+				if c.StateIndex(n) >= 0 && !covered[n] {
+					covered[n] = true
+					names = append(names, n)
+				}
+			}
+			if len(names) > 0 {
+				specs = append(specs, TableSpec{
+					Name:  fmt.Sprintf("%s_g%d", c.Name, gi),
+					Class: c.Name,
+					Attrs: names,
+				})
+			}
+		}
+		var rest []string
+		for _, a := range c.State {
+			if !covered[a.Name] {
+				rest = append(rest, a.Name)
+			}
+		}
+		if len(rest) > 0 {
+			specs = append(specs, TableSpec{Name: c.Name + "_rest", Class: c.Name, Attrs: rest})
+		}
+	}
+	for _, a := range c.Effects {
+		specs = append(specs, TableSpec{Name: c.Name + "_fx_" + a.Name, Class: c.Name, Attrs: []string{a.Name}})
+	}
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}

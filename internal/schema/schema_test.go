@@ -1,0 +1,169 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/combinator"
+	"repro/internal/value"
+)
+
+func unitClass(t *testing.T) *Class {
+	t.Helper()
+	c, err := NewClass("Unit",
+		[]Attr{
+			{Name: "x", Kind: value.KindNumber},
+			{Name: "y", Kind: value.KindNumber},
+			{Name: "hp", Kind: value.KindNumber, Default: value.Num(100)},
+			{Name: "boss", Kind: value.KindRef, RefClass: "Unit"},
+		},
+		[]Attr{
+			{Name: "damage", Kind: value.KindNumber, Comb: combinator.Sum},
+			{Name: "vx", Kind: value.KindNumber, Comb: combinator.Avg},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClass(t *testing.T) {
+	c := unitClass(t)
+	if a, ok := c.StateAttr("hp"); !ok || a.Default.AsNumber() != 100 {
+		t.Error("hp default")
+	}
+	if a, ok := c.StateAttr("x"); !ok || !a.Default.IsValid() || a.Default.AsNumber() != 0 {
+		t.Error("implicit zero default")
+	}
+	if i := c.StateIndex("boss"); i != 3 {
+		t.Errorf("StateIndex(boss) = %d", i)
+	}
+	if i := c.EffectIndex("vx"); i != 1 {
+		t.Errorf("EffectIndex(vx) = %d", i)
+	}
+	if _, ok := c.StateAttr("damage"); ok {
+		t.Error("effects must not be state attrs")
+	}
+	if a, _ := c.EffectAttr("damage"); !a.IsEffect() {
+		t.Error("IsEffect")
+	}
+}
+
+func TestNewClassErrors(t *testing.T) {
+	if _, err := NewClass("C", []Attr{{Name: "a", Kind: value.KindNumber}, {Name: "a", Kind: value.KindBool}}, nil); err == nil {
+		t.Error("duplicate state attr")
+	}
+	if _, err := NewClass("C", []Attr{{Name: "a", Kind: value.KindNumber}},
+		[]Attr{{Name: "a", Kind: value.KindNumber, Comb: combinator.Sum}}); err == nil {
+		t.Error("state/effect name collision")
+	}
+	if _, err := NewClass("C", nil, []Attr{{Name: "e", Kind: value.KindNumber}}); err == nil {
+		t.Error("effect without combinator")
+	}
+	if _, err := NewClass("C", nil, []Attr{{Name: "e", Kind: value.KindBool, Comb: combinator.Sum}}); err == nil {
+		t.Error("sum over bool")
+	}
+	if _, err := NewClass("C", []Attr{{Name: "s", Kind: value.KindNumber, Comb: combinator.Sum}}, nil); err == nil {
+		t.Error("state attr with combinator")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add(unitClass(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	if err := s.Add(unitClass(t)); err == nil {
+		t.Error("duplicate class")
+	}
+	bad, _ := NewClass("Bad", []Attr{{Name: "r", Kind: value.KindRef, RefClass: "Ghost"}}, nil)
+	s2 := NewSchema()
+	s2.Add(bad)
+	if err := s2.Validate(); err == nil {
+		t.Error("dangling ref class must fail validation")
+	}
+	badSet, _ := NewClass("BadSet", []Attr{{Name: "s", Kind: value.KindSet, ElemKind: value.KindRef, ElemRef: "Ghost"}}, nil)
+	s3 := NewSchema()
+	s3.Add(badSet)
+	if err := s3.Validate(); err == nil {
+		t.Error("dangling set element class must fail validation")
+	}
+}
+
+func TestClassesOrder(t *testing.T) {
+	s := NewSchema()
+	a, _ := NewClass("A", nil, nil)
+	b, _ := NewClass("B", nil, nil)
+	s.Add(b)
+	s.Add(a)
+	got := s.Classes()
+	if got[0].Name != "B" || got[1].Name != "A" {
+		t.Error("declaration order not preserved")
+	}
+}
+
+func TestLayoutSingle(t *testing.T) {
+	c := unitClass(t)
+	specs := Layout(c, LayoutSingle, nil)
+	// One state table + one delta table per effect.
+	if len(specs) != 3 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	var stateSpec *TableSpec
+	for i := range specs {
+		if specs[i].Name == "Unit_state" {
+			stateSpec = &specs[i]
+		}
+	}
+	if stateSpec == nil || len(stateSpec.Attrs) != 4 {
+		t.Fatalf("state table spec: %+v", specs)
+	}
+}
+
+func TestLayoutPerAttribute(t *testing.T) {
+	c := unitClass(t)
+	specs := Layout(c, LayoutPerAttribute, nil)
+	if len(specs) != 4+2 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+}
+
+func TestLayoutAffinity(t *testing.T) {
+	c := unitClass(t)
+	// x and y co-occur in spatial predicates (§2.1's observation).
+	specs := Layout(c, LayoutAffinity, [][]string{{"x", "y"}})
+	var group, rest bool
+	for _, s := range specs {
+		switch {
+		case len(s.Attrs) == 2 && s.Attrs[0] == "x" && s.Attrs[1] == "y":
+			group = true
+		case len(s.Attrs) == 2 && contains(s.Attrs, "hp") && contains(s.Attrs, "boss"):
+			rest = true
+		}
+	}
+	if !group || !rest {
+		t.Fatalf("affinity layout wrong: %+v", specs)
+	}
+	// Affinity groups mentioning unknown attrs are skipped gracefully.
+	specs2 := Layout(c, LayoutAffinity, [][]string{{"nope"}})
+	total := 0
+	for _, s := range specs2 {
+		if s.Name != "Unit_fx_damage" && s.Name != "Unit_fx_vx" {
+			total += len(s.Attrs)
+		}
+	}
+	if total != 4 {
+		t.Errorf("all state attrs must be covered, got %d", total)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

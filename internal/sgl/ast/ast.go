@@ -1,0 +1,381 @@
+// Package ast defines the abstract syntax tree of SGL programs. Nodes carry
+// source positions and, after semantic analysis (package sem), resolved
+// binding and type annotations consumed by both the relational compiler and
+// the object-at-a-time baseline interpreter.
+package ast
+
+import (
+	"repro/internal/sgl/token"
+	"repro/internal/value"
+)
+
+// Type describes an SGL type: number, bool, string, ref<Class>, set<Elem>.
+type Type struct {
+	Kind     value.Kind
+	RefClass string // for KindRef
+	Elem     *Type  // for KindSet
+}
+
+// NumberT, BoolT and StringT are the scalar type singletons.
+var (
+	NumberT = Type{Kind: value.KindNumber}
+	BoolT   = Type{Kind: value.KindBool}
+	StringT = Type{Kind: value.KindString}
+)
+
+// RefT builds a reference type.
+func RefT(class string) Type { return Type{Kind: value.KindRef, RefClass: class} }
+
+// SetT builds a set type.
+func SetT(elem Type) Type { return Type{Kind: value.KindSet, Elem: &elem} }
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind || t.RefClass != o.RefClass {
+		return false
+	}
+	if t.Kind == value.KindSet {
+		if (t.Elem == nil) != (o.Elem == nil) {
+			return false
+		}
+		if t.Elem != nil {
+			return t.Elem.Equal(*o.Elem)
+		}
+	}
+	return true
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case value.KindNumber:
+		return "number"
+	case value.KindBool:
+		return "bool"
+	case value.KindString:
+		return "string"
+	case value.KindRef:
+		return "ref<" + t.RefClass + ">"
+	case value.KindSet:
+		if t.Elem == nil {
+			return "set<?>"
+		}
+		return "set<" + t.Elem.String() + ">"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a parsed SGL compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is one class declaration with its sections.
+type ClassDecl struct {
+	Pos      token.Pos
+	Name     string
+	States   []*StateDecl
+	Effects  []*EffectDecl
+	Updates  []*UpdateRule
+	Handlers []*Handler
+	Run      *Block // per-tick script; may be nil
+
+	// NumSlots is the size of the local-variable frame for Run and all
+	// handlers, assigned by semantic analysis.
+	NumSlots int
+	// NumPhases is the number of waitNextTick phases in Run (>= 1 when Run
+	// is non-nil), assigned by semantic analysis.
+	NumPhases int
+}
+
+// StateDecl declares a state attribute.
+type StateDecl struct {
+	Pos   token.Pos
+	Name  string
+	Type  Type
+	Init  Expr   // optional literal initializer; nil = zero value
+	Owner string // update component owning this attribute; "" = script/rule
+}
+
+// EffectDecl declares an effect attribute with its ⊕ combinator.
+type EffectDecl struct {
+	Pos  token.Pos
+	Name string
+	Type Type
+	Comb string
+}
+
+// UpdateRule is an expression update rule: attr = expr, evaluated during
+// the update step over old state plus combined effects.
+type UpdateRule struct {
+	Pos  token.Pos
+	Attr string
+	Expr Expr
+}
+
+// Handler is a reactive rule: when (cond) { body }, evaluated at the end of
+// the update phase; its body sets effects for the next tick (§3.2).
+type Handler struct {
+	Pos  token.Pos
+	Cond Expr
+	Body *Block
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   token.Pos
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// LetStmt declares an immutable local: let x = expr;
+type LetStmt struct {
+	Pos  token.Pos
+	Name string
+	Expr Expr
+	Slot int // frame slot, assigned by sem
+}
+
+// EffectAssign emits an effect contribution: [target.]attr <- expr;
+// Target nil means the executing object itself. SetInsert marks the `<=`
+// form that inserts a single element into a set-valued effect.
+type EffectAssign struct {
+	Pos       token.Pos
+	Target    Expr // nil = self; otherwise a ref-typed expression
+	Attr      string
+	Value     Expr
+	Key       Expr // optional `by` selection key for minby/maxby combinators
+	SetInsert bool
+
+	// Resolved by sem: the class owning the effect attribute and its index
+	// in that class's effect list. When the assignment feeds an enclosing
+	// accum-loop accumulator instead of an effect attribute, AccumSlot is
+	// the accumulator's frame slot and AttrIdx is -1.
+	TargetClass string
+	AttrIdx     int
+	AccumSlot   int
+}
+
+// IfStmt is a conditional: if (cond) { } else { }.
+type IfStmt struct {
+	Pos  token.Pos
+	Cond Expr
+	Then *Block
+	Else *Block // nil, or a Block possibly holding a single IfStmt (else-if)
+}
+
+// AccumStmt is the paper's accum-loop (§2.1):
+//
+//	accum TYPE id1 with COMB over CLASS id2 from EXPR { body } in { in }
+//
+// body runs (conceptually in parallel) once per element of the source; id1
+// is write-only inside body and read-only inside in.
+type AccumStmt struct {
+	Pos       token.Pos
+	ValType   Type
+	Name      string // id1, the accumulator
+	Comb      string
+	IterClass string // class of the iteration variable
+	IterName  string // id2
+	Source    Expr   // extent or set<ref> expression
+	Body      *Block
+	In        *Block
+
+	Slot     int // frame slot of the accumulator result
+	IterSlot int // frame slot of the iteration variable
+}
+
+// WaitStmt is waitNextTick; — suspends the script until the next tick.
+type WaitStmt struct {
+	Pos token.Pos
+	// Phase is the phase index that execution resumes at after this wait,
+	// assigned by semantic analysis (program-counter lowering, §3.2).
+	Phase int
+}
+
+// AtomicStmt is a transaction region with consistency constraints (§3.1):
+// atomic (c1, c2, ...) { body }. All effect emissions in body either apply
+// together or abort together; constraints are checked by the transaction
+// update component against tentative post-update state.
+type AtomicStmt struct {
+	Pos         token.Pos
+	Constraints []Expr
+	Body        *Block
+}
+
+func (*LetStmt) stmtNode()      {}
+func (*EffectAssign) stmtNode() {}
+func (*IfStmt) stmtNode()       {}
+func (*AccumStmt) stmtNode()    {}
+func (*WaitStmt) stmtNode()     {}
+func (*AtomicStmt) stmtNode()   {}
+
+// Expr is implemented by all expression nodes. Type annotations are set by
+// semantic analysis.
+type Expr interface {
+	exprNode()
+	Position() token.Pos
+	Type() Type
+}
+
+// BindKind classifies what a resolved identifier refers to.
+type BindKind uint8
+
+const (
+	BindUnresolved BindKind = iota
+	BindStateAttr           // state attribute of the executing object
+	BindLocal               // let-bound local or accum result (frame slot)
+	BindIter                // accum iteration variable (frame slot)
+	BindExtent              // a class name used as a collection
+	BindSelf                // the executing object itself (`self`)
+	BindEffectAttr          // combined effect value (readable in update rules only)
+)
+
+// Binding is the resolution record attached to identifiers.
+type Binding struct {
+	Kind    BindKind
+	Slot    int    // BindLocal/BindIter: frame slot
+	AttrIdx int    // BindStateAttr: index into class state attrs
+	Class   string // BindExtent: class name; BindIter: element class
+}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Pos token.Pos
+	V   float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos token.Pos
+	V   bool
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos token.Pos
+	V   string
+}
+
+// NullLit is the null reference literal.
+type NullLit struct {
+	Pos token.Pos
+	Ty  Type // ref class inferred from context by sem
+}
+
+// Ident is a name: state attribute, local, iteration variable, class
+// extent, or `self`.
+type Ident struct {
+	Pos  token.Pos
+	Name string
+	Bind Binding
+	Ty   Type
+}
+
+// FieldExpr reads a state attribute of another object: x.attr where x is
+// ref-typed.
+type FieldExpr struct {
+	Pos  token.Pos
+	X    Expr
+	Name string
+
+	AttrIdx int    // resolved state-attribute index in Class
+	Class   string // class of the referenced object
+	Ty      Type
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos token.Pos
+	Op  token.Kind
+	X   Expr
+	Ty  Type
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Pos token.Pos
+	Op  token.Kind
+	X   Expr
+	Y   Expr
+	Ty  Type
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	Pos token.Pos
+	C   Expr
+	T   Expr
+	F   Expr
+	Ty  Type
+}
+
+// CallExpr invokes a builtin function.
+type CallExpr struct {
+	Pos     token.Pos
+	Name    string
+	Args    []Expr
+	Builtin Builtin
+	Ty      Type
+}
+
+func (*NumLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*StrLit) exprNode()     {}
+func (*NullLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*FieldExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+
+func (e *NumLit) Position() token.Pos     { return e.Pos }
+func (e *BoolLit) Position() token.Pos    { return e.Pos }
+func (e *StrLit) Position() token.Pos     { return e.Pos }
+func (e *NullLit) Position() token.Pos    { return e.Pos }
+func (e *Ident) Position() token.Pos      { return e.Pos }
+func (e *FieldExpr) Position() token.Pos  { return e.Pos }
+func (e *UnaryExpr) Position() token.Pos  { return e.Pos }
+func (e *BinaryExpr) Position() token.Pos { return e.Pos }
+func (e *CondExpr) Position() token.Pos   { return e.Pos }
+func (e *CallExpr) Position() token.Pos   { return e.Pos }
+
+func (e *NumLit) Type() Type     { return NumberT }
+func (e *BoolLit) Type() Type    { return BoolT }
+func (e *StrLit) Type() Type     { return StringT }
+func (e *NullLit) Type() Type    { return e.Ty }
+func (e *Ident) Type() Type      { return e.Ty }
+func (e *FieldExpr) Type() Type  { return e.Ty }
+func (e *UnaryExpr) Type() Type  { return e.Ty }
+func (e *BinaryExpr) Type() Type { return e.Ty }
+func (e *CondExpr) Type() Type   { return e.Ty }
+func (e *CallExpr) Type() Type   { return e.Ty }
+
+// Builtin identifies an intrinsic function.
+type Builtin uint8
+
+const (
+	BNone Builtin = iota
+	BAbs
+	BMin
+	BMax
+	BFloor
+	BCeil
+	BSqrt
+	BClamp    // clamp(x, lo, hi)
+	BDist     // dist(x1, y1, x2, y2)
+	BSize     // size(set)
+	BContains // contains(set, v)
+	BID       // id(ref) -> number (for deterministic tie-breaking)
+	BSelfFn   // self() -> ref to the executing object
+)
+
+// BuiltinByName maps source names to builtins.
+var BuiltinByName = map[string]Builtin{
+	"abs": BAbs, "min": BMin, "max": BMax, "floor": BFloor, "ceil": BCeil,
+	"sqrt": BSqrt, "clamp": BClamp, "dist": BDist, "size": BSize,
+	"contains": BContains, "id": BID, "self": BSelfFn,
+}

@@ -1,0 +1,97 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/sgl/token"
+	"repro/internal/value"
+)
+
+func TestTypeEqualAndString(t *testing.T) {
+	cases := []struct {
+		a, b  Type
+		equal bool
+		str   string
+	}{
+		{NumberT, NumberT, true, "number"},
+		{BoolT, NumberT, false, "bool"},
+		{StringT, StringT, true, "string"},
+		{RefT("Unit"), RefT("Unit"), true, "ref<Unit>"},
+		{RefT("Unit"), RefT("Item"), false, "ref<Unit>"},
+		{SetT(NumberT), SetT(NumberT), true, "set<number>"},
+		{SetT(NumberT), SetT(BoolT), false, "set<number>"},
+		{SetT(RefT("U")), SetT(RefT("U")), true, "set<ref<U>>"},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.equal {
+			t.Errorf("%v.Equal(%v) = %v", c.a, c.b, got)
+		}
+		if got := c.a.String(); got != c.str {
+			t.Errorf("%v.String() = %q, want %q", c.a, got, c.str)
+		}
+	}
+	if (Type{Kind: value.KindSet}).String() != "set<?>" {
+		t.Error("unparameterized set string")
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	// (1 + 2) * 3 must keep its parentheses when printed.
+	e := &BinaryExpr{
+		Op: token.STAR,
+		X:  &BinaryExpr{Op: token.PLUS, X: &NumLit{V: 1}, Y: &NumLit{V: 2}},
+		Y:  &NumLit{V: 3},
+	}
+	if got := ExprString(e); got != "(1 + 2) * 3" {
+		t.Errorf("ExprString = %q", got)
+	}
+	// 1 + 2 * 3 must not gain parentheses.
+	e2 := &BinaryExpr{
+		Op: token.PLUS,
+		X:  &NumLit{V: 1},
+		Y:  &BinaryExpr{Op: token.STAR, X: &NumLit{V: 2}, Y: &NumLit{V: 3}},
+	}
+	if got := ExprString(e2); got != "1 + 2 * 3" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestBuiltinLookup(t *testing.T) {
+	for name, b := range map[string]Builtin{
+		"abs": BAbs, "dist": BDist, "self": BSelfFn, "contains": BContains,
+	} {
+		if BuiltinByName[name] != b {
+			t.Errorf("BuiltinByName[%q] = %v", name, BuiltinByName[name])
+		}
+	}
+	if _, ok := BuiltinByName["nope"]; ok {
+		t.Error("unknown builtin must be absent")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	p := token.Pos{Line: 3, Col: 9}
+	nodes := []Expr{
+		&NumLit{Pos: p}, &BoolLit{Pos: p}, &StrLit{Pos: p}, &NullLit{Pos: p},
+		&Ident{Pos: p}, &FieldExpr{Pos: p}, &UnaryExpr{Pos: p},
+		&BinaryExpr{Pos: p}, &CondExpr{Pos: p}, &CallExpr{Pos: p},
+	}
+	for _, n := range nodes {
+		if n.Position() != p {
+			t.Errorf("%T.Position() = %v", n, n.Position())
+		}
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	if token.LARROW.String() != "<-" || token.KwWait.String() != "waitNextTick" {
+		t.Error("token strings")
+	}
+	if !(token.Pos{Line: 1, Col: 1}).IsValid() || (token.Pos{}).IsValid() {
+		t.Error("Pos.IsValid")
+	}
+	tok := token.Token{Kind: token.STRING, Lit: "x"}
+	if tok.String() != `"x"` {
+		t.Errorf("token String = %s", tok.String())
+	}
+}

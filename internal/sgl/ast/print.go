@@ -1,0 +1,217 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sgl/token"
+)
+
+// Print renders a program back to canonical SGL source. The output parses
+// back to an equivalent AST, which the parser round-trip property test
+// relies on.
+func Print(p *Program) string {
+	var b strings.Builder
+	for i, c := range p.Classes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printClass(&b, c)
+	}
+	return b.String()
+}
+
+func printClass(b *strings.Builder, c *ClassDecl) {
+	fmt.Fprintf(b, "class %s {\n", c.Name)
+	if len(c.States) > 0 {
+		b.WriteString("  state:\n")
+		for _, s := range c.States {
+			fmt.Fprintf(b, "    %s %s", s.Type, s.Name)
+			if s.Init != nil {
+				fmt.Fprintf(b, " = %s", ExprString(s.Init))
+			}
+			if s.Owner != "" {
+				fmt.Fprintf(b, " by %s", s.Owner)
+			}
+			b.WriteString(";\n")
+		}
+	}
+	if len(c.Effects) > 0 {
+		b.WriteString("  effects:\n")
+		for _, e := range c.Effects {
+			fmt.Fprintf(b, "    %s %s : %s;\n", e.Type, e.Name, e.Comb)
+		}
+	}
+	if len(c.Updates) > 0 {
+		b.WriteString("  update:\n")
+		for _, u := range c.Updates {
+			fmt.Fprintf(b, "    %s = %s;\n", u.Attr, ExprString(u.Expr))
+		}
+	}
+	if len(c.Handlers) > 0 {
+		b.WriteString("  handlers:\n")
+		for _, h := range c.Handlers {
+			fmt.Fprintf(b, "    when (%s) ", ExprString(h.Cond))
+			printBlock(b, h.Body, 2)
+			b.WriteByte('\n')
+		}
+	}
+	if c.Run != nil {
+		b.WriteString("  run ")
+		printBlock(b, c.Run, 1)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		b.WriteString(ind)
+		b.WriteString("  ")
+		printStmt(b, s, depth+1)
+		b.WriteByte('\n')
+	}
+	b.WriteString(ind)
+	b.WriteString("}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *LetStmt:
+		fmt.Fprintf(b, "let %s = %s;", s.Name, ExprString(s.Expr))
+	case *EffectAssign:
+		op := "<-"
+		if s.SetInsert {
+			op = "<="
+		}
+		key := ""
+		if s.Key != nil {
+			key = " by " + ExprString(s.Key)
+		}
+		if s.Target != nil {
+			fmt.Fprintf(b, "%s.%s %s %s%s;", ExprString(s.Target), s.Attr, op, ExprString(s.Value), key)
+		} else {
+			fmt.Fprintf(b, "%s %s %s%s;", s.Attr, op, ExprString(s.Value), key)
+		}
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) ", ExprString(s.Cond))
+		printBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			printBlock(b, s.Else, depth)
+		}
+	case *AccumStmt:
+		fmt.Fprintf(b, "accum %s %s with %s over %s %s from %s ",
+			s.ValType, s.Name, s.Comb, s.IterClass, s.IterName, ExprString(s.Source))
+		printBlock(b, s.Body, depth)
+		b.WriteString(" in ")
+		printBlock(b, s.In, depth)
+	case *WaitStmt:
+		b.WriteString("waitNextTick;")
+	case *AtomicStmt:
+		b.WriteString("atomic ")
+		if len(s.Constraints) > 0 {
+			b.WriteByte('(')
+			for i, c := range s.Constraints {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(ExprString(c))
+			}
+			b.WriteString(") ")
+		}
+		printBlock(b, s.Body, depth)
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */", s)
+	}
+}
+
+// ExprString renders an expression in SGL syntax with explicit parentheses
+// where precedence requires them.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// Precedence levels (higher binds tighter).
+func prec(op token.Kind) int {
+	switch op {
+	case token.OROR:
+		return 1
+	case token.ANDAND:
+		return 2
+	case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+		return 3
+	case token.PLUS, token.MINUS:
+		return 4
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 5
+	default:
+		return 0
+	}
+}
+
+func writeExpr(b *strings.Builder, e Expr, outer int) {
+	switch e := e.(type) {
+	case *NumLit:
+		b.WriteString(strconv.FormatFloat(e.V, 'g', -1, 64))
+	case *BoolLit:
+		if e.V {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case *StrLit:
+		b.WriteString(strconv.Quote(e.V))
+	case *NullLit:
+		b.WriteString("null")
+	case *Ident:
+		b.WriteString(e.Name)
+	case *FieldExpr:
+		writeExpr(b, e.X, 6)
+		b.WriteByte('.')
+		b.WriteString(e.Name)
+	case *UnaryExpr:
+		if e.Op == token.MINUS {
+			b.WriteByte('-')
+		} else {
+			b.WriteByte('!')
+		}
+		writeExpr(b, e.X, 6)
+	case *BinaryExpr:
+		p := prec(e.Op)
+		if p < outer || outer == 6 {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		writeExpr(b, e.X, p)
+		fmt.Fprintf(b, " %s ", e.Op)
+		writeExpr(b, e.Y, p+1)
+	case *CondExpr:
+		if outer > 0 {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		writeExpr(b, e.C, 1)
+		b.WriteString(" ? ")
+		writeExpr(b, e.T, 1)
+		b.WriteString(" : ")
+		writeExpr(b, e.F, 1)
+	case *CallExpr:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a, 0)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "/* unknown expr %T */", e)
+	}
+}

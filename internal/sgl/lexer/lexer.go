@@ -1,0 +1,288 @@
+// Package lexer tokenizes SGL source text. It supports // line comments and
+// /* */ block comments and tracks line/column positions.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/sgl/token"
+)
+
+// Lexer scans SGL source into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+// All scans the entire input, returning every token up to and including EOF.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return l.ident(p)
+	case unicode.IsDigit(r):
+		return l.number(p)
+	case r == '"':
+		return l.str(p)
+	}
+	l.advance()
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: p} }
+	switch r {
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case ',':
+		return mk(token.COMMA)
+	case ';':
+		return mk(token.SEMI)
+	case ':':
+		return mk(token.COLON)
+	case '.':
+		return mk(token.DOT)
+	case '+':
+		return mk(token.PLUS)
+	case '-':
+		return mk(token.MINUS)
+	case '*':
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '%':
+		return mk(token.PERCENT)
+	case '?':
+		return mk(token.QUESTION)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ)
+		}
+		return mk(token.NOT)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(token.LE)
+		case '-':
+			l.advance()
+			return mk(token.LARROW)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(token.ANDAND)
+		}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.OROR)
+		}
+	}
+	l.errorf(p, "unexpected character %q", r)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: p}
+}
+
+func (l *Lexer) ident(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			l.advance()
+		} else {
+			break
+		}
+	}
+	lit := l.src[start:l.off]
+	if k, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: k, Lit: lit, Pos: p}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: p}
+}
+
+func (l *Lexer) number(p token.Pos) token.Token {
+	start := l.off
+	seenDot := false
+	for l.off < len(l.src) {
+		r := l.peek()
+		if unicode.IsDigit(r) {
+			l.advance()
+		} else if r == '.' && !seenDot && unicode.IsDigit(l.peek2()) {
+			seenDot = true
+			l.advance()
+		} else {
+			break
+		}
+	}
+	// Optional exponent.
+	if r := l.peek(); r == 'e' || r == 'E' {
+		save := l.off
+		l.advance()
+		if s := l.peek(); s == '+' || s == '-' {
+			l.advance()
+		}
+		if unicode.IsDigit(l.peek()) {
+			for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off = save
+		}
+	}
+	return token.Token{Kind: token.NUMBER, Lit: l.src[start:l.off], Pos: p}
+}
+
+func (l *Lexer) str(p token.Pos) token.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		r := l.advance()
+		switch r {
+		case '"':
+			return token.Token{Kind: token.STRING, Lit: b.String(), Pos: p}
+		case '\\':
+			if l.off >= len(l.src) {
+				break
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				l.errorf(p, "unknown escape \\%c", e)
+				b.WriteRune(e)
+			}
+		case '\n':
+			l.errorf(p, "unterminated string literal")
+			return token.Token{Kind: token.STRING, Lit: b.String(), Pos: p}
+		default:
+			b.WriteRune(r)
+		}
+	}
+	l.errorf(p, "unterminated string literal")
+	return token.Token{Kind: token.STRING, Lit: b.String(), Pos: p}
+}

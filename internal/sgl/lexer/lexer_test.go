@@ -1,0 +1,124 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/sgl/token"
+)
+
+func kinds(ts []token.Token) []token.Kind {
+	out := make([]token.Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func scan(t *testing.T, src string) []token.Token {
+	t.Helper()
+	lx := New(src)
+	ts := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		t.Fatalf("scan %q: %v", src, errs)
+	}
+	return ts
+}
+
+func TestOperators(t *testing.T) {
+	ts := scan(t, "<- <= < == = != ! >= > && || + - * / % ? :")
+	want := []token.Kind{
+		token.LARROW, token.LE, token.LT, token.EQ, token.ASSIGN, token.NEQ,
+		token.NOT, token.GE, token.GT, token.ANDAND, token.OROR, token.PLUS,
+		token.MINUS, token.STAR, token.SLASH, token.PERCENT, token.QUESTION,
+		token.COLON, token.EOF,
+	}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	ts := scan(t, "class waitNextTick accum classy waiter")
+	want := []token.Kind{token.KwClass, token.KwWait, token.KwAccum, token.IDENT, token.IDENT, token.EOF}
+	got := kinds(ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]string{
+		"0": "0", "42": "42", "3.5": "3.5", "1e6": "1e6", "2.5e-3": "2.5e-3",
+	}
+	for src, lit := range cases {
+		ts := scan(t, src)
+		if ts[0].Kind != token.NUMBER || ts[0].Lit != lit {
+			t.Errorf("%q -> %v %q", src, ts[0].Kind, ts[0].Lit)
+		}
+	}
+	// `1.` is number then dot (field access on numbers is a parse error,
+	// but lexing must not consume the dot).
+	ts := scan(t, "1.x")
+	if ts[0].Kind != token.NUMBER || ts[1].Kind != token.DOT {
+		t.Errorf("1.x lexed as %v", kinds(ts))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	ts := scan(t, `"hi\n\"there\"" "tab\t"`)
+	if ts[0].Lit != "hi\n\"there\"" {
+		t.Errorf("string 1 = %q", ts[0].Lit)
+	}
+	if ts[1].Lit != "tab\t" {
+		t.Errorf("string 2 = %q", ts[1].Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	ts := scan(t, `a // line comment
+	/* block
+	comment */ b`)
+	got := kinds(ts)
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("comments not skipped: %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("a\n  bb")
+	a := lx.Next()
+	b := lx.Next()
+	if a.Pos.Line != 1 || a.Pos.Col != 1 {
+		t.Errorf("a at %v", a.Pos)
+	}
+	if b.Pos.Line != 2 || b.Pos.Col != 3 {
+		t.Errorf("b at %v", b.Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	lx := New("@")
+	tok := lx.Next()
+	if tok.Kind != token.ILLEGAL || len(lx.Errors()) == 0 {
+		t.Error("illegal character must error")
+	}
+	lx = New(`"unterminated`)
+	lx.Next()
+	if len(lx.Errors()) == 0 {
+		t.Error("unterminated string must error")
+	}
+	lx = New("/* unterminated")
+	lx.Next()
+	if len(lx.Errors()) == 0 {
+		t.Error("unterminated block comment must error")
+	}
+}

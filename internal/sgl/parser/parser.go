@@ -1,0 +1,524 @@
+// Package parser implements a recursive-descent parser for SGL. The grammar
+// (EBNF, terminals quoted):
+//
+//	program     = { classDecl } .
+//	classDecl   = "class" IDENT "{" { section } "}" .
+//	section     = "state" ":" { stateDecl }
+//	            | "effects" ":" { effectDecl }
+//	            | "update" ":" { updateRule }
+//	            | "handlers" ":" { handler }
+//	            | "run" block .
+//	stateDecl   = type IDENT [ "=" expr ] [ "by" IDENT ] ";" .
+//	effectDecl  = type IDENT ":" IDENT ";" .
+//	updateRule  = IDENT "=" expr ";" .
+//	handler     = "when" "(" expr ")" block .
+//	type        = "number" | "bool" | "string"
+//	            | "ref" "<" IDENT ">" | "set" "<" type ">" .
+//	block       = "{" { stmt } "}" .
+//	stmt        = "let" IDENT "=" expr ";"
+//	            | target "<-" expr ";"          (effect assignment)
+//	            | target "<=" expr ";"          (set-insert)
+//	            | "if" "(" expr ")" block [ "else" (block | ifStmt) ]
+//	            | "accum" type IDENT "with" IDENT "over" IDENT IDENT
+//	              "from" expr block "in" block
+//	            | "waitNextTick" ";"
+//	            | "atomic" [ "(" expr { "," expr } ")" ] block .
+//	target      = IDENT | primary "." IDENT .
+//
+// Expressions use C-like precedence with ?: at the lowest level. There are
+// no expression statements, which keeps "<=" unambiguous: in statement
+// position it is always the set-insert operator (paper §3.2 uses
+// `itemsAcquired <= i;`).
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/lexer"
+	"repro/internal/sgl/token"
+)
+
+// Parse parses a complete SGL program.
+func Parse(src string) (*ast.Program, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, joinErrors(errs)
+	}
+	p := &parser{toks: toks}
+	prog := p.program()
+	if len(p.errs) > 0 {
+		return nil, joinErrors(p.errs)
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, joinErrors(errs)
+	}
+	p := &parser{toks: toks}
+	e := p.expr()
+	p.expect(token.EOF)
+	if len(p.errs) > 0 {
+		return nil, joinErrors(p.errs)
+	}
+	return e, nil
+}
+
+func joinErrors(errs []error) error {
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return errors.New(strings.Join(msgs, "\n"))
+}
+
+const maxErrors = 20
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	if len(p.errs) >= maxErrors {
+		panic(bailout{})
+	}
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+}
+
+type bailout struct{}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *parser) sync(stop ...token.Kind) {
+	for !p.at(token.EOF) {
+		k := p.cur().Kind
+		for _, s := range stop {
+			if k == s {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *parser) program() *ast.Program {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+		}
+	}()
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		if p.at(token.KwClass) {
+			prog.Classes = append(prog.Classes, p.classDecl())
+		} else {
+			p.errorf("expected class declaration, found %s", p.cur())
+			p.sync(token.KwClass)
+		}
+	}
+	return prog
+}
+
+func (p *parser) classDecl() *ast.ClassDecl {
+	c := &ast.ClassDecl{Pos: p.cur().Pos}
+	p.expect(token.KwClass)
+	c.Name = p.expect(token.IDENT).Lit
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwState:
+			p.next()
+			p.expect(token.COLON)
+			for p.atType() {
+				c.States = append(c.States, p.stateDecl())
+			}
+		case token.KwEffects:
+			p.next()
+			p.expect(token.COLON)
+			for p.atType() {
+				c.Effects = append(c.Effects, p.effectDecl())
+			}
+		case token.KwUpdate:
+			p.next()
+			p.expect(token.COLON)
+			for p.at(token.IDENT) {
+				c.Updates = append(c.Updates, p.updateRule())
+			}
+		case token.KwHandlers:
+			p.next()
+			p.expect(token.COLON)
+			for p.at(token.KwWhen) {
+				c.Handlers = append(c.Handlers, p.handler())
+			}
+		case token.KwRun:
+			p.next()
+			if c.Run != nil {
+				p.errorf("class %s has more than one run block", c.Name)
+			}
+			c.Run = p.block()
+		default:
+			p.errorf("expected section (state/effects/update/handlers/run), found %s", p.cur())
+			p.sync(token.KwState, token.KwEffects, token.KwUpdate, token.KwHandlers, token.KwRun, token.RBRACE)
+		}
+	}
+	p.expect(token.RBRACE)
+	return c
+}
+
+func (p *parser) atType() bool {
+	switch p.cur().Kind {
+	case token.KwNumber, token.KwBool, token.KwString, token.KwRef, token.KwSet:
+		return true
+	}
+	return false
+}
+
+func (p *parser) typeSpec() ast.Type {
+	switch p.cur().Kind {
+	case token.KwNumber:
+		p.next()
+		return ast.NumberT
+	case token.KwBool:
+		p.next()
+		return ast.BoolT
+	case token.KwString:
+		p.next()
+		return ast.StringT
+	case token.KwRef:
+		p.next()
+		p.expect(token.LT)
+		cls := p.expect(token.IDENT).Lit
+		p.expect(token.GT)
+		return ast.RefT(cls)
+	case token.KwSet:
+		p.next()
+		p.expect(token.LT)
+		elem := p.typeSpec()
+		p.expect(token.GT)
+		return ast.SetT(elem)
+	default:
+		p.errorf("expected type, found %s", p.cur())
+		p.next()
+		return ast.NumberT
+	}
+}
+
+func (p *parser) stateDecl() *ast.StateDecl {
+	d := &ast.StateDecl{Pos: p.cur().Pos}
+	d.Type = p.typeSpec()
+	d.Name = p.expect(token.IDENT).Lit
+	if p.accept(token.ASSIGN) {
+		d.Init = p.expr()
+	}
+	if p.accept(token.KwBy) {
+		d.Owner = p.expect(token.IDENT).Lit
+	}
+	p.expect(token.SEMI)
+	return d
+}
+
+func (p *parser) effectDecl() *ast.EffectDecl {
+	d := &ast.EffectDecl{Pos: p.cur().Pos}
+	d.Type = p.typeSpec()
+	d.Name = p.expect(token.IDENT).Lit
+	p.expect(token.COLON)
+	d.Comb = p.expect(token.IDENT).Lit
+	p.expect(token.SEMI)
+	return d
+}
+
+func (p *parser) updateRule() *ast.UpdateRule {
+	r := &ast.UpdateRule{Pos: p.cur().Pos}
+	r.Attr = p.expect(token.IDENT).Lit
+	p.expect(token.ASSIGN)
+	r.Expr = p.expr()
+	p.expect(token.SEMI)
+	return r
+}
+
+func (p *parser) handler() *ast.Handler {
+	h := &ast.Handler{Pos: p.cur().Pos}
+	p.expect(token.KwWhen)
+	p.expect(token.LPAREN)
+	h.Cond = p.expr()
+	p.expect(token.RPAREN)
+	h.Body = p.block()
+	return h
+}
+
+func (p *parser) block() *ast.Block {
+	b := &ast.Block{Pos: p.cur().Pos}
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		b.Stmts = append(b.Stmts, p.stmt())
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) stmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.KwLet:
+		s := &ast.LetStmt{Pos: p.cur().Pos}
+		p.next()
+		s.Name = p.expect(token.IDENT).Lit
+		p.expect(token.ASSIGN)
+		s.Expr = p.expr()
+		p.expect(token.SEMI)
+		return s
+	case token.KwIf:
+		return p.ifStmt()
+	case token.KwAccum:
+		return p.accumStmt()
+	case token.KwWait:
+		s := &ast.WaitStmt{Pos: p.cur().Pos}
+		p.next()
+		p.expect(token.SEMI)
+		return s
+	case token.KwAtomic:
+		s := &ast.AtomicStmt{Pos: p.cur().Pos}
+		p.next()
+		if p.accept(token.LPAREN) {
+			s.Constraints = append(s.Constraints, p.expr())
+			for p.accept(token.COMMA) {
+				s.Constraints = append(s.Constraints, p.expr())
+			}
+			p.expect(token.RPAREN)
+		}
+		s.Body = p.block()
+		return s
+	case token.IDENT: // includes `self().attr <- e` (self is an identifier)
+		return p.effectAssign()
+	default:
+		p.errorf("expected statement, found %s", p.cur())
+		p.next()
+		return &ast.WaitStmt{Pos: p.cur().Pos}
+	}
+}
+
+func (p *parser) ifStmt() *ast.IfStmt {
+	s := &ast.IfStmt{Pos: p.cur().Pos}
+	p.expect(token.KwIf)
+	p.expect(token.LPAREN)
+	s.Cond = p.expr()
+	p.expect(token.RPAREN)
+	s.Then = p.block()
+	if p.accept(token.KwElse) {
+		if p.at(token.KwIf) {
+			inner := p.ifStmt()
+			s.Else = &ast.Block{Pos: inner.Pos, Stmts: []ast.Stmt{inner}}
+		} else {
+			s.Else = p.block()
+		}
+	}
+	return s
+}
+
+func (p *parser) accumStmt() *ast.AccumStmt {
+	s := &ast.AccumStmt{Pos: p.cur().Pos}
+	p.expect(token.KwAccum)
+	s.ValType = p.typeSpec()
+	s.Name = p.expect(token.IDENT).Lit
+	p.expect(token.KwWith)
+	s.Comb = p.expect(token.IDENT).Lit
+	p.expect(token.KwOver)
+	s.IterClass = p.expect(token.IDENT).Lit
+	s.IterName = p.expect(token.IDENT).Lit
+	p.expect(token.KwFrom)
+	s.Source = p.expr()
+	s.Body = p.block()
+	p.expect(token.KwIn)
+	s.In = p.block()
+	return s
+}
+
+// effectAssign parses `attr <- e;`, `attr <= e;`, or `primary.attr <-/<= e;`.
+func (p *parser) effectAssign() ast.Stmt {
+	s := &ast.EffectAssign{Pos: p.cur().Pos}
+	// Parse a primary expression; if it ends as a bare identifier followed
+	// by <- or <=, it is a self-effect. Otherwise it must be a FieldExpr
+	// whose final segment names the target effect attribute.
+	e := p.primary()
+	switch t := e.(type) {
+	case *ast.Ident:
+		s.Attr = t.Name
+	case *ast.FieldExpr:
+		s.Target = t.X
+		s.Attr = t.Name
+	default:
+		p.errorf("invalid effect-assignment target")
+	}
+	switch p.cur().Kind {
+	case token.LARROW:
+		p.next()
+	case token.LE:
+		s.SetInsert = true
+		p.next()
+	default:
+		p.errorf("expected <- or <= in effect assignment, found %s", p.cur())
+	}
+	s.Value = p.expr()
+	if p.accept(token.KwBy) {
+		s.Key = p.expr()
+	}
+	p.expect(token.SEMI)
+	return s
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() ast.Expr { return p.condExpr() }
+
+func (p *parser) condExpr() ast.Expr {
+	c := p.binExpr(1)
+	if p.accept(token.QUESTION) {
+		t := p.condExpr()
+		p.expect(token.COLON)
+		f := p.condExpr()
+		return &ast.CondExpr{Pos: c.Position(), C: c, T: t, F: f}
+	}
+	return c
+}
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.OROR:
+		return 1
+	case token.ANDAND:
+		return 2
+	case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+		return 3
+	case token.PLUS, token.MINUS:
+		return 4
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 5
+	default:
+		return 0
+	}
+}
+
+func (p *parser) binExpr(min int) ast.Expr {
+	lhs := p.unary()
+	for {
+		op := p.cur().Kind
+		pr := binPrec(op)
+		if pr < min {
+			return lhs
+		}
+		pos := p.cur().Pos
+		p.next()
+		rhs := p.binExpr(pr + 1)
+		lhs = &ast.BinaryExpr{Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() ast.Expr {
+	switch p.cur().Kind {
+	case token.MINUS:
+		pos := p.next().Pos
+		return &ast.UnaryExpr{Pos: pos, Op: token.MINUS, X: p.unary()}
+	case token.NOT:
+		pos := p.next().Pos
+		return &ast.UnaryExpr{Pos: pos, Op: token.NOT, X: p.unary()}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() ast.Expr {
+	var e ast.Expr
+	switch p.cur().Kind {
+	case token.NUMBER:
+		t := p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errorf("bad number literal %q", t.Lit)
+		}
+		e = &ast.NumLit{Pos: t.Pos, V: v}
+	case token.STRING:
+		t := p.next()
+		e = &ast.StrLit{Pos: t.Pos, V: t.Lit}
+	case token.KwTrue:
+		e = &ast.BoolLit{Pos: p.next().Pos, V: true}
+	case token.KwFalse:
+		e = &ast.BoolLit{Pos: p.next().Pos, V: false}
+	case token.KwNull:
+		e = &ast.NullLit{Pos: p.next().Pos}
+	case token.IDENT:
+		t := p.next()
+		if p.at(token.LPAREN) {
+			call := &ast.CallExpr{Pos: t.Pos, Name: t.Lit}
+			p.next()
+			if !p.at(token.RPAREN) {
+				call.Args = append(call.Args, p.expr())
+				for p.accept(token.COMMA) {
+					call.Args = append(call.Args, p.expr())
+				}
+			}
+			p.expect(token.RPAREN)
+			e = call
+		} else {
+			e = &ast.Ident{Pos: t.Pos, Name: t.Lit}
+		}
+	case token.LPAREN:
+		p.next()
+		e = p.expr()
+		p.expect(token.RPAREN)
+	default:
+		p.errorf("expected expression, found %s", p.cur())
+		e = &ast.NumLit{Pos: p.cur().Pos}
+		p.next()
+	}
+	// Postfix field access, left-associative.
+	for p.at(token.DOT) {
+		pos := p.next().Pos
+		name := p.expect(token.IDENT).Lit
+		e = &ast.FieldExpr{Pos: pos, X: e, Name: name}
+	}
+	return e
+}

@@ -1,0 +1,244 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/token"
+)
+
+const fullSrc = `
+class Unit {
+  state:
+    number x = 0;
+    number y = 0 by physics;
+    ref<Unit> boss = null;
+    set<ref<Unit>> squad;
+    string name = "grunt";
+    bool elite = false;
+  effects:
+    number damage : sum;
+    number vx : avg;
+    set<number> loot : union;
+    ref<Unit> target : maxby;
+  update:
+    x = x + vx;
+  handlers:
+    when (x > 100) {
+      damage <- 1;
+    }
+  run {
+    let r = 10;
+    accum number cnt with sum over Unit u from Unit {
+      if (u.x >= x - r && u.x <= x + r) {
+        cnt <- 1;
+      }
+    } in {
+      if (cnt > 3) {
+        damage <- cnt - 3;
+      } else {
+        vx <- 1;
+      }
+    }
+    waitNextTick;
+    loot <= 7;
+    target <- boss by 2;
+    atomic (x >= 0) {
+      damage <- 1;
+    }
+    boss.damage <- 2;
+  }
+}
+`
+
+func TestParseFullProgram(t *testing.T) {
+	p, err := Parse(fullSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Classes) != 1 {
+		t.Fatalf("classes = %d", len(p.Classes))
+	}
+	c := p.Classes[0]
+	if c.Name != "Unit" || len(c.States) != 6 || len(c.Effects) != 4 ||
+		len(c.Updates) != 1 || len(c.Handlers) != 1 || c.Run == nil {
+		t.Fatalf("class shape: %+v", c)
+	}
+	if c.States[1].Owner != "physics" {
+		t.Errorf("owner = %q", c.States[1].Owner)
+	}
+	if c.States[3].Type.Kind.String() != "set" {
+		t.Errorf("squad type = %v", c.States[3].Type)
+	}
+	// Statement shapes in run.
+	stmts := c.Run.Stmts
+	if _, ok := stmts[0].(*ast.LetStmt); !ok {
+		t.Errorf("stmt 0: %T", stmts[0])
+	}
+	acc, ok := stmts[1].(*ast.AccumStmt)
+	if !ok {
+		t.Fatalf("stmt 1: %T", stmts[1])
+	}
+	if acc.Comb != "sum" || acc.IterClass != "Unit" || acc.IterName != "u" {
+		t.Errorf("accum fields: %+v", acc)
+	}
+	if _, ok := stmts[2].(*ast.WaitStmt); !ok {
+		t.Errorf("stmt 2: %T", stmts[2])
+	}
+	ins, ok := stmts[3].(*ast.EffectAssign)
+	if !ok || !ins.SetInsert {
+		t.Errorf("stmt 3 must be set-insert: %T", stmts[3])
+	}
+	keyed, ok := stmts[4].(*ast.EffectAssign)
+	if !ok || keyed.Key == nil {
+		t.Errorf("stmt 4 must carry a by-key")
+	}
+	atm, ok := stmts[5].(*ast.AtomicStmt)
+	if !ok || len(atm.Constraints) != 1 {
+		t.Errorf("stmt 5: %T", stmts[5])
+	}
+	tgt, ok := stmts[6].(*ast.EffectAssign)
+	if !ok || tgt.Target == nil || tgt.Attr != "damage" {
+		t.Errorf("stmt 6: %+v", stmts[6])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p1, err := Parse(fullSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(p1)
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed source failed: %v\n%s", err, printed)
+	}
+	printed2 := ast.Print(p2)
+	if printed != printed2 {
+		t.Fatalf("print not a fixed point:\n--- first\n%s\n--- second\n%s", printed, printed2)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":         "1 + 2 * 3",
+		"(1 + 2) * 3":       "(1 + 2) * 3",
+		"a && b || c":       "a && b || c",
+		"a || b && c":       "a || b && c",
+		"-a * b":            "-a * b",
+		"!(a && b)":         "!(a && b)",
+		"a < b == c > d":    "a < b == c > d",
+		"a ? b : c ? d : e": "a ? b : (c ? d : e)",
+		"1 - 2 - 3":         "1 - 2 - 3",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		if got := ast.ExprString(e); got != want {
+			t.Errorf("ParseExpr(%q) prints %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestLeftAssociativity(t *testing.T) {
+	e, err := ParseExpr("10 - 4 - 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*ast.BinaryExpr)
+	if b.Op != token.MINUS {
+		t.Fatal("top op")
+	}
+	if _, ok := b.X.(*ast.BinaryExpr); !ok {
+		t.Error("subtraction must be left-associative")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+class C {
+  effects:
+    number e : sum;
+  state:
+    number a = 0;
+  run {
+    if (a > 2) { e <- 1; } else if (a > 1) { e <- 2; } else { e <- 3; }
+  }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := p.Classes[0].Run.Stmts[0].(*ast.IfStmt)
+	if ifs.Else == nil || len(ifs.Else.Stmts) != 1 {
+		t.Fatal("else-if chain lost")
+	}
+	if _, ok := ifs.Else.Stmts[0].(*ast.IfStmt); !ok {
+		t.Fatal("else block must hold the chained if")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"class {",                        // missing name
+		"class C { state: number; }",     // missing attr name
+		"class C { run { x <- ; } }",     // missing expression
+		"class C { run { if x { } } }",   // missing parens
+		"class C { effects: number d; }", // missing combinator
+		"class C { run { accum number c with sum over U u from U { } } }", // missing in-block
+		"banana",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorMessagesCarryPositions(t *testing.T) {
+	_, err := Parse("class C {\n  run { x <- ; }\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestSetInsertVsComparison(t *testing.T) {
+	// Statement position: `items <= x` is a set-insert; expression
+	// position: `a <= b` is comparison.
+	src := `
+class C {
+  state:
+    number a = 0;
+  effects:
+    set<number> items : union;
+    number e : sum;
+  run {
+    items <= a;
+    if (a <= 5) {
+      e <- 1;
+    }
+  }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := p.Classes[0].Run.Stmts
+	if ea, ok := run[0].(*ast.EffectAssign); !ok || !ea.SetInsert {
+		t.Error("stmt 0 must be a set-insert")
+	}
+	ifs := run[1].(*ast.IfStmt)
+	cmp := ifs.Cond.(*ast.BinaryExpr)
+	if cmp.Op != token.LE {
+		t.Error("condition must be a <= comparison")
+	}
+}

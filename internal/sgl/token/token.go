@@ -1,0 +1,132 @@
+// Package token defines the lexical tokens of the SGL scripting language
+// and source positions for error reporting.
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	IDENT  // player, vx, Unit
+	NUMBER // 12, 3.5
+	STRING // "hello"
+
+	// Punctuation and operators.
+	LBRACE   // {
+	RBRACE   // }
+	LPAREN   // (
+	RPAREN   // )
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	DOT      // .
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	NOT      // !
+	ASSIGN   // =
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	ANDAND   // &&
+	OROR     // ||
+	LARROW   // <-  (effect assignment)
+	QUESTION // ?
+	// Keywords.
+	KwClass
+	KwState
+	KwEffects
+	KwUpdate
+	KwHandlers
+	KwRun
+	KwLet
+	KwIf
+	KwElse
+	KwAccum
+	KwWith
+	KwOver
+	KwFrom
+	KwIn
+	KwWait // waitNextTick
+	KwAtomic
+	KwWhen
+	KwTrue
+	KwFalse
+	KwNull
+	KwNumber
+	KwBool
+	KwString
+	KwRef
+	KwSet
+	KwBy
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "identifier", NUMBER: "number literal",
+	STRING: "string literal", LBRACE: "{", RBRACE: "}", LPAREN: "(", RPAREN: ")",
+	COMMA: ",", SEMI: ";", COLON: ":", DOT: ".", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", PERCENT: "%", NOT: "!", ASSIGN: "=", EQ: "==", NEQ: "!=", LT: "<",
+	LE: "<=", GT: ">", GE: ">=", ANDAND: "&&", OROR: "||", LARROW: "<-",
+	QUESTION: "?",
+	KwClass:  "class", KwState: "state", KwEffects: "effects", KwUpdate: "update",
+	KwHandlers: "handlers", KwRun: "run", KwLet: "let", KwIf: "if", KwElse: "else",
+	KwAccum: "accum", KwWith: "with", KwOver: "over", KwFrom: "from", KwIn: "in",
+	KwWait: "waitNextTick", KwAtomic: "atomic", KwWhen: "when", KwTrue: "true",
+	KwFalse: "false", KwNull: "null", KwNumber: "number", KwBool: "bool",
+	KwString: "string", KwRef: "ref", KwSet: "set", KwBy: "by",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Keywords maps source spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"class": KwClass, "state": KwState, "effects": KwEffects, "update": KwUpdate,
+	"handlers": KwHandlers, "run": KwRun, "let": KwLet, "if": KwIf, "else": KwElse,
+	"accum": KwAccum, "with": KwWith, "over": KwOver, "from": KwFrom, "in": KwIn,
+	"waitNextTick": KwWait, "atomic": KwAtomic, "when": KwWhen, "true": KwTrue,
+	"false": KwFalse, "null": KwNull, "number": KwNumber, "bool": KwBool,
+	"string": KwString, "ref": KwRef, "set": KwSet, "by": KwBy,
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, NUMBER, STRING (unquoted)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return t.Lit
+	case STRING:
+		return fmt.Sprintf("%q", t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

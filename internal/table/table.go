@@ -1,0 +1,325 @@
+// Package table implements the columnar main-memory tables that back SGL
+// class extents (§4 of the paper). Storage is one typed slice per column
+// with an alive bitmap and a free list, so scans are cache-friendly and row
+// ids stay stable across deletes.
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Column declares one column of a table.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Table is a columnar main-memory relation keyed by value.ID. Numbers,
+// booleans and refs share float64 storage; strings and sets have their own
+// slices. Deleted slots are reused via a free list.
+type Table struct {
+	name   string
+	cols   []Column
+	colIdx map[string]int
+
+	nums [][]float64    // per column, for number/bool/ref columns (else nil)
+	strs [][]string     // per column, for string columns (else nil)
+	sets [][]*value.Set // per column, for set columns (else nil)
+
+	ids     []value.ID
+	alive   []bool
+	idToRow map[value.ID]int
+	free    []int
+	n       int // live row count
+}
+
+// New creates an empty table with the given columns.
+func New(name string, cols []Column) *Table {
+	t := &Table{
+		name:    name,
+		cols:    cols,
+		colIdx:  make(map[string]int, len(cols)),
+		nums:    make([][]float64, len(cols)),
+		strs:    make([][]string, len(cols)),
+		sets:    make([][]*value.Set, len(cols)),
+		idToRow: make(map[value.ID]int),
+	}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			panic(fmt.Sprintf("table %s: duplicate column %q", name, c.Name))
+		}
+		t.colIdx[c.Name] = i
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column declarations.
+func (t *Table) Columns() []Column { return t.cols }
+
+// ColIndex returns the index of a column, or -1 if absent.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.n }
+
+// Cap returns the number of physical slots (live + free).
+func (t *Table) Cap() int { return len(t.ids) }
+
+// Insert adds a row for id with the given values (one per column, in
+// declaration order). It panics if id already exists or arity mismatches.
+func (t *Table) Insert(id value.ID, vals []value.Value) int {
+	if _, ok := t.idToRow[id]; ok {
+		panic(fmt.Sprintf("table %s: duplicate id %d", t.name, id))
+	}
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("table %s: insert arity %d, want %d", t.name, len(vals), len(t.cols)))
+	}
+	var row int
+	if k := len(t.free); k > 0 {
+		row = t.free[k-1]
+		t.free = t.free[:k-1]
+		t.ids[row] = id
+		t.alive[row] = true
+	} else {
+		row = len(t.ids)
+		t.ids = append(t.ids, id)
+		t.alive = append(t.alive, true)
+		for i, c := range t.cols {
+			switch c.Kind {
+			case value.KindString:
+				t.strs[i] = append(t.strs[i], "")
+			case value.KindSet:
+				t.sets[i] = append(t.sets[i], nil)
+			default:
+				t.nums[i] = append(t.nums[i], 0)
+			}
+		}
+	}
+	for i := range t.cols {
+		t.setRaw(row, i, vals[i])
+	}
+	t.idToRow[id] = row
+	t.n++
+	return row
+}
+
+// Delete removes the row for id. Returns false if id is absent.
+func (t *Table) Delete(id value.ID) bool {
+	row, ok := t.idToRow[id]
+	if !ok {
+		return false
+	}
+	delete(t.idToRow, id)
+	t.alive[row] = false
+	// Release set pointers so the GC can reclaim them.
+	for i, c := range t.cols {
+		if c.Kind == value.KindSet {
+			t.sets[i][row] = nil
+		}
+	}
+	t.free = append(t.free, row)
+	t.n--
+	return true
+}
+
+// Has reports whether id is a live row.
+func (t *Table) Has(id value.ID) bool {
+	_, ok := t.idToRow[id]
+	return ok
+}
+
+// Row returns the physical row index for id, or -1.
+func (t *Table) Row(id value.ID) int {
+	if r, ok := t.idToRow[id]; ok {
+		return r
+	}
+	return -1
+}
+
+// ID returns the object id stored at physical row r (valid only if alive).
+func (t *Table) ID(r int) value.ID { return t.ids[r] }
+
+// Alive reports whether physical row r is live.
+func (t *Table) Alive(r int) bool { return r >= 0 && r < len(t.alive) && t.alive[r] }
+
+// Get returns the value at (id, column name). The second result is false if
+// the id or column is unknown.
+func (t *Table) Get(id value.ID, col string) (value.Value, bool) {
+	row, ok := t.idToRow[id]
+	if !ok {
+		return value.Value{}, false
+	}
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return value.Value{}, false
+	}
+	return t.At(row, ci), true
+}
+
+// Set assigns the value at (id, column name). Returns false if unknown.
+func (t *Table) Set(id value.ID, col string, v value.Value) bool {
+	row, ok := t.idToRow[id]
+	if !ok {
+		return false
+	}
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return false
+	}
+	t.setRaw(row, ci, v)
+	return true
+}
+
+// At returns the value at a physical (row, column-index) position.
+func (t *Table) At(row, ci int) value.Value {
+	switch t.cols[ci].Kind {
+	case value.KindNumber:
+		return value.Num(t.nums[ci][row])
+	case value.KindBool:
+		return value.Bool(t.nums[ci][row] != 0)
+	case value.KindRef:
+		return value.Ref(value.ID(t.nums[ci][row]))
+	case value.KindString:
+		return value.Str(t.strs[ci][row])
+	case value.KindSet:
+		s := t.sets[ci][row]
+		if s == nil {
+			s = value.NewSet()
+		}
+		return value.SetVal(s)
+	default:
+		return value.Value{}
+	}
+}
+
+// SetAt assigns the value at a physical (row, column-index) position.
+func (t *Table) SetAt(row, ci int, v value.Value) { t.setRaw(row, ci, v) }
+
+func (t *Table) setRaw(row, ci int, v value.Value) {
+	k := t.cols[ci].Kind
+	if v.Kind() != k {
+		panic(fmt.Sprintf("table %s: column %s is %s, got %s", t.name, t.cols[ci].Name, k, v.Kind()))
+	}
+	switch k {
+	case value.KindNumber:
+		t.nums[ci][row] = v.AsNumber()
+	case value.KindBool:
+		if v.AsBool() {
+			t.nums[ci][row] = 1
+		} else {
+			t.nums[ci][row] = 0
+		}
+	case value.KindRef:
+		t.nums[ci][row] = float64(v.AsRef())
+	case value.KindString:
+		t.strs[ci][row] = v.AsString()
+	case value.KindSet:
+		t.sets[ci][row] = v.AsSet()
+	}
+}
+
+// NumColumn exposes the raw float64 storage of a numeric/bool/ref column for
+// vectorized operators and index construction. Callers must treat it as
+// read-only and consult Alive for liveness.
+func (t *Table) NumColumn(ci int) []float64 { return t.nums[ci] }
+
+// ForEach invokes fn for every live row in physical order.
+func (t *Table) ForEach(fn func(row int, id value.ID)) {
+	for r, ok := range t.alive {
+		if ok {
+			fn(r, t.ids[r])
+		}
+	}
+}
+
+// IDs returns all live ids in physical-row order.
+func (t *Table) IDs() []value.ID {
+	out := make([]value.ID, 0, t.n)
+	for r, ok := range t.alive {
+		if ok {
+			out = append(out, t.ids[r])
+		}
+	}
+	return out
+}
+
+// RowValues materializes a full tuple for a physical row.
+func (t *Table) RowValues(row int) []value.Value {
+	out := make([]value.Value, len(t.cols))
+	for i := range t.cols {
+		out[i] = t.At(row, i)
+	}
+	return out
+}
+
+// Clear removes all rows but keeps capacity.
+func (t *Table) Clear() {
+	for i := range t.alive {
+		t.alive[i] = false
+	}
+	for i, c := range t.cols {
+		if c.Kind == value.KindSet {
+			for r := range t.sets[i] {
+				t.sets[i][r] = nil
+			}
+		}
+	}
+	t.idToRow = make(map[value.ID]int)
+	t.free = t.free[:0]
+	for r := range t.ids {
+		t.free = append(t.free, r)
+	}
+	t.n = 0
+}
+
+// Snapshot captures a deep copy of the table contents for checkpointing
+// (paper §3.3: logging with resumable checkpoints).
+type Snapshot struct {
+	IDs  []value.ID
+	Rows [][]value.Value
+}
+
+// Snapshot returns a deep copy of all live rows.
+func (t *Table) Snapshot() Snapshot {
+	s := Snapshot{
+		IDs:  make([]value.ID, 0, t.n),
+		Rows: make([][]value.Value, 0, t.n),
+	}
+	t.ForEach(func(row int, id value.ID) {
+		vals := t.RowValues(row)
+		for i, c := range t.cols {
+			if c.Kind == value.KindSet {
+				vals[i] = value.SetVal(vals[i].AsSet().Clone())
+			}
+		}
+		s.IDs = append(s.IDs, id)
+		s.Rows = append(s.Rows, vals)
+	})
+	return s
+}
+
+// Restore replaces the table contents with a snapshot.
+func (t *Table) Restore(s Snapshot) {
+	t.Clear()
+	for i, id := range s.IDs {
+		vals := s.Rows[i]
+		cp := make([]value.Value, len(vals))
+		copy(cp, vals)
+		for j, c := range t.cols {
+			if c.Kind == value.KindSet {
+				cp[j] = value.SetVal(vals[j].AsSet().Clone())
+			}
+		}
+		t.Insert(id, cp)
+	}
+}

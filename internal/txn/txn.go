@@ -1,0 +1,104 @@
+// Package txn provides transaction admission policies for the atomic
+// construct of §3.1. The engine collects atomic blocks as transaction
+// intents; a policy chooses a subset whose combined application violates no
+// constraint, and the rest abort atomically. The default engine policy is
+// greedy in deterministic order; this package adds priority-based and
+// fairness-rotating policies plus abort accounting.
+package txn
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Stats accumulates admission outcomes across ticks.
+type Stats struct {
+	Submitted int64
+	Committed int64
+	Aborted   int64
+}
+
+// AbortRate returns aborted/submitted (0 when nothing was submitted).
+func (s Stats) AbortRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(s.Submitted)
+}
+
+// CountingPolicy wraps another policy and accumulates Stats.
+type CountingPolicy struct {
+	Inner engine.TxnPolicy
+	Stats Stats
+}
+
+// Admit implements engine.TxnPolicy.
+func (c *CountingPolicy) Admit(ctx *engine.UpdateCtx, txns []*engine.Txn) error {
+	inner := c.Inner
+	if inner == nil {
+		inner = engine.GreedyPolicy{}
+	}
+	if err := inner.Admit(ctx, txns); err != nil {
+		return err
+	}
+	for _, t := range txns {
+		c.Stats.Submitted++
+		if t.Aborted {
+			c.Stats.Aborted++
+		} else {
+			c.Stats.Committed++
+		}
+	}
+	return nil
+}
+
+// PriorityPolicy admits transactions in descending priority order; ties
+// break on (class, source id) for determinism. Use it to model sellers
+// choosing among buyers (§3.1's multi-buyer example) without a multi-tick
+// protocol.
+type PriorityPolicy struct {
+	// Priority scores a transaction; higher commits first.
+	Priority func(t *engine.Txn) float64
+}
+
+// Admit implements engine.TxnPolicy.
+func (p PriorityPolicy) Admit(ctx *engine.UpdateCtx, txns []*engine.Txn) error {
+	ordered := append([]*engine.Txn(nil), txns...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		pi, pj := p.Priority(ordered[i]), p.Priority(ordered[j])
+		if pi != pj {
+			return pi > pj
+		}
+		if ordered[i].Class != ordered[j].Class {
+			return ordered[i].Class < ordered[j].Class
+		}
+		return ordered[i].Source < ordered[j].Source
+	})
+	return engine.AdmitPrepared(ctx, ordered)
+}
+
+// RotatingPolicy rotates the starting offset of the deterministic order
+// each tick so that, under sustained contention, every requester
+// eventually wins — a simple fairness guarantee the greedy policy lacks.
+type RotatingPolicy struct {
+	offset int
+}
+
+// Admit implements engine.TxnPolicy.
+func (r *RotatingPolicy) Admit(ctx *engine.UpdateCtx, txns []*engine.Txn) error {
+	ordered := append([]*engine.Txn(nil), txns...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Class != ordered[j].Class {
+			return ordered[i].Class < ordered[j].Class
+		}
+		return ordered[i].Source < ordered[j].Source
+	})
+	if n := len(ordered); n > 0 {
+		k := r.offset % n
+		rotated := append(append([]*engine.Txn(nil), ordered[k:]...), ordered[:k]...)
+		ordered = rotated
+		r.offset++
+	}
+	return engine.AdmitPrepared(ctx, ordered)
+}

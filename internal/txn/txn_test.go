@@ -1,0 +1,160 @@
+package txn_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func marketWorld(t *testing.T, m workload.Market) (*engine.World, []value.ID, []value.ID) {
+	t.Helper()
+	sc, err := core.LoadScenario("market", core.SrcMarket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sellers, buyers, err := core.PopulateMarket(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, sellers, buyers
+}
+
+func totals(t *testing.T, w *engine.World) (gold, stock float64) {
+	t.Helper()
+	for _, id := range w.IDs("Trader") {
+		gold += w.MustGet("Trader", id, "gold").AsNumber()
+		stock += w.MustGet("Trader", id, "stock").AsNumber()
+	}
+	return gold, stock
+}
+
+func TestCountingPolicy(t *testing.T) {
+	m := workload.Market{Sellers: 2, BuyersPerItem: 4, Stock: 1, Price: 25, Gold: 25}
+	w, _, _ := marketWorld(t, m)
+	counting := &txn.CountingPolicy{}
+	w.SetTxnPolicy(counting)
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	s := counting.Stats
+	if s.Submitted != 8 {
+		t.Fatalf("submitted = %d, want 8", s.Submitted)
+	}
+	if s.Committed != 2 { // one item per seller
+		t.Fatalf("committed = %d, want 2", s.Committed)
+	}
+	if s.Aborted != 6 {
+		t.Fatalf("aborted = %d, want 6", s.Aborted)
+	}
+	if r := s.AbortRate(); r != 0.75 {
+		t.Errorf("abort rate = %v", r)
+	}
+	if (txn.Stats{}).AbortRate() != 0 {
+		t.Error("empty abort rate")
+	}
+}
+
+func TestConservationUnderContention(t *testing.T) {
+	m := workload.Market{Sellers: 3, BuyersPerItem: 8, Stock: 2, Price: 25, Gold: 30}
+	w, _, _ := marketWorld(t, m)
+	g0, s0 := totals(t, w)
+	if err := w.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	g1, s1 := totals(t, w)
+	if g0 != g1 {
+		t.Fatalf("gold not conserved: %v -> %v", g0, g1)
+	}
+	if s0 != s1 {
+		t.Fatalf("stock not conserved: %v -> %v", s0, s1)
+	}
+	// No negative balances anywhere.
+	for _, id := range w.IDs("Trader") {
+		if w.MustGet("Trader", id, "gold").AsNumber() < 0 {
+			t.Fatal("negative gold")
+		}
+		if w.MustGet("Trader", id, "stock").AsNumber() < 0 {
+			t.Fatal("negative stock")
+		}
+	}
+}
+
+func TestPriorityPolicy(t *testing.T) {
+	m := workload.Market{Sellers: 1, BuyersPerItem: 4, Stock: 1, Price: 25, Gold: 25}
+	w, _, buyers := marketWorld(t, m)
+	// Highest source id wins under this priority.
+	w.SetTxnPolicy(txn.PriorityPolicy{
+		Priority: func(t *engine.Txn) float64 { return float64(t.Source) },
+	})
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	winner := buyers[len(buyers)-1]
+	if got := w.MustGet("Trader", winner, "stock").AsNumber(); got != 1 {
+		t.Fatalf("highest-priority buyer got stock %v, want 1", got)
+	}
+	for _, id := range buyers[:len(buyers)-1] {
+		if w.MustGet("Trader", id, "stock").AsNumber() != 0 {
+			t.Fatal("a lower-priority buyer won")
+		}
+	}
+}
+
+func TestRotatingPolicyIsFair(t *testing.T) {
+	// One item restocked each tick; under rotation every buyer eventually
+	// wins at least once.
+	m := workload.Market{Sellers: 1, BuyersPerItem: 3, Stock: 1, Price: 25, Gold: 1000}
+	w, sellers, buyers := marketWorld(t, m)
+	w.SetTxnPolicy(&txn.RotatingPolicy{})
+	for tick := 0; tick < 6; tick++ {
+		if err := w.RunTick(); err != nil {
+			t.Fatal(err)
+		}
+		// Restock the seller between ticks.
+		w.SetState("Trader", sellers[0], "stock", value.Num(1))
+	}
+	for _, id := range buyers {
+		if w.MustGet("Trader", id, "stock").AsNumber() == 0 {
+			t.Fatalf("buyer %d never won under rotation", id)
+		}
+	}
+}
+
+func TestDupingWithoutTransactions(t *testing.T) {
+	// The control arm: without atomic, overselling happens (stock goes
+	// negative) — exactly the §3.1 duping bug.
+	sc, err := core.LoadScenario("unsafe", core.SrcMarketUnsafe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = core.PopulateMarket(w, workload.Market{
+		Sellers: 1, BuyersPerItem: 5, Stock: 1, Price: 25, Gold: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	negative := false
+	for _, id := range w.IDs("Trader") {
+		if w.MustGet("Trader", id, "stock").AsNumber() < 0 {
+			negative = true
+		}
+	}
+	if !negative {
+		t.Fatal("the unsafe market failed to reproduce the duping bug")
+	}
+}

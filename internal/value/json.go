@@ -1,0 +1,81 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireValue is the portable JSON encoding of a Value, used by checkpoints
+// and the debugger (§3.3 of the paper: logging with resumable checkpoints).
+type wireValue struct {
+	K string          `json:"k"`
+	N *float64        `json:"n,omitempty"`
+	S *string         `json:"s,omitempty"`
+	E json.RawMessage `json:"e,omitempty"` // set elements
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNumber:
+		n := v.num
+		return json.Marshal(wireValue{K: "num", N: &n})
+	case KindBool:
+		n := v.num
+		return json.Marshal(wireValue{K: "bool", N: &n})
+	case KindString:
+		s := v.str
+		return json.Marshal(wireValue{K: "str", S: &s})
+	case KindRef:
+		n := v.num
+		return json.Marshal(wireValue{K: "ref", N: &n})
+	case KindSet:
+		elems := v.AsSet().Elems()
+		raw, err := json.Marshal(elems)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(wireValue{K: "set", E: raw})
+	default:
+		return json.Marshal(wireValue{K: "invalid"})
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var w wireValue
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	num := 0.0
+	if w.N != nil {
+		num = *w.N
+	}
+	switch w.K {
+	case "num":
+		*v = Num(num)
+	case "bool":
+		*v = Bool(num != 0)
+	case "str":
+		s := ""
+		if w.S != nil {
+			s = *w.S
+		}
+		*v = Str(s)
+	case "ref":
+		*v = Ref(ID(num))
+	case "set":
+		var elems []Value
+		if len(w.E) > 0 {
+			if err := json.Unmarshal(w.E, &elems); err != nil {
+				return err
+			}
+		}
+		*v = SetVal(NewSet(elems...))
+	case "invalid":
+		*v = Value{}
+	default:
+		return fmt.Errorf("value: unknown wire kind %q", w.K)
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+// Package value defines the runtime value model shared by the SGL engine,
+// compiler and baseline interpreter: numbers, booleans, strings, typed
+// references to game objects, and unordered sets.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ID identifies a row (game object) within a class extent. IDs are stable
+// for the lifetime of the object and never reused within a run.
+type ID int64
+
+// NullID is the null reference.
+const NullID ID = -1
+
+// Kind enumerates the runtime types of SGL values.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	KindNumber       // float64
+	KindBool
+	KindString
+	KindRef // reference to an object of some class
+	KindSet // unordered set of scalar values
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNumber:
+		return "number"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	case KindRef:
+		return "ref"
+	case KindSet:
+		return "set"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed SGL runtime value. The zero Value is invalid;
+// use the constructors. Values are small and copied freely; Set values share
+// the underlying *Set, which callers must not mutate unless they own it.
+type Value struct {
+	kind Kind
+	num  float64 // KindNumber; KindBool stores 0/1; KindRef stores the ID
+	str  string  // KindString
+	set  *Set    // KindSet
+}
+
+// Num returns a number value.
+func Num(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, num: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Ref returns a reference value.
+func Ref(id ID) Value { return Value{kind: KindRef, num: float64(id)} }
+
+// NullRef is the null reference value.
+func NullRef() Value { return Ref(NullID) }
+
+// SetVal wraps a Set as a Value. A nil set is treated as empty.
+func SetVal(s *Set) Value {
+	if s == nil {
+		s = NewSet()
+	}
+	return Value{kind: KindSet, set: s}
+}
+
+// Zero returns the zero value for a kind: 0, false, "", null, {}.
+func Zero(k Kind) Value {
+	switch k {
+	case KindNumber:
+		return Num(0)
+	case KindBool:
+		return Bool(false)
+	case KindString:
+		return Str("")
+	case KindRef:
+		return NullRef()
+	case KindSet:
+		return SetVal(NewSet())
+	default:
+		return Value{}
+	}
+}
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value has been initialized.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsNumber returns the float64 payload. It is valid only for KindNumber.
+func (v Value) AsNumber() float64 { return v.num }
+
+// AsBool returns the boolean payload. It is valid only for KindBool.
+func (v Value) AsBool() bool { return v.num != 0 }
+
+// AsString returns the string payload. It is valid only for KindString.
+func (v Value) AsString() string { return v.str }
+
+// AsRef returns the referenced ID. It is valid only for KindRef.
+func (v Value) AsRef() ID { return ID(v.num) }
+
+// AsSet returns the set payload (never nil). It is valid only for KindSet.
+func (v Value) AsSet() *Set {
+	if v.set == nil {
+		return NewSet()
+	}
+	return v.set
+}
+
+// IsNullRef reports whether v is the null reference.
+func (v Value) IsNullRef() bool { return v.kind == KindRef && ID(v.num) == NullID }
+
+// Truthy coerces a value to a condition result: booleans are themselves,
+// numbers are non-zero, refs are non-null, strings and sets are non-empty.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool, KindNumber:
+		return v.num != 0
+	case KindRef:
+		return ID(v.num) != NullID
+	case KindString:
+		return v.str != ""
+	case KindSet:
+		return v.AsSet().Len() > 0
+	default:
+		return false
+	}
+}
+
+// Equal reports deep equality. Values of different kinds are never equal.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNumber, KindBool, KindRef:
+		return v.num == o.num
+	case KindString:
+		return v.str == o.str
+	case KindSet:
+		return v.AsSet().Equal(o.AsSet())
+	default:
+		return true
+	}
+}
+
+// Compare orders two values of the same scalar kind: -1, 0 or +1.
+// Sets are not ordered; Compare panics on sets or mismatched kinds.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		panic(fmt.Sprintf("value: comparing %s with %s", v.kind, o.kind))
+	}
+	switch v.kind {
+	case KindNumber, KindBool, KindRef:
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(v.str, o.str)
+	default:
+		panic("value: kind " + v.kind.String() + " is not ordered")
+	}
+}
+
+// Key returns a comparable map key uniquely identifying the scalar value.
+// Set values have no key; Key panics on sets.
+func (v Value) Key() Key {
+	if v.kind == KindSet {
+		panic("value: sets are not hashable")
+	}
+	return Key{Kind: v.kind, Num: v.num, Str: v.str}
+}
+
+// Key is a comparable representation of a scalar Value, usable as a map key.
+type Key struct {
+	Kind Kind
+	Num  float64
+	Str  string
+}
+
+// Value reconstructs the Value a Key was derived from.
+func (k Key) Value() Value { return Value{kind: k.Kind, num: k.Num, str: k.Str} }
+
+// String renders the value in SGL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNumber:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindRef:
+		if ID(v.num) == NullID {
+			return "null"
+		}
+		return fmt.Sprintf("#%d", ID(v.num))
+	case KindSet:
+		return v.AsSet().String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// Set is an unordered collection of scalar values (the paper's set data
+// type, §2.1). Elements are deduplicated by Key.
+type Set struct {
+	elems map[Key]struct{}
+}
+
+// NewSet returns an empty set.
+func NewSet(vs ...Value) *Set {
+	s := &Set{elems: make(map[Key]struct{}, len(vs))}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add inserts v; duplicates are ignored. Returns true if newly inserted.
+func (s *Set) Add(v Value) bool {
+	k := v.Key()
+	if _, ok := s.elems[k]; ok {
+		return false
+	}
+	s.elems[k] = struct{}{}
+	return true
+}
+
+// Remove deletes v. Returns true if it was present.
+func (s *Set) Remove(v Value) bool {
+	k := v.Key()
+	if _, ok := s.elems[k]; !ok {
+		return false
+	}
+	delete(s.elems, k)
+	return true
+}
+
+// Contains reports membership.
+func (s *Set) Contains(v Value) bool {
+	_, ok := s.elems[v.Key()]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Union returns a new set holding all elements of s and o.
+func (s *Set) Union(o *Set) *Set {
+	out := s.Clone()
+	for k := range o.elems {
+		out.elems[k] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns a new set holding the common elements of s and o.
+func (s *Set) Intersect(o *Set) *Set {
+	out := NewSet()
+	for k := range s.elems {
+		if _, ok := o.elems[k]; ok {
+			out.elems[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Diff returns a new set holding elements of s not in o.
+func (s *Set) Diff(o *Set) *Set {
+	out := NewSet()
+	for k := range s.elems {
+		if _, ok := o.elems[k]; !ok {
+			out.elems[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	out := &Set{elems: make(map[Key]struct{}, len(s.elems))}
+	for k := range s.elems {
+		out.elems[k] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports whether two sets hold the same elements.
+func (s *Set) Equal(o *Set) bool {
+	if len(s.elems) != len(o.elems) {
+		return false
+	}
+	for k := range s.elems {
+		if _, ok := o.elems[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Elems returns the elements in a deterministic (sorted) order, which keeps
+// iteration reproducible for replay and testing.
+func (s *Set) Elems() []Value {
+	out := make([]Value, 0, len(s.elems))
+	for k := range s.elems {
+		out = append(out, k.Value())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].kind != out[j].kind {
+			return out[i].kind < out[j].kind
+		}
+		return out[i].Compare(out[j]) < 0
+	})
+	return out
+}
+
+// String renders the set in SGL literal syntax, elements sorted.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range s.Elems() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// NumbersEqual compares floats with a tolerance appropriate for comparing
+// the engine against the baseline interpreter, where ⊕-combination order
+// may differ. NaNs compare equal to NaNs.
+func NumbersEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale > 1 {
+		return diff/scale <= eps
+	}
+	return diff <= eps
+}

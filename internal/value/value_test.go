@@ -1,0 +1,255 @@
+package value
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Num(3.5), KindNumber, "3.5"},
+		{Num(-2), KindNumber, "-2"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Str("hi"), KindString, `"hi"`},
+		{Ref(7), KindRef, "#7"},
+		{NullRef(), KindRef, "null"},
+		{SetVal(NewSet(Num(1), Num(2))), KindSet, "{1, 2}"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if Num(3.5).AsNumber() != 3.5 {
+		t.Error("AsNumber")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("AsBool")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("AsString")
+	}
+	if Ref(9).AsRef() != 9 {
+		t.Error("AsRef")
+	}
+	if !NullRef().IsNullRef() {
+		t.Error("IsNullRef")
+	}
+	if Ref(1).IsNullRef() {
+		t.Error("Ref(1) must not be null")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if Zero(KindNumber).AsNumber() != 0 {
+		t.Error("zero number")
+	}
+	if Zero(KindBool).AsBool() {
+		t.Error("zero bool")
+	}
+	if Zero(KindString).AsString() != "" {
+		t.Error("zero string")
+	}
+	if !Zero(KindRef).IsNullRef() {
+		t.Error("zero ref")
+	}
+	if Zero(KindSet).AsSet().Len() != 0 {
+		t.Error("zero set")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Num(0), false}, {Num(1), true}, {Num(-1), true},
+		{Bool(false), false}, {Bool(true), true},
+		{Str(""), false}, {Str("a"), true},
+		{NullRef(), false}, {Ref(3), true},
+		{SetVal(NewSet()), false}, {SetVal(NewSet(Num(1))), true},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, !c.want)
+		}
+	}
+}
+
+func TestEqualAndCompare(t *testing.T) {
+	if !Num(2).Equal(Num(2)) || Num(2).Equal(Num(3)) {
+		t.Error("number equality")
+	}
+	if Num(1).Equal(Bool(true)) {
+		t.Error("cross-kind values must not be equal")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Error("string equality")
+	}
+	if !SetVal(NewSet(Num(1), Num(2))).Equal(SetVal(NewSet(Num(2), Num(1)))) {
+		t.Error("set equality is order-independent")
+	}
+	if Num(1).Compare(Num(2)) >= 0 || Num(2).Compare(Num(1)) <= 0 || Num(2).Compare(Num(2)) != 0 {
+		t.Error("number compare")
+	}
+	if Str("a").Compare(Str("b")) >= 0 {
+		t.Error("string compare")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("comparing sets must panic")
+		}
+	}()
+	SetVal(NewSet()).Compare(SetVal(NewSet()))
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	vals := []Value{Num(1.5), Bool(true), Str("k"), Ref(42), NullRef()}
+	for _, v := range vals {
+		if got := v.Key().Value(); !got.Equal(v) {
+			t.Errorf("Key round trip: %v -> %v", v, got)
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet()
+	if !s.Add(Num(1)) || s.Add(Num(1)) {
+		t.Error("Add dedupes")
+	}
+	s.Add(Num(2))
+	s.Add(Str("x"))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(Num(2)) || s.Contains(Num(9)) {
+		t.Error("Contains")
+	}
+	if !s.Remove(Num(2)) || s.Remove(Num(2)) {
+		t.Error("Remove")
+	}
+	a := NewSet(Num(1), Num(2), Num(3))
+	b := NewSet(Num(2), Num(3), Num(4))
+	if got := a.Union(b); got.Len() != 4 {
+		t.Errorf("Union len = %d", got.Len())
+	}
+	if got := a.Intersect(b); got.Len() != 2 {
+		t.Errorf("Intersect len = %d", got.Len())
+	}
+	if got := a.Diff(b); got.Len() != 1 || !got.Contains(Num(1)) {
+		t.Errorf("Diff = %v", got)
+	}
+	c := a.Clone()
+	c.Add(Num(99))
+	if a.Contains(Num(99)) {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestSetElemsSorted(t *testing.T) {
+	s := NewSet(Num(3), Num(1), Num(2))
+	es := s.Elems()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Compare(es[i]) >= 0 {
+			t.Fatalf("Elems not sorted: %v", es)
+		}
+	}
+}
+
+func TestNumbersEqual(t *testing.T) {
+	if !NumbersEqual(1, 1+1e-12, 1e-9) {
+		t.Error("tolerant equality")
+	}
+	if NumbersEqual(1, 1.1, 1e-9) {
+		t.Error("distinct numbers")
+	}
+	if !NumbersEqual(math.NaN(), math.NaN(), 0) {
+		t.Error("NaN == NaN under tolerance")
+	}
+	if !NumbersEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("relative tolerance at scale")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		Num(3.25), Bool(true), Bool(false), Str("héllo\n"),
+		Ref(17), NullRef(),
+		SetVal(NewSet(Num(1), Str("a"), Ref(2))),
+		SetVal(NewSet()),
+	}
+	for _, v := range vals {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %s -> %v", v, b, got)
+		}
+	}
+}
+
+// Property: set union is commutative and idempotent.
+func TestSetUnionProperties(t *testing.T) {
+	mk := func(xs []int8) *Set {
+		s := NewSet()
+		for _, x := range xs {
+			s.Add(Num(float64(x)))
+		}
+		return s
+	}
+	comm := func(xs, ys []int8) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	idem := func(xs []int8) bool {
+		a := mk(xs)
+		return a.Union(a).Equal(a)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round trip preserves scalar values.
+func TestJSONScalarProperty(t *testing.T) {
+	f := func(x float64, b bool, s string) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true // JSON has no encoding for NaN/Inf
+		}
+		for _, v := range []Value{Num(x), Bool(b), Str(s)} {
+			data, err := json.Marshal(v)
+			if err != nil {
+				return false
+			}
+			var got Value
+			if err := json.Unmarshal(data, &got); err != nil {
+				return false
+			}
+			if !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

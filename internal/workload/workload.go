@@ -1,0 +1,156 @@
+// Package workload generates the synthetic scenarios substituting for the
+// paper's commercial game content: RTS explore/combat regimes (§4.1), the
+// traffic network with large vehicle counts (§4.2), and the marketplace
+// contention scenario behind duping bugs (§3.1). Generators are
+// deterministic given a seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/value"
+)
+
+// Pos is a 2-D position.
+type Pos struct{ X, Y float64 }
+
+// Uniform scatters n positions uniformly over [0,w)×[0,h) — the "exploring"
+// regime: spread out, sparse neighborhoods.
+func Uniform(n int, w, h float64, seed int64) []Pos {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pos, n)
+	for i := range out {
+		out[i] = Pos{rng.Float64() * w, rng.Float64() * h}
+	}
+	return out
+}
+
+// Clustered places n positions in k Gaussian clusters of the given spread —
+// the "fighting" regime: dense neighborhoods, large range-query results.
+func Clustered(n, k int, spread, w, h float64, seed int64) []Pos {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Pos, k)
+	for i := range centers {
+		centers[i] = Pos{rng.Float64() * w, rng.Float64() * h}
+	}
+	out := make([]Pos, n)
+	for i := range out {
+		c := centers[i%k]
+		out[i] = Pos{
+			X: clampF(c.X+rng.NormFloat64()*spread, 0, w),
+			Y: clampF(c.Y+rng.NormFloat64()*spread, 0, h),
+		}
+	}
+	return out
+}
+
+func clampF(x, lo, hi float64) float64 { return math.Min(math.Max(x, lo), hi) }
+
+// Regime labels a workload phase.
+type Regime int
+
+// Workload regimes (§4.1: "a strategy game will look very different when
+// characters are exploring than when they are fighting").
+const (
+	Explore Regime = iota
+	Combat
+)
+
+// RegimeSchedule alternates regimes in blocks of the given length, e.g.
+// blocks of 20 ticks: explore ticks 0–19, combat 20–39, ...
+func RegimeSchedule(tick, blockLen int) Regime {
+	if (tick/blockLen)%2 == 0 {
+		return Explore
+	}
+	return Combat
+}
+
+// Positions generates the regime's placement.
+func Positions(r Regime, n int, w, h float64, seed int64) []Pos {
+	switch r {
+	case Combat:
+		return Clustered(n, 3, math.Sqrt(w*h)/60, w, h, seed)
+	default:
+		return Uniform(n, w, h, seed)
+	}
+}
+
+// TrafficNetwork is a Manhattan road grid: vehicles move along horizontal
+// and vertical roads with constant speeds, wrapping at the borders — the
+// million-vehicle simulation the paper reports targeting.
+type TrafficNetwork struct {
+	W, H  float64
+	Roads int // roads per direction
+	Speed float64
+}
+
+// Vehicles spawns n vehicles on the network, alternating directions.
+func (t TrafficNetwork) Vehicles(n int, seed int64) []cluster.Entity {
+	rng := rand.New(rand.NewSource(seed))
+	spacingH := t.H / float64(t.Roads)
+	spacingV := t.W / float64(t.Roads)
+	out := make([]cluster.Entity, n)
+	for i := range out {
+		e := cluster.Entity{ID: value.ID(i + 1)}
+		if i%2 == 0 { // horizontal road
+			road := rng.Intn(t.Roads)
+			e.Y = (float64(road) + 0.5) * spacingH
+			e.X = rng.Float64() * t.W
+			e.VX = t.Speed * dir(rng)
+		} else { // vertical road
+			road := rng.Intn(t.Roads)
+			e.X = (float64(road) + 0.5) * spacingV
+			e.Y = rng.Float64() * t.H
+			e.VY = t.Speed * dir(rng)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Advance moves vehicles one tick with toroidal wrapping. (The cluster
+// simulator integrates movement itself; Advance is for standalone use.)
+func (t TrafficNetwork) Advance(ents []cluster.Entity) {
+	for i := range ents {
+		ents[i].X = math.Mod(ents[i].X+ents[i].VX+t.W, t.W)
+		ents[i].Y = math.Mod(ents[i].Y+ents[i].VY+t.H, t.H)
+	}
+}
+
+func dir(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Teleports applies the paper's "exotic feature": with probability p per
+// entity per call, jump to a uniform random position (stress-tests
+// continuous-motion assumptions).
+func Teleports(ents []cluster.Entity, w, h, p float64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for i := range ents {
+		if rng.Float64() < p {
+			ents[i].X = rng.Float64() * w
+			ents[i].Y = rng.Float64() * h
+			n++
+		}
+	}
+	return n
+}
+
+// Market describes a marketplace contention scenario (§3.1): sellers with
+// limited stock, buyersPerItem contenders per item.
+type Market struct {
+	Sellers       int
+	BuyersPerItem int
+	Stock         int
+	Price         float64
+	Gold          float64 // buyer starting gold
+}
+
+// TotalBuyers returns the number of buyers to spawn.
+func (m Market) TotalBuyers() int { return m.Sellers * m.BuyersPerItem }

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformDeterministicAndInRange(t *testing.T) {
+	a := Uniform(500, 100, 50, 9)
+	b := Uniform(500, 100, 50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must generate identical positions")
+		}
+		if a[i].X < 0 || a[i].X >= 100 || a[i].Y < 0 || a[i].Y >= 50 {
+			t.Fatalf("out of range: %+v", a[i])
+		}
+	}
+	c := Uniform(500, 100, 50, 10)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds must differ")
+	}
+}
+
+func spreadOf(ps []Pos) float64 {
+	var mx, my float64
+	for _, p := range ps {
+		mx += p.X
+		my += p.Y
+	}
+	n := float64(len(ps))
+	mx, my = mx/n, my/n
+	var v float64
+	for _, p := range ps {
+		v += (p.X-mx)*(p.X-mx) + (p.Y-my)*(p.Y-my)
+	}
+	return v / n
+}
+
+func TestClusteredIsTighterThanUniform(t *testing.T) {
+	u := Uniform(1000, 1000, 1000, 3)
+	c := Clustered(1000, 3, 15, 1000, 1000, 3)
+	for _, p := range c {
+		if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+			t.Fatalf("clustered point out of bounds: %+v", p)
+		}
+	}
+	// Per-cluster spread: group points by cluster index (i%3 assignment).
+	for k := 0; k < 3; k++ {
+		var grp []Pos
+		for i := k; i < len(c); i += 3 {
+			grp = append(grp, c[i])
+		}
+		if spreadOf(grp) >= spreadOf(u) {
+			t.Fatalf("cluster %d spread %v not below uniform %v", k, spreadOf(grp), spreadOf(u))
+		}
+	}
+}
+
+func TestRegimeSchedule(t *testing.T) {
+	if RegimeSchedule(0, 10) != Explore || RegimeSchedule(9, 10) != Explore {
+		t.Error("first block is explore")
+	}
+	if RegimeSchedule(10, 10) != Combat || RegimeSchedule(19, 10) != Combat {
+		t.Error("second block is combat")
+	}
+	if RegimeSchedule(20, 10) != Explore {
+		t.Error("alternation")
+	}
+}
+
+func TestPositionsByRegime(t *testing.T) {
+	e := Positions(Explore, 600, 1000, 1000, 5)
+	c := Positions(Combat, 600, 1000, 1000, 5)
+	if len(e) != 600 || len(c) != 600 {
+		t.Fatal("counts")
+	}
+	if spreadOf(c) >= spreadOf(e) {
+		t.Errorf("combat spread %v must be below explore %v", spreadOf(c), spreadOf(e))
+	}
+}
+
+func TestTrafficNetwork(t *testing.T) {
+	net := TrafficNetwork{W: 1000, H: 1000, Roads: 10, Speed: 3}
+	vs := net.Vehicles(200, 8)
+	if len(vs) != 200 {
+		t.Fatal("count")
+	}
+	spacingH := net.H / float64(net.Roads)
+	for i, v := range vs {
+		if v.ID == 0 {
+			t.Fatal("ids must be assigned")
+		}
+		moving := math.Abs(v.VX)+math.Abs(v.VY) > 0
+		if !moving {
+			t.Fatalf("vehicle %d is parked", i)
+		}
+		if v.VX != 0 {
+			// Horizontal driver: y must sit on a road centerline.
+			frac := math.Mod(v.Y, spacingH) / spacingH
+			if math.Abs(frac-0.5) > 1e-9 {
+				t.Fatalf("vehicle %d off-road: y=%v", i, v.Y)
+			}
+		}
+	}
+	// Advance wraps toroidally.
+	vs[0].X = 999.5
+	vs[0].VX = 3
+	net.Advance(vs)
+	if vs[0].X >= net.W || vs[0].X < 0 {
+		t.Fatalf("wrap failed: x=%v", vs[0].X)
+	}
+}
+
+func TestTeleports(t *testing.T) {
+	net := TrafficNetwork{W: 100, H: 100, Roads: 5, Speed: 1}
+	vs := net.Vehicles(1000, 2)
+	n := Teleports(vs, 100, 100, 0.25, 3)
+	if n < 150 || n > 350 {
+		t.Errorf("teleported %d of 1000 at p=0.25", n)
+	}
+	if Teleports(vs, 100, 100, 0, 3) != 0 {
+		t.Error("p=0 must teleport nobody")
+	}
+}
+
+func TestMarket(t *testing.T) {
+	m := Market{Sellers: 3, BuyersPerItem: 4}
+	if m.TotalBuyers() != 12 {
+		t.Errorf("TotalBuyers = %d", m.TotalBuyers())
+	}
+}

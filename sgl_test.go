@@ -1,0 +1,301 @@
+package sgl_test
+
+import (
+	"math"
+	"testing"
+
+	sgl "repro"
+	"repro/internal/value"
+)
+
+// srcFig2 is the paper's Figure 2 workload: each unit counts the other
+// units within a square range and takes damage per crowding neighbor.
+const srcFig2 = `
+class Unit {
+  state:
+    number x = 0;
+    number y = 0;
+    number range = 10;
+    number health = 100;
+    number crowd = 0;
+  effects:
+    number damage : sum;
+  update:
+    health = health - damage;
+    crowd = crowd;
+  run {
+    accum number cnt with sum over Unit u from Unit {
+      if (u.x >= x - range && u.x <= x + range &&
+          u.y >= y - range && u.y <= y + range) {
+        cnt <- 1;
+      }
+    } in {
+      if (cnt > 3) {
+        damage <- cnt - 3;
+      }
+    }
+  }
+}
+`
+
+func mustLoad(t *testing.T, src string) *sgl.Game {
+	t.Helper()
+	g, err := sgl.Load(src)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return g
+}
+
+func TestFig2EngineMatchesBaseline(t *testing.T) {
+	g := mustLoad(t, srcFig2)
+	for _, strat := range []sgl.Strategy{sgl.Auto, sgl.NestedLoop, sgl.RangeTreeIndex, sgl.GridIndex} {
+		w, err := g.NewWorld(sgl.Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("NewWorld: %v", err)
+		}
+		b := g.NewBaseline()
+		// A 7x7 grid of units spaced 5 apart: every unit has several
+		// neighbors within range 10.
+		for i := 0; i < 49; i++ {
+			init := map[string]sgl.Value{
+				"x": sgl.Num(float64(i%7) * 5),
+				"y": sgl.Num(float64(i/7) * 5),
+			}
+			if _, err := w.Spawn("Unit", init); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Spawn("Unit", init); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Run(3); err != nil {
+			t.Fatalf("%v: engine run: %v", strat, err)
+		}
+		if err := b.Run(3); err != nil {
+			t.Fatalf("baseline run: %v", err)
+		}
+		for _, id := range w.IDs("Unit") {
+			eh := w.MustGet("Unit", id, "health").AsNumber()
+			bh, _ := b.Get("Unit", id, "health")
+			if !value.NumbersEqual(eh, bh.AsNumber(), 1e-9) {
+				t.Fatalf("%v: unit %d: engine health %v, baseline %v", strat, id, eh, bh.AsNumber())
+			}
+			if eh >= 100 {
+				t.Fatalf("%v: unit %d took no damage; accum loop did not run", strat, id)
+			}
+		}
+	}
+}
+
+const srcMultiTick = `
+class Bot {
+  state:
+    number step = 0;
+    number a = 0;
+    number b = 0;
+  effects:
+    number da : sum;
+    number db : sum;
+  update:
+    a = a + da;
+    b = b + db;
+  run {
+    da <- 1;
+    waitNextTick;
+    db <- 10;
+    waitNextTick;
+    da <- 100;
+  }
+}
+`
+
+func TestMultiTickPhases(t *testing.T) {
+	g := mustLoad(t, srcMultiTick)
+	w, err := g.NewWorld(sgl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Spawn("Bot", nil)
+	// Tick 1: phase 0 (da+1). Tick 2: phase 1 (db+10). Tick 3: phase 2
+	// (da+100). Tick 4: wraps to phase 0 (da+1).
+	if err := w.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	a := w.MustGet("Bot", id, "a").AsNumber()
+	bv := w.MustGet("Bot", id, "b").AsNumber()
+	if a != 102 || bv != 10 {
+		t.Fatalf("after 4 ticks: a=%v b=%v, want a=102 b=10", a, bv)
+	}
+
+	bw := g.NewBaseline()
+	bid, _ := bw.Spawn("Bot", nil)
+	if err := bw.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := bw.Get("Bot", bid, "a")
+	bb, _ := bw.Get("Bot", bid, "b")
+	if ba.AsNumber() != 102 || bb.AsNumber() != 10 {
+		t.Fatalf("baseline: a=%v b=%v, want a=102 b=10", ba.AsNumber(), bb.AsNumber())
+	}
+}
+
+// srcMarket reproduces §3.1: buyers purchase an item from a shared seller
+// inside an atomic block constrained to non-negative balances and stock.
+const srcMarket = `
+class Trader {
+  state:
+    number gold = 0;
+    number stock = 0;
+    number wants = 0;
+    ref<Trader> seller = null;
+    number price = 25;
+  effects:
+    number dgold : sum;
+    number dstock : sum;
+  update:
+    gold = gold + dgold;
+    stock = stock + dstock;
+  run {
+    if (wants > 0 && seller != null) {
+      atomic (gold >= 0, seller.stock >= 0) {
+        dgold <- 0 - price;
+        seller.dgold <- price;
+        dstock <- 1;
+        seller.dstock <- 0 - 1;
+      }
+    }
+  }
+}
+`
+
+func TestTransactionsPreventDuping(t *testing.T) {
+	g := mustLoad(t, srcMarket)
+	w, err := g.NewWorld(sgl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seller, _ := w.Spawn("Trader", map[string]sgl.Value{
+		"gold":  sgl.Num(0),
+		"stock": sgl.Num(3), // only 3 items
+	})
+	var buyers []sgl.ID
+	for i := 0; i < 5; i++ {
+		id, _ := w.Spawn("Trader", map[string]sgl.Value{
+			"gold":   sgl.Num(25), // can afford exactly one
+			"wants":  sgl.Num(1),
+			"seller": sgl.Ref(seller),
+		})
+		buyers = append(buyers, id)
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 3 purchases can commit: stock cannot go negative.
+	gotStock := w.MustGet("Trader", seller, "stock").AsNumber()
+	if gotStock != 0 {
+		t.Fatalf("seller stock = %v, want 0", gotStock)
+	}
+	sellerGold := w.MustGet("Trader", seller, "gold").AsNumber()
+	if sellerGold != 75 {
+		t.Fatalf("seller gold = %v, want 75 (3 sales)", sellerGold)
+	}
+	bought := 0
+	totalGold := sellerGold
+	for _, id := range buyers {
+		s := w.MustGet("Trader", id, "stock").AsNumber()
+		gld := w.MustGet("Trader", id, "gold").AsNumber()
+		totalGold += gld
+		if gld < 0 {
+			t.Fatalf("buyer %d has negative gold %v", id, gld)
+		}
+		bought += int(s)
+	}
+	if bought != 3 {
+		t.Fatalf("buyers acquired %d items, want 3", bought)
+	}
+	if totalGold != 125 {
+		t.Fatalf("gold not conserved: total %v, want 125", totalGold)
+	}
+}
+
+const srcHandlers = `
+class Guard {
+  state:
+    number health = 100;
+    number fleeing = 0;
+  effects:
+    number damage : sum;
+    number flee : max;
+  update:
+    health = health - damage;
+    fleeing = flee;
+  handlers:
+    when (health < 50) {
+      flee <- 1;
+    }
+  run {
+    damage <- 30;
+  }
+}
+`
+
+func TestReactiveHandlers(t *testing.T) {
+	g := mustLoad(t, srcHandlers)
+	w, err := g.NewWorld(sgl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := w.Spawn("Guard", nil)
+	// Tick 1: health 100→70; handler sees 70, no flee.
+	// Tick 2: health 70→40; handler sees 40, arms flee for tick 3.
+	// Tick 3: fleeing = flee (1).
+	if err := w.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if f := w.MustGet("Guard", id, "fleeing").AsNumber(); f != 0 {
+		t.Fatalf("fleeing after tick 2 = %v, want 0", f)
+	}
+	if err := w.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if f := w.MustGet("Guard", id, "fleeing").AsNumber(); f != 1 {
+		t.Fatalf("fleeing after tick 3 = %v, want 1", f)
+	}
+
+	b := g.NewBaseline()
+	bid, _ := b.Spawn("Guard", nil)
+	if err := b.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := b.Get("Guard", bid, "fleeing"); f.AsNumber() != 1 {
+		t.Fatalf("baseline fleeing = %v, want 1", f.AsNumber())
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := mustLoad(t, srcFig2)
+	serial, _ := g.NewWorld(sgl.Options{Workers: 1})
+	par, _ := g.NewWorld(sgl.Options{Workers: 4})
+	for i := 0; i < 200; i++ {
+		init := map[string]sgl.Value{
+			"x": sgl.Num(math.Mod(float64(i)*7.3, 100)),
+			"y": sgl.Num(math.Mod(float64(i)*3.7, 100)),
+		}
+		serial.Spawn("Unit", init)
+		par.Spawn("Unit", init)
+	}
+	if err := serial.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range serial.IDs("Unit") {
+		a := serial.MustGet("Unit", id, "health").AsNumber()
+		b := par.MustGet("Unit", id, "health").AsNumber()
+		if !value.NumbersEqual(a, b, 1e-9) {
+			t.Fatalf("unit %d: serial %v, parallel %v", id, a, b)
+		}
+	}
+}
