@@ -210,3 +210,48 @@ func TestSpawnDuringTickVisibleNextTick(t *testing.T) {
 		t.Fatalf("allies after spawn = %v", got)
 	}
 }
+
+// TestExecModeOptions exercises the public execution-mode surface: the
+// same program must produce identical trajectories under forced scalar,
+// forced vectorized and cost-model (auto) execution.
+func TestExecModeOptions(t *testing.T) {
+	data, err := os.ReadFile("testdata/unit.sgl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sgl.Load(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := map[sgl.ExecMode]*sgl.World{}
+	var ids []sgl.ID
+	for _, mode := range []sgl.ExecMode{sgl.ExecScalar, sgl.ExecVectorized, sgl.ExecAuto} {
+		w, err := g.NewWorld(sgl.Options{Exec: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var local []sgl.ID
+		for i := 0; i < 60; i++ {
+			id, err := w.Spawn("Unit", map[string]sgl.Value{
+				"x": sgl.Num(float64(i % 8 * 4)), "y": sgl.Num(float64(i / 8 * 4)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			local = append(local, id)
+		}
+		if err := w.Run(4); err != nil {
+			t.Fatal(err)
+		}
+		worlds[mode] = w
+		ids = local
+	}
+	for _, id := range ids {
+		want := worlds[sgl.ExecScalar].MustGet("Unit", id, "health")
+		for _, mode := range []sgl.ExecMode{sgl.ExecVectorized, sgl.ExecAuto} {
+			if got := worlds[mode].MustGet("Unit", id, "health"); !got.Equal(want) {
+				t.Fatalf("%v: unit %d health %v, scalar %v", mode, id, got, want)
+			}
+		}
+	}
+}

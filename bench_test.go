@@ -394,3 +394,80 @@ func BenchmarkAblation_CompileScenario(b *testing.B) {
 		}
 	}
 }
+
+// E13 — §2/§4: vectorized batch execution vs scalar closure interpretation
+// on the hot per-object expression path. Three workload shapes: vehicles
+// (traffic; pure per-object work, fully vectorizable phases + updates),
+// fig2 (dungeon-style crowding; accum-join dominated, only the update rule
+// vectorizes), and rts (mixed combat with a physics component).
+
+func vehiclesWorld(b *testing.B, n int, opts engine.Options) *engine.World {
+	b.Helper()
+	sc := core.MustLoad("vehicles", core.SrcVehicles)
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.PopulateVehicles(w, workload.Uniform(n, 4000, 4000, 1)); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func rtsWorld(b *testing.B, n int, opts engine.Options) *engine.World {
+	b.Helper()
+	sc := core.MustLoad("rts", core.SrcRTS)
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = w.Register(physics.New2D(physics.Config{
+		Class: "Soldier", XAttr: "x", YAttr: "y",
+		VXEffect: "vx", VYEffect: "vy",
+		Radius: 0.8, MaxSpeed: 2,
+		Bounds: &physics.Rect{MinX: 0, MinY: 0, MaxX: 400, MaxY: 400},
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.PopulateSoldiers(w, workload.Clustered(n, 2, 30, 400, 400, 7)); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchTicks(b *testing.B, w *engine.World) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunTick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13_VectorizedTraffic(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				benchTicks(b, vehiclesWorld(b, n, engine.Options{Exec: mode}))
+			})
+		}
+	}
+}
+
+func BenchmarkE13_VectorizedFig2(b *testing.B) {
+	for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized} {
+		b.Run(fmt.Sprintf("%s/n=%d", mode, 20000), func(b *testing.B) {
+			benchTicks(b, fig2World(b, 20000, engine.Options{Exec: mode}))
+		})
+	}
+}
+
+func BenchmarkE13_VectorizedRTS(b *testing.B) {
+	for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized} {
+		b.Run(fmt.Sprintf("%s/n=%d", mode, 5000), func(b *testing.B) {
+			benchTicks(b, rtsWorld(b, 5000, engine.Options{Exec: mode}))
+		})
+	}
+}

@@ -32,6 +32,7 @@ func main() {
 	e10 := []int{10000, 30000, 100000}
 	e11V, e11Ticks := 50000, 3
 	e12V := 50000
+	e13Sizes := []int{10000, 50000, 200000}
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -40,6 +41,7 @@ func main() {
 		e10 = []int{5000, 20000}
 		e11V, e11Ticks = 20000, 2
 		e12V = 20000
+		e13Sizes = []int{5000, 20000}
 	}
 
 	want := map[string]bool{}
@@ -98,6 +100,9 @@ func main() {
 	}
 	if sel("E12") {
 		emit(experiments.E12(e12V, []int{1, 2, 4, 8, 16}))
+	}
+	if sel("E13") {
+		emit(experiments.E13(e13Sizes, 3))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

@@ -69,17 +69,21 @@ type Step interface{ step() }
 type LetStep struct {
 	Slot int
 	Fn   expr.Fn
+	Src  ast.Expr // type-checked source, for alternative evaluators
 }
 
 // IfStep branches on a boolean expression.
 type IfStep struct {
-	Cond expr.Fn
-	Then []Step
-	Else []Step
+	Cond    expr.Fn
+	CondSrc ast.Expr // type-checked source, for alternative evaluators
+	Then    []Step
+	Else    []Step
 }
 
 // EmitStep contributes a value to an effect attribute (or to an enclosing
-// accum accumulator when AccumSlot >= 0).
+// accum accumulator when AccumSlot >= 0). The *Src fields retain the
+// type-checked expressions so alternative evaluators (the vectorized batch
+// path) can recompile them.
 type EmitStep struct {
 	TargetFn  expr.Fn // nil = self
 	Class     string
@@ -88,6 +92,9 @@ type EmitStep struct {
 	KeyFn     expr.Fn // non-nil for minby/maxby
 	SetInsert bool
 	AccumSlot int // >= 0: contribution to the accum accumulator in that slot
+
+	ValSrc ast.Expr
+	KeySrc ast.Expr
 }
 
 // AtomicStep wraps body emissions into a transaction intent with
@@ -223,9 +230,9 @@ func compileBlockStmts(info *sem.Info, stmts []ast.Stmt) []Step {
 func compileStmt(info *sem.Info, s ast.Stmt) []Step {
 	switch s := s.(type) {
 	case *ast.LetStmt:
-		return []Step{&LetStep{Slot: s.Slot, Fn: expr.Compile(s.Expr)}}
+		return []Step{&LetStep{Slot: s.Slot, Fn: expr.Compile(s.Expr), Src: s.Expr}}
 	case *ast.IfStmt:
-		st := &IfStep{Cond: expr.Compile(s.Cond), Then: compileBlockStmts(info, s.Then.Stmts)}
+		st := &IfStep{Cond: expr.Compile(s.Cond), CondSrc: s.Cond, Then: compileBlockStmts(info, s.Then.Stmts)}
 		if s.Else != nil {
 			st.Else = compileBlockStmts(info, s.Else.Stmts)
 		}
@@ -235,6 +242,7 @@ func compileStmt(info *sem.Info, s ast.Stmt) []Step {
 			Class:     s.TargetClass,
 			AttrIdx:   s.AttrIdx,
 			ValFn:     expr.Compile(s.Value),
+			ValSrc:    s.Value,
 			SetInsert: s.SetInsert,
 			AccumSlot: s.AccumSlot,
 		}
@@ -243,6 +251,7 @@ func compileStmt(info *sem.Info, s ast.Stmt) []Step {
 		}
 		if s.Key != nil {
 			st.KeyFn = expr.Compile(s.Key)
+			st.KeySrc = s.Key
 		}
 		return []Step{st}
 	case *ast.AtomicStmt:

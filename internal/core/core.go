@@ -146,6 +146,49 @@ class Trader {
 }
 `
 
+// SrcVehicles is a §4.2-scale traffic workload shaped for per-object
+// expression work rather than joins: every vehicle advances along its
+// heading, burns fuel, bounces off the network boundary and flags
+// congestion stress — all lets, conditionals and self-targeted effects
+// over numeric columns, the exact shape the vectorized batch evaluator
+// executes whole-extent. With hundreds of thousands of vehicles this is
+// the hot path where object-at-a-time interpretation overhead dominates.
+const SrcVehicles = `
+class Vehicle {
+  state:
+    number x = 0;
+    number y = 0;
+    number dx = 1;
+    number dy = 0;
+    number speed = 3;
+    number fuel = 1000;
+    number odo = 0;
+    number stress = 0;
+  effects:
+    number mx : sum;
+    number my : sum;
+    number burn : sum;
+    number flip : max;
+  update:
+    x = clamp(x + mx, 0, 4000);
+    y = clamp(y + my, 0, 4000);
+    dx = flip > 0 ? 0 - dx : dx;
+    dy = flip > 0 ? 0 - dy : dy;
+    fuel = fuel - burn;
+    odo = odo + abs(mx) + abs(my);
+    stress = clamp(stress * 0.95 + flip, 0, 100);
+  run {
+    let v = fuel > 0 ? speed : 0;
+    mx <- dx * v;
+    my <- dy * v;
+    burn <- 0.01 + v * 0.002 + stress * 0.0001;
+    if (x + dx * v > 4000 || x + dx * v < 0 || y + dy * v > 4000 || y + dy * v < 0) {
+      flip <- 1;
+    }
+  }
+}
+`
+
 // SrcGuard is the multi-tick + reactive example of §3.2: move to a post,
 // pick up an item, attack — with a handler that arms fleeing at low health.
 const SrcGuard = `
@@ -297,6 +340,37 @@ func PopulateSoldiers(w Spawner, ps []workload.Pos) ([]value.ID, error) {
 			"player": value.Num(float64(i % 2)),
 			"x":      value.Num(p.X), "y": value.Num(p.Y),
 			"tx": value.Num(cx), "ty": value.Num(cy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// PopulateVehicles spawns vehicles at the given positions with axis-aligned
+// headings (road-grid style) and staggered fuel, deterministic in the
+// input order.
+func PopulateVehicles(w Spawner, ps []workload.Pos) ([]value.ID, error) {
+	ids := make([]value.ID, 0, len(ps))
+	for i, p := range ps {
+		dx, dy := 0.0, 0.0
+		switch i % 4 {
+		case 0:
+			dx = 1
+		case 1:
+			dx = -1
+		case 2:
+			dy = 1
+		default:
+			dy = -1
+		}
+		id, err := w.Spawn("Vehicle", map[string]value.Value{
+			"x": value.Num(p.X), "y": value.Num(p.Y),
+			"dx": value.Num(dx), "dy": value.Num(dy),
+			"speed": value.Num(2 + float64(i%5)),
+			"fuel":  value.Num(500 + float64(i%997)),
 		})
 		if err != nil {
 			return nil, err

@@ -28,6 +28,14 @@ type Options struct {
 	// Strategy forces a single physical strategy for every accum join
 	// (plan.Auto enables adaptive selection, the default).
 	Strategy plan.Strategy
+	// Exec selects scalar closure vs vectorized batch execution for update
+	// rules and simple effect phases. The default (plan.ExecAuto) lets the
+	// cost model vectorize every extent large enough to amortize batch
+	// setup; plan.ExecScalar and plan.ExecVectorized force one path. The
+	// vectorized path engages on the serial effect phase and the update
+	// step; with Workers > 1 the effect phase stays on the row-partitioned
+	// parallel path (update rules still vectorize).
+	Exec plan.ExecMode
 	// DisableStats turns off runtime statistics collection (experiment E8).
 	DisableStats bool
 }
@@ -60,6 +68,11 @@ type World struct {
 	tracer      TraceFn
 	inspectors  []Inspector
 	workerSinks []*workerSink
+
+	// execCosts models the scalar-vs-vectorized trade-off (§4.1's cost
+	// model, extended to execution mode); execStats tallies which path ran.
+	execCosts plan.Costs
+	execStats stats.ExecCounters
 
 	// scratch evaluation context reused across rows in serial execution
 	ctx expr.Ctx
@@ -100,6 +113,10 @@ type classRT struct {
 	plan  *compile.ClassPlan
 	tab   *table.Table
 	pcCol int
+
+	// vec holds the class's batch-kernel plan, or nil when nothing about
+	// the class is vectorizable.
+	vec *vecClassPlan
 
 	fx []fxColumn
 
@@ -149,6 +166,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		compByName: make(map[string]UpdateComponent),
 		siteIndex:  make(map[*compile.AccumStep]*siteRT),
 		opts:       opts,
+		execCosts:  plan.DefaultCosts(),
 		nextID:     1,
 	}
 	for _, cls := range prog.Info.Schema.Classes() {
@@ -173,6 +191,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		for _, e := range cls.Effects {
 			rt.fx = append(rt.fx, fxColumn{comb: e.Comb, kind: e.Kind})
 		}
+		rt.vec = buildVecPlan(rt)
 		w.classes[cls.Name] = rt
 		w.order = append(w.order, rt)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/plan"
 	"repro/internal/value"
 )
 
@@ -94,19 +95,49 @@ func (w *World) runEffectPhaseSerial() {
 		if rt.plan.Decl.Run == nil {
 			continue
 		}
+		// Vectorized phases run first, whole-extent. They emit only to
+		// the executing object, so each accumulator still receives its
+		// contributions in scalar row-loop order. Tracing forces scalar
+		// so the per-emission hook keeps firing.
+		var vecRun []bool
+		if rt.vec != nil && rt.vec.hasPhases && w.tracer == nil && w.opts.Exec != plan.ExecScalar {
+			// Scalar visits only live rows at this phase's pc; kernels
+			// stream every physical lane regardless.
+			counts := rt.phaseCounts()
+			for p, vp := range rt.vec.phases {
+				if vp == nil {
+					continue
+				}
+				if w.execCosts.ChooseExec(w.opts.Exec, counts[p], rt.tab.Cap(), vp.kernels) == plan.ExecVectorized {
+					if vecRun == nil {
+						vecRun = make([]bool, len(rt.vec.phases))
+					}
+					vecRun[p] = true
+					w.runVecPhase(rt, p, vp)
+				}
+			}
+		}
 		x := newExecCtx(w, sink, rt.plan.NumSlots)
 		tab := rt.tab
+		scalarRows := int64(0)
 		for r := 0; r < tab.Cap(); r++ {
 			if !tab.Alive(r) {
 				continue
 			}
 			pc := int(tab.At(r, rt.pcCol).AsNumber())
+			if vecRun != nil && vecRun[pc] {
+				continue
+			}
 			steps := rt.plan.Phases[pc]
 			if len(steps) == 0 {
 				continue
 			}
 			x.bindRow(rt, r)
 			x.runSteps(steps)
+			scalarRows++
+		}
+		if !w.opts.DisableStats {
+			w.execStats.ScalarRows += scalarRows
 		}
 	}
 }
@@ -127,9 +158,29 @@ func (w *World) SetTxnPolicy(p TxnPolicy) { w.txnPolicy = p }
 
 func (w *World) runUpdateStep() error {
 	// (a) Expression rules, evaluated over old state + combined effects.
+	// Rules that compiled to batch kernels run whole-extent over the
+	// columns when the cost model (or Options.Exec) picks the vectorized
+	// path; the rest interpret closures row-at-a-time. Both stage their
+	// results, applied together in (c).
 	ruleCtx := &UpdateCtx{w: w}
+	// Discard any dense staging left over from a tick that errored out
+	// before the apply step; stale vectors must never apply later.
+	for _, rt := range w.order {
+		if rt.vec != nil {
+			rt.vec.staged = false
+		}
+	}
 	for _, rt := range w.order {
 		if len(rt.plan.Updates) == 0 {
+			continue
+		}
+		rules := rt.plan.Updates
+		if rt.vec != nil && len(rt.vec.updates) > 0 &&
+			w.execCosts.ChooseExec(w.opts.Exec, rt.tab.Len(), rt.tab.Cap(), rt.vec.updateKernels) == plan.ExecVectorized {
+			w.runVecUpdates(rt)
+			rules = rt.vec.scalarUpdates
+		}
+		if len(rules) == 0 {
 			continue
 		}
 		ectx := expr.Ctx{W: w, Class: rt.name}
@@ -142,10 +193,13 @@ func (w *World) runUpdateStep() error {
 			ectx.Self = rowReader{rt: rt, row: r}
 			ectx.Effects = fxReader{rt: rt, row: r}
 			ectx.EffectZero = effectZeroFn(rt)
-			for _, u := range rt.plan.Updates {
+			for _, u := range rules {
 				v := u.Fn(&ectx)
 				ruleCtx.stageRule(rt, u.AttrIdx, ectx.SelfID, v)
 			}
+		}
+		if !w.opts.DisableStats {
+			w.execStats.ScalarRows += int64(tab.Len() * len(rules))
 		}
 	}
 	// (b) Owner components.
@@ -155,7 +209,9 @@ func (w *World) runUpdateStep() error {
 			return fmt.Errorf("component %q: %w", c.Name(), err)
 		}
 	}
-	// (c) Apply all staged writes atomically.
+	// (c) Apply all staged writes atomically: map-staged values from
+	// scalar rules and components, then the dense columns staged by the
+	// vectorized rules (disjoint attributes by strict ownership).
 	for _, rt := range w.order {
 		for attrIdx, m := range rt.staged {
 			for id, v := range m {
@@ -167,6 +223,7 @@ func (w *World) runUpdateStep() error {
 			}
 			delete(rt.staged, attrIdx)
 		}
+		rt.applyVecUpdates()
 	}
 	return nil
 }

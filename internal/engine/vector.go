@@ -1,0 +1,542 @@
+package engine
+
+// The vectorized execution path: instead of interpreting closure trees one
+// object at a time, eligible update rules and effect-phase scripts compile
+// (at world construction) into vexpr batch kernels that stream whole class
+// extents through the columnar tables — the set-at-a-time processing model
+// the paper argues distinguishes database-style engines from scripting
+// middleware (§2, §4).
+//
+// Eligibility is per expression and per phase. An update rule vectorizes
+// when its expression compiles to a kernel (numeric/bool/ref payloads only)
+// and its target attribute is columnar. An effect phase vectorizes when
+// every step is a let, an if, or a self-targeted scalar effect emission
+// whose expressions all compile; accum loops, atomic blocks, cross-object
+// emissions and set effects keep the phase on the scalar path. Self-only
+// emissions are a correctness requirement, not just a simplification: they
+// guarantee each accumulator receives its contributions in exactly the
+// order the scalar row loop would produce, so the two paths are
+// bit-identical, not merely ⊕-equivalent.
+//
+// The scalar closure evaluator remains the semantic reference; the choice
+// between the two is a physical-plan decision made per class and tick by
+// plan.Costs.ChooseExec (forcible through Options.Exec).
+
+import (
+	"repro/internal/compile"
+	"repro/internal/stats"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// vecUpdateRule is one update rule compiled to a batch kernel.
+type vecUpdateRule struct {
+	attrIdx int
+	prog    *vexpr.Prog
+}
+
+// vecStep mirrors the subset of compile.Step the batch path executes.
+type vecStep interface{ vecStep() }
+
+type vecLet struct {
+	slot int
+	prog *vexpr.Prog
+}
+
+type vecEmit struct {
+	attrIdx int
+	kind    value.Kind // declared effect value kind
+	val     *vexpr.Prog
+	key     *vexpr.Prog // non-nil for minby/maxby emissions
+	valBuf  int
+	keyBuf  int
+}
+
+type vecIf struct {
+	cond    *vexpr.Prog
+	condBuf int
+	then    []vecStep
+	els     []vecStep
+	depth   int
+}
+
+func (*vecLet) vecStep()  {}
+func (*vecEmit) vecStep() {}
+func (*vecIf) vecStep()   {}
+
+// vecPhase is one effect-phase step list compiled to batch form.
+type vecPhase struct {
+	steps   []vecStep
+	kernels int  // total batch operators, the cost-model work unit
+	needIDs bool // any kernel reads self()
+	maxSlot int  // highest frame slot written, -1 if none
+	nBufs   int  // scratch output vectors reserved by emits and ifs
+}
+
+// vecClassPlan carries a class's compiled batch kernels plus the scratch
+// vectors reused across ticks. It is used only from the serial tick path,
+// so the scratch needs no synchronization.
+type vecClassPlan struct {
+	updates       []vecUpdateRule
+	scalarUpdates []compile.UpdatePlan // rules that stay on the closure path
+	updateKernels int
+	updateFx      []int // effect attrs read by update kernels
+	updateNeedIDs bool
+
+	phases    []*vecPhase // indexed by phase; nil = scalar only
+	hasPhases bool        // any phase compiled (guards the per-tick scan)
+
+	// Scratch, sized to the table capacity on demand.
+	machine  vexpr.Machine
+	env      vexpr.Env
+	ids      []float64
+	fxVecs   [][]float64 // indexed by effect attr; nil when unused
+	slotVecs [][]float64
+	bufs     [][]float64 // per-emit/if output vectors
+	masks    [][]bool    // selection masks by if-nesting depth
+	outVecs  [][]float64 // staged update-rule results, one per vec rule
+	staged   bool        // outVecs hold this tick's results
+	counts   []int       // per-phase live-row counts (cost-model input)
+}
+
+// phaseCounts returns the number of live rows at each script phase — the
+// rows the scalar path would actually visit per phase. Requires rt.vec.
+func (rt *classRT) phaseCounts() []int {
+	v := rt.vec
+	if cap(v.counts) < rt.plan.NumPhases {
+		v.counts = make([]int, rt.plan.NumPhases)
+	}
+	v.counts = v.counts[:rt.plan.NumPhases]
+	for i := range v.counts {
+		v.counts[i] = 0
+	}
+	if rt.plan.NumPhases == 1 {
+		v.counts[0] = rt.tab.Len()
+		return v.counts
+	}
+	pcCol := rt.tab.NumColumn(rt.pcCol)
+	for r, ok := range rt.tab.AliveMask() {
+		if ok {
+			v.counts[int(pcCol[r])]++
+		}
+	}
+	return v.counts
+}
+
+// buildVecPlan compiles everything vectorizable about a class. Returns nil
+// when nothing compiled, which keeps the scalar fast path branch-free.
+func buildVecPlan(rt *classRT) *vecClassPlan {
+	v := &vecClassPlan{}
+	fxSeen := make(map[int]bool)
+	for _, u := range rt.plan.Updates {
+		kind := rt.cls.State[u.AttrIdx].Kind
+		prog, ok := vexpr.Compile(u.Src.Expr)
+		if !ok || (kind != value.KindNumber && kind != value.KindBool && kind != value.KindRef) {
+			v.scalarUpdates = append(v.scalarUpdates, u)
+			continue
+		}
+		v.updates = append(v.updates, vecUpdateRule{attrIdx: u.AttrIdx, prog: prog})
+		v.updateKernels += prog.Kernels()
+		v.updateNeedIDs = v.updateNeedIDs || prog.NeedIDs()
+		for _, ai := range prog.FxUsed() {
+			if !fxSeen[ai] {
+				fxSeen[ai] = true
+				v.updateFx = append(v.updateFx, ai)
+			}
+		}
+	}
+	v.phases = make([]*vecPhase, len(rt.plan.Phases))
+	any := len(v.updates) > 0
+	// A scalar phase that cross-emits into this same class could interleave
+	// with a vectorized phase's self-emissions in a different order than
+	// the scalar row loop (row 3's cross-contribution into row 9 vs row
+	// 9's own), which would break bit-identity for ⊕ folds. Vectorized
+	// phases themselves never cross-emit (rejected below), so the hazard
+	// exists exactly when any phase emits into the own class via a target
+	// expression; in that case no phase of the class vectorizes.
+	if !classCrossEmitsSelf(rt) {
+		for p, steps := range rt.plan.Phases {
+			if len(steps) == 0 {
+				continue
+			}
+			if vp := compileVecPhase(rt, steps); vp != nil {
+				v.phases[p] = vp
+				v.hasPhases = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return v
+}
+
+// classCrossEmitsSelf reports whether any phase of the class contains a
+// direct (non-transactional) targeted emission into the class itself.
+// Atomic-block emissions are excluded: they flow through transaction
+// admission, which runs after the whole effect phase in both execution
+// modes.
+func classCrossEmitsSelf(rt *classRT) bool {
+	var walk func(steps []compile.Step) bool
+	walk = func(steps []compile.Step) bool {
+		for _, s := range steps {
+			switch s := s.(type) {
+			case *compile.EmitStep:
+				if s.TargetFn != nil && s.Class == rt.name && s.AccumSlot < 0 {
+					return true
+				}
+			case *compile.IfStep:
+				if walk(s.Then) || walk(s.Else) {
+					return true
+				}
+			case *compile.AccumStep:
+				if walk(s.Body) {
+					return true
+				}
+				if s.Join != nil && walk(s.Join.Inner) {
+					return true
+				}
+			case *compile.AtomicStep:
+				// Emissions inside atomic blocks apply during admission.
+			}
+		}
+		return false
+	}
+	for _, steps := range rt.plan.Phases {
+		if walk(steps) {
+			return true
+		}
+	}
+	return false
+}
+
+// compileVecPhase lowers one phase's step list to batch form, or nil when
+// any step is outside the vectorizable subset.
+func compileVecPhase(rt *classRT, steps []compile.Step) *vecPhase {
+	vp := &vecPhase{maxSlot: -1}
+	defined := make(map[int]bool)
+	out, ok := compileVecSteps(rt, steps, defined, 0, vp)
+	if !ok {
+		return nil
+	}
+	vp.steps = out
+	return vp
+}
+
+func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, depth int, vp *vecPhase) ([]vecStep, bool) {
+	slotOK := func(slot int) bool { return defined[slot] }
+	var out []vecStep
+	for _, s := range steps {
+		switch s := s.(type) {
+		case *compile.LetStep:
+			prog, ok := vexpr.CompileWithSlots(s.Src, slotOK)
+			if !ok {
+				return nil, false
+			}
+			defined[s.Slot] = true
+			if s.Slot > vp.maxSlot {
+				vp.maxSlot = s.Slot
+			}
+			vp.kernels += prog.Kernels()
+			vp.needIDs = vp.needIDs || prog.NeedIDs()
+			out = append(out, &vecLet{slot: s.Slot, prog: prog})
+		case *compile.IfStep:
+			cond, ok := vexpr.CompileWithSlots(s.CondSrc, slotOK)
+			if !ok {
+				return nil, false
+			}
+			st := &vecIf{cond: cond, condBuf: vp.newBuf(), depth: depth}
+			vp.kernels += cond.Kernels()
+			vp.needIDs = vp.needIDs || cond.NeedIDs()
+			if st.then, ok = compileVecSteps(rt, s.Then, defined, depth+1, vp); !ok {
+				return nil, false
+			}
+			if st.els, ok = compileVecSteps(rt, s.Else, defined, depth+1, vp); !ok {
+				return nil, false
+			}
+			out = append(out, st)
+		case *compile.EmitStep:
+			// Only self-targeted scalar emissions keep per-accumulator
+			// contribution order identical to the scalar row loop.
+			if s.TargetFn != nil || s.SetInsert || s.AccumSlot >= 0 || s.Class != rt.name {
+				return nil, false
+			}
+			kind := rt.cls.Effects[s.AttrIdx].Kind
+			if kind != value.KindNumber && kind != value.KindBool && kind != value.KindRef {
+				return nil, false
+			}
+			val, ok := vexpr.CompileWithSlots(s.ValSrc, slotOK)
+			if !ok {
+				return nil, false
+			}
+			st := &vecEmit{attrIdx: s.AttrIdx, kind: kind, val: val, valBuf: vp.newBuf(), keyBuf: -1}
+			vp.kernels += val.Kernels()
+			vp.needIDs = vp.needIDs || val.NeedIDs()
+			if s.KeyFn != nil {
+				key, ok := vexpr.CompileWithSlots(s.KeySrc, slotOK)
+				if !ok {
+					return nil, false
+				}
+				st.key, st.keyBuf = key, vp.newBuf()
+				vp.kernels += key.Kernels()
+				vp.needIDs = vp.needIDs || key.NeedIDs()
+			}
+			out = append(out, st)
+		default: // AccumStep, AtomicStep
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// newBuf reserves one scratch output vector for an emit or if condition.
+func (vp *vecPhase) newBuf() int {
+	vp.nBufs++
+	return vp.nBufs - 1
+}
+
+// gatherState implements vexpr.Env.Gather over committed (tick-start)
+// state, matching the closure evaluator's null/dangling semantics: absent
+// rows read as the attribute's zero payload.
+func (w *World) gatherState(class string, attrIdx int, refs, out []float64, zero float64) {
+	rt := w.classes[class]
+	col := rt.tab.NumColumn(attrIdx)
+	for i, f := range refs {
+		if row := rt.tab.Row(value.ID(f)); row >= 0 {
+			out[i] = col[row]
+		} else {
+			out[i] = zero
+		}
+	}
+}
+
+// payloadOf extracts the columnar float64 payload of a scalar value.
+func payloadOf(v value.Value) float64 {
+	switch v.Kind() {
+	case value.KindBool:
+		if v.AsBool() {
+			return 1
+		}
+		return 0
+	case value.KindRef:
+		return float64(v.AsRef())
+	default:
+		return v.AsNumber()
+	}
+}
+
+// payloadValue reconstructs a scalar value from its columnar payload.
+func payloadValue(k value.Kind, f float64) value.Value {
+	switch k {
+	case value.KindBool:
+		return value.Bool(f != 0)
+	case value.KindRef:
+		return value.Ref(value.ID(f))
+	default:
+		return value.Num(f)
+	}
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func (v *vecClassPlan) buf(i, n int) []float64 {
+	for len(v.bufs) <= i {
+		v.bufs = append(v.bufs, nil)
+	}
+	v.bufs[i] = growFloats(v.bufs[i], n)
+	return v.bufs[i]
+}
+
+func (v *vecClassPlan) mask(depth, n int) []bool {
+	for len(v.masks) <= depth {
+		v.masks = append(v.masks, nil)
+	}
+	if cap(v.masks[depth]) < n {
+		v.masks[depth] = make([]bool, n)
+	}
+	v.masks[depth] = v.masks[depth][:n]
+	return v.masks[depth]
+}
+
+// fillIDs materializes the per-row object-id vector for self() kernels.
+func (v *vecClassPlan) fillIDs(rt *classRT, n int) {
+	v.ids = growFloats(v.ids, n)
+	for r := 0; r < n; r++ {
+		v.ids[r] = float64(rt.tab.ID(r))
+	}
+	v.env.IDs = v.ids
+}
+
+// bindEnv points the shared kernel environment at the class's current
+// columns.
+func (v *vecClassPlan) bindEnv(w *World, rt *classRT) {
+	v.env.Cols = rt.tab.NumColumns()
+	v.env.Gather = w.gatherState
+}
+
+// runVecUpdates evaluates the class's vectorized update rules over the
+// whole extent, leaving the new-state payloads staged in outVecs. They
+// apply with all other staged writes at the end of the update step, so
+// components still observe old state.
+func (w *World) runVecUpdates(rt *classRT) {
+	v := rt.vec
+	n := rt.tab.Cap()
+	v.bindEnv(w, rt)
+	// Dense combined-effect vectors: zero payload everywhere, overwritten
+	// at rows that received contributions (fx.touched).
+	for len(v.fxVecs) < len(rt.fx) {
+		v.fxVecs = append(v.fxVecs, nil)
+	}
+	for _, ai := range v.updateFx {
+		vec := growFloats(v.fxVecs[ai], n)
+		v.fxVecs[ai] = vec
+		e := rt.cls.Effects[ai]
+		zero := payloadOf(value.Zero(e.Comb.ResultKind(e.Kind)))
+		for r := range vec {
+			vec[r] = zero
+		}
+		fx := &rt.fx[ai]
+		for _, r := range fx.touched {
+			if val, ok := fx.acc[r].Result(); ok {
+				vec[r] = payloadOf(val)
+			}
+		}
+	}
+	v.env.Fx = v.fxVecs
+	if v.updateNeedIDs {
+		v.fillIDs(rt, n)
+	}
+	for len(v.outVecs) < len(v.updates) {
+		v.outVecs = append(v.outVecs, nil)
+	}
+	for i, u := range v.updates {
+		v.outVecs[i] = growFloats(v.outVecs[i], n)
+		u.prog.Run(&v.machine, &v.env, 0, n, v.outVecs[i])
+	}
+	v.staged = true
+	if !w.opts.DisableStats {
+		w.execStats.VectorRows += int64(rt.tab.Len() * len(v.updates))
+	}
+}
+
+// applyVecUpdates writes the staged dense columns back for live rows. Rule
+// and component attributes are disjoint (strict ownership), so ordering
+// against the map-staged writes is immaterial.
+func (rt *classRT) applyVecUpdates() {
+	v := rt.vec
+	if v == nil || !v.staged {
+		return
+	}
+	alive := rt.tab.AliveMask()
+	for i, u := range v.updates {
+		out := v.outVecs[i]
+		for r, ok := range alive {
+			if ok {
+				rt.tab.SetNumAt(r, u.attrIdx, out[r])
+			}
+		}
+	}
+	v.staged = false
+}
+
+// runVecPhase executes one vectorized effect phase: the base selection mask
+// is alive ∧ pc=phase, refined by nested if conditions; kernels evaluate
+// unmasked (expressions are total, dead lanes are ignored) and only masked
+// rows emit.
+func (w *World) runVecPhase(rt *classRT, phase int, vp *vecPhase) {
+	v := rt.vec
+	n := rt.tab.Cap()
+	v.bindEnv(w, rt)
+	if vp.needIDs {
+		v.fillIDs(rt, n)
+	}
+	if vp.maxSlot >= 0 {
+		for len(v.slotVecs) <= vp.maxSlot {
+			v.slotVecs = append(v.slotVecs, nil)
+		}
+		for i := range v.slotVecs {
+			v.slotVecs[i] = growFloats(v.slotVecs[i], n)
+		}
+		v.env.Slots = v.slotVecs
+	}
+	mask := v.mask(0, n)
+	alive := rt.tab.AliveMask()
+	selected := 0
+	if rt.plan.NumPhases > 1 {
+		pcCol := rt.tab.NumColumn(rt.pcCol)
+		for r := range mask {
+			mask[r] = alive[r] && int(pcCol[r]) == phase
+			if mask[r] {
+				selected++
+			}
+		}
+	} else {
+		copy(mask, alive)
+		selected = rt.tab.Len()
+	}
+	w.execVecSteps(rt, vp.steps, mask, n)
+	if !w.opts.DisableStats {
+		w.execStats.VectorRows += int64(selected)
+	}
+}
+
+func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, n int) {
+	v := rt.vec
+	for _, s := range steps {
+		switch s := s.(type) {
+		case *vecLet:
+			s.prog.Run(&v.machine, &v.env, 0, n, v.slotVecs[s.slot])
+		case *vecEmit:
+			val := v.buf(s.valBuf, n)
+			s.val.Run(&v.machine, &v.env, 0, n, val)
+			var key []float64
+			if s.key != nil {
+				key = v.buf(s.keyBuf, n)
+				s.key.Run(&v.machine, &v.env, 0, n, key)
+			}
+			fx := &rt.fx[s.attrIdx]
+			for r, ok := range mask {
+				if !ok {
+					continue
+				}
+				k := 0.0
+				if key != nil {
+					k = key[r]
+				}
+				fx.add(r, payloadValue(s.kind, val[r]), k)
+			}
+		case *vecIf:
+			cond := v.buf(s.condBuf, n)
+			s.cond.Run(&v.machine, &v.env, 0, n, cond)
+			sub := v.mask(s.depth+1, n)
+			any := false
+			for r := range sub {
+				sub[r] = mask[r] && cond[r] != 0
+				any = any || sub[r]
+			}
+			if any {
+				w.execVecSteps(rt, s.then, sub, n)
+			}
+			if s.els != nil {
+				any = false
+				for r := range sub {
+					sub[r] = mask[r] && cond[r] == 0
+					any = any || sub[r]
+				}
+				if any {
+					w.execVecSteps(rt, s.els, sub, n)
+				}
+			}
+		}
+	}
+}
+
+// ExecStats reports how much per-row expression work ran vectorized versus
+// scalar since the world was created (§4's set-at-a-time accounting).
+func (w *World) ExecStats() stats.ExecCounters { return w.execStats }

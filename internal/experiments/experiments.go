@@ -508,3 +508,62 @@ func E12(vehicles int, nodes []int) (Table, error) {
 	}
 	return t, nil
 }
+
+// E13 measures the vectorized columnar execution path (§2/§4: set-at-a-time
+// processing over columnar storage) against scalar closure interpretation
+// and the object-at-a-time baseline, on the per-object traffic workload
+// where expression evaluation — not joins — is the hot path.
+func E13(sizes []int, ticks int) (Table, error) {
+	t := Table{
+		ID:     "E13",
+		Title:  "vectorized batch kernels vs scalar closures (traffic workload)",
+		Header: []string{"vehicles", "baseline ms/tick", "scalar ms/tick", "vectorized ms/tick", "vec speedup", "vec rows %"},
+		Notes:  "vec speedup = scalar/vectorized; vec rows % = share of row evaluations run through batch kernels under ExecAuto",
+	}
+	sc := core.MustLoad("vehicles", core.SrcVehicles)
+	for _, n := range sizes {
+		ps := workload.Uniform(n, 4000, 4000, 1)
+
+		bl := sc.NewBaseline()
+		if _, err := core.PopulateVehicles(bl, ps); err != nil {
+			return t, err
+		}
+		blTime, err := tickTime(bl.RunTick, ticks)
+		if err != nil {
+			return t, err
+		}
+
+		times := make(map[plan.ExecMode]time.Duration)
+		for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized} {
+			w, err := sc.NewWorld(engine.Options{Exec: mode})
+			if err != nil {
+				return t, err
+			}
+			if _, err := core.PopulateVehicles(w, ps); err != nil {
+				return t, err
+			}
+			if times[mode], err = tickTime(w.RunTick, ticks); err != nil {
+				return t, err
+			}
+		}
+
+		auto, err := sc.NewWorld(engine.Options{})
+		if err != nil {
+			return t, err
+		}
+		if _, err := core.PopulateVehicles(auto, ps); err != nil {
+			return t, err
+		}
+		if _, err = tickTime(auto.RunTick, ticks); err != nil {
+			return t, err
+		}
+
+		speedup := float64(times[plan.ExecScalar]) / float64(times[plan.ExecVectorized])
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), ms(blTime), ms(times[plan.ExecScalar]), ms(times[plan.ExecVectorized]),
+			fmt.Sprintf("%.1fx", speedup),
+			fmt.Sprintf("%.0f%%", auto.ExecStats().VectorFraction()*100),
+		})
+	}
+	return t, nil
+}

@@ -166,6 +166,29 @@ func TestE11E12Shape(t *testing.T) {
 	}
 }
 
+func TestE13Shape(t *testing.T) {
+	tbl, err := E13([]int{2000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All timing cells must be positive numbers; the actual speedup claim
+	// is asserted only by the benchmarks (wall-clock races are too noisy
+	// for a unit test at this tiny scale).
+	for col := 1; col <= 3; col++ {
+		if v := num(t, cell(t, tbl, 0, col)); v <= 0 {
+			t.Errorf("column %d: non-positive time %v", col, v)
+		}
+	}
+	frac := strings.TrimSuffix(cell(t, tbl, 0, 5), "%")
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil {
+		t.Fatalf("vec rows cell %q is not numeric: %v", cell(t, tbl, 0, 5), err)
+	}
+	if f < 99 {
+		t.Errorf("ExecAuto must fully vectorize the traffic workload, got %v%%", f)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tbl := Table{
 		ID: "EX", Title: "demo", Header: []string{"a", "b"},

@@ -47,6 +47,35 @@ func (s Strategy) String() string {
 	}
 }
 
+// ExecMode selects how per-row expression work (update rules and simple
+// effect-phase scripts) is executed: through the scalar closure evaluator
+// of package expr, or through the vectorized batch kernels of package
+// vexpr that stream whole column slices set-at-a-time.
+type ExecMode uint8
+
+const (
+	// ExecAuto lets the cost model pick per class and tick (the default).
+	ExecAuto ExecMode = iota
+	// ExecScalar forces the closure evaluator everywhere.
+	ExecScalar
+	// ExecVectorized forces batch kernels wherever an expression compiled
+	// to one (non-columnar expressions still run scalar).
+	ExecVectorized
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case ExecAuto:
+		return "auto"
+	case ExecScalar:
+		return "scalar"
+	case ExecVectorized:
+		return "vectorized"
+	default:
+		return fmt.Sprintf("exec(%d)", uint8(m))
+	}
+}
+
 // Costs holds the tunable constants of the cost model, in abstract units of
 // "one row visit". Defaults were calibrated on the bench workloads; the
 // ablation bench E7b perturbs them.
@@ -57,6 +86,10 @@ type Costs struct {
 	TreeBuild  float64 // amortized per-row tree build cost (× log n)
 	TreeProbe  float64 // per-probe search cost (× log² n)
 	MatchVisit float64 // evaluating residual + contributions per match
+
+	ScalarVisit float64 // interpreting one closure tree for one row
+	VecVisit    float64 // streaming one row through one batch kernel
+	VecSetup    float64 // per-extent fixed cost (effect/id vector builds)
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -68,7 +101,35 @@ func DefaultCosts() Costs {
 		TreeBuild:  2.5,
 		TreeProbe:  1.5,
 		MatchVisit: 1.2,
+
+		ScalarVisit: 1.0,
+		VecVisit:    0.3,
+		VecSetup:    48,
 	}
+}
+
+// ChooseExec resolves an execution mode for one batch of expression work
+// this tick: forced modes pass through, and ExecAuto compares the modeled
+// cost of interpreting rows × kernels closure nodes against streaming
+// lanes × kernels batch lanes plus fixed setup. rows is the number of rows
+// the scalar path would actually visit (live rows at the right script
+// phase); lanes is the number of physical lanes the kernels stream (the
+// table capacity — batch execution cannot skip holes or other phases).
+// Small or sparse extents stay scalar; everything else vectorizes — the
+// paper's set-at-a-time default.
+func (c Costs) ChooseExec(mode ExecMode, rows, lanes, kernels int) ExecMode {
+	if mode != ExecAuto {
+		return mode
+	}
+	if rows <= 0 || kernels <= 0 {
+		return ExecScalar
+	}
+	scalar := c.ScalarVisit * float64(rows) * float64(kernels)
+	vec := c.VecSetup + c.VecVisit*float64(lanes)*float64(kernels)
+	if vec < scalar {
+		return ExecVectorized
+	}
+	return ExecScalar
 }
 
 // Selector picks a strategy for one accum site and applies hysteresis.

@@ -101,3 +101,35 @@ func TestAutoInitializesToFirstCandidate(t *testing.T) {
 		t.Error("Auto must resolve to a concrete strategy")
 	}
 }
+
+func TestChooseExec(t *testing.T) {
+	c := DefaultCosts()
+	if got := c.ChooseExec(ExecScalar, 1<<20, 1<<20, 4); got != ExecScalar {
+		t.Errorf("forced scalar: %v", got)
+	}
+	if got := c.ChooseExec(ExecVectorized, 1, 1, 1); got != ExecVectorized {
+		t.Errorf("forced vectorized: %v", got)
+	}
+	if got := c.ChooseExec(ExecAuto, 0, 0, 4); got != ExecScalar {
+		t.Errorf("empty extent: %v", got)
+	}
+	if got := c.ChooseExec(ExecAuto, 4, 4, 1); got != ExecScalar {
+		t.Errorf("tiny extent must stay scalar (setup does not amortize): %v", got)
+	}
+	if got := c.ChooseExec(ExecAuto, 10000, 10000, 3); got != ExecVectorized {
+		t.Errorf("large extent must vectorize: %v", got)
+	}
+	// Sparse selection: scalar touches 100 rows while kernels would
+	// stream 10000 lanes (e.g. many script phases or a mostly-dead table).
+	if got := c.ChooseExec(ExecAuto, 100, 10000, 3); got != ExecScalar {
+		t.Errorf("sparse extent must stay scalar: %v", got)
+	}
+}
+
+func TestExecModeString(t *testing.T) {
+	for m, want := range map[ExecMode]string{ExecAuto: "auto", ExecScalar: "scalar", ExecVectorized: "vectorized"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package ast defines the abstract syntax tree of SGL programs. Nodes carry
 // source positions and, after semantic analysis (package sem), resolved
-// binding and type annotations consumed by both the relational compiler and
-// the object-at-a-time baseline interpreter.
+// binding and type annotations consumed by the relational compiler (§2),
+// the object-at-a-time baseline interpreter (§1–2's comparison model) and
+// the vectorized batch-kernel compiler (§4).
 package ast
 
 import (

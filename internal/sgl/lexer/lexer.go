@@ -1,5 +1,7 @@
-// Package lexer tokenizes SGL source text. It supports // line comments and
-// /* */ block comments and tracks line/column positions.
+// Package lexer tokenizes SGL source text — the first stage of compiling
+// the paper's imperative-looking scripts (§2) into relational tick plans.
+// It supports // line comments and /* */ block comments and tracks
+// line/column positions.
 package lexer
 
 import (

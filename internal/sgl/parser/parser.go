@@ -1,5 +1,7 @@
-// Package parser implements a recursive-descent parser for SGL. The grammar
-// (EBNF, terminals quoted):
+// Package parser implements a recursive-descent parser for SGL, the
+// scripting language whose deliberately imperative surface (§2 of the
+// paper) hides the state-effect pattern that makes set-at-a-time
+// compilation possible. The grammar (EBNF, terminals quoted):
 //
 //	program     = { classDecl } .
 //	classDecl   = "class" IDENT "{" { section } "}" .

@@ -142,3 +142,25 @@ func (r *Reservoir) Spread() (varX, varY float64) {
 	}
 	return varX / n, varY / n
 }
+
+// ExecCounters tallies how much per-row expression work ran through the
+// vectorized batch path versus the scalar closure path, per world. One
+// "row" here is one (row, rule-or-phase) evaluation. The counters feed the
+// E13 experiment and let operators confirm that the set-at-a-time default
+// actually engages on their workload.
+type ExecCounters struct {
+	// VectorRows counts row evaluations executed by batch kernels.
+	VectorRows int64
+	// ScalarRows counts row evaluations executed by closure interpretation.
+	ScalarRows int64
+}
+
+// VectorFraction returns the share of row evaluations that were vectorized
+// (0 when nothing ran).
+func (c ExecCounters) VectorFraction() float64 {
+	total := c.VectorRows + c.ScalarRows
+	if total == 0 {
+		return 0
+	}
+	return float64(c.VectorRows) / float64(total)
+}

@@ -118,3 +118,14 @@ func TestReservoirDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestExecCounters(t *testing.T) {
+	var c ExecCounters
+	if c.VectorFraction() != 0 {
+		t.Error("empty counters must report 0")
+	}
+	c.VectorRows, c.ScalarRows = 30, 20
+	if got := c.VectorFraction(); got != 0.6 {
+		t.Errorf("VectorFraction = %v, want 0.6", got)
+	}
+}

@@ -233,6 +233,30 @@ func (t *Table) setRaw(row, ci int, v value.Value) {
 // read-only and consult Alive for liveness.
 func (t *Table) NumColumn(ci int) []float64 { return t.nums[ci] }
 
+// NumColumns exposes the float64 storage of every column at once, indexed
+// by column index; entries for string and set columns are nil. This is the
+// read-only column view the vectorized batch evaluator executes over —
+// callers must not write through it and must consult AliveMask for
+// liveness.
+func (t *Table) NumColumns() [][]float64 { return t.nums }
+
+// AliveMask exposes the liveness bitmap indexed by physical row. Read-only;
+// it aliases table storage and changes on Insert/Delete.
+func (t *Table) AliveMask() []bool { return t.alive }
+
+// SetNumAt stores a raw float64 payload at a physical (row, column-index)
+// position of a number, bool or ref column (bool = 0/1, ref = id). It is
+// the unboxed write path of the vectorized update step and panics on
+// string/set columns, whose payloads are not columnar floats.
+func (t *Table) SetNumAt(row, ci int, f float64) {
+	switch t.cols[ci].Kind {
+	case value.KindNumber, value.KindBool, value.KindRef:
+		t.nums[ci][row] = f
+	default:
+		panic(fmt.Sprintf("table %s: SetNumAt on %s column %s", t.name, t.cols[ci].Kind, t.cols[ci].Name))
+	}
+}
+
 // ForEach invokes fn for every live row in physical order.
 func (t *Table) ForEach(fn func(row int, id value.ID)) {
 	for r, ok := range t.alive {

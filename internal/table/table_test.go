@@ -172,6 +172,50 @@ func TestNumColumn(t *testing.T) {
 	}
 }
 
+func TestColumnViewsAndSetNumAt(t *testing.T) {
+	tab := New("T", []Column{
+		{Name: "x", Kind: value.KindNumber},
+		{Name: "ok", Kind: value.KindBool},
+		{Name: "to", Kind: value.KindRef},
+		{Name: "tag", Kind: value.KindString},
+	})
+	tab.Insert(1, []value.Value{value.Num(4), value.Bool(true), value.Ref(7), value.Str("a")})
+	tab.Insert(2, []value.Value{value.Num(8), value.Bool(false), value.NullRef(), value.Str("b")})
+	tab.Delete(2)
+
+	cols := tab.NumColumns()
+	if cols[0][0] != 4 || cols[1][0] != 1 || cols[2][0] != 7 {
+		t.Errorf("NumColumns payloads = %v %v %v", cols[0][0], cols[1][0], cols[2][0])
+	}
+	if cols[3] != nil {
+		t.Error("string column must have nil numeric view")
+	}
+	mask := tab.AliveMask()
+	if !mask[0] || mask[1] {
+		t.Errorf("AliveMask = %v", mask)
+	}
+
+	tab.SetNumAt(0, 0, 9.5)
+	tab.SetNumAt(0, 1, 0)
+	tab.SetNumAt(0, 2, float64(value.NullID))
+	if v, _ := tab.Get(1, "x"); v.AsNumber() != 9.5 {
+		t.Errorf("SetNumAt number: %v", v)
+	}
+	if v, _ := tab.Get(1, "ok"); v.AsBool() {
+		t.Errorf("SetNumAt bool: %v", v)
+	}
+	if v, _ := tab.Get(1, "to"); !v.IsNullRef() {
+		t.Errorf("SetNumAt ref: %v", v)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("SetNumAt on a string column must panic")
+		}
+	}()
+	tab.SetNumAt(0, 3, 1)
+}
+
 // Property: a random interleaving of inserts and deletes leaves the table
 // agreeing with a map-based model.
 func TestInsertDeleteModelProperty(t *testing.T) {

@@ -1,0 +1,547 @@
+// Package vexpr compiles type-checked SGL expressions into vectorized batch
+// kernels that run directly over the columnar storage of package table —
+// the set-at-a-time execution model the paper argues for (§2, §4): instead
+// of interpreting a closure tree once per object, a compiled Prog streams
+// whole column slices through a small register machine in cache-sized
+// batches, one tight loop per operator.
+//
+// Numbers, booleans and references share the engine's float64 column
+// representation (bool = 0/1, ref = object id, null = -1), so a single
+// float64 lane per row covers every numeric-payload kind. Strings and sets
+// have no columnar payload here: Compile reports ok=false for expressions
+// touching them and the engine falls back to the scalar closure evaluator
+// of package expr, which remains the semantic reference.
+//
+// Semantics are identical to the closure evaluator by construction:
+// evaluation is total (IEEE division, NaN-propagating math), && and ||
+// evaluate both sides — sound because SGL expressions are pure and
+// exception-free — and comparisons on bool/ref payloads order exactly like
+// value.Compare.
+package vexpr
+
+import (
+	"math"
+
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/token"
+	"repro/internal/value"
+)
+
+// batchSize is the number of rows processed per kernel invocation. 1 KiB of
+// float64 lanes per register keeps the working set of a typical expression
+// (a handful of registers) inside L1/L2 while amortizing dispatch.
+const batchSize = 1024
+
+type op uint8
+
+const (
+	opConst op = iota
+	opLoadCol
+	opLoadFx
+	opLoadSlot
+	opSelfID
+	opGather
+	opNeg
+	opNot
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opLT
+	opLE
+	opGT
+	opGE
+	opEQ
+	opNEQ
+	opAnd
+	opOr
+	opSel
+	opAbs
+	opMin
+	opMax
+	opFloor
+	opCeil
+	opSqrt
+	opClamp
+	opDist
+)
+
+// instr is one SSA instruction: every instruction writes a fresh register.
+type instr struct {
+	op         op
+	dst        int
+	a, b, c, d int     // operand registers
+	imm        float64 // opConst: the constant; opGather: the zero payload
+	attr       int     // opLoadCol/opLoadFx/opLoadSlot: column index; opGather: attr index
+	class      string  // opGather: class of the referenced object
+}
+
+// Prog is a compiled batch kernel. A Prog is immutable and safe for
+// concurrent Run calls as long as each goroutine uses its own Machine.
+type Prog struct {
+	ins     []instr
+	nRegs   int
+	out     int
+	needIDs bool
+	fxUsed  []int
+}
+
+// Env binds a Prog to one class extent for execution. All slices are
+// indexed by physical row and read-only for the kernel.
+type Env struct {
+	// Cols holds the float64 payload of every state column, indexed by
+	// state-attribute index (entries for string/set columns may be nil —
+	// compiled programs never load them).
+	Cols [][]float64
+	// Fx holds the ⊕-combined effect value per effect attribute, dense
+	// over physical rows with absent contributions already replaced by the
+	// combinator's zero payload. Only consulted by update-rule programs.
+	Fx [][]float64
+	// IDs holds each row's object id as float64; required only when
+	// NeedIDs reports true.
+	IDs []float64
+	// Slots holds frame-slot vectors for let-bound locals, indexed by
+	// slot. Only slots permitted at compile time are loaded.
+	Slots [][]float64
+	// Gather resolves a cross-object state read: for every id payload in
+	// refs it must write the referenced object's attribute payload to out,
+	// or zero for null/dangling references.
+	Gather func(class string, attrIdx int, refs, out []float64, zero float64)
+}
+
+// Machine holds the scratch registers for running programs. A zero Machine
+// is ready to use; it grows to the largest program it has run.
+type Machine struct {
+	regs    [][]float64
+	scratch []float64
+}
+
+// NeedIDs reports whether Env.IDs must be populated.
+func (p *Prog) NeedIDs() bool { return p.needIDs }
+
+// FxUsed returns the effect-attribute indices the program reads.
+func (p *Prog) FxUsed() []int { return p.fxUsed }
+
+// Kernels returns the number of batch operators the program executes per
+// batch — the work unit of the plan cost model.
+func (p *Prog) Kernels() int { return len(p.ins) }
+
+// Compile translates a type-checked expression into a batch program. The
+// second result is false when the expression touches strings, sets,
+// iteration variables or class extents; callers then use the scalar
+// closure path of package expr.
+func Compile(e ast.Expr) (*Prog, bool) { return CompileWithSlots(e, nil) }
+
+// CompileWithSlots is Compile for expressions that may read let-bound frame
+// slots; slotOK reports which slots have vectorized values available.
+func CompileWithSlots(e ast.Expr, slotOK func(slot int) bool) (*Prog, bool) {
+	c := &compiler{slotOK: slotOK}
+	out := c.compile(e)
+	if c.fail || out < 0 {
+		return nil, false
+	}
+	c.p.out = out
+	c.p.nRegs = len(c.p.ins)
+	return &c.p, true
+}
+
+// payloadKind reports whether a kind shares the float64 column payload.
+func payloadKind(k value.Kind) bool {
+	return k == value.KindNumber || k == value.KindBool || k == value.KindRef
+}
+
+// zeroPayload is the float64 payload of value.Zero(k) for payload kinds.
+func zeroPayload(k value.Kind) float64 {
+	if k == value.KindRef {
+		return float64(value.NullID)
+	}
+	return 0
+}
+
+type compiler struct {
+	p      Prog
+	slotOK func(int) bool
+	fail   bool
+}
+
+func (c *compiler) emit(i instr) int {
+	i.dst = len(c.p.ins)
+	c.p.ins = append(c.p.ins, i)
+	return i.dst
+}
+
+func (c *compiler) bail() int {
+	c.fail = true
+	return -1
+}
+
+func (c *compiler) compile(e ast.Expr) int {
+	if c.fail {
+		return -1
+	}
+	switch e := e.(type) {
+	case *ast.NumLit:
+		return c.emit(instr{op: opConst, imm: e.V})
+	case *ast.BoolLit:
+		v := 0.0
+		if e.V {
+			v = 1
+		}
+		return c.emit(instr{op: opConst, imm: v})
+	case *ast.NullLit:
+		return c.emit(instr{op: opConst, imm: float64(value.NullID)})
+	case *ast.StrLit:
+		return c.bail()
+	case *ast.Ident:
+		return c.compileIdent(e)
+	case *ast.FieldExpr:
+		if !payloadKind(e.Ty.Kind) {
+			return c.bail()
+		}
+		x := c.compile(e.X)
+		if x < 0 {
+			return -1
+		}
+		return c.emit(instr{op: opGather, a: x, class: e.Class, attr: e.AttrIdx, imm: zeroPayload(e.Ty.Kind)})
+	case *ast.UnaryExpr:
+		x := c.compile(e.X)
+		if x < 0 {
+			return -1
+		}
+		switch e.Op {
+		case token.MINUS:
+			return c.emit(instr{op: opNeg, a: x})
+		case token.NOT:
+			return c.emit(instr{op: opNot, a: x})
+		}
+		return c.bail()
+	case *ast.BinaryExpr:
+		return c.compileBinary(e)
+	case *ast.CondExpr:
+		if !payloadKind(e.Ty.Kind) {
+			return c.bail()
+		}
+		cc, t, f := c.compile(e.C), c.compile(e.T), c.compile(e.F)
+		if cc < 0 || t < 0 || f < 0 {
+			return -1
+		}
+		return c.emit(instr{op: opSel, a: cc, b: t, c: f})
+	case *ast.CallExpr:
+		return c.compileCall(e)
+	default:
+		return c.bail()
+	}
+}
+
+func (c *compiler) compileIdent(e *ast.Ident) int {
+	switch e.Bind.Kind {
+	case ast.BindStateAttr:
+		if !payloadKind(e.Ty.Kind) {
+			return c.bail()
+		}
+		return c.emit(instr{op: opLoadCol, attr: e.Bind.AttrIdx})
+	case ast.BindLocal:
+		if c.slotOK == nil || !c.slotOK(e.Bind.Slot) || !payloadKind(e.Ty.Kind) {
+			return c.bail()
+		}
+		return c.emit(instr{op: opLoadSlot, attr: e.Bind.Slot})
+	case ast.BindSelf:
+		c.p.needIDs = true
+		return c.emit(instr{op: opSelfID})
+	case ast.BindEffectAttr:
+		if !payloadKind(e.Ty.Kind) {
+			return c.bail()
+		}
+		c.p.fxUsed = append(c.p.fxUsed, e.Bind.AttrIdx)
+		return c.emit(instr{op: opLoadFx, attr: e.Bind.AttrIdx})
+	default: // BindIter, BindExtent, unresolved
+		return c.bail()
+	}
+}
+
+func (c *compiler) compileBinary(e *ast.BinaryExpr) int {
+	// String comparisons have no columnar payload; everything else shares
+	// float64 ordering with value.Compare/Equal.
+	if !payloadKind(e.X.Type().Kind) || !payloadKind(e.Y.Type().Kind) {
+		return c.bail()
+	}
+	x, y := c.compile(e.X), c.compile(e.Y)
+	if x < 0 || y < 0 {
+		return -1
+	}
+	var o op
+	switch e.Op {
+	case token.PLUS:
+		o = opAdd
+	case token.MINUS:
+		o = opSub
+	case token.STAR:
+		o = opMul
+	case token.SLASH:
+		o = opDiv
+	case token.PERCENT:
+		o = opMod
+	case token.LT:
+		o = opLT
+	case token.LE:
+		o = opLE
+	case token.GT:
+		o = opGT
+	case token.GE:
+		o = opGE
+	case token.EQ:
+		o = opEQ
+	case token.NEQ:
+		o = opNEQ
+	case token.ANDAND:
+		o = opAnd
+	case token.OROR:
+		o = opOr
+	default:
+		return c.bail()
+	}
+	return c.emit(instr{op: o, a: x, b: y})
+}
+
+func (c *compiler) compileCall(e *ast.CallExpr) int {
+	args := make([]int, len(e.Args))
+	for i, a := range e.Args {
+		if args[i] = c.compile(a); args[i] < 0 {
+			return -1
+		}
+	}
+	switch e.Builtin {
+	case ast.BAbs:
+		return c.emit(instr{op: opAbs, a: args[0]})
+	case ast.BMin:
+		return c.emit(instr{op: opMin, a: args[0], b: args[1]})
+	case ast.BMax:
+		return c.emit(instr{op: opMax, a: args[0], b: args[1]})
+	case ast.BFloor:
+		return c.emit(instr{op: opFloor, a: args[0]})
+	case ast.BCeil:
+		return c.emit(instr{op: opCeil, a: args[0]})
+	case ast.BSqrt:
+		return c.emit(instr{op: opSqrt, a: args[0]})
+	case ast.BClamp:
+		return c.emit(instr{op: opClamp, a: args[0], b: args[1], c: args[2]})
+	case ast.BDist:
+		return c.emit(instr{op: opDist, a: args[0], b: args[1], c: args[2], d: args[3]})
+	case ast.BID:
+		// id(ref) reinterprets the payload as a number — already identical.
+		return args[0]
+	case ast.BSelfFn:
+		c.p.needIDs = true
+		return c.emit(instr{op: opSelfID})
+	default: // size/contains operate on sets
+		return c.bail()
+	}
+}
+
+// prepare sizes the machine's registers for p. Alias ops (loads) get their
+// register rebound per batch; compute ops own a batch-sized scratch slice.
+func (m *Machine) prepare(p *Prog) {
+	if len(m.regs) < p.nRegs {
+		m.regs = append(m.regs, make([][]float64, p.nRegs-len(m.regs))...)
+	}
+	need := 0
+	for _, in := range p.ins {
+		if !aliasOp(in.op) {
+			need += batchSize
+		}
+	}
+	if cap(m.scratch) < need {
+		m.scratch = make([]float64, need)
+	}
+	m.scratch = m.scratch[:0]
+	off := 0
+	for _, in := range p.ins {
+		if !aliasOp(in.op) {
+			m.regs[in.dst] = m.scratch[off : off+batchSize][:batchSize]
+			off += batchSize
+		}
+	}
+}
+
+func aliasOp(o op) bool {
+	switch o {
+	case opLoadCol, opLoadFx, opLoadSlot, opSelfID:
+		return true
+	}
+	return false
+}
+
+// Run evaluates the program for physical rows [lo, hi), writing each row's
+// result payload to out[row]. Rows are processed in batches; dead rows may
+// be evaluated (their results are ignored by callers), which is safe
+// because SGL expressions are total.
+func (p *Prog) Run(m *Machine, env *Env, lo, hi int, out []float64) {
+	m.prepare(p)
+	for start := lo; start < hi; start += batchSize {
+		end := start + batchSize
+		if end > hi {
+			end = hi
+		}
+		p.runBatch(m, env, start, end)
+		copy(out[start:end], m.regs[p.out][:end-start])
+	}
+}
+
+func (p *Prog) runBatch(m *Machine, env *Env, lo, hi int) {
+	n := hi - lo
+	for _, in := range p.ins {
+		switch in.op {
+		case opConst:
+			dst := m.regs[in.dst][:n]
+			for i := range dst {
+				dst[i] = in.imm
+			}
+		case opLoadCol:
+			m.regs[in.dst] = env.Cols[in.attr][lo:hi]
+		case opLoadFx:
+			m.regs[in.dst] = env.Fx[in.attr][lo:hi]
+		case opLoadSlot:
+			m.regs[in.dst] = env.Slots[in.attr][lo:hi]
+		case opSelfID:
+			m.regs[in.dst] = env.IDs[lo:hi]
+		case opGather:
+			env.Gather(in.class, in.attr, m.regs[in.a][:n], m.regs[in.dst][:n], in.imm)
+		case opNeg:
+			dst, a := m.regs[in.dst][:n], m.regs[in.a][:n]
+			for i := range dst {
+				dst[i] = -a[i]
+			}
+		case opNot:
+			dst, a := m.regs[in.dst][:n], m.regs[in.a][:n]
+			for i := range dst {
+				if a[i] == 0 {
+					dst[i] = 1
+				} else {
+					dst[i] = 0
+				}
+			}
+		case opAdd:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = a[i] + b[i]
+			}
+		case opSub:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = a[i] - b[i]
+			}
+		case opMul:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = a[i] * b[i]
+			}
+		case opDiv:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = a[i] / b[i]
+			}
+		case opMod:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = math.Mod(a[i], b[i])
+			}
+		case opLT:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] < b[i])
+			}
+		case opLE:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] <= b[i])
+			}
+		case opGT:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] > b[i])
+			}
+		case opGE:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] >= b[i])
+			}
+		case opEQ:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] == b[i])
+			}
+		case opNEQ:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != b[i])
+			}
+		case opAnd:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != 0 && b[i] != 0)
+			}
+		case opOr:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != 0 || b[i] != 0)
+			}
+		case opSel:
+			dst, cc, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				if cc[i] != 0 {
+					dst[i] = a[i]
+				} else {
+					dst[i] = b[i]
+				}
+			}
+		case opAbs:
+			dst, a := m.regs[in.dst][:n], m.regs[in.a][:n]
+			for i := range dst {
+				dst[i] = math.Abs(a[i])
+			}
+		case opMin:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = math.Min(a[i], b[i])
+			}
+		case opMax:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = math.Max(a[i], b[i])
+			}
+		case opFloor:
+			dst, a := m.regs[in.dst][:n], m.regs[in.a][:n]
+			for i := range dst {
+				dst[i] = math.Floor(a[i])
+			}
+		case opCeil:
+			dst, a := m.regs[in.dst][:n], m.regs[in.a][:n]
+			for i := range dst {
+				dst[i] = math.Ceil(a[i])
+			}
+		case opSqrt:
+			dst, a := m.regs[in.dst][:n], m.regs[in.a][:n]
+			for i := range dst {
+				dst[i] = math.Sqrt(a[i])
+			}
+		case opClamp:
+			dst, x, lov, hiv := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				dst[i] = math.Min(math.Max(x[i], lov[i]), hiv[i])
+			}
+		case opDist:
+			dst, x1, y1, x2, y2 := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n], m.regs[in.d][:n]
+			for i := range dst {
+				dst[i] = math.Hypot(x1[i]-x2[i], y1[i]-y2[i])
+			}
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

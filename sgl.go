@@ -39,10 +39,14 @@ type (
 	World = engine.World
 	// BaselineWorld is the object-at-a-time interpreter world.
 	BaselineWorld = baseline.World
-	// Options configure engine execution (parallelism, plan forcing).
+	// Options configure engine execution (parallelism, plan forcing,
+	// scalar vs vectorized expression execution).
 	Options = engine.Options
 	// Strategy selects a physical accum-join strategy.
 	Strategy = plan.Strategy
+	// ExecMode selects scalar closure vs vectorized batch expression
+	// execution (see Options.Exec).
+	ExecMode = plan.ExecMode
 	// UpdateComponent is a non-scripted owner of state attributes
 	// (physics, pathfinding, ...; §2.2 of the paper).
 	UpdateComponent = engine.UpdateComponent
@@ -65,6 +69,16 @@ const (
 	GridIndex      = plan.GridIndex
 	RangeTreeIndex = plan.RangeTreeIndex
 	HashIndex      = plan.HashIndex
+)
+
+// Execution modes for per-row expression work (see Options.Exec). The
+// default ExecAuto vectorizes every extent large enough to amortize batch
+// setup; numeric-only rules and simple effect phases then run as columnar
+// batch kernels instead of per-object closures.
+const (
+	ExecAuto       = plan.ExecAuto
+	ExecScalar     = plan.ExecScalar
+	ExecVectorized = plan.ExecVectorized
 )
 
 // Value constructors.
