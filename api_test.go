@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	sgl "repro"
+	"repro/internal/core"
 	"repro/internal/value"
+	"repro/internal/workload"
 )
 
 func TestLoadErrorsPropagate(t *testing.T) {
@@ -208,6 +210,53 @@ func TestSpawnDuringTickVisibleNextTick(t *testing.T) {
 	}
 	if got := w.MustGet("Piece", first, "allies").AsNumber(); got != 2 {
 		t.Fatalf("allies after spawn = %v", got)
+	}
+}
+
+// TestWorkersComposeWithExec pins the public contract of the sharded
+// executor: Workers and Exec are independent axes. Forcing ExecVectorized
+// with Workers=4 must actually run batch kernels (it used to fall back to
+// the scalar worker loop silently), report the same vectorized-row count as
+// Workers=1, dispatch shards to the pool, and produce the identical
+// trajectory.
+func TestWorkersComposeWithExec(t *testing.T) {
+	g, err := sgl.Load(core.SrcVehicles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, ticks = 2500, 3
+	worlds := map[int]*sgl.World{}
+	for _, workers := range []int{1, 4} {
+		w, err := g.NewWorld(sgl.Options{Workers: workers, Exec: sgl.ExecVectorized})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.PopulateVehicles(w, workload.Uniform(n, 4000, 4000, 9)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(ticks); err != nil {
+			t.Fatal(err)
+		}
+		worlds[workers] = w
+	}
+	if v := worlds[4].ExecStats().VectorRows; v == 0 {
+		t.Fatal("Workers=4 + ExecVectorized reported zero vectorized rows")
+	}
+	if worlds[1].ExecStats().VectorRows != worlds[4].ExecStats().VectorRows {
+		t.Fatalf("VectorRows drift: Workers=1 %d, Workers=4 %d",
+			worlds[1].ExecStats().VectorRows, worlds[4].ExecStats().VectorRows)
+	}
+	if worlds[4].ExecStats().ParallelShards == 0 {
+		t.Fatal("Workers=4 never dispatched shards")
+	}
+	for _, id := range worlds[1].IDs("Vehicle") {
+		for _, attr := range []string{"x", "y", "fuel", "odo", "stress"} {
+			a := worlds[1].MustGet("Vehicle", id, attr)
+			b := worlds[4].MustGet("Vehicle", id, attr)
+			if !a.Equal(b) {
+				t.Fatalf("vehicle %d %s: Workers=1 %v, Workers=4 %v", id, attr, a, b)
+			}
+		}
 	}
 }
 

@@ -471,3 +471,30 @@ func BenchmarkE13_VectorizedRTS(b *testing.B) {
 		})
 	}
 }
+
+// E14 — the sharded parallel×vectorized executor: worker scaling of scalar
+// vs vectorized shards on the expression-bound traffic workload. The
+// composition claim is that workers×vectorized beats both axes alone
+// (compare against BenchmarkE13_VectorizedTraffic for the serial numbers).
+func BenchmarkE14_ShardedTraffic(b *testing.B) {
+	for _, n := range []int{100000, 200000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized} {
+				b.Run(fmt.Sprintf("%s/w=%d/n=%d", mode, workers, n), func(b *testing.B) {
+					benchTicks(b, vehiclesWorld(b, n, engine.Options{Workers: workers, Exec: mode}))
+				})
+			}
+		}
+	}
+}
+
+// E14 companion: worker scaling on the join-dominated rts workload, where
+// the sharded scalar path (worker sinks) carries the weight and the
+// vectorized axis contributes only the update rules.
+func BenchmarkE14_ShardedRTS(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("auto/w=%d/n=%d", workers, 5000), func(b *testing.B) {
+			benchTicks(b, rtsWorld(b, 5000, engine.Options{Workers: workers}))
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sglbench [-quick] [-md] [-only E1,E7]
+//	sglbench [-quick] [-md] [-json] [-only E1,E7]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller populations and fewer ticks")
 	md := flag.Bool("md", false, "emit markdown tables")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per table (machine-readable BENCH capture)")
 	only := flag.String("only", "", "comma-separated experiment ids (default all)")
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 	e11V, e11Ticks := 50000, 3
 	e12V := 50000
 	e13Sizes := []int{10000, 50000, 200000}
+	e14N, e14Workers := 100000, []int{1, 2, 4, 8}
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -42,6 +44,7 @@ func main() {
 		e11V, e11Ticks = 20000, 2
 		e12V = 20000
 		e13Sizes = []int{5000, 20000}
+		e14N, e14Workers = 20000, []int{1, 2, 4}
 	}
 
 	want := map[string]bool{}
@@ -58,9 +61,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", t.ID, err)
 			os.Exit(1)
 		}
-		if *md {
+		switch {
+		case *jsonOut:
+			fmt.Println(t.JSON())
+		case *md:
 			fmt.Println(t.Markdown())
-		} else {
+		default:
 			fmt.Println(t.Format())
 		}
 	}
@@ -103,6 +109,9 @@ func main() {
 	}
 	if sel("E13") {
 		emit(experiments.E13(e13Sizes, 3))
+	}
+	if sel("E14") {
+		emit(experiments.E14(e14N, e14Workers, 3))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

@@ -23,7 +23,11 @@ import (
 
 // Options configure a World.
 type Options struct {
-	// Workers sets the effect-phase parallelism; 0 or 1 runs serially.
+	// Workers caps the worker pool for the sharded execution paths
+	// (effect phase, update rules, reactive handlers); 0 or 1 runs
+	// serially. The pool is a ceiling, not a mandate: per class and tick
+	// the cost model decides how many batch-aligned row shards are worth
+	// fanning out, so small extents run inline regardless of Workers.
 	Workers int
 	// Strategy forces a single physical strategy for every accum join
 	// (plan.Auto enables adaptive selection, the default).
@@ -31,10 +35,13 @@ type Options struct {
 	// Exec selects scalar closure vs vectorized batch execution for update
 	// rules and simple effect phases. The default (plan.ExecAuto) lets the
 	// cost model vectorize every extent large enough to amortize batch
-	// setup; plan.ExecScalar and plan.ExecVectorized force one path. The
-	// vectorized path engages on the serial effect phase and the update
-	// step; with Workers > 1 the effect phase stays on the row-partitioned
-	// parallel path (update rules still vectorize).
+	// setup; plan.ExecScalar and plan.ExecVectorized force one path. Exec
+	// and Workers compose: vectorized phases run their kernels per shard
+	// across the pool, everything else falls back to the sharded scalar
+	// row loop. At a fixed worker count, end states are bit-identical
+	// across Exec modes; across worker counts they are ⊕-equivalent, and
+	// bit-identical whenever each accumulator's contributions come from a
+	// single shard (the self-emission common case) or fold exactly.
 	Exec plan.ExecMode
 	// DisableStats turns off runtime statistics collection (experiment E8).
 	DisableStats bool
@@ -68,6 +75,8 @@ type World struct {
 	tracer      TraceFn
 	inspectors  []Inspector
 	workerSinks []*workerSink
+	shardCtxs   []*shardCtx // per-worker machines, counters, staging
+	shardBuf    []shard     // scratch shard partition, reused per pass
 
 	// execCosts models the scalar-vs-vectorized trade-off (§4.1's cost
 	// model, extended to execution mode); execStats tallies which path ran.
@@ -118,6 +127,15 @@ type classRT struct {
 	// the class is vectorizable.
 	vec *vecClassPlan
 
+	// phaseCost and handlerCost are crude per-row work weights (step
+	// counts, accum loops weighted heavily) feeding the parallelism axis
+	// of the cost model; countsBuf and vecSelBuf are per-tick scratch for
+	// the two-axis effect-phase decision.
+	phaseCost   []float64
+	handlerCost float64
+	countsBuf   []int
+	vecSelBuf   []bool
+
 	fx []fxColumn
 
 	// hasRule[i] is true when state attr i has an expression update rule.
@@ -151,6 +169,16 @@ func (f *fxColumn) reset() {
 func (f *fxColumn) add(row int, v value.Value, key float64) {
 	if f.acc[row].N() == 0 {
 		f.touched = append(f.touched, row)
+	}
+	f.acc[row].Add(v, key)
+}
+
+// addLogged is add for sharded writers: the empty→touched transition is
+// recorded in the caller's private log (merged in shard order after the
+// barrier) instead of the shared touched list.
+func (f *fxColumn) addLogged(row int, v value.Value, key float64, log *[]int) {
+	if f.acc[row].N() == 0 {
+		*log = append(*log, row)
 	}
 	f.acc[row].Add(v, key)
 }
@@ -190,6 +218,13 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		}
 		for _, e := range cls.Effects {
 			rt.fx = append(rt.fx, fxColumn{comb: e.Comb, kind: e.Kind})
+		}
+		rt.phaseCost = make([]float64, len(cp.Phases))
+		for p, steps := range cp.Phases {
+			rt.phaseCost[p] = stepsCost(steps)
+		}
+		for _, h := range cp.Handlers {
+			rt.handlerCost += 1 + stepsCost(h.Body)
 		}
 		rt.vec = buildVecPlan(rt)
 		w.classes[cls.Name] = rt

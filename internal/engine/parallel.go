@@ -1,15 +1,146 @@
 package engine
 
-import "sync"
+// The sharded parallel executor exploits the paper's §4.2 observation:
+// during the query/effect steps all tables are read-only, so per-object
+// work needs no synchronization. It composes the two execution axes —
+// scalar/vectorized (§4.4) × serial/parallel — over one partitioning
+// scheme: each class extent splits into contiguous row shards aligned to
+// the vexpr batch size, and the two-axis cost model (plan.Costs.ChooseExec
+// × plan.Costs.ChooseWorkers) decides per class and tick which phases run
+// as batch kernels and how many shards are worth fanning out.
+//
+// Determinism discipline, per path:
+//
+//   - Vectorized phases emit only to the executing object, so shards write
+//     row-disjoint slices of the shared accumulators directly; the
+//     newly-touched row lists are logged per shard and appended in shard
+//     order after the barrier.
+//   - Scalar rows fold contributions into private per-worker accumulators,
+//     merged worker-major after the barrier. Shards are contiguous and
+//     assigned to workers in row order, so a worker-major merge replays
+//     contributions in scalar row-loop order per source class (⊕ is
+//     commutative and associative; bit-identity additionally holds whenever
+//     an accumulator's contributions come from a single shard or the fold
+//     is exact, which the self-emission rule makes the common case).
+//   - Transactions concatenate in worker order, keeping admission
+//     deterministic; scalar update-rule results stage per worker and merge
+//     in shard order before the atomic apply; reactive handlers reuse the
+//     worker sinks, merged worker-major like the effect phase.
 
-// The parallel effect phase exploits the paper's §4.2 observation: during
-// the query/effect steps all tables are read-only, so effect computation
-// needs no synchronization. Rows are partitioned contiguously across
-// workers; each worker evaluates scripts against the shared frozen state
-// and folds contributions into private accumulators, which merge (⊕ is
-// commutative and associative) after a barrier. Transactions collected by
-// workers are concatenated in worker order, keeping admission
-// deterministic.
+import (
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// shard is one contiguous, batch-aligned range of physical rows.
+type shard struct{ lo, hi int }
+
+// shardRows partitions [0, capRows) into at most maxShards contiguous
+// shards whose boundaries fall on vexpr.BatchSize multiples, so no kernel
+// invocation pays a split batch. buf is reused when capacious enough.
+func shardRows(capRows, maxShards int, buf []shard) []shard {
+	buf = buf[:0]
+	if capRows <= 0 {
+		return buf
+	}
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	size := (capRows + maxShards - 1) / maxShards
+	if rem := size % vexpr.BatchSize; rem != 0 {
+		size += vexpr.BatchSize - rem
+	}
+	for lo := 0; lo < capRows; lo += size {
+		hi := lo + size
+		if hi > capRows {
+			hi = capRows
+		}
+		buf = append(buf, shard{lo: lo, hi: hi})
+	}
+	return buf
+}
+
+// stepsCost is the crude per-row work weight of a compiled step list used
+// by the parallelism axis: lets, ifs and emissions count one unit, accum
+// loops count far more because each probes an index (or scans an extent)
+// and runs its body per match. It only has to rank extents against the
+// fan-out overhead, not predict wall time.
+func stepsCost(steps []compile.Step) float64 {
+	c := 0.0
+	for _, s := range steps {
+		switch s := s.(type) {
+		case *compile.IfStep:
+			c += 1 + stepsCost(s.Then) + stepsCost(s.Else)
+		case *compile.AtomicStep:
+			c += 1 + stepsCost(s.Body)
+		case *compile.AccumStep:
+			c += 64 + stepsCost(s.Body)
+			if s.Join != nil {
+				c += stepsCost(s.Join.Inner)
+			}
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+// stagedWrite is one scalar update-rule result buffered by a worker.
+type stagedWrite struct {
+	attrIdx int
+	id      value.ID
+	val     value.Value
+}
+
+// shardCtx is the private execution state of one worker slot: a kernel
+// machine for vectorized shards, row counters folded into the shared
+// statistics at the barrier, the touched-row log for direct accumulator
+// writes, and the staging buffer for scalar update rules.
+type shardCtx struct {
+	machine     vexpr.Machine
+	scalarRows  int64
+	vectorRows  int64
+	handlerRows int64
+	touched     touchedLog
+	staged      []stagedWrite
+}
+
+// parallelOK reports whether this tick may use the worker pool at all.
+// Tracing forces serial execution so the per-emission hook fires in row
+// order.
+func (w *World) parallelOK() bool { return w.opts.Workers > 1 && w.tracer == nil }
+
+// ensureWorkers lazily builds the per-worker sinks and shard contexts.
+func (w *World) ensureWorkers() {
+	if w.workerSinks != nil {
+		return
+	}
+	w.workerSinks = make([]*workerSink, w.opts.Workers)
+	w.shardCtxs = make([]*shardCtx, w.opts.Workers)
+	for i := range w.workerSinks {
+		w.workerSinks[i] = newWorkerSink(w)
+		w.shardCtxs[i] = &shardCtx{}
+	}
+}
+
+// runShards dispatches fn over the shards on the worker pool and waits for
+// the barrier. Shard i always runs on worker slot i (shards never outnumber
+// workers), which is what makes the worker-major merges shard-ordered.
+func (w *World) runShards(shards []shard, fn func(si int, sh shard)) {
+	var wg sync.WaitGroup
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si int, sh shard) {
+			defer wg.Done()
+			fn(si, sh)
+		}(si, sh)
+	}
+	wg.Wait()
+}
 
 // workerSink buffers effect emissions privately per worker.
 type workerSink struct {
@@ -69,14 +200,15 @@ func (s *workerSink) mergeInto(w *World) {
 	w.txns = append(w.txns, s.txns...)
 }
 
+// runEffectPhaseParallel executes the query/effect phase over batch-aligned
+// row shards on the worker pool, composing both execution axes per class:
+// phases the cost model vectorizes run their batch kernels shard-at-a-time,
+// everything else runs the scalar row loop over the same shards into the
+// private worker sinks. Classes whose modeled work cannot amortize goroutine
+// fan-out run inline on the calling goroutine (through sink 0, preserving
+// the worker-major merge order).
 func (w *World) runEffectPhaseParallel() {
-	workers := w.opts.Workers
-	if w.workerSinks == nil {
-		w.workerSinks = make([]*workerSink, workers)
-		for i := range w.workerSinks {
-			w.workerSinks[i] = newWorkerSink(w)
-		}
-	}
+	w.ensureWorkers()
 	for _, s := range w.workerSinks {
 		s.reset()
 	}
@@ -85,39 +217,208 @@ func (w *World) runEffectPhaseParallel() {
 			continue
 		}
 		capRows := rt.tab.Cap()
-		chunk := (capRows + workers - 1) / workers
-		var wg sync.WaitGroup
-		for wi := 0; wi < workers; wi++ {
-			lo := wi * chunk
-			if lo >= capRows {
-				break
-			}
-			hi := lo + chunk
-			if hi > capRows {
-				hi = capRows
-			}
-			wg.Add(1)
-			go func(wi, lo, hi int) {
-				defer wg.Done()
-				x := newExecCtx(w, w.workerSinks[wi], rt.plan.NumSlots)
-				tab := rt.tab
-				for r := lo; r < hi; r++ {
-					if !tab.Alive(r) {
-						continue
-					}
-					pc := int(tab.At(r, rt.pcCol).AsNumber())
-					steps := rt.plan.Phases[pc]
-					if len(steps) == 0 {
-						continue
-					}
-					x.bindRow(rt, r)
-					x.runSteps(steps)
-				}
-			}(wi, lo, hi)
+		vecSel, work := w.chooseEffectExec(rt, rt.phaseCounts())
+		if vecSel != nil {
+			w.prepareVecPhases(rt, vecSel, capRows)
 		}
-		wg.Wait()
+		shards := shardRows(capRows, w.execCosts.ChooseWorkers(w.opts.Workers, work), w.shardBuf)
+		w.shardBuf = shards
+		if len(shards) <= 1 {
+			w.runEffectShard(rt, vecSel, 0, capRows, w.shardCtxs[0], w.workerSinks[0])
+			w.foldShardCtxs(rt, 1, false)
+			continue
+		}
+		w.runShards(shards, func(si int, sh shard) {
+			w.runEffectShard(rt, vecSel, sh.lo, sh.hi, w.shardCtxs[si], w.workerSinks[si])
+		})
+		w.foldShardCtxs(rt, len(shards), true)
 	}
 	for _, s := range w.workerSinks {
 		s.mergeInto(w)
 	}
+}
+
+// runEffectShard executes every phase of one class for rows [lo, hi):
+// first the vectorized phases (kernels over the shard's lanes, emissions
+// written directly — rows are shard-private), then the scalar row loop over
+// the remaining phases, emitting into the worker's sink.
+func (w *World) runEffectShard(rt *classRT, vecSel []bool, lo, hi int, sc *shardCtx, sink emitSink) {
+	if vecSel != nil {
+		sc.touched.ensure(len(rt.fx))
+		for p, on := range vecSel {
+			if on {
+				sc.vectorRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], lo, hi, &sc.machine, &sc.touched))
+			}
+		}
+	}
+	x := newExecCtx(w, sink, rt.plan.NumSlots)
+	tab := rt.tab
+	for r := lo; r < hi; r++ {
+		if !tab.Alive(r) {
+			continue
+		}
+		pc := int(tab.At(r, rt.pcCol).AsNumber())
+		if vecSel != nil && vecSel[pc] {
+			continue
+		}
+		steps := rt.plan.Phases[pc]
+		if len(steps) == 0 {
+			continue
+		}
+		x.bindRow(rt, r)
+		x.runSteps(steps)
+		sc.scalarRows++
+	}
+}
+
+// foldShardCtxs merges the first n shard contexts back into the shared
+// state after a class barrier: vectorized touched-row logs append in shard
+// order, row counters fold into the execution statistics (unless disabled),
+// and the contexts reset for the next class.
+func (w *World) foldShardCtxs(rt *classRT, n int, fanned bool) {
+	for _, sc := range w.shardCtxs[:n] {
+		for ai, rows := range sc.touched.rows {
+			if len(rows) > 0 {
+				rt.fx[ai].touched = append(rt.fx[ai].touched, rows...)
+			}
+		}
+		if !w.opts.DisableStats {
+			w.execStats.ScalarRows += sc.scalarRows
+			w.execStats.VectorRows += sc.vectorRows
+			w.execStats.HandlerRows += sc.handlerRows
+		}
+		sc.touched.reset()
+		sc.scalarRows, sc.vectorRows, sc.handlerRows = 0, 0, 0
+	}
+	if fanned && !w.opts.DisableStats {
+		w.execStats.ParallelShards += int64(n)
+	}
+}
+
+// runScalarUpdates evaluates a class's closure-path update rules, staging
+// each result for the atomic apply. When the parallelism axis fans out,
+// workers buffer (attr, id, value) triples privately and the buffers merge
+// in shard order — every row stages at most once per attribute, so the
+// merged map is identical to the serial pass.
+func (w *World) runScalarUpdates(ruleCtx *UpdateCtx, rt *classRT, rules []compile.UpdatePlan) {
+	nw := 1
+	if w.parallelOK() {
+		work := w.execCosts.ScalarVisit * float64(rt.tab.Len()*len(rules))
+		nw = w.execCosts.ChooseWorkers(w.opts.Workers, work)
+	}
+	if nw > 1 {
+		w.ensureWorkers()
+	}
+	shards := shardRows(rt.tab.Cap(), nw, w.shardBuf)
+	w.shardBuf = shards
+	if len(shards) <= 1 {
+		w.runRuleRange(rt, rules, 0, rt.tab.Cap(), func(attrIdx int, id value.ID, v value.Value) {
+			ruleCtx.stageRule(rt, attrIdx, id, v)
+		})
+	} else {
+		w.runShards(shards, func(si int, sh shard) {
+			sc := w.shardCtxs[si]
+			w.runRuleRange(rt, rules, sh.lo, sh.hi, func(attrIdx int, id value.ID, v value.Value) {
+				sc.staged = append(sc.staged, stagedWrite{attrIdx: attrIdx, id: id, val: v})
+			})
+		})
+		for _, sc := range w.shardCtxs[:len(shards)] {
+			for _, sw := range sc.staged {
+				ruleCtx.stageRule(rt, sw.attrIdx, sw.id, sw.val)
+			}
+			sc.staged = sc.staged[:0]
+		}
+		if !w.opts.DisableStats {
+			w.execStats.ParallelShards += int64(len(shards))
+		}
+	}
+	if !w.opts.DisableStats {
+		w.execStats.ScalarRows += int64(rt.tab.Len() * len(rules))
+	}
+}
+
+// runRuleRange evaluates every rule for the live rows in [lo, hi), handing
+// each result to stage — the one row-loop body shared by the serial and
+// sharded update paths, so Workers=1 and Workers=N cannot drift.
+func (w *World) runRuleRange(rt *classRT, rules []compile.UpdatePlan, lo, hi int, stage func(attrIdx int, id value.ID, v value.Value)) {
+	tab := rt.tab
+	ectx := expr.Ctx{W: w, Class: rt.name, EffectZero: effectZeroFn(rt)}
+	for r := lo; r < hi; r++ {
+		if !tab.Alive(r) {
+			continue
+		}
+		ectx.SelfID = tab.ID(r)
+		ectx.Self = rowReader{rt: rt, row: r}
+		ectx.Effects = fxReader{rt: rt, row: r}
+		for _, u := range rules {
+			stage(u.AttrIdx, ectx.SelfID, u.Fn(&ectx))
+		}
+	}
+}
+
+// runHandlers evaluates reactive handlers on the new state, emitting
+// effects for the next tick (§3.2). With the worker pool available, large
+// classes shard across workers with private sinks merged worker-major;
+// small classes run inline through sink 0.
+func (w *World) runHandlers() {
+	par := w.parallelOK()
+	if par {
+		w.ensureWorkers()
+		for _, s := range w.workerSinks {
+			s.reset()
+		}
+	}
+	for _, rt := range w.order {
+		if len(rt.plan.Handlers) == 0 {
+			continue
+		}
+		nw := 1
+		if par {
+			work := w.execCosts.ScalarVisit * float64(rt.tab.Len()) * rt.handlerCost
+			nw = w.execCosts.ChooseWorkers(w.opts.Workers, work)
+		}
+		shards := shardRows(rt.tab.Cap(), nw, w.shardBuf)
+		w.shardBuf = shards
+		if len(shards) > 1 {
+			w.runShards(shards, func(si int, sh shard) {
+				sc := w.shardCtxs[si]
+				sc.handlerRows += w.runHandlerRange(rt, sh.lo, sh.hi, w.workerSinks[si])
+			})
+			w.foldShardCtxs(rt, len(shards), true)
+			continue
+		}
+		var sink emitSink = directSink{w: w}
+		if par {
+			sink = w.workerSinks[0]
+		}
+		rows := w.runHandlerRange(rt, 0, rt.tab.Cap(), sink)
+		if !w.opts.DisableStats {
+			w.execStats.HandlerRows += rows
+		}
+	}
+	if par {
+		for _, s := range w.workerSinks {
+			s.mergeInto(w)
+		}
+	}
+}
+
+// runHandlerRange evaluates every handler for the live rows in [lo, hi).
+func (w *World) runHandlerRange(rt *classRT, lo, hi int, sink emitSink) int64 {
+	x := newExecCtx(w, sink, rt.plan.NumSlots)
+	tab := rt.tab
+	rows := int64(0)
+	for r := lo; r < hi; r++ {
+		if !tab.Alive(r) {
+			continue
+		}
+		x.bindRow(rt, r)
+		for _, h := range rt.plan.Handlers {
+			if h.Cond(&x.ctx).AsBool() {
+				x.runSteps(h.Body)
+			}
+		}
+		rows++
+	}
+	return rows
 }

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/vexpr"
+)
+
+// TestShardRows pins the partitioning contract the sharded executor relies
+// on: shards cover [0, capRows) exactly once, in order, never outnumber the
+// requested maximum, and every boundary except the last falls on a batch
+// multiple (a mid-batch split would pay two partial batches per kernel).
+func TestShardRows(t *testing.T) {
+	cases := []struct{ capRows, maxShards int }{
+		{0, 4}, {1, 4}, {1023, 4}, {1024, 4}, {1025, 4},
+		{4096, 4}, {4097, 4}, {100_000, 8}, {2048, 1}, {3000, 16},
+		{512, 0}, // maxShards clamps to 1
+	}
+	for _, c := range cases {
+		shards := shardRows(c.capRows, c.maxShards, nil)
+		if c.capRows == 0 {
+			if len(shards) != 0 {
+				t.Fatalf("cap=0: got %v", shards)
+			}
+			continue
+		}
+		maxShards := c.maxShards
+		if maxShards < 1 {
+			maxShards = 1
+		}
+		if len(shards) > maxShards {
+			t.Fatalf("cap=%d max=%d: %d shards", c.capRows, c.maxShards, len(shards))
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.lo != next || sh.hi <= sh.lo {
+				t.Fatalf("cap=%d max=%d: shard %d = %+v, want lo=%d", c.capRows, c.maxShards, i, sh, next)
+			}
+			if i < len(shards)-1 && sh.hi%vexpr.BatchSize != 0 {
+				t.Fatalf("cap=%d max=%d: shard %d boundary %d not batch-aligned", c.capRows, c.maxShards, i, sh.hi)
+			}
+			next = sh.hi
+		}
+		if next != c.capRows {
+			t.Fatalf("cap=%d max=%d: shards end at %d", c.capRows, c.maxShards, next)
+		}
+	}
+}
+
+// TestStepsCostWeighting pins the parallelism-axis work weights: an accum
+// join must dominate plain steps by an order of magnitude, so join-heavy
+// classes fan out at smaller extents than emit-only classes.
+func TestStepsCostWeighting(t *testing.T) {
+	if c := stepsCost(nil); c != 0 {
+		t.Fatalf("empty cost = %v", c)
+	}
+	plain := stepsCost([]compile.Step{&compile.LetStep{}, &compile.EmitStep{}})
+	if plain != 2 {
+		t.Fatalf("two plain steps cost %v, want 2", plain)
+	}
+	nested := stepsCost([]compile.Step{&compile.IfStep{
+		Then: []compile.Step{&compile.EmitStep{}},
+		Else: []compile.Step{&compile.EmitStep{}},
+	}})
+	if nested != 3 {
+		t.Fatalf("if with two emits cost %v, want 3", nested)
+	}
+	join := stepsCost([]compile.Step{&compile.AccumStep{Body: []compile.Step{&compile.EmitStep{}}}})
+	if join < 16*plain {
+		t.Fatalf("accum join cost %v does not dominate plain steps (%v)", join, plain)
+	}
+}

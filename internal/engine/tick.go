@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/value"
 )
@@ -31,8 +30,11 @@ func (w *World) RunTick() error {
 	}
 	w.prepareSites()
 
-	// (2) Query/effect phase.
-	if w.opts.Workers > 1 && w.tracer == nil {
+	// (2) Query/effect phase. The parallel path composes both execution
+	// axes (sharded batch kernels + sharded scalar rows); small extents
+	// still run inline there, so the cost model — not the option alone —
+	// decides the actual fan-out per class.
+	if w.parallelOK() {
 		w.runEffectPhaseParallel()
 	} else {
 		w.runEffectPhaseSerial()
@@ -98,22 +100,22 @@ func (w *World) runEffectPhaseSerial() {
 		// Vectorized phases run first, whole-extent. They emit only to
 		// the executing object, so each accumulator still receives its
 		// contributions in scalar row-loop order. Tracing forces scalar
-		// so the per-emission hook keeps firing.
+		// so the per-emission hook keeps firing (chooseEffectExec gates
+		// on the tracer). The exec-axis decision is shared with the
+		// sharded path, so Workers=1 and Workers=N vectorize identically.
 		var vecRun []bool
 		if rt.vec != nil && rt.vec.hasPhases && w.tracer == nil && w.opts.Exec != plan.ExecScalar {
-			// Scalar visits only live rows at this phase's pc; kernels
-			// stream every physical lane regardless.
-			counts := rt.phaseCounts()
-			for p, vp := range rt.vec.phases {
-				if vp == nil {
-					continue
-				}
-				if w.execCosts.ChooseExec(w.opts.Exec, counts[p], rt.tab.Cap(), vp.kernels) == plan.ExecVectorized {
-					if vecRun == nil {
-						vecRun = make([]bool, len(rt.vec.phases))
+			vecRun, _ = w.chooseEffectExec(rt, rt.phaseCounts())
+			if vecRun != nil {
+				w.prepareVecPhases(rt, vecRun, rt.tab.Cap())
+				vecRows := int64(0)
+				for p, on := range vecRun {
+					if on {
+						vecRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], 0, rt.tab.Cap(), &rt.vec.machine, nil))
 					}
-					vecRun[p] = true
-					w.runVecPhase(rt, p, vp)
+				}
+				if !w.opts.DisableStats {
+					w.execStats.VectorRows += vecRows
 				}
 			}
 		}
@@ -183,24 +185,7 @@ func (w *World) runUpdateStep() error {
 		if len(rules) == 0 {
 			continue
 		}
-		ectx := expr.Ctx{W: w, Class: rt.name}
-		tab := rt.tab
-		for r := 0; r < tab.Cap(); r++ {
-			if !tab.Alive(r) {
-				continue
-			}
-			ectx.SelfID = tab.ID(r)
-			ectx.Self = rowReader{rt: rt, row: r}
-			ectx.Effects = fxReader{rt: rt, row: r}
-			ectx.EffectZero = effectZeroFn(rt)
-			for _, u := range rules {
-				v := u.Fn(&ectx)
-				ruleCtx.stageRule(rt, u.AttrIdx, ectx.SelfID, v)
-			}
-		}
-		if !w.opts.DisableStats {
-			w.execStats.ScalarRows += int64(tab.Len() * len(rules))
-		}
+		w.runScalarUpdates(ruleCtx, rt, rules)
 	}
 	// (b) Owner components.
 	for _, c := range w.comps {
@@ -256,28 +241,6 @@ func (w *World) advancePCs() {
 			}
 			if in.cond(w, tab.ID(r)) {
 				tab.SetAt(r, rt.pcCol, value.Num(float64(in.phase)))
-			}
-		}
-	}
-}
-
-func (w *World) runHandlers() {
-	sink := directSink{w: w}
-	for _, rt := range w.order {
-		if len(rt.plan.Handlers) == 0 {
-			continue
-		}
-		x := newExecCtx(w, sink, rt.plan.NumSlots)
-		tab := rt.tab
-		for r := 0; r < tab.Cap(); r++ {
-			if !tab.Alive(r) {
-				continue
-			}
-			x.bindRow(rt, r)
-			for _, h := range rt.plan.Handlers {
-				if h.Cond(&x.ctx).AsBool() {
-					x.runSteps(h.Body)
-				}
 			}
 		}
 	}

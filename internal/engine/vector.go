@@ -16,14 +16,18 @@ package engine
 // emissions are a correctness requirement, not just a simplification: they
 // guarantee each accumulator receives its contributions in exactly the
 // order the scalar row loop would produce, so the two paths are
-// bit-identical, not merely ⊕-equivalent.
+// bit-identical, not merely ⊕-equivalent. They are also what makes the
+// kernels shardable: every lane writes only its own row's accumulator, so
+// batch-aligned row shards run concurrently with no synchronization.
 //
 // The scalar closure evaluator remains the semantic reference; the choice
 // between the two is a physical-plan decision made per class and tick by
-// plan.Costs.ChooseExec (forcible through Options.Exec).
+// plan.Costs.ChooseExec (forcible through Options.Exec), composed with the
+// parallelism decision of plan.Costs.ChooseWorkers.
 
 import (
 	"repro/internal/compile"
+	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/value"
 	"repro/internal/vexpr"
@@ -66,16 +70,20 @@ func (*vecIf) vecStep()   {}
 
 // vecPhase is one effect-phase step list compiled to batch form.
 type vecPhase struct {
-	steps   []vecStep
-	kernels int  // total batch operators, the cost-model work unit
-	needIDs bool // any kernel reads self()
-	maxSlot int  // highest frame slot written, -1 if none
-	nBufs   int  // scratch output vectors reserved by emits and ifs
+	steps    []vecStep
+	kernels  int  // total batch operators, the cost-model work unit
+	needIDs  bool // any kernel reads self()
+	maxSlot  int  // highest frame slot written, -1 if none
+	nBufs    int  // scratch output vectors reserved by emits and ifs
+	maxDepth int  // deepest if-nesting level (selection-mask levels - 1)
 }
 
 // vecClassPlan carries a class's compiled batch kernels plus the scratch
-// vectors reused across ticks. It is used only from the serial tick path,
-// so the scratch needs no synchronization.
+// vectors reused across ticks. The scratch is shared between shards: every
+// kernel run writes only its shard's [lo, hi) range of each vector, so after
+// prepareVecPhases pre-sizes everything no synchronization is needed. Only
+// the embedded machine is serial-path-only; sharded runs use the per-worker
+// machines in World.shardCtxs.
 type vecClassPlan struct {
 	updates       []vecUpdateRule
 	scalarUpdates []compile.UpdatePlan // rules that stay on the closure path
@@ -96,31 +104,64 @@ type vecClassPlan struct {
 	masks    [][]bool    // selection masks by if-nesting depth
 	outVecs  [][]float64 // staged update-rule results, one per vec rule
 	staged   bool        // outVecs hold this tick's results
-	counts   []int       // per-phase live-row counts (cost-model input)
 }
 
 // phaseCounts returns the number of live rows at each script phase — the
-// rows the scalar path would actually visit per phase. Requires rt.vec.
+// rows the scalar path would actually visit per phase.
 func (rt *classRT) phaseCounts() []int {
-	v := rt.vec
-	if cap(v.counts) < rt.plan.NumPhases {
-		v.counts = make([]int, rt.plan.NumPhases)
+	if cap(rt.countsBuf) < rt.plan.NumPhases {
+		rt.countsBuf = make([]int, rt.plan.NumPhases)
 	}
-	v.counts = v.counts[:rt.plan.NumPhases]
-	for i := range v.counts {
-		v.counts[i] = 0
+	rt.countsBuf = rt.countsBuf[:rt.plan.NumPhases]
+	for i := range rt.countsBuf {
+		rt.countsBuf[i] = 0
 	}
 	if rt.plan.NumPhases == 1 {
-		v.counts[0] = rt.tab.Len()
-		return v.counts
+		rt.countsBuf[0] = rt.tab.Len()
+		return rt.countsBuf
 	}
 	pcCol := rt.tab.NumColumn(rt.pcCol)
 	for r, ok := range rt.tab.AliveMask() {
 		if ok {
-			v.counts[int(pcCol[r])]++
+			rt.countsBuf[int(pcCol[r])]++
 		}
 	}
-	return v.counts
+	return rt.countsBuf
+}
+
+// chooseEffectExec makes the per-class two-axis decision for the effect
+// phase. The exec axis picks, per phase, batch kernels vs the scalar row
+// loop (same rule on the serial and sharded paths, so Workers=1 and
+// Workers=N make identical choices); the returned work estimate feeds the
+// parallelism axis (plan.Costs.ChooseWorkers). vecSel is nil when no phase
+// vectorizes. counts must come from rt.phaseCounts().
+func (w *World) chooseEffectExec(rt *classRT, counts []int) (vecSel []bool, work float64) {
+	c := w.execCosts
+	capRows := rt.tab.Cap()
+	vecOK := rt.vec != nil && rt.vec.hasPhases && w.tracer == nil && w.opts.Exec != plan.ExecScalar
+	for p, steps := range rt.plan.Phases {
+		if len(steps) == 0 {
+			continue
+		}
+		var vp *vecPhase
+		if vecOK {
+			vp = rt.vec.phases[p]
+		}
+		if vp != nil && c.ChooseExec(w.opts.Exec, counts[p], capRows, vp.kernels) == plan.ExecVectorized {
+			if vecSel == nil {
+				vecSel = rt.vecSelBuf[:0]
+				for range rt.plan.Phases {
+					vecSel = append(vecSel, false)
+				}
+				rt.vecSelBuf = vecSel
+			}
+			vecSel[p] = true
+			work += c.VecSetup + c.VecVisit*float64(capRows)*float64(vp.kernels)
+		} else {
+			work += c.ScalarVisit * float64(counts[p]) * rt.phaseCost[p]
+		}
+	}
+	return vecSel, work
 }
 
 // buildVecPlan compiles everything vectorizable about a class. Returns nil
@@ -249,6 +290,9 @@ func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, de
 			st := &vecIf{cond: cond, condBuf: vp.newBuf(), depth: depth}
 			vp.kernels += cond.Kernels()
 			vp.needIDs = vp.needIDs || cond.NeedIDs()
+			if depth+1 > vp.maxDepth {
+				vp.maxDepth = depth + 1
+			}
 			if st.then, ok = compileVecSteps(rt, s.Then, defined, depth+1, vp); !ok {
 				return nil, false
 			}
@@ -380,10 +424,159 @@ func (v *vecClassPlan) bindEnv(w *World, rt *classRT) {
 	v.env.Gather = w.gatherState
 }
 
-// runVecUpdates evaluates the class's vectorized update rules over the
-// whole extent, leaving the new-state payloads staged in outVecs. They
-// apply with all other staged writes at the end of the update step, so
-// components still observe old state.
+// prepareVecPhases readies the shared scratch for every selected phase —
+// environment binding, id vector, slot/buf/mask sizing — before any kernel
+// runs. Sharded execution depends on this: once pre-sized, kernel runs only
+// ever write range-disjoint slices of the shared vectors, so lazy growth
+// (which would race) never happens inside a worker.
+func (w *World) prepareVecPhases(rt *classRT, vecSel []bool, n int) {
+	v := rt.vec
+	v.bindEnv(w, rt)
+	needIDs := false
+	for p, on := range vecSel {
+		if !on {
+			continue
+		}
+		vp := v.phases[p]
+		needIDs = needIDs || vp.needIDs
+		if vp.maxSlot >= 0 {
+			for len(v.slotVecs) <= vp.maxSlot {
+				v.slotVecs = append(v.slotVecs, nil)
+			}
+			for i := range v.slotVecs {
+				v.slotVecs[i] = growFloats(v.slotVecs[i], n)
+			}
+			v.env.Slots = v.slotVecs
+		}
+		for i := 0; i < vp.nBufs; i++ {
+			v.buf(i, n)
+		}
+		for d := 0; d <= vp.maxDepth; d++ {
+			v.mask(d, n)
+		}
+	}
+	if needIDs {
+		v.fillIDs(rt, n)
+	}
+}
+
+// touchedLog records rows whose accumulator went from empty to non-empty
+// during a sharded vectorized phase. Shards write the shared accumulator
+// cells directly (rows are disjoint) but must not append to the shared
+// touched lists concurrently; the logs merge in shard order after the
+// barrier, keeping the list contents deterministic.
+type touchedLog struct {
+	rows [][]int // indexed by effect attr
+}
+
+func (t *touchedLog) ensure(nAttrs int) {
+	for len(t.rows) < nAttrs {
+		t.rows = append(t.rows, nil)
+	}
+}
+
+func (t *touchedLog) reset() {
+	for i := range t.rows {
+		t.rows[i] = t.rows[i][:0]
+	}
+}
+
+// vecPhaseRange executes one vectorized effect phase over physical rows
+// [lo, hi): the base selection mask is alive ∧ pc=phase, refined by nested
+// if conditions; kernels evaluate unmasked (expressions are total, dead
+// lanes are ignored) and only masked rows emit. Scratch must have been
+// pre-sized by prepareVecPhases. tl is nil on the serial path (emissions
+// append to the shared touched lists directly); sharded runs pass their
+// worker's log. Returns the number of selected rows.
+func (w *World) vecPhaseRange(rt *classRT, phase int, vp *vecPhase, lo, hi int, m *vexpr.Machine, tl *touchedLog) int {
+	v := rt.vec
+	mask := v.masks[0]
+	alive := rt.tab.AliveMask()
+	selected := 0
+	if rt.plan.NumPhases > 1 {
+		pcCol := rt.tab.NumColumn(rt.pcCol)
+		for r := lo; r < hi; r++ {
+			mask[r] = alive[r] && int(pcCol[r]) == phase
+			if mask[r] {
+				selected++
+			}
+		}
+	} else {
+		for r := lo; r < hi; r++ {
+			mask[r] = alive[r]
+			if mask[r] {
+				selected++
+			}
+		}
+	}
+	if selected > 0 {
+		w.execVecSteps(rt, vp.steps, mask, lo, hi, m, tl)
+	}
+	return selected
+}
+
+func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi int, m *vexpr.Machine, tl *touchedLog) {
+	v := rt.vec
+	for _, s := range steps {
+		switch s := s.(type) {
+		case *vecLet:
+			s.prog.Run(m, &v.env, lo, hi, v.slotVecs[s.slot])
+		case *vecEmit:
+			val := v.bufs[s.valBuf]
+			s.val.Run(m, &v.env, lo, hi, val)
+			var key []float64
+			if s.key != nil {
+				key = v.bufs[s.keyBuf]
+				s.key.Run(m, &v.env, lo, hi, key)
+			}
+			fx := &rt.fx[s.attrIdx]
+			for r := lo; r < hi; r++ {
+				if !mask[r] {
+					continue
+				}
+				k := 0.0
+				if key != nil {
+					k = key[r]
+				}
+				if tl == nil {
+					fx.add(r, payloadValue(s.kind, val[r]), k)
+				} else {
+					fx.addLogged(r, payloadValue(s.kind, val[r]), k, &tl.rows[s.attrIdx])
+				}
+			}
+		case *vecIf:
+			cond := v.bufs[s.condBuf]
+			s.cond.Run(m, &v.env, lo, hi, cond)
+			sub := v.masks[s.depth+1]
+			any := false
+			for r := lo; r < hi; r++ {
+				sub[r] = mask[r] && cond[r] != 0
+				any = any || sub[r]
+			}
+			if any {
+				w.execVecSteps(rt, s.then, sub, lo, hi, m, tl)
+			}
+			if s.els != nil {
+				any = false
+				for r := lo; r < hi; r++ {
+					sub[r] = mask[r] && cond[r] == 0
+					any = any || sub[r]
+				}
+				if any {
+					w.execVecSteps(rt, s.els, sub, lo, hi, m, tl)
+				}
+			}
+		}
+	}
+}
+
+// runVecUpdates evaluates the class's vectorized update rules, leaving the
+// new-state payloads staged in outVecs. They apply with all other staged
+// writes at the end of the update step, so components still observe old
+// state. When the parallelism axis picks more than one worker, the rules
+// stream batch-aligned shards concurrently — each result vector is written
+// in disjoint [lo, hi) ranges, so the only per-worker state is the kernel
+// machine.
 func (w *World) runVecUpdates(rt *classRT) {
 	v := rt.vec
 	n := rt.tab.Cap()
@@ -415,14 +608,45 @@ func (w *World) runVecUpdates(rt *classRT) {
 	for len(v.outVecs) < len(v.updates) {
 		v.outVecs = append(v.outVecs, nil)
 	}
-	for i, u := range v.updates {
+	for i := range v.updates {
 		v.outVecs[i] = growFloats(v.outVecs[i], n)
-		u.prog.Run(&v.machine, &v.env, 0, n, v.outVecs[i])
+	}
+	shards := w.updateShards(rt)
+	if len(shards) <= 1 {
+		for i, u := range v.updates {
+			u.prog.Run(&v.machine, &v.env, 0, n, v.outVecs[i])
+		}
+	} else {
+		w.runShards(shards, func(si int, sh shard) {
+			m := &w.shardCtxs[si].machine
+			for i, u := range v.updates {
+				u.prog.Run(m, &v.env, sh.lo, sh.hi, v.outVecs[i])
+			}
+		})
+		if !w.opts.DisableStats {
+			w.execStats.ParallelShards += int64(len(shards))
+		}
 	}
 	v.staged = true
 	if !w.opts.DisableStats {
 		w.execStats.VectorRows += int64(rt.tab.Len() * len(v.updates))
 	}
+}
+
+// updateShards applies the parallelism axis to a class's vectorized update
+// rules.
+func (w *World) updateShards(rt *classRT) []shard {
+	nw := 1
+	if w.parallelOK() {
+		c := w.execCosts
+		work := c.VecSetup + c.VecVisit*float64(rt.tab.Cap()*rt.vec.updateKernels)
+		nw = c.ChooseWorkers(w.opts.Workers, work)
+	}
+	if nw > 1 {
+		w.ensureWorkers()
+	}
+	w.shardBuf = shardRows(rt.tab.Cap(), nw, w.shardBuf)
+	return w.shardBuf
 }
 
 // applyVecUpdates writes the staged dense columns back for live rows. Rule
@@ -445,98 +669,7 @@ func (rt *classRT) applyVecUpdates() {
 	v.staged = false
 }
 
-// runVecPhase executes one vectorized effect phase: the base selection mask
-// is alive ∧ pc=phase, refined by nested if conditions; kernels evaluate
-// unmasked (expressions are total, dead lanes are ignored) and only masked
-// rows emit.
-func (w *World) runVecPhase(rt *classRT, phase int, vp *vecPhase) {
-	v := rt.vec
-	n := rt.tab.Cap()
-	v.bindEnv(w, rt)
-	if vp.needIDs {
-		v.fillIDs(rt, n)
-	}
-	if vp.maxSlot >= 0 {
-		for len(v.slotVecs) <= vp.maxSlot {
-			v.slotVecs = append(v.slotVecs, nil)
-		}
-		for i := range v.slotVecs {
-			v.slotVecs[i] = growFloats(v.slotVecs[i], n)
-		}
-		v.env.Slots = v.slotVecs
-	}
-	mask := v.mask(0, n)
-	alive := rt.tab.AliveMask()
-	selected := 0
-	if rt.plan.NumPhases > 1 {
-		pcCol := rt.tab.NumColumn(rt.pcCol)
-		for r := range mask {
-			mask[r] = alive[r] && int(pcCol[r]) == phase
-			if mask[r] {
-				selected++
-			}
-		}
-	} else {
-		copy(mask, alive)
-		selected = rt.tab.Len()
-	}
-	w.execVecSteps(rt, vp.steps, mask, n)
-	if !w.opts.DisableStats {
-		w.execStats.VectorRows += int64(selected)
-	}
-}
-
-func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, n int) {
-	v := rt.vec
-	for _, s := range steps {
-		switch s := s.(type) {
-		case *vecLet:
-			s.prog.Run(&v.machine, &v.env, 0, n, v.slotVecs[s.slot])
-		case *vecEmit:
-			val := v.buf(s.valBuf, n)
-			s.val.Run(&v.machine, &v.env, 0, n, val)
-			var key []float64
-			if s.key != nil {
-				key = v.buf(s.keyBuf, n)
-				s.key.Run(&v.machine, &v.env, 0, n, key)
-			}
-			fx := &rt.fx[s.attrIdx]
-			for r, ok := range mask {
-				if !ok {
-					continue
-				}
-				k := 0.0
-				if key != nil {
-					k = key[r]
-				}
-				fx.add(r, payloadValue(s.kind, val[r]), k)
-			}
-		case *vecIf:
-			cond := v.buf(s.condBuf, n)
-			s.cond.Run(&v.machine, &v.env, 0, n, cond)
-			sub := v.mask(s.depth+1, n)
-			any := false
-			for r := range sub {
-				sub[r] = mask[r] && cond[r] != 0
-				any = any || sub[r]
-			}
-			if any {
-				w.execVecSteps(rt, s.then, sub, n)
-			}
-			if s.els != nil {
-				any = false
-				for r := range sub {
-					sub[r] = mask[r] && cond[r] == 0
-					any = any || sub[r]
-				}
-				if any {
-					w.execVecSteps(rt, s.els, sub, n)
-				}
-			}
-		}
-	}
-}
-
 // ExecStats reports how much per-row expression work ran vectorized versus
-// scalar since the world was created (§4's set-at-a-time accounting).
+// scalar, and how many shards the worker pool executed, since the world was
+// created (§4's set-at-a-time accounting).
 func (w *World) ExecStats() stats.ExecCounters { return w.execStats }

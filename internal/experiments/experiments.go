@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -62,6 +63,23 @@ func (t Table) Format() string {
 		fmt.Fprintf(&b, "-- %s\n", t.Notes)
 	}
 	return b.String()
+}
+
+// JSON renders the table as one machine-readable JSON object (cmd/sglbench
+// -json emits one per line, so experiment output can be captured for
+// longitudinal perf tracking).
+func (t Table) JSON() string {
+	b, err := json.Marshal(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  string     `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes})
+	if err != nil {
+		return fmt.Sprintf(`{"id":%q,"error":%q}`, t.ID, err.Error())
+	}
+	return string(b)
 }
 
 // Markdown renders the table as GitHub markdown.
@@ -563,6 +581,55 @@ func E13(sizes []int, ticks int) (Table, error) {
 			fmt.Sprint(n), ms(blTime), ms(times[plan.ExecScalar]), ms(times[plan.ExecVectorized]),
 			fmt.Sprintf("%.1fx", speedup),
 			fmt.Sprintf("%.0f%%", auto.ExecStats().VectorFraction()*100),
+		})
+	}
+	return t, nil
+}
+
+// E14 measures the sharded parallel×vectorized executor: worker scaling on
+// the traffic workload for forced-scalar vs forced-vectorized shards vs the
+// two-axis cost model (ExecAuto), against the Workers=1/scalar reference.
+// The composition claim is that Workers=N + vectorized shards beats both
+// Workers=N scalar (the old parallel path) and Workers=1 vectorized (the
+// old batch path).
+func E14(vehicles int, workers []int, ticks int) (Table, error) {
+	t := Table{
+		ID:     "E14",
+		Title:  fmt.Sprintf("sharded parallel×vectorized ticks (traffic, %d vehicles)", vehicles),
+		Header: []string{"workers", "scalar ms/tick", "vectorized ms/tick", "auto ms/tick", "auto speedup", "shards/tick"},
+		Notes:  "speedup vs workers=1 scalar; shards/tick = shards dispatched to the pool under ExecAuto (0 = extent ran inline)",
+	}
+	sc := core.MustLoad("vehicles", core.SrcVehicles)
+	ps := workload.Uniform(vehicles, 4000, 4000, 1)
+	var base time.Duration
+	for _, wk := range workers {
+		times := map[plan.ExecMode]time.Duration{}
+		shards := int64(0)
+		for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized, plan.ExecAuto} {
+			w, err := sc.NewWorld(engine.Options{Workers: wk, Exec: mode})
+			if err != nil {
+				return t, err
+			}
+			if _, err := core.PopulateVehicles(w, ps); err != nil {
+				return t, err
+			}
+			d, err := tickTime(w.RunTick, ticks)
+			if err != nil {
+				return t, err
+			}
+			times[mode] = d
+			if mode == plan.ExecAuto {
+				shards = w.ExecStats().ParallelShards / int64(ticks)
+			}
+		}
+		if wk == workers[0] {
+			base = times[plan.ExecScalar]
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(wk),
+			ms(times[plan.ExecScalar]), ms(times[plan.ExecVectorized]), ms(times[plan.ExecAuto]),
+			fmt.Sprintf("%.1fx", float64(base)/float64(times[plan.ExecAuto])),
+			fmt.Sprint(shards),
 		})
 	}
 	return t, nil

@@ -90,6 +90,8 @@ type Costs struct {
 	ScalarVisit float64 // interpreting one closure tree for one row
 	VecVisit    float64 // streaming one row through one batch kernel
 	VecSetup    float64 // per-extent fixed cost (effect/id vector builds)
+
+	WorkerSpawn float64 // dispatching one worker shard (goroutine + barrier share)
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -105,7 +107,30 @@ func DefaultCosts() Costs {
 		ScalarVisit: 1.0,
 		VecVisit:    0.3,
 		VecSetup:    48,
+
+		WorkerSpawn: 512,
 	}
+}
+
+// ChooseWorkers is the parallelism axis of the two-axis execution model: it
+// picks how many of maxWorkers are worth fanning out for one class extent
+// whose modeled per-tick work is `work` cost units (from the same scale as
+// ChooseExec: scalar rows × kernels, or vector lanes × kernels). Parallel
+// cost is work/k + WorkerSpawn·k, minimized at k* = √(work/WorkerSpawn), so
+// small extents return 1 and stay on the calling goroutine — goroutine
+// fan-out must never be paid where a serial pass is cheaper.
+func (c Costs) ChooseWorkers(maxWorkers int, work float64) int {
+	if maxWorkers <= 1 || work <= 0 || c.WorkerSpawn <= 0 {
+		return 1
+	}
+	k := int(math.Sqrt(work / c.WorkerSpawn))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxWorkers {
+		k = maxWorkers
+	}
+	return k
 }
 
 // ChooseExec resolves an execution mode for one batch of expression work

@@ -126,6 +126,38 @@ func TestChooseExec(t *testing.T) {
 	}
 }
 
+func TestChooseWorkers(t *testing.T) {
+	c := DefaultCosts()
+	if got := c.ChooseWorkers(1, 1e9); got != 1 {
+		t.Errorf("single worker: %v", got)
+	}
+	if got := c.ChooseWorkers(8, 0); got != 1 {
+		t.Errorf("no work: %v", got)
+	}
+	// A few hundred rows of trivial work must never pay goroutine fan-out.
+	if got := c.ChooseWorkers(8, 300); got != 1 {
+		t.Errorf("tiny extent must stay serial: %v", got)
+	}
+	// A 100k-row extent with a handful of kernels saturates the pool.
+	if got := c.ChooseWorkers(8, 100_000*5); got != 8 {
+		t.Errorf("large extent must use the full pool: %v", got)
+	}
+	// Mid-size work picks an intermediate fan-out (√(work/spawn)).
+	mid := c.ChooseWorkers(16, 5000)
+	if mid <= 1 || mid >= 16 {
+		t.Errorf("mid extent fan-out = %v, want 1 < k < 16", mid)
+	}
+	// Monotone in work: more work never chooses fewer workers.
+	prev := 0
+	for _, work := range []float64{100, 1000, 10_000, 100_000, 1_000_000} {
+		k := c.ChooseWorkers(8, work)
+		if k < prev {
+			t.Errorf("fan-out not monotone: work %v -> %d after %d", work, k, prev)
+		}
+		prev = k
+	}
+}
+
 func TestExecModeString(t *testing.T) {
 	for m, want := range map[ExecMode]string{ExecAuto: "auto", ExecScalar: "scalar", ExecVectorized: "vectorized"} {
 		if m.String() != want {

@@ -153,6 +153,13 @@ type ExecCounters struct {
 	VectorRows int64
 	// ScalarRows counts row evaluations executed by closure interpretation.
 	ScalarRows int64
+	// ParallelShards counts row shards dispatched to the worker pool (a
+	// class extent that stays serial contributes nothing); it exposes the
+	// parallelism axis of the two-axis execution decision the same way
+	// VectorRows/ScalarRows expose the exec-mode axis.
+	ParallelShards int64
+	// HandlerRows counts row evaluations of reactive-handler conditions.
+	HandlerRows int64
 }
 
 // VectorFraction returns the share of row evaluations that were vectorized

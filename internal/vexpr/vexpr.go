@@ -32,6 +32,11 @@ import (
 // (a handful of registers) inside L1/L2 while amortizing dispatch.
 const batchSize = 1024
 
+// BatchSize is the number of rows per kernel batch, exported so callers can
+// align shard boundaries to whole batches (a shard split mid-batch would pay
+// two partial-batch passes at every kernel).
+const BatchSize = batchSize
+
 type op uint8
 
 const (

@@ -40,7 +40,11 @@ type (
 	// BaselineWorld is the object-at-a-time interpreter world.
 	BaselineWorld = baseline.World
 	// Options configure engine execution (parallelism, plan forcing,
-	// scalar vs vectorized expression execution).
+	// scalar vs vectorized expression execution). Workers and Exec are
+	// independent axes decided per class and tick by the cost model:
+	// Workers > 1 shards the effect phase, update rules and handlers
+	// across a worker pool, and vectorized phases run their batch
+	// kernels per shard. See README's options table.
 	Options = engine.Options
 	// Strategy selects a physical accum-join strategy.
 	Strategy = plan.Strategy
@@ -74,7 +78,8 @@ const (
 // Execution modes for per-row expression work (see Options.Exec). The
 // default ExecAuto vectorizes every extent large enough to amortize batch
 // setup; numeric-only rules and simple effect phases then run as columnar
-// batch kernels instead of per-object closures.
+// batch kernels instead of per-object closures. With Options.Workers > 1
+// the kernels additionally run shard-parallel across the worker pool.
 const (
 	ExecAuto       = plan.ExecAuto
 	ExecScalar     = plan.ExecScalar
