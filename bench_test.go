@@ -498,3 +498,45 @@ func BenchmarkE14_ShardedRTS(b *testing.B) {
 		})
 	}
 }
+
+func flockWorld(b *testing.B, n int, opts engine.Options) *engine.World {
+	b.Helper()
+	sc := core.MustLoad("flock", core.SrcFlock)
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.PopulateBoids(w, workload.Uniform(n, 1400, 1400, 3)); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// E15 — batched join execution: scalar per-match interpretation vs the
+// batch-gathered driver (row probes, split-predicate re-check over raw
+// columns, columnar folds), single core, on the join-dominated workloads.
+func BenchmarkE15_BatchedJoinFig2(b *testing.B) {
+	for _, mode := range []plan.JoinMode{plan.JoinScalar, plan.JoinBatched} {
+		b.Run(fmt.Sprintf("%s/n=%d", mode, 20000), func(b *testing.B) {
+			benchTicks(b, fig2World(b, 20000, engine.Options{Join: mode}))
+		})
+	}
+}
+
+func BenchmarkE15_BatchedJoinFlock(b *testing.B) {
+	for _, n := range []int{5000, 20000} {
+		for _, mode := range []plan.JoinMode{plan.JoinScalar, plan.JoinBatched} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				benchTicks(b, flockWorld(b, n, engine.Options{Join: mode}))
+			})
+		}
+	}
+}
+
+func BenchmarkE15_BatchedJoinRTS(b *testing.B) {
+	for _, mode := range []plan.JoinMode{plan.JoinScalar, plan.JoinBatched} {
+		b.Run(fmt.Sprintf("%s/n=%d", mode, 5000), func(b *testing.B) {
+			benchTicks(b, rtsWorld(b, 5000, engine.Options{Join: mode}))
+		})
+	}
+}

@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	sglbench [-quick] [-md] [-json] [-only E1,E7]
+//	sglbench [-quick] [-md] [-json] [-only E1,E7] [-cpuprofile prof.out]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,7 +23,22 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per table (machine-readable BENCH capture)")
 	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	// The baseline and nested-loop arms are O(n²); population sizes keep
 	// the full run under a few minutes while preserving the scaling shape.
@@ -35,6 +51,12 @@ func main() {
 	e12V := 50000
 	e13Sizes := []int{10000, 50000, 200000}
 	e14N, e14Workers := 100000, []int{1, 2, 4, 8}
+	e15Sizes := map[string][]int{
+		"fig2":  {5000, 20000},
+		"rts":   {5000, 20000},
+		"flock": {5000, 20000},
+	}
+	e15Ticks := 3
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -45,6 +67,8 @@ func main() {
 		e12V = 20000
 		e13Sizes = []int{5000, 20000}
 		e14N, e14Workers = 20000, []int{1, 2, 4}
+		e15Sizes = map[string][]int{"fig2": {2000}, "rts": {2000}, "flock": {2000}}
+		e15Ticks = 2
 	}
 
 	want := map[string]bool{}
@@ -112,6 +136,9 @@ func main() {
 	}
 	if sel("E14") {
 		emit(experiments.E14(e14N, e14Workers, 3))
+	}
+	if sel("E15") {
+		emit(experiments.E15(e15Sizes, e15Ticks))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

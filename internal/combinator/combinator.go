@@ -196,6 +196,95 @@ func (a *Accumulator) Add(v value.Value, key float64) {
 	a.n++
 }
 
+// AddPayloads folds a batch of contributions given as raw column payloads
+// (bool = 0/1, ref = id), in slice order. keys carries the minby/maxby
+// selection keys and may be nil for other combinators. The fold replicates
+// Add comparison-for-comparison — including NaN behaviour and the
+// deterministic minby/maxby tie-break, which for payload kinds reduces to a
+// plain float compare (value.Compare orders those kinds by payload) — so a
+// batch fold is bit-identical to the equivalent sequence of Add calls.
+// It supports every combinator whose attribute kind has a columnar payload;
+// SetUnion (whose contributions are sets) is the caller's responsibility to
+// avoid.
+func (a *Accumulator) AddPayloads(vals, keys []float64) {
+	switch a.kind {
+	case Sum, Avg:
+		for _, v := range vals {
+			a.num += v
+		}
+	case Min:
+		for _, v := range vals {
+			if a.n == 0 || v < a.num {
+				a.num = v
+			}
+			a.n++
+		}
+		return
+	case Max:
+		for _, v := range vals {
+			if a.n == 0 || v > a.num {
+				a.num = v
+			}
+			a.n++
+		}
+		return
+	case Count:
+	case And:
+		for _, v := range vals {
+			if a.n == 0 {
+				a.num = 1
+			}
+			if v == 0 {
+				a.num = 0
+			}
+			a.n++
+		}
+		return
+	case Or:
+		for _, v := range vals {
+			if v != 0 {
+				a.num = 1
+			}
+			a.n++
+		}
+		return
+	case MinBy:
+		for i, v := range vals {
+			key := keys[i]
+			if a.n == 0 || key < a.key || (key == a.key && v < a.val.AsNumber()) {
+				a.key, a.val = key, payloadValue(a.attrK, v)
+			}
+			a.n++
+		}
+		return
+	case MaxBy:
+		for i, v := range vals {
+			key := keys[i]
+			if a.n == 0 || key > a.key || (key == a.key && v < a.val.AsNumber()) {
+				a.key, a.val = key, payloadValue(a.attrK, v)
+			}
+			a.n++
+		}
+		return
+	case SetUnion:
+		panic("combinator: AddPayloads on a set-union accumulator")
+	}
+	a.n += int64(len(vals))
+}
+
+// payloadValue reconstructs a scalar value of kind k from its column
+// payload.
+func payloadValue(k value.Kind, f float64) value.Value {
+	switch k {
+	case value.KindBool:
+		return value.Bool(f != 0)
+	case value.KindRef:
+		return value.Ref(value.ID(f))
+	default:
+		return value.Num(f)
+	}
+}
+
 // Merge folds another partial accumulation of the same combinator into a.
 func (a *Accumulator) Merge(b Accumulator) {
 	if b.n == 0 {

@@ -130,7 +130,11 @@ type JoinSpec struct {
 	Ranges   []RangeDim // rectangular conjuncts on iter numeric attrs
 	Eqs      []EqDim    // equality conjuncts on iter scalar attrs
 	Residual expr.Fn    // leftover predicate (iter bound); nil if none
-	Inner    []Step     // contribution steps guarded by the predicate
+	// ResidualSrcs are the type-checked residual conjuncts behind Residual,
+	// retained so the batched join driver can recompile them as vectorized
+	// filters over gathered candidate lanes.
+	ResidualSrcs []ast.Expr
+	Inner        []Step // contribution steps guarded by the predicate
 }
 
 // RangeDim bounds one numeric attribute of the iterated class. Lo and Hi
@@ -336,6 +340,7 @@ func analyzeJoin(info *sem.Info, s *ast.AccumStmt) *JoinSpec {
 	}
 	if len(residual) > 0 {
 		spec.Residual = compileConjunction(residual)
+		spec.ResidualSrcs = residual
 	}
 	return spec
 }

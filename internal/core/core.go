@@ -189,6 +189,56 @@ class Vehicle {
 }
 `
 
+// SrcFlock is a join-dominated flocking workload: every boid runs three
+// range-joins per tick over its neighborhood (count, centroid-x, centroid-y)
+// and steers toward the local centroid. Per-object expression work is
+// trivial; essentially the whole tick is accum-join probing, matching and
+// folding — the workload regime where batched join execution (gathered
+// candidate rows + columnar folds) pays, and the stress test for per-tick
+// index build cost since every boid moves every tick.
+const SrcFlock = `
+class Boid {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 1;
+    number vy = 0;
+    number sight = 20;
+  effects:
+    number ax : sum;
+    number ay : sum;
+  update:
+    vx = clamp((vx + ax) * 0.92, 0 - 4, 4);
+    vy = clamp((vy + ay) * 0.92, 0 - 4, 4);
+    x = clamp(x + vx, 0, 2000);
+    y = clamp(y + vy, 0, 2000);
+  run {
+    accum number cnt with sum over Boid u from Boid {
+      if (u.x >= x - sight && u.x <= x + sight && u.y >= y - sight && u.y <= y + sight) {
+        cnt <- 1;
+      }
+    } in {
+      accum number sx with sum over Boid u from Boid {
+        if (u.x >= x - sight && u.x <= x + sight && u.y >= y - sight && u.y <= y + sight) {
+          sx <- u.x;
+        }
+      } in {
+        accum number sy with sum over Boid u from Boid {
+          if (u.x >= x - sight && u.x <= x + sight && u.y >= y - sight && u.y <= y + sight) {
+            sy <- u.y;
+          }
+        } in {
+          if (cnt > 1) {
+            ax <- (sx / cnt - x) * 0.05;
+            ay <- (sy / cnt - y) * 0.05;
+          }
+        }
+      }
+    }
+  }
+}
+`
+
 // SrcGuard is the multi-tick + reactive example of §3.2: move to a post,
 // pick up an item, attack — with a handler that arms fleeing at low health.
 const SrcGuard = `
@@ -340,6 +390,32 @@ func PopulateSoldiers(w Spawner, ps []workload.Pos) ([]value.ID, error) {
 			"player": value.Num(float64(i % 2)),
 			"x":      value.Num(p.X), "y": value.Num(p.Y),
 			"tx": value.Num(cx), "ty": value.Num(cy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// PopulateBoids spawns flock boids at the given positions with deterministic
+// initial headings.
+func PopulateBoids(w Spawner, ps []workload.Pos) ([]value.ID, error) {
+	ids := make([]value.ID, 0, len(ps))
+	for i, p := range ps {
+		vx, vy := 1.0, 0.0
+		switch i % 4 {
+		case 1:
+			vx, vy = -1, 0.5
+		case 2:
+			vx, vy = 0.5, -1
+		case 3:
+			vx, vy = -0.5, 1
+		}
+		id, err := w.Spawn("Boid", map[string]value.Value{
+			"x": value.Num(p.X), "y": value.Num(p.Y),
+			"vx": value.Num(vx), "vy": value.Num(vy),
 		})
 		if err != nil {
 			return nil, err

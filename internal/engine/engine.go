@@ -14,6 +14,7 @@ import (
 	"repro/internal/combinator"
 	"repro/internal/compile"
 	"repro/internal/expr"
+	"repro/internal/index"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/stats"
@@ -43,6 +44,14 @@ type Options struct {
 	// bit-identical whenever each accumulator's contributions come from a
 	// single shard (the self-emission common case) or fold exactly.
 	Exec plan.ExecMode
+	// Join selects how accum-join matches execute: the interpreted per-match
+	// loop body (plan.JoinScalar), or the batched driver (plan.JoinBatched)
+	// that gathers candidate rows through the index's row probe, re-checks
+	// the split predicate over raw columns and — for single-emission bodies
+	// over columnar payloads — folds contributions through batch kernels.
+	// The default (plan.JoinAuto) decides per site and tick from match-
+	// cardinality feedback. Both paths produce bit-identical results.
+	Join plan.JoinMode
 	// DisableStats turns off runtime statistics collection (experiment E8).
 	DisableStats bool
 }
@@ -66,9 +75,11 @@ type World struct {
 	pendingSpawn []pendingSpawn
 	pendingKill  []pendingKill
 
-	sites     []*siteRT
-	siteIndex map[*compile.AccumStep]*siteRT
-	opts      Options
+	sites         []*siteRT
+	siteIndex     map[*compile.AccumStep]*siteRT
+	siteBuildList []*siteRT // per-tick rebuild worklist, reused
+	buildOffs     []int     // sharded entry-gather offsets, reused
+	opts          Options
 
 	txns []*Txn
 
@@ -563,8 +574,9 @@ type Emission struct {
 // for admission policies and inspectors).
 func (w *World) Txns() []*Txn { return w.txns }
 
-// siteRT is the per-accum-site runtime: adaptive selector, statistics and
-// the per-tick prepared index.
+// siteRT is the per-accum-site runtime: adaptive selector, statistics, the
+// per-tick prepared index, the compile-time batch plan and the retained
+// build arena with its reuse bookkeeping.
 type siteRT struct {
 	step  *compile.AccumStep
 	class string // probing class
@@ -576,15 +588,33 @@ type siteRT struct {
 	boxExtent  stats.EMA
 	candidates []plan.Strategy
 
+	// batch is the compile-time analysis backing the batched join driver
+	// (nil when the accum has no analyzed join).
+	batch *siteBatch
+
 	// Per-tick prepared execution state.
 	strategy plan.Strategy
-	tree     interface {
-		Query(lo, hi []float64, out []value.ID) []value.ID
-	}
-	hash interface {
-		Lookup(v value.Value) []value.ID
-	}
-	dims []int // range-dim attr indices
+	batched  bool // this tick's join-execution decision
+	tree     boxProber
+	hash     *index.RowHash
+	dims     []int // range-dim attr indices
+
+	// Retained build state: the arena all index builds draw from, plus the
+	// versions that tell whether last tick's index is still valid.
+	builder       index.Builder
+	srcAttrs      []int // source attrs the join predicate indexes or keys
+	builtOK       bool
+	builtStrategy plan.Strategy
+	builtStruct   uint64
+	builtVers     []uint64 // source-attr column versions at build time
+	builtCell     float64  // grid cell size at build time
+}
+
+// boxProber is a spatial index answering closed-box probes by id (scalar
+// path) or physical row (batched path) in identical candidate order.
+type boxProber interface {
+	Query(lo, hi []float64, out []value.ID) []value.ID
+	QueryRows(lo, hi []float64, out []int32) []int32
 }
 
 // collectSites walks all compiled plans and registers every accum site.
@@ -609,6 +639,16 @@ func (w *World) collectSites() {
 					}
 					site.candidates = candidatesFor(s)
 					site.selector = plan.NewSelector(site.candidates[0])
+					site.batch = newSiteBatch(s)
+					w.resolveEqKinds(site)
+					if j := s.Join; j != nil {
+						for _, r := range j.Ranges {
+							site.srcAttrs = append(site.srcAttrs, r.AttrIdx)
+						}
+						for _, eq := range j.Eqs {
+							site.srcAttrs = append(site.srcAttrs, eq.AttrIdx)
+						}
+					}
 					w.sites = append(w.sites, site)
 					w.siteIndex[s] = site
 					walk(s.Body, phase)

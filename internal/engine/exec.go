@@ -2,14 +2,18 @@ package engine
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/combinator"
 	"repro/internal/compile"
 	"repro/internal/expr"
 	"repro/internal/index"
 	"repro/internal/plan"
+	"repro/internal/table"
 	"repro/internal/value"
+	"repro/internal/vexpr"
 )
 
 // emitSink receives effect emissions and transaction intents. The serial
@@ -53,6 +57,25 @@ type execCtx struct {
 	idsBuf []value.ID
 	loBuf  []float64
 	hiBuf  []float64
+
+	// batched-join scratch (see join.go)
+	rowsBuf  []int32
+	eqVals   []value.Value
+	lanes    [][]float64 // gathered candidate columns, indexed by attr
+	idLane   []float64
+	valBuf   []float64
+	keyBuf   []float64
+	resBuf   []float64
+	resBuf2  []float64
+	bcastBuf []float64
+	accEnv   vexpr.Env
+	machine  vexpr.Machine
+
+	// probe accounting, flushed into World.execStats when the ctx retires
+	probeSeq    int64
+	joinProbes  int64
+	joinMatches int64
+	joinBatched int64
 }
 
 func newExecCtx(w *World, sink emitSink, slots int) *execCtx {
@@ -73,6 +96,17 @@ func (x *execCtx) bindRow(rt *classRT, row int) {
 	x.ctx.Class = rt.name
 	x.ctx.SelfID = x.id
 	x.ctx.Self = rowReader{rt: rt, row: row}
+}
+
+// flushJoinStats folds the context's probe counters into the world totals.
+// Called once per class pass per worker; safe to call concurrently.
+func (x *execCtx) flushJoinStats() {
+	if !x.w.opts.DisableStats {
+		atomic.AddInt64(&x.w.execStats.JoinProbeRows, x.joinProbes)
+		atomic.AddInt64(&x.w.execStats.JoinMatchRows, x.joinMatches)
+		atomic.AddInt64(&x.w.execStats.JoinBatchedRows, x.joinBatched)
+	}
+	x.joinProbes, x.joinMatches, x.joinBatched = 0, 0, 0
 }
 
 func (x *execCtx) runSteps(steps []compile.Step) {
@@ -169,6 +203,8 @@ func (x *execCtx) runAccum(s *compile.AccumStep) {
 				runBody(e.AsRef())
 			}
 		}
+	case site != nil && site.batched:
+		x.runAccumBatched(s, site, srcRT)
 	case site == nil || site.strategy == plan.NestedLoop:
 		tab := srcRT.tab
 		for r := 0; r < tab.Cap(); r++ {
@@ -178,23 +214,41 @@ func (x *execCtx) runAccum(s *compile.AccumStep) {
 		}
 		if site != nil {
 			// Upper bound; the cost model treats NL matches as whole-scan.
-			site.observe(x.w, 1, int64(tab.Len()), nil, nil)
+			site.observe(x.w, 1, int64(tab.Len()))
+			x.joinProbes++
+			x.joinMatches += int64(tab.Len())
 		}
 	case site.strategy == plan.HashIndex:
-		key := site.eqKey(&x.ctx)
-		ids := site.hash.Lookup(key)
+		key := x.evalEqKeys(site)
+		var ids []value.ID
+		if site.hash != nil {
+			ids, _ = site.hash.Lookup(key)
+		}
+		// The interpreted body re-evaluates the full predicate per match,
+		// so composite-key hash collisions are filtered here for free.
 		for _, id := range ids {
 			runBody(id)
 		}
-		site.observe(x.w, 1, int64(len(ids)), nil, nil)
+		site.observe(x.w, 1, int64(len(ids)))
+		x.joinProbes++
+		x.joinMatches += int64(len(ids))
 	default: // RangeTreeIndex or GridIndex
 		lo, hi := x.evalBox(site)
-		x.idsBuf = x.idsBuf[:0]
-		x.idsBuf = site.tree.Query(lo, hi, x.idsBuf)
-		for _, id := range x.idsBuf {
+		x.sampleExtent(site, lo, hi)
+		ids := x.idsBuf[:0]
+		if site.tree != nil {
+			ids = site.tree.Query(lo, hi, ids)
+		}
+		// Stack-discipline the buffer: a nested accum inside the body must
+		// append past our candidates, not clobber them.
+		x.idsBuf = ids[len(ids):]
+		for _, id := range ids {
 			runBody(id)
 		}
-		site.observe(x.w, 1, int64(len(x.idsBuf)), lo, hi)
+		x.idsBuf = ids[:0]
+		site.observe(x.w, 1, int64(len(ids)))
+		x.joinProbes++
+		x.joinMatches += int64(len(ids))
 	}
 
 	// Publish the combined result for the `in` block and later steps.
@@ -207,7 +261,9 @@ func (x *execCtx) runAccum(s *compile.AccumStep) {
 }
 
 // evalBox computes the probe rectangle for the current row from the site's
-// range dimensions.
+// range dimensions. A NaN bound makes its conjunct unsatisfiable (`u.a >=
+// NaN` never holds), so the whole dimension collapses to an empty interval
+// rather than silently dropping the bound.
 func (x *execCtx) evalBox(site *siteRT) (lo, hi []float64) {
 	d := len(site.step.Join.Ranges)
 	if cap(x.loBuf) < d {
@@ -217,55 +273,102 @@ func (x *execCtx) evalBox(site *siteRT) (lo, hi []float64) {
 	lo, hi = x.loBuf[:d], x.hiBuf[:d]
 	for i, r := range site.step.Join.Ranges {
 		l := math.Inf(-1)
+		nan := false
 		for _, f := range r.Lo {
-			if v := f(&x.ctx).AsNumber(); v > l {
+			v := f(&x.ctx).AsNumber()
+			if math.IsNaN(v) {
+				nan = true
+			}
+			if v > l {
 				l = v
 			}
 		}
 		h := math.Inf(1)
 		for _, f := range r.Hi {
-			if v := f(&x.ctx).AsNumber(); v < h {
+			v := f(&x.ctx).AsNumber()
+			if math.IsNaN(v) {
+				nan = true
+			}
+			if v < h {
 				h = v
 			}
+		}
+		if nan {
+			l, h = math.Inf(1), math.Inf(-1)
 		}
 		lo[i], hi[i] = l, h
 	}
 	return lo, hi
 }
 
-// eqKey evaluates the hash-join key for the current row.
-func (s *siteRT) eqKey(ctx *expr.Ctx) value.Value {
-	return s.step.Join.Eqs[0].Key(ctx)
+// sampleExtent feeds the probe-box EMA that sizes grid cells. It samples a
+// small fraction of probes on a per-context counter, deliberately outside
+// the DisableStats gate: without it the grid would be stuck on the default
+// cell size whenever statistics are disabled.
+func (x *execCtx) sampleExtent(site *siteRT, lo, hi []float64) {
+	x.probeSeq++
+	if x.probeSeq&63 != 1 {
+		return
+	}
+	ext, d := 0.0, 0
+	for i := range lo {
+		w := hi[i] - lo[i]
+		if !(w >= 0) || math.IsInf(w, 1) {
+			continue // empty, NaN or unbounded dims say nothing about cells
+		}
+		ext += w
+		d++
+	}
+	if d == 0 {
+		return
+	}
+	site.mu.Lock()
+	site.boxExtent.Add(ext / float64(d))
+	site.mu.Unlock()
+}
+
+// evalEqKeys evaluates the site's equality-conjunct keys for the current
+// row into x.eqVals and returns their composite hash (all conjuncts fold
+// into one key — multi-equality joins probe exact buckets instead of a
+// single-attribute superset).
+func (x *execCtx) evalEqKeys(site *siteRT) uint64 {
+	h := index.KeySeed
+	x.eqVals = x.eqVals[:0]
+	for _, eq := range site.step.Join.Eqs {
+		v := eq.Key(&x.ctx)
+		h = index.HashValue(h, v)
+		x.eqVals = append(x.eqVals, v)
+	}
+	return h
 }
 
 // observe records execution feedback. Counters use atomics because the
-// parallel effect phase probes sites from several workers; the box-extent
-// EMA is sampled under a mutex on a small fraction of probes.
-func (s *siteRT) observe(w *World, probes, matches int64, lo, hi []float64) {
+// parallel effect phase probes sites from several workers.
+func (s *siteRT) observe(w *World, probes, matches int64) {
 	if w.opts.DisableStats {
 		return
 	}
-	p := atomic.AddInt64(&s.stats.Probes, probes)
+	atomic.AddInt64(&s.stats.Probes, probes)
 	atomic.AddInt64(&s.stats.Matches, matches)
-	if lo != nil && p&15 == 1 {
-		ext := 0.0
-		for d := range lo {
-			ext += hi[d] - lo[d]
-		}
-		s.mu.Lock()
-		s.boxExtent.Add(ext / float64(len(lo)))
-		s.mu.Unlock()
-	}
 }
 
-// prepareSites runs once per tick before the effect phase: it lets each
-// site's selector choose this tick's strategy from feedback statistics and
-// builds the per-tick indexes (§4.1's multi-plan switching).
+// prepareSites runs once per tick before the effect phase: each site's
+// selector chooses this tick's strategy and join-execution mode from
+// feedback statistics, and the per-tick indexes are built (§4.1's
+// multi-plan switching) — or reused, patched incrementally, or skipped
+// entirely when nothing can probe them.
 func (w *World) prepareSites() {
+	track := !w.opts.DisableStats
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	rebuild := w.siteBuildList[:0]
 	for _, site := range w.sites {
 		st := site.step
 		if st.SourceFn != nil || st.Join == nil {
 			site.strategy = plan.NestedLoop
+			site.batched = false
 			continue
 		}
 		srcRT := w.classes[st.SourceClass]
@@ -276,18 +379,159 @@ func (w *World) prepareSites() {
 			p = p/w.classes[site.class].plan.NumPhases + 1
 		}
 
+		kHat := 8.0 // optimistic prior before feedback arrives
+		var sstats = site.stats
+		if w.opts.DisableStats {
+			sstats = nil
+		}
+		if sstats != nil && sstats.MatchPerProbe.Ready() {
+			kHat = sstats.MatchPerProbe.Value()
+		}
 		if w.opts.Strategy != plan.Auto {
 			site.strategy = forceStrategy(w.opts.Strategy, site)
 		} else {
-			kHat := 8.0 // optimistic prior before feedback arrives
-			var sstats = site.stats
-			if w.opts.DisableStats {
-				sstats = nil
-			}
 			site.strategy = forceStrategy(
 				site.selector.Choose(site.candidates, n, p, kHat, len(st.Join.Ranges), sstats), site)
 		}
-		w.buildSiteIndex(site, srcRT, n)
+		site.batched = site.batch != nil &&
+			w.execCosts.ChooseJoin(w.opts.Join, kHat, site.batch.vec) == plan.JoinBatched
+
+		// Nothing can probe (empty probing extent) or nothing can match
+		// (empty source extent): skip index construction entirely. A
+		// nested-loop scan over the source is trivially correct either way.
+		if n == 0 || p == 0 {
+			site.strategy = plan.NestedLoop
+			site.tree, site.hash = nil, nil
+			site.builtOK = false
+			continue
+		}
+
+		switch w.siteMaint(site, srcRT) {
+		case plan.MaintReuse:
+			if track {
+				w.execStats.IndexReuses++
+			}
+		case plan.MaintIncremental:
+			if track {
+				w.execStats.IndexIncrements++
+			}
+		default:
+			rebuild = append(rebuild, site)
+		}
+	}
+	w.siteBuildList = rebuild
+
+	// Rebuilds: several sites fan out across the worker pool; a single site
+	// shards its entry gather instead (§4.2: tables are read-only here, and
+	// every site builds into its own retained arena).
+	if w.parallelOK() && len(rebuild) > 1 {
+		w.buildSitesParallel(rebuild)
+	} else {
+		for _, site := range rebuild {
+			w.buildSiteIndex(site, w.classes[site.step.SourceClass], true)
+		}
+	}
+	if track {
+		w.execStats.IndexBuildNanos += time.Since(t0).Nanoseconds()
+	}
+}
+
+// buildSitesParallel fans pending site rebuilds out across the worker pool
+// via a shared worklist. Kept out of prepareSites so its escaping closures
+// never cost the serial path an allocation.
+func (w *World) buildSitesParallel(rebuild []*siteRT) {
+	w.ensureWorkers()
+	nw := w.opts.Workers
+	if nw > len(rebuild) {
+		nw = len(rebuild)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= len(rebuild) {
+					return
+				}
+				site := rebuild[j]
+				w.buildSiteIndex(site, w.classes[site.step.SourceClass], false)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// siteMaint decides how to bring a site's index up to date. Reuse and
+// incremental maintenance hinge on the table's cheap version counters: an
+// index whose source columns and structure are untouched since it was built
+// is still exact; a grid whose columns drifted by only a few rows is patched
+// in place by Grid.Sync (cell-order canonical, so a synced grid answers
+// probes identically to a rebuild).
+func (w *World) siteMaint(site *siteRT, srcRT *classRT) plan.Maint {
+	tab := srcRT.tab
+	if !site.builtOK || site.builtStrategy != site.strategy {
+		return plan.MaintRebuild
+	}
+	if site.strategy == plan.GridIndex && w.gridCell(site) != site.builtCell {
+		// The desired cell size drifted past the hysteresis band: even an
+		// otherwise-unchanged grid must rebuild at the new granularity.
+		return plan.MaintRebuild
+	}
+	dirty := tab.StructVersion() != site.builtStruct
+	for i, a := range site.srcAttrs {
+		if tab.ColVersion(a) != site.builtVers[i] {
+			dirty = true
+		}
+	}
+	if !dirty {
+		return plan.MaintReuse
+	}
+	if site.strategy == plan.GridIndex && site.builder.Grid() != nil {
+		j := site.step.Join
+		a0, a1 := j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx
+		budget := w.execCosts.MaintDirtyBudget(tab.Len())
+		g := site.builder.Grid()
+		if dirtyRows, ok := g.Sync(tab.NumColumn(a0), tab.NumColumn(a1), tab.AliveMask(), tab.RawIDs(), budget); ok {
+			switch w.execCosts.ChooseMaint(tab.Len(), dirtyRows, true) {
+			case plan.MaintReuse:
+				site.noteBuilt(tab)
+				return plan.MaintReuse // versions moved but no row changed
+			default:
+				site.noteBuilt(tab)
+				return plan.MaintIncremental
+			}
+		}
+	}
+	return plan.MaintRebuild
+}
+
+// gridCell picks the grid cell size: the probe-extent EMA with hysteresis
+// toward the previously built size, so incremental maintenance is not
+// defeated by slow EMA drift.
+func (w *World) gridCell(site *siteRT) float64 {
+	site.mu.Lock()
+	cell := site.boxExtent.Value()
+	site.mu.Unlock()
+	if cell <= 0 {
+		cell = 64
+	}
+	if site.builtOK && site.builtStrategy == plan.GridIndex && site.builtCell > 0 {
+		if r := cell / site.builtCell; r > 0.75 && r < 1.33 {
+			return site.builtCell
+		}
+	}
+	return cell
+}
+
+// noteBuilt records the source versions an up-to-date index reflects.
+func (site *siteRT) noteBuilt(tab *table.Table) {
+	site.builtStruct = tab.StructVersion()
+	site.builtVers = site.builtVers[:0]
+	for _, a := range site.srcAttrs {
+		site.builtVers = append(site.builtVers, tab.ColVersion(a))
 	}
 }
 
@@ -301,52 +545,112 @@ func forceStrategy(s plan.Strategy, site *siteRT) plan.Strategy {
 	return site.candidates[0]
 }
 
-func (w *World) buildSiteIndex(site *siteRT, srcRT *classRT, n int) {
+// buildSiteIndex rebuilds a site's index into its retained arena. allowShard
+// permits sharding the entry gather across the worker pool (disabled when
+// sites themselves are being built in parallel).
+func (w *World) buildSiteIndex(site *siteRT, srcRT *classRT, allowShard bool) {
 	site.tree, site.hash = nil, nil
 	j := site.step.Join
+	tab := srcRT.tab
+	n := tab.Len()
 	switch site.strategy {
 	case plan.RangeTreeIndex:
 		site.dims = site.dims[:0]
 		for _, r := range j.Ranges {
 			site.dims = append(site.dims, r.AttrIdx)
 		}
-		entries := make([]index.Entry, 0, n)
-		coords := make([]float64, n*len(site.dims))
-		k := 0
-		srcRT.tab.ForEach(func(row int, id value.ID) {
-			c := coords[k : k+len(site.dims) : k+len(site.dims)]
-			k += len(site.dims)
-			for di, ai := range site.dims {
-				c[di] = srcRT.tab.At(row, ai).AsNumber()
-			}
-			entries = append(entries, index.Entry{ID: id, Coords: c})
-		})
-		site.tree = index.BuildRangeTree(len(site.dims), entries)
+		entries := site.builder.Entries(n)
+		coords := site.builder.Coords(n * len(site.dims))
+		w.fillEntries(srcRT, site.dims, entries, coords, allowShard)
+		site.tree = site.builder.BuildRangeTree(len(site.dims), entries)
 	case plan.GridIndex:
-		cell := site.boxExtent.Value()
-		if cell <= 0 {
-			cell = 64
-		}
-		entries := make([]index.Entry, 0, n)
-		coords := make([]float64, n*2)
-		k := 0
-		a0, a1 := j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx
-		srcRT.tab.ForEach(func(row int, id value.ID) {
-			c := coords[k : k+2 : k+2]
-			k += 2
-			c[0] = srcRT.tab.At(row, a0).AsNumber()
-			c[1] = srcRT.tab.At(row, a1).AsNumber()
-			entries = append(entries, index.Entry{ID: id, Coords: c})
-		})
-		site.tree = index.BuildGrid(cell, entries)
+		cell := w.gridCell(site)
+		site.dims = site.dims[:0]
+		site.dims = append(site.dims, j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx)
+		entries := site.builder.Entries(n)
+		coords := site.builder.Coords(n * 2)
+		w.fillEntries(srcRT, site.dims, entries, coords, allowShard)
+		site.tree = site.builder.BuildGrid(cell, entries)
+		site.builtCell = cell
 	case plan.HashIndex:
-		attr := j.Eqs[0].AttrIdx
-		keys := make([]value.Value, 0, n)
-		ids := make([]value.ID, 0, n)
-		srcRT.tab.ForEach(func(row int, id value.ID) {
-			keys = append(keys, srcRT.tab.At(row, attr))
-			ids = append(ids, id)
-		})
-		site.hash = index.BuildHash(keys, ids)
+		h := site.builder.RowHash()
+		alive := tab.AliveMask()
+		ids := tab.RawIDs()
+		for r, ok := range alive {
+			if !ok {
+				continue
+			}
+			key := index.KeySeed
+			for _, eq := range j.Eqs {
+				key = index.HashValue(key, tab.At(r, eq.AttrIdx))
+			}
+			h.Insert(key, ids[r], int32(r))
+		}
+		site.hash = h
+	}
+	site.builtStrategy = site.strategy
+	site.builtOK = true
+	site.noteBuilt(tab)
+}
+
+// fillEntries materializes (id, row, coords) entries for every live source
+// row, in physical row order. Large extents shard the gather across the
+// worker pool: per-shard live counts prefix-sum into disjoint output
+// offsets, so workers write non-overlapping ranges and the entry order is
+// identical to the serial fill.
+func (w *World) fillEntries(srcRT *classRT, dims []int, entries []index.Entry, coords []float64, allowShard bool) {
+	tab := srcRT.tab
+	nw := 1
+	if allowShard && w.parallelOK() {
+		work := w.execCosts.IndexBuildRow * float64(tab.Len()) * float64(len(dims))
+		nw = w.execCosts.ChooseWorkers(w.opts.Workers, work)
+	}
+	if nw <= 1 {
+		fillEntryRange(tab, dims, entries, coords, 0, tab.Cap(), 0)
+		return
+	}
+	w.ensureWorkers()
+	shards := shardRows(tab.Cap(), nw, w.shardBuf)
+	w.shardBuf = shards
+	if len(shards) <= 1 {
+		fillEntryRange(tab, dims, entries, coords, 0, tab.Cap(), 0)
+		return
+	}
+	alive := tab.AliveMask()
+	if cap(w.buildOffs) < len(shards)+1 {
+		w.buildOffs = make([]int, len(shards)+1)
+	}
+	offs := w.buildOffs[:len(shards)+1]
+	offs[0] = 0
+	for si, sh := range shards {
+		c := 0
+		for r := sh.lo; r < sh.hi; r++ {
+			if alive[r] {
+				c++
+			}
+		}
+		offs[si+1] = offs[si] + c
+	}
+	w.runShards(shards, func(si int, sh shard) {
+		fillEntryRange(tab, dims, entries, coords, sh.lo, sh.hi, offs[si])
+	})
+}
+
+// fillEntryRange fills entries for the live rows in [lo, hi), starting at
+// output index k — the shared body of the serial and sharded gathers.
+func fillEntryRange(tab *table.Table, dims []int, entries []index.Entry, coords []float64, lo, hi, k int) {
+	alive := tab.AliveMask()
+	ids := tab.RawIDs()
+	d := len(dims)
+	for r := lo; r < hi; r++ {
+		if !alive[r] {
+			continue
+		}
+		c := coords[k*d : k*d+d : k*d+d]
+		for di, ai := range dims {
+			c[di] = tab.NumColumn(ai)[r]
+		}
+		entries[k] = index.Entry{ID: ids[r], Row: int32(r), Coords: c}
+		k++
 	}
 }

@@ -269,6 +269,7 @@ func (w *World) runEffectShard(rt *classRT, vecSel []bool, lo, hi int, sc *shard
 		x.runSteps(steps)
 		sc.scalarRows++
 	}
+	x.flushJoinStats()
 }
 
 // foldShardCtxs merges the first n shard contexts back into the shared
@@ -420,5 +421,6 @@ func (w *World) runHandlerRange(rt *classRT, lo, hi int, sink emitSink) int64 {
 		}
 		rows++
 	}
+	x.flushJoinStats()
 	return rows
 }

@@ -138,6 +138,7 @@ func (w *World) runEffectPhaseSerial() {
 			x.runSteps(steps)
 			scalarRows++
 		}
+		x.flushJoinStats()
 		if !w.opts.DisableStats {
 			w.execStats.ScalarRows += scalarRows
 		}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/physics"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// E15 measures batched join execution (PR 3) against the scalar per-match
+// interpreter on join-dominated workloads, single core: the paper's Fig-2
+// crowding loop, the rts combat maxby join, and the flocking scenario whose
+// tick is almost entirely range-join work. Both arms use the same adaptive
+// strategy selection and the same per-tick indexes; only match execution
+// differs — interpreted loop body per candidate versus batch-gathered rows,
+// split-predicate re-check over raw columns and columnar contribution folds.
+// The last columns expose the new join/index counters on the auto arm.
+func E15(sizes map[string][]int, ticks int) (Table, error) {
+	t := Table{
+		ID:     "E15",
+		Title:  "batched vs scalar join execution (single core, ms/tick)",
+		Header: []string{"workload", "n", "scalar", "batched", "auto", "batched speedup", "cand/probe", "build ms/tick"},
+		Notes:  "speedup = scalar/batched; cand/probe and index build time measured on the batched arm; strategies adapt identically in every arm",
+	}
+	type wk struct {
+		name     string
+		src      string
+		populate func(w *engine.World, n int) error
+	}
+	workloads := []wk{
+		{"fig2", core.SrcFig2, func(w *engine.World, n int) error {
+			_, err := core.PopulateUnits(w, workload.Uniform(n, 1200, 1200, 7), 10)
+			return err
+		}},
+		{"rts", core.SrcRTS, func(w *engine.World, n int) error {
+			ph := physics.New2D(physics.Config{
+				Class: "Soldier", XAttr: "x", YAttr: "y",
+				VXEffect: "vx", VYEffect: "vy",
+				Radius: 1, MaxSpeed: 3,
+			})
+			if err := w.Register(ph); err != nil {
+				return err
+			}
+			_, err := core.PopulateSoldiers(w, workload.Clustered(n, 8, 60, 1500, 1500, 11))
+			return err
+		}},
+		{"flock", core.SrcFlock, func(w *engine.World, n int) error {
+			_, err := core.PopulateBoids(w, workload.Uniform(n, 1400, 1400, 3))
+			return err
+		}},
+	}
+	for _, wl := range workloads {
+		sc, err := core.LoadScenario(wl.name, wl.src)
+		if err != nil {
+			return t, err
+		}
+		for _, n := range sizes[wl.name] {
+			times := map[plan.JoinMode]time.Duration{}
+			var candPerProbe, buildMS float64
+			for _, mode := range []plan.JoinMode{plan.JoinScalar, plan.JoinBatched, plan.JoinAuto} {
+				w, err := sc.NewWorld(engine.Options{Join: mode})
+				if err != nil {
+					return t, err
+				}
+				if err := wl.populate(w, n); err != nil {
+					return t, err
+				}
+				if times[mode], err = tickTime(w.RunTick, ticks); err != nil {
+					return t, err
+				}
+				if mode == plan.JoinBatched {
+					st := w.ExecStats()
+					if st.JoinProbeRows > 0 {
+						candPerProbe = float64(st.JoinBatchedRows) / float64(st.JoinProbeRows)
+					}
+					buildMS = float64(st.IndexBuildNanos) / 1e6 / float64(ticks)
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				wl.name, fmt.Sprint(n),
+				ms(times[plan.JoinScalar]), ms(times[plan.JoinBatched]), ms(times[plan.JoinAuto]),
+				fmt.Sprintf("%.1fx", float64(times[plan.JoinScalar])/float64(times[plan.JoinBatched])),
+				fmt.Sprintf("%.1f", candPerProbe),
+				fmt.Sprintf("%.2f", buildMS),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package index
+
+// Builder is a per-site build arena. The engine rebuilds accum-join indexes
+// every tick (§4.1: a large fraction of game state changes per tick), which
+// with naive construction means one fresh allocation storm per site per
+// tick. A Builder retains everything a build needs — the entry/coordinate
+// input slabs, the range tree's node, header and replica slabs, the grid's
+// cell table and the hash index's buckets — so that once slab sizes converge
+// (after the first tick or two of a stable regime) rebuilding an index
+// allocates nothing at all.
+//
+// A Builder is not safe for concurrent use, and the indexes it returns alias
+// its memory: a tree, grid or hash obtained from a Builder is valid only
+// until that Builder's next build of the same kind.
+type Builder struct {
+	entries []Entry
+	coords  []float64
+
+	// Range-tree slabs. Demand is measured per build; slabs regrow to the
+	// previous build's demand up front, so overflow allocations happen only
+	// while the working set is still growing.
+	trees     []RangeTree
+	nodes     []rtNode
+	reps      []Entry
+	treeN     int
+	nodeN     int
+	repN      int
+	needTrees int
+	needNodes int
+	needReps  int
+
+	grid *Grid
+	hash *RowHash
+}
+
+// Entries returns the builder's reusable entry slab resized to n.
+func (b *Builder) Entries(n int) []Entry {
+	if cap(b.entries) < n {
+		b.entries = make([]Entry, n)
+	}
+	b.entries = b.entries[:n]
+	return b.entries
+}
+
+// Coords returns the builder's reusable coordinate slab resized to n.
+func (b *Builder) Coords(n int) []float64 {
+	if cap(b.coords) < n {
+		b.coords = make([]float64, n)
+	}
+	return b.coords[:n]
+}
+
+// BuildRangeTree builds a range tree over entries using the retained slabs.
+// The input slice is reordered in place (callers normally pass the slab from
+// Entries), and the returned tree aliases builder memory: it is valid only
+// until the next BuildRangeTree on this builder.
+func (b *Builder) BuildRangeTree(dims int, entries []Entry) *RangeTree {
+	if len(b.trees) < b.needTrees {
+		b.trees = make([]RangeTree, b.needTrees)
+	}
+	if len(b.nodes) < b.needNodes {
+		b.nodes = make([]rtNode, b.needNodes)
+	}
+	if len(b.reps) < b.needReps {
+		b.reps = make([]Entry, b.needReps)
+	}
+	b.treeN, b.nodeN, b.repN = 0, 0, 0
+	b.needTrees, b.needNodes, b.needReps = 0, 0, 0
+	return buildRangeTree(b, dims, entries)
+}
+
+// BuildGrid builds (or rebuilds) the builder's retained grid. Cell slices
+// and the row-tracking arrays are reused; only brand-new cells allocate. The
+// returned grid supports Sync for incremental maintenance and stays owned by
+// the builder.
+func (b *Builder) BuildGrid(cellSize float64, entries []Entry) *Grid {
+	if b.grid == nil {
+		b.grid = newTrackedGrid()
+	}
+	b.grid.rebuild(cellSize, entries)
+	return b.grid
+}
+
+// Grid returns the builder's retained grid from the last BuildGrid, or nil.
+func (b *Builder) Grid() *Grid { return b.grid }
+
+// RowHash returns the builder's retained hash index, emptied for refill via
+// Insert. Buckets and their slices are reused across builds.
+func (b *Builder) RowHash() *RowHash {
+	if b.hash == nil {
+		b.hash = NewRowHash()
+	}
+	b.hash.Reset()
+	return b.hash
+}
+
+// allocTree hands out a tree header, from the slab when one is available.
+func (b *Builder) allocTree() *RangeTree {
+	b.needTrees++
+	if b.treeN < len(b.trees) {
+		t := &b.trees[b.treeN]
+		b.treeN++
+		return t
+	}
+	return new(RangeTree)
+}
+
+// allocNode hands out a node, from the slab when one is available.
+func (b *Builder) allocNode() *rtNode {
+	b.needNodes++
+	if b.nodeN < len(b.nodes) {
+		n := &b.nodes[b.nodeN]
+		b.nodeN++
+		return n
+	}
+	return new(rtNode)
+}
+
+// allocReps hands out a replica block for one associated structure.
+func (b *Builder) allocReps(n int) []Entry {
+	b.needReps += n
+	if b.repN+n <= len(b.reps) {
+		s := b.reps[b.repN : b.repN+n : b.repN+n]
+		b.repN += n
+		return s
+	}
+	return make([]Entry, n)
+}

@@ -196,14 +196,17 @@ func TestGridNegativeCoords(t *testing.T) {
 func TestHashIndex(t *testing.T) {
 	keys := []value.Value{value.Num(1), value.Num(2), value.Num(1), value.Str("a")}
 	ids := []value.ID{10, 20, 30, 40}
-	h := BuildHash(keys, ids)
-	if got := h.Lookup(value.Num(1)); !equalIDs(append([]value.ID(nil), got...), []value.ID{10, 30}) {
-		t.Errorf("Lookup(1) = %v", got)
+	h := NewRowHash()
+	for i, k := range keys {
+		h.Insert(HashValue(KeySeed, k), ids[i], int32(i))
 	}
-	if got := h.Lookup(value.Str("a")); len(got) != 1 || got[0] != 40 {
+	if got, rows := h.Lookup(HashValue(KeySeed, value.Num(1))); !equalIDs(append([]value.ID(nil), got...), []value.ID{10, 30}) || len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Errorf("Lookup(1) = %v / %v", got, rows)
+	}
+	if got, _ := h.Lookup(HashValue(KeySeed, value.Str("a"))); len(got) != 1 || got[0] != 40 {
 		t.Errorf("Lookup(a) = %v", got)
 	}
-	if got := h.Lookup(value.Num(9)); len(got) != 0 {
+	if got, _ := h.Lookup(HashValue(KeySeed, value.Num(9))); len(got) != 0 {
 		t.Errorf("Lookup(miss) = %v", got)
 	}
 	if h.Len() != 4 {

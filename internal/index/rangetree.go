@@ -4,20 +4,27 @@
 // and a hash index for equi-joins.
 //
 // Because a large fraction of game state changes every tick (§4.1), the
-// engine rebuilds spatial indexes per tick rather than maintaining them
-// incrementally; builds are O(n log n) and allocation-conscious.
+// engine's default is to rebuild spatial indexes per tick rather than
+// maintain them incrementally. Builds go through per-site Builder arenas so
+// steady-state rebuilds allocate nothing; the Grid additionally supports
+// churn-aware incremental maintenance (Sync) for regimes where only a small
+// fraction of rows changed, and every index answers batch row probes
+// (QueryRows/Lookup rows) for the batched join executor.
 package index
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/value"
 )
 
-// Entry is one indexed point: an object id plus its coordinates.
+// Entry is one indexed point: an object id plus its coordinates. Row, when
+// populated by the caller, is the physical table row backing the point; the
+// batch probe APIs (QueryRows/LookupRows) hand candidate rows back directly
+// so the executor can gather source columns without an id→row map lookup.
 type Entry struct {
 	ID     value.ID
+	Row    int32
 	Coords []float64
 }
 
@@ -55,27 +62,46 @@ const rtLeafSize = 16
 // >= 1 and every entry must have at least dims coordinates. The input slice
 // is not retained but is reordered.
 func BuildRangeTree(dims int, entries []Entry) *RangeTree {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	return buildRangeTree(nil, dims, es)
+}
+
+// buildRangeTree builds over es in place, drawing trees, nodes and replica
+// blocks from the arena when b is non-nil (see Builder).
+func buildRangeTree(b *Builder, dims int, es []Entry) *RangeTree {
 	if dims < 1 {
 		panic("index: range tree needs dims >= 1")
 	}
-	t := &RangeTree{dims: dims, n: len(entries)}
-	if len(entries) == 0 {
+	var t *RangeTree
+	if b != nil {
+		t = b.allocTree()
+	} else {
+		t = new(RangeTree)
+	}
+	*t = RangeTree{dims: dims, n: len(es)}
+	if len(es) == 0 {
 		return t
 	}
-	es := make([]Entry, len(entries))
-	copy(es, entries)
-	t.root = t.build(es, 0)
+	t.root = t.build(b, es, 0)
 	return t
 }
 
-func (t *RangeTree) build(es []Entry, dim int) *rtNode {
-	sort.Slice(es, func(i, j int) bool { return es[i].Coords[dim] < es[j].Coords[dim] })
-	return t.buildSorted(es, dim)
+func (t *RangeTree) build(b *Builder, es []Entry, dim int) *rtNode {
+	sortEntries(es, dim)
+	return t.buildSorted(b, es, dim)
 }
 
-func (t *RangeTree) buildSorted(es []Entry, dim int) *rtNode {
+func (t *RangeTree) buildSorted(b *Builder, es []Entry, dim int) *rtNode {
 	t.nodes++
-	n := &rtNode{
+	var n *rtNode
+	if b != nil {
+		n = b.allocNode()
+	} else {
+		n = new(rtNode)
+	}
+	// Arena nodes may carry a previous build; reset every field.
+	*n = rtNode{
 		min: es[0].Coords[dim],
 		max: es[len(es)-1].Coords[dim],
 	}
@@ -95,19 +121,90 @@ func (t *RangeTree) buildSorted(es []Entry, dim int) *rtNode {
 	if !last {
 		// The associated structure indexes this node's whole point set on
 		// the remaining dimensions.
-		sub := make([]Entry, len(es))
+		var sub []Entry
+		if b != nil {
+			sub = b.allocReps(len(es))
+		} else {
+			sub = make([]Entry, len(es))
+		}
 		copy(sub, es)
-		n.assoc = &RangeTree{dims: t.dims}
-		n.assoc.n = len(sub)
-		n.assoc.root = n.assoc.build(sub, dim+1)
-		t.storedEntries += n.assoc.storedEntries
-		t.nodes += n.assoc.nodes
+		var a *RangeTree
+		if b != nil {
+			a = b.allocTree()
+		} else {
+			a = new(RangeTree)
+		}
+		*a = RangeTree{dims: t.dims, n: len(sub)}
+		a.root = a.build(b, sub, dim+1)
+		n.assoc = a
+		t.storedEntries += a.storedEntries
+		t.nodes += a.nodes
 	}
 	// At the last dimension points are stored only in leaf blocks, which
 	// the leaf case above accounts for.
-	n.left = t.buildSorted(es[:mid], dim)
-	n.right = t.buildSorted(es[mid:], dim)
+	n.left = t.buildSorted(b, es[:mid], dim)
+	n.right = t.buildSorted(b, es[mid:], dim)
 	return n
+}
+
+// sortEntries orders es by Coords[dim] ascending. It is a hand-rolled
+// median-of-three quicksort with an insertion-sort tail so per-tick index
+// builds stay allocation-free (sort.Slice allocates its closure and swapper
+// at every associated-structure sort).
+func sortEntries(es []Entry, dim int) {
+	for len(es) > 12 {
+		// Median-of-three pivot moved to the front: Hoare partition with
+		// the pivot at index 0 always makes progress.
+		m := len(es) / 2
+		hi := len(es) - 1
+		if es[m].Coords[dim] < es[0].Coords[dim] {
+			es[m], es[0] = es[0], es[m]
+		}
+		if es[hi].Coords[dim] < es[0].Coords[dim] {
+			es[hi], es[0] = es[0], es[hi]
+		}
+		if es[hi].Coords[dim] < es[m].Coords[dim] {
+			es[hi], es[m] = es[m], es[hi]
+		}
+		es[0], es[m] = es[m], es[0]
+		p := es[0].Coords[dim]
+		i, j := -1, len(es)
+		for {
+			for {
+				i++
+				if !(es[i].Coords[dim] < p) {
+					break
+				}
+			}
+			for {
+				j--
+				if !(es[j].Coords[dim] > p) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			es[i], es[j] = es[j], es[i]
+		}
+		// Recurse into the smaller half, iterate on the larger.
+		if j+1 <= len(es)-(j+1) {
+			sortEntries(es[:j+1], dim)
+			es = es[j+1:]
+		} else {
+			sortEntries(es[j+1:], dim)
+			es = es[:j+1]
+		}
+	}
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].Coords[dim] > e.Coords[dim] {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
 }
 
 // Len returns the number of indexed points.
@@ -187,6 +284,59 @@ func (t *RangeTree) collect(n *rtNode, out []value.ID) []value.ID {
 	}
 	out = t.collect(n.left, out)
 	return t.collect(n.right, out)
+}
+
+// QueryRows is Query returning physical table rows instead of ids, in the
+// identical candidate order — the batch-gather probe of the join executor.
+// It is meaningful only for entries built with Row populated.
+func (t *RangeTree) QueryRows(lo, hi []float64, out []int32) []int32 {
+	if t.root == nil {
+		return out
+	}
+	t.checkBox(lo, hi)
+	return t.queryRows(t.root, 0, lo, hi, out)
+}
+
+func (t *RangeTree) queryRows(n *rtNode, dim int, lo, hi []float64, out []int32) []int32 {
+	if n == nil || n.min > hi[dim] || n.max < lo[dim] {
+		return out
+	}
+	if n.pts != nil {
+		for _, e := range n.pts {
+			ok := true
+			for d := dim; d < t.dims; d++ {
+				c := e.Coords[d]
+				if c < lo[d] || c > hi[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, e.Row)
+			}
+		}
+		return out
+	}
+	if n.min >= lo[dim] && n.max <= hi[dim] {
+		if dim == t.dims-1 {
+			return t.collectRows(n, out)
+		}
+		return n.assoc.queryRows(n.assoc.root, dim+1, lo, hi, out)
+	}
+	out = t.queryRows(n.left, dim, lo, hi, out)
+	out = t.queryRows(n.right, dim, lo, hi, out)
+	return out
+}
+
+func (t *RangeTree) collectRows(n *rtNode, out []int32) []int32 {
+	if n.pts != nil {
+		for _, e := range n.pts {
+			out = append(out, e.Row)
+		}
+		return out
+	}
+	out = t.collectRows(n.left, out)
+	return t.collectRows(n.right, out)
 }
 
 // Count returns the number of points inside the closed box without

@@ -76,6 +76,61 @@ func (m ExecMode) String() string {
 	}
 }
 
+// JoinMode selects how accum-join matches execute: through the scalar
+// interpreted loop body, or through the batched driver that gathers
+// candidate rows, re-checks the split predicate and folds contributions
+// columnar.
+type JoinMode uint8
+
+const (
+	// JoinAuto lets the cost model pick per site and tick (the default).
+	JoinAuto JoinMode = iota
+	// JoinScalar forces the interpreted per-match body everywhere.
+	JoinScalar
+	// JoinBatched forces the batch-gathered driver wherever the site has an
+	// analyzed join (general-form accums still run scalar).
+	JoinBatched
+)
+
+func (m JoinMode) String() string {
+	switch m {
+	case JoinAuto:
+		return "auto"
+	case JoinScalar:
+		return "scalar"
+	case JoinBatched:
+		return "batched"
+	default:
+		return fmt.Sprintf("join(%d)", uint8(m))
+	}
+}
+
+// Maint names a per-tick index maintenance decision for one accum site.
+type Maint uint8
+
+const (
+	// MaintRebuild rebuilds the index from the current extent (into the
+	// site's retained arena).
+	MaintRebuild Maint = iota
+	// MaintIncremental patches the retained index for the rows that changed.
+	MaintIncremental
+	// MaintReuse keeps last tick's index untouched (nothing changed).
+	MaintReuse
+)
+
+func (m Maint) String() string {
+	switch m {
+	case MaintRebuild:
+		return "rebuild"
+	case MaintIncremental:
+		return "incremental"
+	case MaintReuse:
+		return "reuse"
+	default:
+		return fmt.Sprintf("maint(%d)", uint8(m))
+	}
+}
+
 // Costs holds the tunable constants of the cost model, in abstract units of
 // "one row visit". Defaults were calibrated on the bench workloads; the
 // ablation bench E7b perturbs them.
@@ -92,6 +147,21 @@ type Costs struct {
 	VecSetup    float64 // per-extent fixed cost (effect/id vector builds)
 
 	WorkerSpawn float64 // dispatching one worker shard (goroutine + barrier share)
+
+	// Join-execution axis: interpreting one candidate through the scalar
+	// loop body versus gathering and folding it in the batched driver
+	// (cheaper again when the contribution folds columnar), plus the fixed
+	// per-probe overhead of setting the batch up.
+	JoinScalarMatch float64
+	JoinBatchRow    float64
+	JoinBatchRowVec float64
+	JoinBatchProbe  float64
+
+	// Index maintenance: rebuilding one source row versus patching one
+	// dirty row of a retained index. Their ratio bounds the dirty fraction
+	// below which incremental maintenance wins.
+	IndexBuildRow float64
+	IndexApplyRow float64
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -109,7 +179,61 @@ func DefaultCosts() Costs {
 		VecSetup:    48,
 
 		WorkerSpawn: 512,
+
+		JoinScalarMatch: 3.0,
+		JoinBatchRow:    1.0,
+		JoinBatchRowVec: 0.35,
+		JoinBatchProbe:  4.0,
+
+		IndexBuildRow: 1.5,
+		IndexApplyRow: 6.0,
 	}
+}
+
+// ChooseJoin resolves the join-execution mode for one accum site this tick:
+// forced modes pass through; JoinAuto compares the modeled per-probe cost of
+// interpreting kHat matches through the loop body against batch-gathering
+// them (with the cheaper fold rate when the contribution is vectorizable).
+// Sites with very low match cardinality stay scalar — the batch setup cannot
+// amortize.
+func (c Costs) ChooseJoin(mode JoinMode, kHat float64, vecInner bool) JoinMode {
+	if mode != JoinAuto {
+		return mode
+	}
+	row := c.JoinBatchRow
+	if vecInner {
+		row = c.JoinBatchRowVec
+	}
+	scalar := c.JoinScalarMatch * kHat
+	batched := c.JoinBatchProbe + row*kHat
+	if batched < scalar {
+		return JoinBatched
+	}
+	return JoinScalar
+}
+
+// ChooseMaint resolves the per-tick index maintenance decision for a site
+// whose source extent has n rows of which dirty changed since the retained
+// index was built. incrementalOK reports whether the site's index supports
+// in-place patching (the grid does; trees and hashes rebuild).
+func (c Costs) ChooseMaint(n, dirty int, incrementalOK bool) Maint {
+	if dirty == 0 {
+		return MaintReuse
+	}
+	if incrementalOK && float64(dirty)*c.IndexApplyRow < float64(n)*c.IndexBuildRow {
+		return MaintIncremental
+	}
+	return MaintRebuild
+}
+
+// MaintDirtyBudget returns the largest dirty-row count for which
+// incremental maintenance still beats rebuilding n rows — the bail-out
+// budget handed to Grid.Sync.
+func (c Costs) MaintDirtyBudget(n int) int {
+	if c.IndexApplyRow <= 0 {
+		return n
+	}
+	return int(float64(n) * c.IndexBuildRow / c.IndexApplyRow)
 }
 
 // ChooseWorkers is the parallelism axis of the two-axis execution model: it

@@ -160,6 +160,24 @@ type ExecCounters struct {
 	ParallelShards int64
 	// HandlerRows counts row evaluations of reactive-handler conditions.
 	HandlerRows int64
+
+	// Join-execution accounting (the third execution axis). JoinProbeRows
+	// counts accum probes; JoinMatchRows counts rows the chosen access path
+	// delivered to the contribution step — index candidates on the scalar
+	// path, post-residual matches on the batched path. JoinBatchedRows is
+	// the subset of candidate rows processed by the batched driver.
+	JoinProbeRows   int64
+	JoinMatchRows   int64
+	JoinBatchedRows int64
+
+	// Index maintenance accounting. IndexBuildNanos is wall time spent
+	// preparing per-tick indexes (builds, syncs and reuse checks);
+	// IndexReuses counts site-ticks that kept last tick's index untouched,
+	// IndexIncrements site-ticks that patched it in place instead of
+	// rebuilding.
+	IndexBuildNanos int64
+	IndexReuses     int64
+	IndexIncrements int64
 }
 
 // VectorFraction returns the share of row evaluations that were vectorized

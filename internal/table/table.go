@@ -33,6 +33,13 @@ type Table struct {
 	idToRow map[value.ID]int
 	free    []int
 	n       int // live row count
+
+	// Cheap change detection for index reuse (§4.1): colVer[i] bumps on
+	// every write to column i, structVer on every insert/delete/restore.
+	// A per-tick index whose source columns and structure versions are
+	// unchanged since it was built is still valid verbatim.
+	colVer    []uint64
+	structVer uint64
 }
 
 // New creates an empty table with the given columns.
@@ -45,6 +52,7 @@ func New(name string, cols []Column) *Table {
 		strs:    make([][]string, len(cols)),
 		sets:    make([][]*value.Set, len(cols)),
 		idToRow: make(map[value.ID]int),
+		colVer:  make([]uint64, len(cols)),
 	}
 	for i, c := range cols {
 		if _, dup := t.colIdx[c.Name]; dup {
@@ -84,6 +92,7 @@ func (t *Table) Insert(id value.ID, vals []value.Value) int {
 	if len(vals) != len(t.cols) {
 		panic(fmt.Sprintf("table %s: insert arity %d, want %d", t.name, len(vals), len(t.cols)))
 	}
+	t.structVer++
 	var row int
 	if k := len(t.free); k > 0 {
 		row = t.free[k-1]
@@ -119,6 +128,7 @@ func (t *Table) Delete(id value.ID) bool {
 	if !ok {
 		return false
 	}
+	t.structVer++
 	delete(t.idToRow, id)
 	t.alive[row] = false
 	// Release set pointers so the GC can reclaim them.
@@ -206,6 +216,7 @@ func (t *Table) At(row, ci int) value.Value {
 func (t *Table) SetAt(row, ci int, v value.Value) { t.setRaw(row, ci, v) }
 
 func (t *Table) setRaw(row, ci int, v value.Value) {
+	t.colVer[ci]++
 	k := t.cols[ci].Kind
 	if v.Kind() != k {
 		panic(fmt.Sprintf("table %s: column %s is %s, got %s", t.name, t.cols[ci].Name, k, v.Kind()))
@@ -249,6 +260,7 @@ func (t *Table) AliveMask() []bool { return t.alive }
 // the unboxed write path of the vectorized update step and panics on
 // string/set columns, whose payloads are not columnar floats.
 func (t *Table) SetNumAt(row, ci int, f float64) {
+	t.colVer[ci]++
 	switch t.cols[ci].Kind {
 	case value.KindNumber, value.KindBool, value.KindRef:
 		t.nums[ci][row] = f
@@ -286,8 +298,21 @@ func (t *Table) RowValues(row int) []value.Value {
 	return out
 }
 
+// ColVersion returns the write-version counter of a column: it changes
+// whenever any row's value in that column is (re)assigned.
+func (t *Table) ColVersion(ci int) uint64 { return t.colVer[ci] }
+
+// StructVersion returns the structural version counter: it changes whenever
+// a row is inserted, deleted or the table is cleared/restored.
+func (t *Table) StructVersion() uint64 { return t.structVer }
+
+// RawIDs exposes the backing id slice indexed by physical row, including
+// dead slots (consult Alive). Read-only; it aliases table storage.
+func (t *Table) RawIDs() []value.ID { return t.ids }
+
 // Clear removes all rows but keeps capacity.
 func (t *Table) Clear() {
+	t.structVer++
 	for i := range t.alive {
 		t.alive[i] = false
 	}

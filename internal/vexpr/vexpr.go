@@ -45,6 +45,7 @@ const (
 	opLoadFx
 	opLoadSlot
 	opSelfID
+	opBcast
 	opGather
 	opNeg
 	opNot
@@ -109,6 +110,12 @@ type Env struct {
 	// Slots holds frame-slot vectors for let-bound locals, indexed by
 	// slot. Only slots permitted at compile time are loaded.
 	Slots [][]float64
+	// Bcast holds per-run scalar payloads broadcast across all lanes,
+	// indexed by the BcastSrc order a CompileAccum program reports. Only
+	// consulted by accum-gathered programs, whose lanes are candidate rows
+	// of the joined class while self/local reads refer to the one probing
+	// row driving the join.
+	Bcast []float64
 	// Gather resolves a cross-object state read: for every id payload in
 	// refs it must write the referenced object's attribute payload to out,
 	// or zero for null/dangling references.
@@ -141,7 +148,7 @@ func Compile(e ast.Expr) (*Prog, bool) { return CompileWithSlots(e, nil) }
 // CompileWithSlots is Compile for expressions that may read let-bound frame
 // slots; slotOK reports which slots have vectorized values available.
 func CompileWithSlots(e ast.Expr, slotOK func(slot int) bool) (*Prog, bool) {
-	c := &compiler{slotOK: slotOK}
+	c := &compiler{slotOK: slotOK, iterSlot: -1}
 	out := c.compile(e)
 	if c.fail || out < 0 {
 		return nil, false
@@ -168,6 +175,14 @@ type compiler struct {
 	p      Prog
 	slotOK func(int) bool
 	fail   bool
+
+	// Accum-gather mode (CompileAccum): iterSlot >= 0 flips lane meaning —
+	// lanes are candidate rows of the iterated class, iter field reads
+	// become column loads over gathered candidate columns, and probing-row
+	// scalars (self attrs, locals, self id) become broadcasts.
+	iterSlot int
+	bcast    []BcastSrc
+	cols     []int
 }
 
 func (c *compiler) emit(i instr) int {
@@ -203,6 +218,12 @@ func (c *compiler) compile(e ast.Expr) int {
 	case *ast.FieldExpr:
 		if !payloadKind(e.Ty.Kind) {
 			return c.bail()
+		}
+		if c.iterSlot >= 0 && isIterIdent(e.X, c.iterSlot) {
+			// Iter field read: a direct load from the gathered candidate
+			// columns — the core of the columnar join fold.
+			c.useCol(e.AttrIdx)
+			return c.emit(instr{op: opLoadCol, attr: e.AttrIdx})
 		}
 		x := c.compile(e.X)
 		if x < 0 {
@@ -240,6 +261,9 @@ func (c *compiler) compile(e ast.Expr) int {
 }
 
 func (c *compiler) compileIdent(e *ast.Ident) int {
+	if c.iterSlot >= 0 {
+		return c.compileAccumIdent(e)
+	}
 	switch e.Bind.Kind {
 	case ast.BindStateAttr:
 		if !payloadKind(e.Ty.Kind) {
@@ -337,6 +361,10 @@ func (c *compiler) compileCall(e *ast.CallExpr) int {
 		// id(ref) reinterprets the payload as a number — already identical.
 		return args[0]
 	case ast.BSelfFn:
+		if c.iterSlot >= 0 {
+			// In accum mode, self() is the probing row — a broadcast.
+			return c.bcastReg(BcastSrc{Kind: BcastSelfID})
+		}
 		c.p.needIDs = true
 		return c.emit(instr{op: opSelfID})
 	default: // size/contains operate on sets
@@ -410,6 +438,12 @@ func (p *Prog) runBatch(m *Machine, env *Env, lo, hi int) {
 			m.regs[in.dst] = env.Slots[in.attr][lo:hi]
 		case opSelfID:
 			m.regs[in.dst] = env.IDs[lo:hi]
+		case opBcast:
+			dst := m.regs[in.dst][:n]
+			v := env.Bcast[in.attr]
+			for i := range dst {
+				dst[i] = v
+			}
 		case opGather:
 			env.Gather(in.class, in.attr, m.regs[in.a][:n], m.regs[in.dst][:n], in.imm)
 		case opNeg:

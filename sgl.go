@@ -51,6 +51,9 @@ type (
 	// ExecMode selects scalar closure vs vectorized batch expression
 	// execution (see Options.Exec).
 	ExecMode = plan.ExecMode
+	// JoinMode selects scalar vs batch-gathered accum-join execution
+	// (see Options.Join).
+	JoinMode = plan.JoinMode
 	// UpdateComponent is a non-scripted owner of state attributes
 	// (physics, pathfinding, ...; §2.2 of the paper).
 	UpdateComponent = engine.UpdateComponent
@@ -84,6 +87,17 @@ const (
 	ExecAuto       = plan.ExecAuto
 	ExecScalar     = plan.ExecScalar
 	ExecVectorized = plan.ExecVectorized
+)
+
+// Join-execution modes for accum joins (see Options.Join). The default
+// JoinAuto batches any site whose match cardinality amortizes the batch
+// setup: candidate rows are gathered through the index in bulk, the join
+// predicate is re-checked over raw columns instead of re-interpreting the
+// loop body, and single-emission contributions fold through batch kernels.
+const (
+	JoinAuto    = plan.JoinAuto
+	JoinScalar  = plan.JoinScalar
+	JoinBatched = plan.JoinBatched
 )
 
 // Value constructors.
