@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	sgl "repro"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/index"
@@ -328,33 +327,64 @@ func BenchmarkE10_RangeTreeSpace(b *testing.B) {
 	}
 }
 
-// E11 — §4.2: cluster partitioning strategies.
+// E11/E16 — §4.2: shared-nothing partitioned execution on the real engine.
 
-func BenchmarkE11_Cluster(b *testing.B) {
-	const vehicles = 50000
+func partitionedCarWorld(b *testing.B, cars, parts int, strat sgl.PartitionStrategy) *sgl.World {
+	b.Helper()
 	net := workload.TrafficNetwork{W: 4000, H: 4000, Roads: 60, Speed: 3}
+	ents := net.Vehicles(cars, 21)
+	core.SortEntitiesByStripe(ents, parts, net.W)
+	sc := core.MustLoad("traffic-prox", core.SrcTraffic)
+	w, err := sc.NewWorld(engine.Options{Partitions: parts, Partition: strat})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.PopulateCars(w, ents); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkE11_Partitioned(b *testing.B) {
+	const cars = 50000
 	for _, cfg := range []struct {
-		name string
-		part cluster.Partitioner
+		name  string
+		strat sgl.PartitionStrategy
 	}{
-		{"strip4", cluster.StripPartitioner{N: 4, MinX: 0, MaxX: 4000}},
-		{"hash4", cluster.HashPartitioner{N: 4}},
+		{"stripes4", sgl.PartitionStripes},
+		{"hash4", sgl.PartitionHash},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			sim, err := cluster.New(cluster.Config{
-				Part: cfg.part, InteractRadius: 12,
-			}, net.Vehicles(vehicles, 21))
-			if err != nil {
-				b.Fatal(err)
-			}
-			var msgs int64
+			w := partitionedCarWorld(b, cars, 4, cfg.strat)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m := sim.Step()
-				msgs += m.Messages
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/tick")
+			st := w.ExecStats()
+			b.ReportMetric(float64(st.PartMessages())/float64(b.N), "msgs/tick")
+			b.ReportMetric(float64(st.GhostRows)/float64(b.N), "ghosts/tick")
+		})
+	}
+}
+
+func BenchmarkE16_PartitionScaling(b *testing.B) {
+	const cars = 50000
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			w := partitionedCarWorld(b, cars, parts, sgl.PartitionAuto)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := w.ExecStats()
+			b.ReportMetric(float64(st.PartMessages())/float64(b.N), "msgs/tick")
+			b.ReportMetric(st.PartImbalance(parts), "imbalance")
 		})
 	}
 }

@@ -57,6 +57,7 @@ func main() {
 		"flock": {5000, 20000},
 	}
 	e15Ticks := 3
+	e16V, e16Parts, e16Ticks := 50000, []int{1, 2, 4, 8}, 3
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -69,6 +70,7 @@ func main() {
 		e14N, e14Workers = 20000, []int{1, 2, 4}
 		e15Sizes = map[string][]int{"fig2": {2000}, "rts": {2000}, "flock": {2000}}
 		e15Ticks = 2
+		e16V, e16Parts, e16Ticks = 10000, []int{1, 2, 4}, 2
 	}
 
 	want := map[string]bool{}
@@ -139,6 +141,9 @@ func main() {
 	}
 	if sel("E15") {
 		emit(experiments.E15(e15Sizes, e15Ticks))
+	}
+	if sel("E16") {
+		emit(experiments.E16(e16V, e16Parts, e16Ticks))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

@@ -1,286 +1,118 @@
-// Package cluster simulates running the SGL tick cycle on a shared-nothing
-// cluster (§4.2 of the paper). The paper's open questions are about
-// partitioning strategy: how many cross-node messages does a tick cost,
-// how balanced is per-node compute, and how much memory does each node's
-// partition of the multi-dimensional range index take. This simulator
-// executes a spatial-interaction workload (every object range-queries its
-// neighborhood, as in Fig. 2) over partitioned nodes with ghost-zone
-// replication and counts exactly those quantities. We substitute a
-// single-process simulator for real hardware per the reproduction rules:
-// the measured quantities (messages, bytes, balance, index memory) are
-// properties of the partitioning logic, not of the wire.
+// Package cluster holds the shared-nothing partitioning strategies and
+// accounting of §4.2. Earlier revisions of this repo answered the paper's
+// open questions — cross-node message cost per tick, per-node load balance,
+// partitioned index memory — with a standalone simulator that re-implemented
+// a cartoon of the tick. The engine now runs its real tick pipeline over
+// spatial partitions with ghost replicas (engine/partition.go, enabled by
+// sgl.Options.Partitions), so this package shrank to what must be shared:
+// the layout math that maps positions to partitions (used by the engine for
+// ownership, ghost intervals and migration detection) and the wire-cost
+// model behind the message/byte counters in stats.ExecCounters. The E11/E12
+// and E16 experiments measure those quantities from the real engine; we
+// substitute a single-process engine for real hardware per the reproduction
+// rules — the measured quantities (messages, bytes, balance, index memory)
+// are properties of the partitioning logic, not of the wire.
 package cluster
 
 import (
 	"fmt"
 	"math"
 
-	"repro/internal/index"
+	"repro/internal/plan"
 	"repro/internal/value"
 )
 
-// Entity is one simulated object (e.g. a vehicle in the paper's
-// million-vehicle traffic simulation).
-type Entity struct {
-	ID     value.ID
-	X, Y   float64
-	VX, VY float64
+// Modeled wire sizes, carried over from the original simulator's network
+// model: a ghost replica or migrated row ships its position row, a foreign
+// effect ships (target id, attribute, payload, key).
+const (
+	BytesPerGhost     = 32
+	BytesPerEffect    = 16
+	BytesPerMigration = 32
+)
+
+// Layout maps object positions to partitions. A layout is fixed when the
+// partitioned world first ticks (dynamic repartitioning is future work, see
+// ROADMAP): the world bounds are measured once and each spatial axis is cut
+// into equal-width slots, px along axis 0 and py along axis 1. The edge
+// slots extend to ±Inf, so positions outside the measured bounds clamp to
+// the nearest edge partition instead of escaping ownership.
+type Layout struct {
+	Strategy plan.PartitionStrategy // resolved: stripes, grid or hash
+	Parts    int
+	PX, PY   int // grid factorization; stripes are PX×1
+	Axes     int // spatial axes in use: 0 (hash), 1 (stripes) or 2
+
+	MinX, MinY float64 // axis origins
+	WX, WY     float64 // per-slot widths (> 0)
 }
 
-// Partitioner assigns entities to nodes.
-type Partitioner interface {
-	// NodeOf returns the owning node for a position/id.
-	NodeOf(x, y float64, id value.ID) int
-	// Nodes returns the node count.
-	Nodes() int
-	// Name labels the strategy in reports.
-	Name() string
+// NewLayout builds a layout for parts partitions over the measured world
+// box, resolving PartitionAuto through the cost model's ChoosePartition
+// (least total cut length = least ghost volume). axes is how many spatial
+// axes the class exposes (0 forces hash).
+func NewLayout(costs plan.Costs, mode plan.PartitionStrategy, parts, axes int, minX, maxX, minY, maxY float64) (Layout, error) {
+	if parts < 1 {
+		return Layout{}, fmt.Errorf("cluster: need >= 1 partition, got %d", parts)
+	}
+	if axes == 0 && mode != plan.PartitionHash {
+		mode = plan.PartitionHash // nothing spatial to cut
+	}
+	strat, px, py := costs.ChoosePartition(mode, parts, axes, maxX-minX, maxY-minY)
+	l := Layout{
+		Strategy: strat, Parts: parts, PX: px, PY: py, Axes: axes,
+		MinX: minX, MinY: minY,
+		WX: slotWidth(minX, maxX, px),
+		WY: slotWidth(minY, maxY, py),
+	}
+	if strat == plan.PartitionHash {
+		l.Axes = 0
+	} else if py == 1 {
+		l.Axes = 1
+	}
+	return l, nil
 }
 
-// HashPartitioner spreads entities uniformly by id — communication-oblivious,
-// the strawman the paper's spatial reasoning argues against.
-type HashPartitioner struct{ N int }
-
-// NodeOf implements Partitioner.
-func (h HashPartitioner) NodeOf(x, y float64, id value.ID) int { return int(uint64(id) % uint64(h.N)) }
-
-// Nodes implements Partitioner.
-func (h HashPartitioner) Nodes() int { return h.N }
-
-// Name implements Partitioner.
-func (h HashPartitioner) Name() string { return "hash" }
-
-// StripPartitioner divides the world into N vertical strips — the simplest
-// spatial partitioning; neighbors are co-located except at strip borders.
-type StripPartitioner struct {
-	N          int
-	MinX, MaxX float64
+func slotWidth(min, max float64, n int) float64 {
+	w := (max - min) / float64(n)
+	if !(w > 0) { // degenerate or empty extent: any positive width works
+		w = 1
+	}
+	return w
 }
 
-// NodeOf implements Partitioner.
-func (s StripPartitioner) NodeOf(x, y float64, id value.ID) int {
-	w := (s.MaxX - s.MinX) / float64(s.N)
-	n := int((x - s.MinX) / w)
-	if n < 0 {
-		n = 0
+// CoordX returns the clamped partition coordinate of a position on axis 0.
+// It is monotone non-decreasing in x — the property the engine's ghost
+// intervals rely on: the set of partitions whose probes can reach a point is
+// exactly [CoordX(x−reachHi), CoordX(x+reachLo)], computed with the same
+// arithmetic as ownership so no float rounding can drop a boundary ghost.
+func (l Layout) CoordX(x float64) int { return coord(x, l.MinX, l.WX, l.PX) }
+
+// CoordY is CoordX for axis 1.
+func (l Layout) CoordY(y float64) int { return coord(y, l.MinY, l.WY, l.PY) }
+
+func coord(v, min, w float64, n int) int {
+	c := int(math.Floor((v - min) / w))
+	if c < 0 || math.IsNaN(v) {
+		return 0
 	}
-	if n >= s.N {
-		n = s.N - 1
+	if c >= n {
+		return n - 1
 	}
-	return n
+	return c
 }
 
-// Nodes implements Partitioner.
-func (s StripPartitioner) Nodes() int { return s.N }
+// Part combines clamped axis coordinates into a partition number.
+func (l Layout) Part(cx, cy int) int { return cy*l.PX + cx }
 
-// Name implements Partitioner.
-func (s StripPartitioner) Name() string { return "strip" }
-
-// Config parameterizes the simulation.
-type Config struct {
-	Part Partitioner
-	// InteractRadius is the range-query radius each entity uses per tick;
-	// it also sizes the ghost margin.
-	InteractRadius float64
-	// BytesPerEntity models the wire size of one replicated/updated entity.
-	BytesPerEntity int
-	// LatencyPerMsgUS and BandwidthBytesPerUS model the network: per-tick
-	// network time = max over nodes of (msgs*latency + bytes/bandwidth).
-	LatencyPerMsgUS     float64
-	BandwidthBytesPerUS float64
-	// ComputePerVisitUS models per-candidate processing cost.
-	ComputePerVisitUS float64
+// Owner returns the partition owning an object at (x, y). Hash layouts
+// ignore the position and spread by id — the §4.2 strawman.
+func (l Layout) Owner(x, y float64, id value.ID) int {
+	if l.Strategy == plan.PartitionHash {
+		return int(uint64(id) % uint64(l.Parts))
+	}
+	if l.Axes < 2 {
+		return l.CoordX(x)
+	}
+	return l.Part(l.CoordX(x), l.CoordY(y))
 }
-
-// TickMetrics reports one simulated tick.
-type TickMetrics struct {
-	Messages     int64 // cross-node messages (ghost updates + foreign effects)
-	Bytes        int64
-	MaxNodeLoad  int64   // candidate visits on the busiest node
-	TotalLoad    int64   // candidate visits across nodes
-	Imbalance    float64 // MaxNodeLoad / (TotalLoad/Nodes)
-	NetworkUS    float64 // modeled network time
-	ComputeUS    float64 // modeled compute time (critical path = max node)
-	TickUS       float64 // compute + network
-	GhostCount   int64   // replicated entities
-	IndexBytesPN []int   // per-node range-tree bytes (partitioned index, §4.2)
-}
-
-// Sim is a running cluster simulation.
-type Sim struct {
-	cfg  Config
-	ents []Entity
-}
-
-// New creates a simulation over the given entities.
-func New(cfg Config, ents []Entity) (*Sim, error) {
-	if cfg.Part == nil || cfg.Part.Nodes() < 1 {
-		return nil, fmt.Errorf("cluster: need a partitioner with >= 1 node")
-	}
-	if cfg.InteractRadius <= 0 {
-		return nil, fmt.Errorf("cluster: InteractRadius must be positive")
-	}
-	if cfg.BytesPerEntity == 0 {
-		cfg.BytesPerEntity = 32
-	}
-	if cfg.LatencyPerMsgUS == 0 {
-		cfg.LatencyPerMsgUS = 2
-	}
-	if cfg.BandwidthBytesPerUS == 0 {
-		cfg.BandwidthBytesPerUS = 1250 // ~10 Gb/s
-	}
-	if cfg.ComputePerVisitUS == 0 {
-		cfg.ComputePerVisitUS = 0.05
-	}
-	return &Sim{cfg: cfg, ents: ents}, nil
-}
-
-// Entities exposes the simulation's entities (mutable between ticks).
-func (s *Sim) Entities() []Entity { return s.ents }
-
-// Step executes one distributed tick: assign owners, replicate ghosts,
-// run each node's local range-query workload over a per-node range tree,
-// count cross-node effect messages, then integrate movement.
-func (s *Sim) Step() TickMetrics {
-	cfg := s.cfg
-	nodes := cfg.Part.Nodes()
-	r := cfg.InteractRadius
-
-	owner := make([]int, len(s.ents))
-	perNode := make([][]index.Entry, nodes)
-	ghosts := make([]int64, nodes)
-	var m TickMetrics
-
-	// Ownership + ghost replication. An entity is replicated to every
-	// other node that owns space within its interaction radius; with the
-	// strip partitioner this is its x±r neighbors' strips, with hash
-	// partitioning every node needs every entity (the pathological case).
-	for i := range s.ents {
-		e := &s.ents[i]
-		o := cfg.Part.NodeOf(e.X, e.Y, e.ID)
-		owner[i] = o
-		perNode[o] = append(perNode[o], index.Entry{ID: e.ID, Coords: []float64{e.X, e.Y}})
-		for n := 0; n < nodes; n++ {
-			if n == o {
-				continue
-			}
-			if s.needsGhost(e, n) {
-				perNode[n] = append(perNode[n], index.Entry{ID: e.ID, Coords: []float64{e.X, e.Y}})
-				ghosts[n]++
-				m.Messages++ // per-tick ghost position update
-				m.Bytes += int64(cfg.BytesPerEntity)
-			}
-		}
-	}
-
-	// Per-node compute: build the node's partition of the range index and
-	// run every owned entity's neighborhood query against it.
-	loads := make([]int64, nodes)
-	m.IndexBytesPN = make([]int, nodes)
-	trees := make([]*index.RangeTree, nodes)
-	for n := 0; n < nodes; n++ {
-		trees[n] = index.BuildRangeTree(2, perNode[n])
-		m.IndexBytesPN[n] = trees[n].EstimatedBytes()
-	}
-	for i := range s.ents {
-		e := &s.ents[i]
-		n := owner[i]
-		lo := []float64{e.X - r, e.Y - r}
-		hi := []float64{e.X + r, e.Y + r}
-		k := trees[n].Count(lo, hi)
-		loads[n] += int64(k)
-		// Interactions with foreign-owned neighbors produce effect
-		// messages back to the owner (one batched message per neighbor
-		// pair crossing the boundary, approximated by ghost hits).
-		if g := ghosts[n]; g > 0 && k > 0 {
-			frac := float64(g) / float64(len(perNode[n]))
-			cross := int64(float64(k) * frac)
-			m.Messages += cross
-			m.Bytes += cross * 16
-		}
-	}
-
-	for n := 0; n < nodes; n++ {
-		m.TotalLoad += loads[n]
-		if loads[n] > m.MaxNodeLoad {
-			m.MaxNodeLoad = loads[n]
-		}
-		m.GhostCount += ghosts[n]
-	}
-	if m.TotalLoad > 0 {
-		m.Imbalance = float64(m.MaxNodeLoad) / (float64(m.TotalLoad) / float64(nodes))
-	}
-	m.ComputeUS = float64(m.MaxNodeLoad) * cfg.ComputePerVisitUS
-	m.NetworkUS = float64(m.Messages)*cfg.LatencyPerMsgUS/float64(nodes) +
-		float64(m.Bytes)/cfg.BandwidthBytesPerUS
-	m.TickUS = m.ComputeUS + m.NetworkUS
-
-	// Integrate movement (continuous motion, §4.1's common case).
-	for i := range s.ents {
-		s.ents[i].X += s.ents[i].VX
-		s.ents[i].Y += s.ents[i].VY
-	}
-	return m
-}
-
-// needsGhost reports whether entity e must be replicated to node n: some
-// point of n's region lies within the interaction radius. For the strip
-// partitioner this is a cheap strip-distance check; for hash partitioning
-// any node may own any neighbor, so replication is always required.
-func (s *Sim) needsGhost(e *Entity, n int) bool {
-	switch p := s.cfg.Part.(type) {
-	case StripPartitioner:
-		w := (p.MaxX - p.MinX) / float64(p.N)
-		lo := p.MinX + float64(n)*w
-		hi := lo + w
-		return e.X+s.cfg.InteractRadius >= lo && e.X-s.cfg.InteractRadius <= hi
-	case HashPartitioner:
-		return true
-	default:
-		// Conservative: probe the four radius extremes.
-		pts := [4][2]float64{
-			{e.X - s.cfg.InteractRadius, e.Y}, {e.X + s.cfg.InteractRadius, e.Y},
-			{e.X, e.Y - s.cfg.InteractRadius}, {e.X, e.Y + s.cfg.InteractRadius},
-		}
-		for _, pt := range pts {
-			if s.cfg.Part.NodeOf(pt[0], pt[1], e.ID) == n {
-				return true
-			}
-		}
-		return false
-	}
-}
-
-// AggregateMetrics averages tick metrics.
-func AggregateMetrics(ms []TickMetrics) TickMetrics {
-	var out TickMetrics
-	if len(ms) == 0 {
-		return out
-	}
-	for _, m := range ms {
-		out.Messages += m.Messages
-		out.Bytes += m.Bytes
-		out.MaxNodeLoad += m.MaxNodeLoad
-		out.TotalLoad += m.TotalLoad
-		out.Imbalance += m.Imbalance
-		out.NetworkUS += m.NetworkUS
-		out.ComputeUS += m.ComputeUS
-		out.TickUS += m.TickUS
-		out.GhostCount += m.GhostCount
-	}
-	n := int64(len(ms))
-	out.Messages /= n
-	out.Bytes /= n
-	out.MaxNodeLoad /= n
-	out.TotalLoad /= n
-	out.Imbalance /= float64(n)
-	out.NetworkUS /= float64(n)
-	out.ComputeUS /= float64(n)
-	out.TickUS /= float64(n)
-	out.GhostCount /= n
-	out.IndexBytesPN = ms[len(ms)-1].IndexBytesPN
-	return out
-}
-
-// Hypot is exported for workload helpers.
-func Hypot(dx, dy float64) float64 { return math.Hypot(dx, dy) }

@@ -1,156 +1,104 @@
 package cluster_test
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/plan"
 	"repro/internal/value"
-	"repro/internal/workload"
 )
 
-func entities(n int) []cluster.Entity {
-	net := workload.TrafficNetwork{W: 1000, H: 1000, Roads: 20, Speed: 2}
-	return net.Vehicles(n, 7)
-}
-
-func run(t *testing.T, part cluster.Partitioner, n, ticks int) cluster.TickMetrics {
+func layout(t *testing.T, mode plan.PartitionStrategy, parts, axes int) cluster.Layout {
 	t.Helper()
-	sim, err := cluster.New(cluster.Config{
-		Part:           part,
-		InteractRadius: 10,
-	}, entities(n))
+	l, err := cluster.NewLayout(plan.DefaultCosts(), mode, parts, axes, 0, 100, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ms []cluster.TickMetrics
-	for i := 0; i < ticks; i++ {
-		ms = append(ms, sim.Step())
-	}
-	return cluster.AggregateMetrics(ms)
+	return l
 }
 
-func TestConfigValidation(t *testing.T) {
-	if _, err := cluster.New(cluster.Config{}, nil); err == nil {
-		t.Error("nil partitioner must fail")
+func TestLayoutValidation(t *testing.T) {
+	if _, err := cluster.NewLayout(plan.DefaultCosts(), plan.PartitionAuto, 0, 2, 0, 1, 0, 1); err == nil {
+		t.Fatal("zero partitions must fail")
 	}
-	if _, err := cluster.New(cluster.Config{
-		Part: cluster.HashPartitioner{N: 2},
-	}, nil); err == nil {
-		t.Error("zero radius must fail")
+	// A degenerate world box (all objects at one point) must still produce a
+	// usable layout instead of a division by zero.
+	l, err := cluster.NewLayout(plan.DefaultCosts(), plan.PartitionStripes, 4, 1, 5, 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.WX <= 0 || l.CoordX(5) < 0 || l.CoordX(5) >= 4 {
+		t.Fatalf("degenerate layout: %+v", l)
 	}
 }
 
-func TestPartitioners(t *testing.T) {
-	h := cluster.HashPartitioner{N: 4}
-	if h.Nodes() != 4 || h.Name() != "hash" {
-		t.Error("hash partitioner metadata")
+func TestStripeOwnership(t *testing.T) {
+	l := layout(t, plan.PartitionStripes, 4, 1)
+	if l.Axes != 1 || l.PX != 4 || l.PY != 1 {
+		t.Fatalf("layout = %+v", l)
+	}
+	// Clamping: out-of-bounds positions belong to the edge partitions.
+	if l.Owner(-5, 0, 1) != 0 || l.Owner(500, 0, 1) != 3 {
+		t.Error("stripes must clamp out-of-range positions")
+	}
+	if l.Owner(10, 0, 1) != 0 || l.Owner(60, 0, 1) != 2 {
+		t.Error("stripe assignment")
+	}
+	if l.Owner(math.NaN(), 0, 1) != 0 {
+		t.Error("NaN positions must clamp deterministically")
+	}
+}
+
+func TestGridOwnership(t *testing.T) {
+	l := layout(t, plan.PartitionAuto, 4, 2)
+	if l.Strategy != plan.PartitionGrid || l.PX != 2 || l.PY != 2 {
+		t.Fatalf("square auto layout = %+v", l)
+	}
+	if l.Owner(10, 10, 1) != 0 || l.Owner(90, 10, 1) != 1 ||
+		l.Owner(10, 90, 1) != 2 || l.Owner(90, 90, 1) != 3 {
+		t.Error("grid assignment")
+	}
+}
+
+func TestHashOwnership(t *testing.T) {
+	l := layout(t, plan.PartitionHash, 4, 2)
+	if l.Axes != 0 {
+		t.Fatalf("hash layout keeps axes: %+v", l)
 	}
 	seen := map[int]bool{}
 	for id := 1; id <= 100; id++ {
-		n := h.NodeOf(0, 0, value.ID(id))
-		if n < 0 || n >= 4 {
-			t.Fatalf("node out of range: %d", n)
+		p := l.Owner(0, 0, value.ID(id))
+		if p < 0 || p >= 4 {
+			t.Fatalf("partition out of range: %d", p)
 		}
-		seen[n] = true
+		seen[p] = true
 	}
 	if len(seen) != 4 {
-		t.Error("hash must use all nodes")
+		t.Error("hash must use all partitions")
 	}
-	s := cluster.StripPartitioner{N: 4, MinX: 0, MaxX: 100}
-	if s.NodeOf(-5, 0, 1) != 0 || s.NodeOf(500, 0, 1) != 3 {
-		t.Error("strip clamps out-of-range positions")
-	}
-	if s.NodeOf(10, 0, 1) != 0 || s.NodeOf(60, 0, 1) != 2 {
-		t.Error("strip assignment")
+	// Position-independent: the same id always lands on the same partition.
+	if l.Owner(0, 0, 7) != l.Owner(93, 12, 7) {
+		t.Error("hash ownership must ignore position")
 	}
 }
 
-func TestSpatialBeatsHashOnMessages(t *testing.T) {
-	n, nodes := 2000, 4
-	spatial := run(t, cluster.StripPartitioner{N: nodes, MinX: 0, MaxX: 1000}, n, 3)
-	hash := run(t, cluster.HashPartitioner{N: nodes}, n, 3)
-	// Hash partitioning must replicate every entity to every node;
-	// spatial partitioning only replicates near strip borders.
-	if spatial.Messages >= hash.Messages {
-		t.Fatalf("spatial messages (%d) must be far below hash (%d)",
-			spatial.Messages, hash.Messages)
-	}
-	if hash.Messages < int64(n)*int64(nodes-1) {
-		t.Errorf("hash must ghost all entities everywhere: %d", hash.Messages)
-	}
-	if spatial.GhostCount == 0 {
-		t.Error("spatial partitioning must still ghost border entities")
-	}
-	if spatial.TickUS <= 0 || hash.TickUS <= 0 {
-		t.Error("latency model must produce positive times")
-	}
-}
-
-func TestLoadAccounting(t *testing.T) {
-	m := run(t, cluster.StripPartitioner{N: 4, MinX: 0, MaxX: 1000}, 1000, 2)
-	if m.TotalLoad <= 0 || m.MaxNodeLoad <= 0 {
-		t.Fatal("loads must be positive")
-	}
-	if m.MaxNodeLoad > m.TotalLoad {
-		t.Fatal("max node load cannot exceed total")
-	}
-	if m.Imbalance < 1 {
-		t.Fatalf("imbalance = %v, must be >= 1", m.Imbalance)
-	}
-	if len(m.IndexBytesPN) != 4 {
-		t.Fatal("per-node index bytes missing")
-	}
-	for _, b := range m.IndexBytesPN {
-		if b <= 0 {
-			t.Fatal("per-node index bytes must be positive")
+// TestCoordMonotone pins the property the engine's ghost-interval derivation
+// depends on: the clamped coordinate functions are monotone in the position,
+// and agree exactly with ownership (no epsilon mismatch at boundaries).
+func TestCoordMonotone(t *testing.T) {
+	l := layout(t, plan.PartitionStripes, 7, 1)
+	prev := math.Inf(-1)
+	prevC := 0
+	for i := 0; i <= 1000; i++ {
+		x := -50 + float64(i)*0.2
+		c := l.CoordX(x)
+		if x >= prev && c < prevC {
+			t.Fatalf("CoordX not monotone: %v->%d after %v->%d", x, c, prev, prevC)
 		}
-	}
-}
-
-// TestPartitionedIndexMemory pins §4.2's motivation: partitioning the range
-// index across k nodes shrinks the per-node memory footprint superlinearly
-// (each partition is n/k points with a smaller log factor).
-func TestPartitionedIndexMemory(t *testing.T) {
-	n := 4000
-	one := run(t, cluster.StripPartitioner{N: 1, MinX: 0, MaxX: 1000}, n, 1)
-	four := run(t, cluster.StripPartitioner{N: 4, MinX: 0, MaxX: 1000}, n, 1)
-	maxPerNode := 0
-	for _, b := range four.IndexBytesPN {
-		if b > maxPerNode {
-			maxPerNode = b
+		if own := l.Owner(x, 0, 1); own != c {
+			t.Fatalf("Owner(%v)=%d but CoordX=%d", x, own, c)
 		}
-	}
-	if maxPerNode*3 >= one.IndexBytesPN[0] {
-		t.Fatalf("4-way partition per-node bytes %d not well below single-node %d",
-			maxPerNode, one.IndexBytesPN[0])
-	}
-}
-
-func TestMovementIntegration(t *testing.T) {
-	ents := []cluster.Entity{{ID: value.ID(1), X: 0, Y: 0, VX: 2, VY: 1}}
-	sim, err := cluster.New(cluster.Config{
-		Part: cluster.StripPartitioner{N: 2, MinX: 0, MaxX: 100}, InteractRadius: 5,
-	}, ents)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim.Step()
-	got := sim.Entities()[0]
-	if got.X != 2 || got.Y != 1 {
-		t.Fatalf("entity at %v,%v after step", got.X, got.Y)
-	}
-}
-
-func TestAggregateMetrics(t *testing.T) {
-	if m := cluster.AggregateMetrics(nil); m.Messages != 0 {
-		t.Error("empty aggregate")
-	}
-	ms := []cluster.TickMetrics{
-		{Messages: 10, TickUS: 2, Imbalance: 1},
-		{Messages: 20, TickUS: 4, Imbalance: 3},
-	}
-	agg := cluster.AggregateMetrics(ms)
-	if agg.Messages != 15 || agg.TickUS != 3 || agg.Imbalance != 2 {
-		t.Errorf("aggregate = %+v", agg)
+		prev, prevC = x, c
 	}
 }

@@ -145,6 +145,13 @@ type RangeDim struct {
 	AttrIdx int
 	Lo      []expr.Fn
 	Hi      []expr.Fn
+	// SelfOnly reports that every bound reads only the executing row's own
+	// state attributes and constants — no let-bound locals — so it may be
+	// evaluated outside the row's step sequence with an empty frame. The
+	// partitioned executor depends on this when it derives ghost margins
+	// from the probe boxes at tick start; a dimension whose bounds need
+	// frame slots is treated as unbounded there.
+	SelfOnly bool
 }
 
 // EqDim equates one scalar attribute of the iterated class with an
@@ -410,9 +417,10 @@ func classifyConjunct(c ast.Expr, iterSlot int, iterCls *schema.Class, spec *Joi
 		}
 		rd := ranges[attrIdx]
 		if rd == nil {
-			rd = &RangeDim{AttrIdx: attrIdx}
+			rd = &RangeDim{AttrIdx: attrIdx, SelfOnly: true}
 			ranges[attrIdx] = rd
 		}
+		rd.SelfOnly = rd.SelfOnly && selfOnlyExpr(other)
 		if op == token.GE { // iter.attr >= e  → lower bound
 			rd.Lo = append(rd.Lo, expr.Compile(other))
 		} else {
@@ -440,6 +448,33 @@ func iterAttr(e ast.Expr, iterSlot int) int {
 		return f.AttrIdx
 	}
 	return -1
+}
+
+// selfOnlyExpr reports whether e reads only executing-row state, effect-free
+// builtins and literals — nothing bound to a frame slot — so it can be
+// evaluated with an empty frame (see RangeDim.SelfOnly).
+func selfOnlyExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Bind.Kind != ast.BindLocal && e.Bind.Kind != ast.BindIter
+	case *ast.FieldExpr:
+		return selfOnlyExpr(e.X)
+	case *ast.UnaryExpr:
+		return selfOnlyExpr(e.X)
+	case *ast.BinaryExpr:
+		return selfOnlyExpr(e.X) && selfOnlyExpr(e.Y)
+	case *ast.CondExpr:
+		return selfOnlyExpr(e.C) && selfOnlyExpr(e.T) && selfOnlyExpr(e.F)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if !selfOnlyExpr(a) {
+				return false
+			}
+		}
+		return true
+	default: // literals
+		return true
+	}
 }
 
 // refsSlot reports whether e references the given frame slot.

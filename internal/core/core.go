@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/baseline"
 	"repro/internal/compile"
@@ -184,6 +186,48 @@ class Vehicle {
     burn <- 0.01 + v * 0.002 + stress * 0.0001;
     if (x + dx * v > 4000 || x + dx * v < 0 || y + dy * v > 4000 || y + dy * v < 0) {
       flip <- 1;
+    }
+  }
+}
+`
+
+// SrcTraffic is the partition-friendly §4.2 traffic workload: vehicles
+// advance along axis-aligned roads and run one neighborhood accum per tick
+// (congestion: count cars inside a ±12 headway box and slow down). Unlike
+// SrcVehicles it carries a spatial join, so shared-nothing partitioned
+// execution (Options.Partitions) has real ghost replication, cross-partition
+// effects and boundary migrations to measure — the quantities E11/E12/E16
+// report. The headway box is bounded and self-only, so the engine derives a
+// finite interaction radius and keeps the join partition-local.
+const SrcTraffic = `
+class Car {
+  state:
+    number x = 0;
+    number y = 0;
+    number dx = 1;
+    number dy = 0;
+    number speed = 3;
+    number slow = 0;
+  effects:
+    number mx : sum;
+    number my : sum;
+    number near : sum;
+  update:
+    x = clamp(x + mx, 0, 4000);
+    y = clamp(y + my, 0, 4000);
+    dx = (x <= 0 || x >= 4000) ? 0 - dx : dx;
+    dy = (y <= 0 || y >= 4000) ? 0 - dy : dy;
+    slow = clamp(near * 0.25, 0, 4);
+  run {
+    accum number cnt with sum over Car u from Car {
+      if (u.x >= x - 12 && u.x <= x + 12 && u.y >= y - 12 && u.y <= y + 12) {
+        cnt <- 1;
+      }
+    } in {
+      near <- cnt;
+      let v = speed / (1 + slow);
+      mx <- dx * v;
+      my <- dy * v;
     }
   }
 }
@@ -423,6 +467,51 @@ func PopulateBoids(w Spawner, ps []workload.Pos) ([]value.ID, error) {
 		ids = append(ids, id)
 	}
 	return ids, nil
+}
+
+// PopulateCars spawns SrcTraffic cars from generated road-network entities
+// (workload.TrafficNetwork.Vehicles), deterministic in the input order.
+func PopulateCars(w Spawner, ents []workload.Entity) ([]value.ID, error) {
+	ids := make([]value.ID, 0, len(ents))
+	for _, e := range ents {
+		speed := math.Abs(e.VX) + math.Abs(e.VY)
+		dx, dy := 1.0, 0.0
+		if speed > 0 {
+			dx, dy = e.VX/speed, e.VY/speed
+		}
+		id, err := w.Spawn("Car", map[string]value.Value{
+			"x": value.Num(e.X), "y": value.Num(e.Y),
+			"dx": value.Num(dx), "dy": value.Num(dy),
+			"speed": value.Num(speed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// SortEntitiesByStripe reorders entities stripe-major (x-stripe, then y,
+// then x) — the partition-friendly spawn order: rows of one spatial
+// partition land in a contiguous physical span, so the partitioned
+// executor's per-partition sweeps stay tight instead of scanning the whole
+// extent per partition. The sort is deterministic and in place.
+func SortEntitiesByStripe(ents []workload.Entity, stripes int, width float64) {
+	if stripes < 1 || width <= 0 {
+		return
+	}
+	sw := width / float64(stripes)
+	sort.SliceStable(ents, func(a, b int) bool {
+		sa, sb := int(ents[a].X/sw), int(ents[b].X/sw)
+		if sa != sb {
+			return sa < sb
+		}
+		if ents[a].Y != ents[b].Y {
+			return ents[a].Y < ents[b].Y
+		}
+		return ents[a].X < ents[b].X
+	})
 }
 
 // PopulateVehicles spawns vehicles at the given positions with axis-aligned

@@ -52,6 +52,28 @@ type Options struct {
 	// The default (plan.JoinAuto) decides per site and tick from match-
 	// cardinality feedback. Both paths produce bit-identical results.
 	Join plan.JoinMode
+	// Partitions > 0 enables shared-nothing partitioned execution (§4.2):
+	// each class extent splits into spatial partitions and every partition
+	// runs the tick pipeline — vectorized phases, scalar rows, batched
+	// joins over its own partition-local indexes — against its owned rows
+	// plus read-only ghost replicas of neighbor rows within the scripts'
+	// derived interaction radius. Cross-partition effects and boundary
+	// migrations are staged as messages, merged deterministically in
+	// (partition, row) order, so any partition count produces bit-identical
+	// state to Partitions: 1. Workers composes: partitions fan out across
+	// the worker pool. 0 disables partitioning (the default single-extent
+	// executor).
+	Partitions int
+	// Partition picks the partitioning layout (plan.PartitionAuto by
+	// default: the least-cut-length spatial layout; stripes, grid and the
+	// communication-oblivious hash strawman can be forced).
+	Partition plan.PartitionStrategy
+	// PartitionBy optionally designates the position attributes (1 or 2
+	// numeric state attrs, e.g. {"Boid": {"x", "y"}}) each class partitions
+	// over. Classes not listed infer axes from their compiled join range
+	// predicates, then from attrs named x/y; classes with no spatial axes
+	// at all are spread by id hash.
+	PartitionBy map[string][]string
 	// DisableStats turns off runtime statistics collection (experiment E8).
 	DisableStats bool
 }
@@ -88,6 +110,10 @@ type World struct {
 	workerSinks []*workerSink
 	shardCtxs   []*shardCtx // per-worker machines, counters, staging
 	shardBuf    []shard     // scratch shard partition, reused per pass
+
+	// parts is the shared-nothing partitioned-execution state (nil unless
+	// Options.Partitions > 0); see partition.go.
+	parts *partWorld
 
 	// execCosts models the scalar-vs-vectorized trade-off (§4.1's cost
 	// model, extended to execution mode); execStats tallies which path ran.
@@ -148,6 +174,10 @@ type classRT struct {
 	vecSelBuf   []bool
 
 	fx []fxColumn
+
+	// prt is the class's shared-nothing partitioning state (nil until the
+	// first partitioned tick measures the layouts; see partition.go).
+	prt *partClass
 
 	// hasRule[i] is true when state attr i has an expression update rule.
 	hasRule []bool
@@ -247,6 +277,9 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		return nil, err
 	}
 	w.collectSites()
+	if err := w.initPartitions(); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
@@ -575,8 +608,11 @@ type Emission struct {
 func (w *World) Txns() []*Txn { return w.txns }
 
 // siteRT is the per-accum-site runtime: adaptive selector, statistics, the
-// per-tick prepared index, the compile-time batch plan and the retained
-// build arena with its reuse bookkeeping.
+// compile-time batch plan, and the per-partition prepared indexes. A
+// non-partitioned world (and every site the partitioned executor must treat
+// whole-world, see partition.go) has exactly one sitePart; a partitioned
+// world gives spatially analyzable sites one sitePart per partition, each
+// indexing its owned rows plus the ghost replicas its probes can reach.
 type siteRT struct {
 	step  *compile.AccumStep
 	class string // probing class
@@ -592,29 +628,79 @@ type siteRT struct {
 	// (nil when the accum has no analyzed join).
 	batch *siteBatch
 
-	// Per-tick prepared execution state.
+	// Per-tick prepared execution state shared by all partitions.
 	strategy plan.Strategy
 	batched  bool // this tick's join-execution decision
-	tree     boxProber
-	hash     *index.RowHash
-	dims     []int // range-dim attr indices
 
-	// Retained build state: the arena all index builds draw from, plus the
+	srcAttrs []int // source attrs the join predicate indexes or keys
+
+	// parts holds the per-partition build state; parts[0] doubles as the
+	// whole-extent state outside partitioned execution. shared is set per
+	// tick by the partitioned executor when the site cannot be spatially
+	// restricted (unbounded predicate, computed source set, handler site,
+	// hash layout): all partitions then probe parts[0] over the full extent.
+	parts  []sitePart
+	shared bool
+
+	// reach[d] is this tick's derived interaction reach of range dimension
+	// d around its anchor axis (partitioned execution only; see
+	// deriveSiteReach). builtReach is the reach the current member views
+	// reflect. Derivation evaluates the bound expressions over the whole
+	// probing extent, so it is cached behind the world state fingerprint:
+	// bounds are pure reads of committed state (possibly of other objects
+	// through refs), hence unchanged state ⇒ unchanged reach.
+	reach         []dimReach
+	builtReach    []dimReach
+	builtReachOK  bool
+	reachDerived  bool
+	reachSpatial  bool
+	reachStateVer uint64
+}
+
+// sitePart is the prepared index state of one partition of one accum site:
+// the member-row view (owned rows plus ghosts, ascending), the per-tick
+// index over exactly those rows, and the retained build arena with its
+// reuse bookkeeping.
+type sitePart struct {
+	// view holds the member rows this partition's probes may see; its
+	// backing storage is rowsBuf, reused across ticks. Outside partitioned
+	// execution the view is unused (the index covers the full extent).
+	view    table.View
+	rowsBuf []int32
+	ghosts  int64 // members owned by another partition
+
+	// Per-tick prepared index.
+	tree boxProber
+	hash *index.RowHash
+	dims []int // range-dim attr indices
+
+	// Retained build state: the arena all builds draw from, plus the
 	// versions that tell whether last tick's index is still valid.
 	builder       index.Builder
-	srcAttrs      []int // source attrs the join predicate indexes or keys
 	builtOK       bool
 	builtStrategy plan.Strategy
 	builtStruct   uint64
 	builtVers     []uint64 // source-attr column versions at build time
 	builtCell     float64  // grid cell size at build time
+	builtAssign   uint64   // partition-assignment version at build time
+	// builtMembers records the scope of the built index: member rows
+	// (partition-local) vs the whole extent. A member-scoped index must
+	// never serve whole-extent probes or vice versa — the maintenance
+	// ladders check this on every spatial/shared transition.
+	builtMembers bool
+	// memberViewOK marks the member view's contents valid for builtAssign
+	// and the site's builtReach (cleared whenever a shared pass overwrites
+	// the view with the full extent).
+	memberViewOK bool
 }
 
 // boxProber is a spatial index answering closed-box probes by id (scalar
-// path) or physical row (batched path) in identical candidate order.
+// path) or physical row (batched path) in identical candidate order, and
+// reporting its resident size for the §4.2 partitioned-memory accounting.
 type boxProber interface {
 	Query(lo, hi []float64, out []value.ID) []value.ID
 	QueryRows(lo, hi []float64, out []int32) []int32
+	EstimatedBytes() int
 }
 
 // collectSites walks all compiled plans and registers every accum site.
@@ -640,6 +726,7 @@ func (w *World) collectSites() {
 					site.candidates = candidatesFor(s)
 					site.selector = plan.NewSelector(site.candidates[0])
 					site.batch = newSiteBatch(s)
+					site.parts = make([]sitePart, 1)
 					w.resolveEqKinds(site)
 					if j := s.Join; j != nil {
 						for _, r := range j.Ranges {

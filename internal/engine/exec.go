@@ -50,6 +50,11 @@ type execCtx struct {
 	row int
 	id  value.ID
 
+	// part is the shared-nothing partition this context executes for
+	// (always 0 outside partitioned mode); accum probes resolve their
+	// partition-local index through it.
+	part int32
+
 	sink   emitSink
 	curTxn *Txn
 
@@ -96,6 +101,16 @@ func (x *execCtx) bindRow(rt *classRT, row int) {
 	x.ctx.Class = rt.name
 	x.ctx.SelfID = x.id
 	x.ctx.Self = rowReader{rt: rt, row: row}
+}
+
+// sitePart resolves the site index this context probes: the partition-local
+// one in partitioned mode, the whole-extent parts[0] otherwise (and for
+// sites the partitioned prep classified shared).
+func (x *execCtx) sitePart(site *siteRT) *sitePart {
+	if x.w.parts == nil || site.shared {
+		return &site.parts[0]
+	}
+	return &site.parts[x.part]
 }
 
 // flushJoinStats folds the context's probe counters into the world totals.
@@ -206,6 +221,21 @@ func (x *execCtx) runAccum(s *compile.AccumStep) {
 	case site != nil && site.batched:
 		x.runAccumBatched(s, site, srcRT)
 	case site == nil || site.strategy == plan.NestedLoop:
+		if site != nil && x.w.parts != nil {
+			// Partitioned scan: the member view (owned + ghosts, ascending
+			// physical rows — the full live extent for shared sites) holds
+			// every row whose predicate can match a probe from this
+			// partition; the body re-checks the predicate per row as usual.
+			rows := x.sitePart(site).view.Rows()
+			ids := srcRT.tab.RawIDs()
+			for _, r := range rows {
+				runBody(ids[r])
+			}
+			site.observe(x.w, 1, int64(len(rows)))
+			x.joinProbes++
+			x.joinMatches += int64(len(rows))
+			break
+		}
 		tab := srcRT.tab
 		for r := 0; r < tab.Cap(); r++ {
 			if tab.Alive(r) {
@@ -220,12 +250,15 @@ func (x *execCtx) runAccum(s *compile.AccumStep) {
 		}
 	case site.strategy == plan.HashIndex:
 		key := x.evalEqKeys(site)
+		pp := x.sitePart(site)
 		var ids []value.ID
-		if site.hash != nil {
-			ids, _ = site.hash.Lookup(key)
+		if pp.hash != nil {
+			ids, _ = pp.hash.Lookup(key)
 		}
 		// The interpreted body re-evaluates the full predicate per match,
 		// so composite-key hash collisions are filtered here for free.
+		// Bucket entries are inserted in physical-row order, so this path
+		// is row-canonical already.
 		for _, id := range ids {
 			runBody(id)
 		}
@@ -235,9 +268,34 @@ func (x *execCtx) runAccum(s *compile.AccumStep) {
 	default: // RangeTreeIndex or GridIndex
 		lo, hi := x.evalBox(site)
 		x.sampleExtent(site, lo, hi)
+		pp := x.sitePart(site)
+		if x.w.parts != nil {
+			// Partitioned probes canonicalize candidates to physical-row
+			// order: the fold order of ⊕ contributions is then independent
+			// of the partition layout and of which index traversal produced
+			// the candidates, which is what makes any partition count
+			// bit-identical to Partitions=1.
+			rows := x.rowsBuf[:0]
+			if pp.tree != nil {
+				rows = pp.tree.QueryRows(lo, hi, rows)
+			}
+			index.SortRows(rows)
+			ids := srcRT.tab.RawIDs()
+			// Stack-discipline the buffer: a nested accum inside the body
+			// must append past our candidates, not clobber them.
+			x.rowsBuf = rows[len(rows):]
+			for _, r := range rows {
+				runBody(ids[r])
+			}
+			x.rowsBuf = rows[:0]
+			site.observe(x.w, 1, int64(len(rows)))
+			x.joinProbes++
+			x.joinMatches += int64(len(rows))
+			break
+		}
 		ids := x.idsBuf[:0]
-		if site.tree != nil {
-			ids = site.tree.Query(lo, hi, ids)
+		if pp.tree != nil {
+			ids = pp.tree.Query(lo, hi, ids)
 		}
 		// Stack-discipline the buffer: a nested accum inside the body must
 		// append past our candidates, not clobber them.
@@ -352,12 +410,57 @@ func (s *siteRT) observe(w *World, probes, matches int64) {
 	atomic.AddInt64(&s.stats.Matches, matches)
 }
 
+// decideSite picks one site's strategy and join-execution mode for this
+// tick from feedback statistics — the decision logic shared verbatim by the
+// single-extent and partitioned preparation paths, so Partitions cannot
+// change which plans run. It returns the source runtime and the extent
+// sizes the maintenance ladder needs; srcRT is nil for sites that always
+// run nested-loop (computed source sets, unanalyzed bodies).
+func (w *World) decideSite(site *siteRT) (srcRT *classRT, n, p int) {
+	st := site.step
+	if st.SourceFn != nil || st.Join == nil {
+		site.strategy = plan.NestedLoop
+		site.batched = false
+		return nil, 0, 0
+	}
+	srcRT = w.classes[st.SourceClass]
+	n = srcRT.tab.Len()
+	p = w.classes[site.class].tab.Len()
+	if site.phase >= 0 && w.classes[site.class].plan.NumPhases > 1 {
+		// Only rows in this phase probe; approximate evenly.
+		p = p/w.classes[site.class].plan.NumPhases + 1
+	}
+
+	kHat := 8.0 // optimistic prior before feedback arrives
+	var sstats = site.stats
+	if w.opts.DisableStats {
+		sstats = nil
+	}
+	if sstats != nil && sstats.MatchPerProbe.Ready() {
+		kHat = sstats.MatchPerProbe.Value()
+	}
+	if w.opts.Strategy != plan.Auto {
+		site.strategy = forceStrategy(w.opts.Strategy, site)
+	} else {
+		site.strategy = forceStrategy(
+			site.selector.Choose(site.candidates, n, p, kHat, len(st.Join.Ranges), sstats), site)
+	}
+	site.batched = site.batch != nil &&
+		w.execCosts.ChooseJoin(w.opts.Join, kHat, site.batch.vec) == plan.JoinBatched
+	return srcRT, n, p
+}
+
 // prepareSites runs once per tick before the effect phase: each site's
 // selector chooses this tick's strategy and join-execution mode from
 // feedback statistics, and the per-tick indexes are built (§4.1's
 // multi-plan switching) — or reused, patched incrementally, or skipped
-// entirely when nothing can probe them.
+// entirely when nothing can probe them. Partitioned worlds run the
+// per-partition variant instead (partition.go).
 func (w *World) prepareSites() {
+	if w.parts != nil {
+		w.preparePartitionedSites()
+		return
+	}
 	track := !w.opts.DisableStats
 	var t0 time.Time
 	if track {
@@ -365,48 +468,23 @@ func (w *World) prepareSites() {
 	}
 	rebuild := w.siteBuildList[:0]
 	for _, site := range w.sites {
-		st := site.step
-		if st.SourceFn != nil || st.Join == nil {
-			site.strategy = plan.NestedLoop
-			site.batched = false
+		srcRT, n, p := w.decideSite(site)
+		if srcRT == nil {
 			continue
 		}
-		srcRT := w.classes[st.SourceClass]
-		n := srcRT.tab.Len()
-		p := w.classes[site.class].tab.Len()
-		if site.phase >= 0 && w.classes[site.class].plan.NumPhases > 1 {
-			// Only rows in this phase probe; approximate evenly.
-			p = p/w.classes[site.class].plan.NumPhases + 1
-		}
-
-		kHat := 8.0 // optimistic prior before feedback arrives
-		var sstats = site.stats
-		if w.opts.DisableStats {
-			sstats = nil
-		}
-		if sstats != nil && sstats.MatchPerProbe.Ready() {
-			kHat = sstats.MatchPerProbe.Value()
-		}
-		if w.opts.Strategy != plan.Auto {
-			site.strategy = forceStrategy(w.opts.Strategy, site)
-		} else {
-			site.strategy = forceStrategy(
-				site.selector.Choose(site.candidates, n, p, kHat, len(st.Join.Ranges), sstats), site)
-		}
-		site.batched = site.batch != nil &&
-			w.execCosts.ChooseJoin(w.opts.Join, kHat, site.batch.vec) == plan.JoinBatched
+		pp := &site.parts[0]
 
 		// Nothing can probe (empty probing extent) or nothing can match
 		// (empty source extent): skip index construction entirely. A
 		// nested-loop scan over the source is trivially correct either way.
 		if n == 0 || p == 0 {
 			site.strategy = plan.NestedLoop
-			site.tree, site.hash = nil, nil
-			site.builtOK = false
+			pp.tree, pp.hash = nil, nil
+			pp.builtOK = false
 			continue
 		}
 
-		switch w.siteMaint(site, srcRT) {
+		switch w.siteMaint(site, pp, srcRT, true) {
 		case plan.MaintReuse:
 			if track {
 				w.execStats.IndexReuses++
@@ -428,7 +506,7 @@ func (w *World) prepareSites() {
 		w.buildSitesParallel(rebuild)
 	} else {
 		for _, site := range rebuild {
-			w.buildSiteIndex(site, w.classes[site.step.SourceClass], true)
+			w.buildSiteIndex(site, &site.parts[0], w.classes[site.step.SourceClass], nil, true)
 		}
 	}
 	if track {
@@ -457,50 +535,52 @@ func (w *World) buildSitesParallel(rebuild []*siteRT) {
 					return
 				}
 				site := rebuild[j]
-				w.buildSiteIndex(site, w.classes[site.step.SourceClass], false)
+				w.buildSiteIndex(site, &site.parts[0], w.classes[site.step.SourceClass], nil, false)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// siteMaint decides how to bring a site's index up to date. Reuse and
-// incremental maintenance hinge on the table's cheap version counters: an
-// index whose source columns and structure are untouched since it was built
-// is still exact; a grid whose columns drifted by only a few rows is patched
-// in place by Grid.Sync (cell-order canonical, so a synced grid answers
-// probes identically to a rebuild).
-func (w *World) siteMaint(site *siteRT, srcRT *classRT) plan.Maint {
+// siteMaint decides how to bring one partition's index up to date. Reuse
+// and incremental maintenance hinge on the table's cheap version counters:
+// an index whose source columns and structure are untouched since it was
+// built is still exact; a grid whose columns drifted by only a few rows is
+// patched in place by Grid.Sync (cell-order canonical, so a synced grid
+// answers probes identically to a rebuild). syncOK is true only when pp
+// spans the full extent — Grid.Sync reconciles against the whole alive
+// mask, which would smuggle non-member rows into a partition-local grid.
+func (w *World) siteMaint(site *siteRT, pp *sitePart, srcRT *classRT, syncOK bool) plan.Maint {
 	tab := srcRT.tab
-	if !site.builtOK || site.builtStrategy != site.strategy {
+	if !pp.builtOK || pp.builtStrategy != site.strategy {
 		return plan.MaintRebuild
 	}
-	if site.strategy == plan.GridIndex && w.gridCell(site) != site.builtCell {
+	if site.strategy == plan.GridIndex && w.gridCell(site, pp) != pp.builtCell {
 		// The desired cell size drifted past the hysteresis band: even an
 		// otherwise-unchanged grid must rebuild at the new granularity.
 		return plan.MaintRebuild
 	}
-	dirty := tab.StructVersion() != site.builtStruct
+	dirty := tab.StructVersion() != pp.builtStruct
 	for i, a := range site.srcAttrs {
-		if tab.ColVersion(a) != site.builtVers[i] {
+		if tab.ColVersion(a) != pp.builtVers[i] {
 			dirty = true
 		}
 	}
 	if !dirty {
 		return plan.MaintReuse
 	}
-	if site.strategy == plan.GridIndex && site.builder.Grid() != nil {
+	if syncOK && site.strategy == plan.GridIndex && pp.builder.Grid() != nil {
 		j := site.step.Join
 		a0, a1 := j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx
 		budget := w.execCosts.MaintDirtyBudget(tab.Len())
-		g := site.builder.Grid()
+		g := pp.builder.Grid()
 		if dirtyRows, ok := g.Sync(tab.NumColumn(a0), tab.NumColumn(a1), tab.AliveMask(), tab.RawIDs(), budget); ok {
 			switch w.execCosts.ChooseMaint(tab.Len(), dirtyRows, true) {
 			case plan.MaintReuse:
-				site.noteBuilt(tab)
+				pp.noteBuilt(site, tab)
 				return plan.MaintReuse // versions moved but no row changed
 			default:
-				site.noteBuilt(tab)
+				pp.noteBuilt(site, tab)
 				return plan.MaintIncremental
 			}
 		}
@@ -509,29 +589,29 @@ func (w *World) siteMaint(site *siteRT, srcRT *classRT) plan.Maint {
 }
 
 // gridCell picks the grid cell size: the probe-extent EMA with hysteresis
-// toward the previously built size, so incremental maintenance is not
-// defeated by slow EMA drift.
-func (w *World) gridCell(site *siteRT) float64 {
+// toward the partition's previously built size, so incremental maintenance
+// is not defeated by slow EMA drift.
+func (w *World) gridCell(site *siteRT, pp *sitePart) float64 {
 	site.mu.Lock()
 	cell := site.boxExtent.Value()
 	site.mu.Unlock()
 	if cell <= 0 {
 		cell = 64
 	}
-	if site.builtOK && site.builtStrategy == plan.GridIndex && site.builtCell > 0 {
-		if r := cell / site.builtCell; r > 0.75 && r < 1.33 {
-			return site.builtCell
+	if pp.builtOK && pp.builtStrategy == plan.GridIndex && pp.builtCell > 0 {
+		if r := cell / pp.builtCell; r > 0.75 && r < 1.33 {
+			return pp.builtCell
 		}
 	}
 	return cell
 }
 
 // noteBuilt records the source versions an up-to-date index reflects.
-func (site *siteRT) noteBuilt(tab *table.Table) {
-	site.builtStruct = tab.StructVersion()
-	site.builtVers = site.builtVers[:0]
+func (pp *sitePart) noteBuilt(site *siteRT, tab *table.Table) {
+	pp.builtStruct = tab.StructVersion()
+	pp.builtVers = pp.builtVers[:0]
 	for _, a := range site.srcAttrs {
-		site.builtVers = append(site.builtVers, tab.ColVersion(a))
+		pp.builtVers = append(pp.builtVers, tab.ColVersion(a))
 	}
 }
 
@@ -545,35 +625,52 @@ func forceStrategy(s plan.Strategy, site *siteRT) plan.Strategy {
 	return site.candidates[0]
 }
 
-// buildSiteIndex rebuilds a site's index into its retained arena. allowShard
-// permits sharding the entry gather across the worker pool (disabled when
-// sites themselves are being built in parallel).
-func (w *World) buildSiteIndex(site *siteRT, srcRT *classRT, allowShard bool) {
-	site.tree, site.hash = nil, nil
+// buildSiteIndex rebuilds one partition's index into its retained arena:
+// over the full extent when memberRows is nil, else over exactly those
+// member rows (the partitioned executor's owned+ghost views). The build
+// scope is recorded in builtMembers so the maintenance ladders can never
+// reuse a member-scoped index for whole-extent probes or vice versa.
+// allowShard permits sharding the whole-extent entry gather across the
+// worker pool (disabled when sites themselves are being built in parallel;
+// member gathers are already per-partition work units).
+func (w *World) buildSiteIndex(site *siteRT, pp *sitePart, srcRT *classRT, memberRows []int32, allowShard bool) {
+	pp.tree, pp.hash = nil, nil
 	j := site.step.Join
 	tab := srcRT.tab
 	n := tab.Len()
+	if memberRows != nil {
+		n = len(memberRows)
+	}
+	fill := func(dims []int, entries []index.Entry, coords []float64) {
+		if memberRows != nil {
+			fillMemberEntries(tab, dims, memberRows, entries, coords)
+		} else {
+			w.fillEntries(srcRT, dims, entries, coords, allowShard)
+		}
+	}
 	switch site.strategy {
 	case plan.RangeTreeIndex:
-		site.dims = site.dims[:0]
+		pp.dims = pp.dims[:0]
 		for _, r := range j.Ranges {
-			site.dims = append(site.dims, r.AttrIdx)
+			pp.dims = append(pp.dims, r.AttrIdx)
 		}
-		entries := site.builder.Entries(n)
-		coords := site.builder.Coords(n * len(site.dims))
-		w.fillEntries(srcRT, site.dims, entries, coords, allowShard)
-		site.tree = site.builder.BuildRangeTree(len(site.dims), entries)
+		entries := pp.builder.Entries(n)
+		coords := pp.builder.Coords(n * len(pp.dims))
+		fill(pp.dims, entries, coords)
+		pp.tree = pp.builder.BuildRangeTree(len(pp.dims), entries)
 	case plan.GridIndex:
-		cell := w.gridCell(site)
-		site.dims = site.dims[:0]
-		site.dims = append(site.dims, j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx)
-		entries := site.builder.Entries(n)
-		coords := site.builder.Coords(n * 2)
-		w.fillEntries(srcRT, site.dims, entries, coords, allowShard)
-		site.tree = site.builder.BuildGrid(cell, entries)
-		site.builtCell = cell
+		cell := w.gridCell(site, pp)
+		pp.dims = pp.dims[:0]
+		pp.dims = append(pp.dims, j.Ranges[0].AttrIdx, j.Ranges[1].AttrIdx)
+		entries := pp.builder.Entries(n)
+		coords := pp.builder.Coords(n * 2)
+		fill(pp.dims, entries, coords)
+		pp.tree = pp.builder.BuildGrid(cell, entries)
+		pp.builtCell = cell
 	case plan.HashIndex:
-		h := site.builder.RowHash()
+		// Hash sites have no range conjuncts, so they are never spatially
+		// partitioned: always whole-extent.
+		h := pp.builder.RowHash()
 		alive := tab.AliveMask()
 		ids := tab.RawIDs()
 		for r, ok := range alive {
@@ -586,11 +683,12 @@ func (w *World) buildSiteIndex(site *siteRT, srcRT *classRT, allowShard bool) {
 			}
 			h.Insert(key, ids[r], int32(r))
 		}
-		site.hash = h
+		pp.hash = h
 	}
-	site.builtStrategy = site.strategy
-	site.builtOK = true
-	site.noteBuilt(tab)
+	pp.builtStrategy = site.strategy
+	pp.builtOK = true
+	pp.builtMembers = memberRows != nil
+	pp.noteBuilt(site, tab)
 }
 
 // fillEntries materializes (id, row, coords) entries for every live source

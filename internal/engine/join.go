@@ -25,6 +25,7 @@ package engine
 import (
 	"repro/internal/combinator"
 	"repro/internal/compile"
+	"repro/internal/index"
 	"repro/internal/plan"
 	"repro/internal/value"
 	"repro/internal/vexpr"
@@ -165,24 +166,34 @@ func (x *execCtx) runAccumBatched(s *compile.AccumStep, site *siteRT, srcRT *cla
 		lo, hi = x.evalBox(site)
 	}
 
-	// (1) Candidate rows, in the same order the scalar path visits them.
+	// (1) Candidate rows, in the same order the scalar path visits them:
+	// index traversal order normally, canonical physical-row order under
+	// partitioned execution (see the scalar tree/grid path in exec.go).
+	pp := x.sitePart(site)
 	rows := x.rowsBuf[:0]
 	switch site.strategy {
 	case plan.HashIndex:
 		key := x.evalEqKeys(site)
-		if site.hash != nil {
-			_, rr := site.hash.Lookup(key)
+		if pp.hash != nil {
+			_, rr := pp.hash.Lookup(key)
 			rows = append(rows, rr...)
 		}
 	case plan.GridIndex, plan.RangeTreeIndex:
 		x.sampleExtent(site, lo, hi)
-		if site.tree != nil {
-			rows = site.tree.QueryRows(lo, hi, rows)
+		if pp.tree != nil {
+			rows = pp.tree.QueryRows(lo, hi, rows)
+		}
+		if x.w.parts != nil {
+			index.SortRows(rows)
 		}
 	default: // NestedLoop
-		for r, ok := range tab.AliveMask() {
-			if ok {
-				rows = append(rows, int32(r))
+		if x.w.parts != nil {
+			rows = append(rows, pp.view.Rows()...)
+		} else {
+			for r, ok := range tab.AliveMask() {
+				if ok {
+					rows = append(rows, int32(r))
+				}
 			}
 		}
 	}

@@ -269,7 +269,7 @@ func TestGridCellAdaptsUnderDisableStats(t *testing.T) {
 	}
 	var gridSite *siteRT
 	for _, s := range w.sites {
-		if s.builtStrategy == plan.GridIndex && s.builtOK {
+		if s.parts[0].builtStrategy == plan.GridIndex && s.parts[0].builtOK {
 			gridSite = s
 			break
 		}
@@ -282,7 +282,7 @@ func TestGridCellAdaptsUnderDisableStats(t *testing.T) {
 	}
 	// The probe boxes are 16 wide (range 8); the adapted cell must have
 	// left the 64.0 default far behind.
-	if c := gridSite.builtCell; c > 32 || c <= 0 {
+	if c := gridSite.parts[0].builtCell; c > 32 || c <= 0 {
 		t.Fatalf("grid cell stuck at %v (EMA %v); want ~16", c, gridSite.boxExtent.Value())
 	}
 }
@@ -395,7 +395,7 @@ func TestEmptyExtentSkipsIndexBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range w.sites {
-		if s.builtOK || s.tree != nil || s.hash != nil {
+		if s.parts[0].builtOK || s.parts[0].tree != nil || s.parts[0].hash != nil {
 			t.Fatal("index built for an empty extent")
 		}
 	}

@@ -362,6 +362,10 @@ func (w *World) runRuleRange(rt *classRT, rules []compile.UpdatePlan, lo, hi int
 // classes shard across workers with private sinks merged worker-major;
 // small classes run inline through sink 0.
 func (w *World) runHandlers() {
+	if w.parts != nil {
+		w.runHandlersPartitioned()
+		return
+	}
 	par := w.parallelOK()
 	if par {
 		w.ensureWorkers()

@@ -1,0 +1,1205 @@
+package engine
+
+// Shared-nothing partitioned execution (§4.2 of the paper). With
+// Options.Partitions > 0 every class extent is split across spatial
+// partitions and the real tick pipeline — vectorized effect phases, the
+// scalar row loop, batched joins over per-partition indexes — runs
+// partition-at-a-time over each partition's owned rows plus read-only ghost
+// replicas of the neighbor rows its probes can reach. This replaces the old
+// standalone cluster simulator: the message, ghost, balance and
+// index-memory numbers of E11/E12/E16 now come from the machinery that
+// actually executes scripts.
+//
+// The moving parts, in tick order:
+//
+//   - Ownership. Each class designates up to two numeric position
+//     attributes (Options.PartitionBy, else inferred from compiled join
+//     ranges, else attrs named x/y); a cluster.Layout built from the
+//     world's measured bounds maps positions to partitions. At every tick
+//     start the assignment is rescanned: an object whose update moved it
+//     across a boundary migrates (counted as a message), spawns are
+//     assigned, deaths released. Classes with no spatial axes spread by id
+//     hash.
+//
+//   - Ghost derivation. For each accum site, the compiled range conjuncts
+//     are evaluated over the frozen probing extent and plan.InteractionRadius
+//     turns them into per-dimension reaches around the best-fitting
+//     partition axis. A partition's member view is then every source row
+//     whose ownership interval — computed with the same clamped-coordinate
+//     arithmetic as ownership itself, so float rounding can never drop a
+//     boundary ghost — intersects the partition. Sites that cannot be
+//     bounded (unbounded or frame-dependent predicates, computed source
+//     sets, reactive-handler sites which probe post-update state, hash
+//     layouts) fall back to one shared whole-extent index, accounted as a
+//     full replica per partition.
+//
+//   - Execution. Vectorized phases run per partition as masked kernel
+//     sweeps over the partition's row span (self-only emissions are
+//     row-local, so direct writes stay deterministic). Scalar rows run per
+//     partition in ascending physical-row order, staging every emission and
+//     transaction into a per-partition sink tagged with its source row.
+//     Probes resolve the partition-local index, and candidates are
+//     canonicalized to physical-row order, so the ⊕ fold order per
+//     accumulator is independent of the layout.
+//
+//   - Merge. After each class pass the per-partition sinks merge by source
+//     row — a k-way merge of streams that are each row-sorted, i.e. exactly
+//     the (partition, row) order — replaying the serial row loop's emission
+//     order bit-for-bit. An emission whose target row is owned by another
+//     partition counts as a cross-partition effect message.
+//
+// Workers composes: partitions fan out across the worker pool (per-partition
+// sinks keep the merge deterministic regardless of scheduling). Deferred to
+// ROADMAP: a multi-process transport behind the message staging, dynamic
+// repartitioning (layouts are frozen at first tick), and incremental
+// maintenance of partition-local grids.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// partWorld is the execution state of a partitioned world.
+type partWorld struct {
+	n         int
+	ready     bool   // layouts measured and first assignment done
+	assignVer uint64 // bumps whenever any row's ownership changes
+
+	sinks    []*partSink
+	mergeIdx []int
+	loads    []int64 // per-partition row visits this tick
+
+	buildList []partBuild // per-tick (site, partition) rebuild worklist
+
+	// Reach-derivation scratch, reused across sites.
+	axisPos [][]float64 // per probing axis: anchor positions
+	boxLo   [][]float64 // per range dim: evaluated probe interval
+	boxHi   [][]float64
+}
+
+type partBuild struct {
+	site *siteRT
+	pp   *sitePart
+}
+
+// partClass is the per-class partitioning state.
+type partClass struct {
+	axes   []int // state attr indices of the position axes (0..2)
+	layout cluster.Layout
+
+	assign   []int32    // per physical row: owning partition, -1 dead
+	assignID []value.ID // id the assignment was made for (guards row reuse)
+	spanLo   []int32    // per partition: owned physical row span [lo, hi)
+	spanHi   []int32
+}
+
+// span returns partition p's owned row span clamped to the table capacity.
+func (pc *partClass) span(p, capRows int) (int, int) {
+	lo, hi := int(pc.spanLo[p]), int(pc.spanHi[p])
+	if hi > capRows {
+		hi = capRows
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// dimReach is one range dimension's derived interaction reach: probes bound
+// the dimension's source attribute within [anchor−lo, anchor+hi] where the
+// anchor is the probing row's position on partition axis `axis` (-1 when the
+// dimension could not be bounded against any axis).
+type dimReach struct {
+	axis   int
+	lo, hi float64
+}
+
+// partSink stages one partition's effect emissions and transactions during
+// a class pass, each tagged with the emitting physical row. Rows are
+// appended in ascending order (the partition row loop), which is what makes
+// the cross-partition merge a k-way merge of sorted streams.
+type partSink struct {
+	curRow  int32
+	ems     []Emission
+	rows    []int32
+	txns    []*Txn
+	txnRows []int32
+}
+
+func (s *partSink) emit(w *World, e Emission) {
+	s.ems = append(s.ems, e)
+	s.rows = append(s.rows, s.curRow)
+}
+
+func (s *partSink) addTxn(t *Txn) {
+	s.txns = append(s.txns, t)
+	s.txnRows = append(s.txnRows, s.curRow)
+}
+
+func (s *partSink) reset() {
+	s.ems = s.ems[:0]
+	s.rows = s.rows[:0]
+	s.txns = s.txns[:0]
+	s.txnRows = s.txnRows[:0]
+}
+
+// initPartitions validates the partitioning options at world construction.
+// Layout measurement itself is deferred to the first tick, when the world
+// has been populated.
+func (w *World) initPartitions() error {
+	if w.opts.Partitions <= 0 {
+		return nil
+	}
+	for class, attrs := range w.opts.PartitionBy {
+		rt, ok := w.classes[class]
+		if !ok {
+			return fmt.Errorf("engine: PartitionBy names unknown class %q", class)
+		}
+		if len(attrs) < 1 || len(attrs) > 2 {
+			return fmt.Errorf("engine: PartitionBy[%s] needs 1 or 2 attrs, got %d", class, len(attrs))
+		}
+		for _, a := range attrs {
+			i := rt.cls.StateIndex(a)
+			if i < 0 {
+				return fmt.Errorf("engine: PartitionBy names unknown attribute %s.%s", class, a)
+			}
+			if rt.cls.State[i].Kind != value.KindNumber {
+				return fmt.Errorf("engine: PartitionBy attribute %s.%s is %s, want number", class, a, rt.cls.State[i].Kind)
+			}
+		}
+	}
+	pw := &partWorld{n: w.opts.Partitions}
+	pw.loads = make([]int64, pw.n)
+	pw.mergeIdx = make([]int, pw.n)
+	pw.sinks = make([]*partSink, pw.n)
+	for i := range pw.sinks {
+		pw.sinks[i] = &partSink{}
+	}
+	w.parts = pw
+	return nil
+}
+
+// partitionAxes infers a class's position attributes: the explicit
+// PartitionBy designation, else the attrs its compiled join sites range
+// over when it is the source class, else numeric attrs named x/y.
+func (w *World) partitionAxes(rt *classRT) []int {
+	if attrs, ok := w.opts.PartitionBy[rt.name]; ok {
+		axes := make([]int, 0, 2)
+		for _, a := range attrs {
+			axes = append(axes, rt.cls.StateIndex(a))
+		}
+		return axes
+	}
+	var axes []int
+	seen := map[int]bool{}
+	for _, site := range w.sites {
+		if site.step.SourceClass != rt.name || site.step.Join == nil {
+			continue
+		}
+		for _, r := range site.step.Join.Ranges {
+			if !seen[r.AttrIdx] && rt.cls.State[r.AttrIdx].Kind == value.KindNumber {
+				seen[r.AttrIdx] = true
+				axes = append(axes, r.AttrIdx)
+			}
+		}
+	}
+	// Deterministic order, at most two axes.
+	for i := 1; i < len(axes); i++ {
+		for j := i; j > 0 && axes[j] < axes[j-1]; j-- {
+			axes[j], axes[j-1] = axes[j-1], axes[j]
+		}
+	}
+	if len(axes) > 2 {
+		axes = axes[:2]
+	}
+	if len(axes) > 0 {
+		return axes
+	}
+	for _, name := range []string{"x", "y"} {
+		if i := rt.cls.StateIndex(name); i >= 0 && rt.cls.State[i].Kind == value.KindNumber {
+			axes = append(axes, i)
+		}
+	}
+	return axes
+}
+
+// ensurePartitionLayouts measures world bounds and freezes each class's
+// layout on the first partitioned tick (dynamic repartitioning is an open
+// item, see ROADMAP). Positions that later wander outside the measured box
+// clamp to the edge partitions.
+func (w *World) ensurePartitionLayouts() {
+	pw := w.parts
+	if pw.ready {
+		return
+	}
+	for _, rt := range w.order {
+		axes := w.partitionAxes(rt)
+		mode := w.opts.Partition
+		minX, maxX, minY, maxY := 0.0, 1.0, 0.0, 1.0
+		if len(axes) > 0 {
+			minX, maxX = columnBounds(rt.tab, axes[0])
+		}
+		if len(axes) > 1 {
+			minY, maxY = columnBounds(rt.tab, axes[1])
+		}
+		layout, err := cluster.NewLayout(w.execCosts, mode, pw.n, len(axes), minX, maxX, minY, maxY)
+		if err != nil {
+			// Partitions >= 1 is validated at construction; unreachable.
+			panic(err)
+		}
+		rt.prt = &partClass{
+			axes:   axes,
+			layout: layout,
+			spanLo: make([]int32, pw.n),
+			spanHi: make([]int32, pw.n),
+		}
+	}
+	pw.ready = true
+}
+
+// columnBounds returns the min/max of a numeric column over live rows,
+// ignoring NaNs; a degenerate or empty extent yields a unit box.
+func columnBounds(tab *table.Table, ci int) (lo, hi float64) {
+	col := tab.NumColumn(ci)
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for r, ok := range tab.AliveMask() {
+		if !ok {
+			continue
+		}
+		v := col[r]
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !(lo < hi) {
+		if math.IsInf(lo, 1) {
+			lo = 0
+		}
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// assignPartitions rescans ownership at tick start: every live row's owner
+// is recomputed from its current position with the frozen layout, so
+// update-step movement across a boundary shows up here as a migration
+// message, spawns get assigned and deaths released. The scan also refreshes
+// each partition's owned row span (the range the per-partition executors
+// iterate).
+func (w *World) assignPartitions(track bool) {
+	pw := w.parts
+	changed := false
+	for _, rt := range w.order {
+		pc := rt.prt
+		tab := rt.tab
+		capRows := tab.Cap()
+		for len(pc.assign) < capRows {
+			pc.assign = append(pc.assign, -1)
+			pc.assignID = append(pc.assignID, 0)
+		}
+		for p := 0; p < pw.n; p++ {
+			pc.spanLo[p] = int32(capRows)
+			pc.spanHi[p] = 0
+		}
+		alive := tab.AliveMask()
+		ids := tab.RawIDs()
+		var colX, colY []float64
+		if len(pc.axes) > 0 {
+			colX = tab.NumColumn(pc.axes[0])
+		}
+		if len(pc.axes) > 1 {
+			colY = tab.NumColumn(pc.axes[1])
+		}
+		for r := 0; r < capRows; r++ {
+			if !alive[r] {
+				if pc.assign[r] != -1 {
+					pc.assign[r] = -1
+					changed = true
+				}
+				continue
+			}
+			x, y := 0.0, 0.0
+			if colX != nil {
+				x = colX[r]
+			}
+			if colY != nil {
+				y = colY[r]
+			}
+			owner := int32(pc.layout.Owner(x, y, ids[r]))
+			prev := pc.assign[r]
+			if prev != owner || pc.assignID[r] != ids[r] {
+				if prev >= 0 && pc.assignID[r] == ids[r] && track {
+					// Same object, new partition: a boundary migration.
+					w.execStats.MigratedRows++
+					w.execStats.PartMsgsMigrate++
+					w.execStats.PartBytes += cluster.BytesPerMigration
+				}
+				pc.assign[r] = owner
+				pc.assignID[r] = ids[r]
+				changed = true
+			}
+			if int32(r) < pc.spanLo[owner] {
+				pc.spanLo[owner] = int32(r)
+			}
+			if int32(r)+1 > pc.spanHi[owner] {
+				pc.spanHi[owner] = int32(r) + 1
+			}
+		}
+	}
+	if changed {
+		pw.assignVer++
+	}
+}
+
+// preparePartitionedSites is prepareSites for partitioned worlds: ownership
+// rescan, then per site either a shared whole-extent index (with full
+// replication accounted) or per-partition member views and indexes with
+// ghost margins derived from the compiled predicates.
+func (w *World) preparePartitionedSites() {
+	pw := w.parts
+	track := !w.opts.DisableStats
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	w.ensurePartitionLayouts()
+	w.assignPartitions(track)
+	stateVer := w.stateFingerprint()
+	for i := range pw.loads {
+		pw.loads[i] = 0
+	}
+
+	pw.buildList = pw.buildList[:0]
+	for _, site := range w.sites {
+		srcRT, n, p := w.decideSite(site)
+		if srcRT == nil {
+			// Computed source sets never consult an index; unanalyzed
+			// bodies scan the member view, which for shared sites is the
+			// full live extent.
+			site.shared = true
+			if site.step.SourceFn == nil {
+				src := w.classes[site.step.SourceClass]
+				w.fillSharedView(site, src, track)
+			}
+			continue
+		}
+		if n == 0 || p == 0 {
+			site.strategy = plan.NestedLoop
+			site.shared = true
+			pp := &site.parts[0]
+			pp.tree, pp.hash = nil, nil
+			pp.builtOK = false
+			pp.rowsBuf = srcRT.tab.LiveRows(pp.rowsBuf[:0])
+			pp.view = srcRT.tab.ViewOf(pp.rowsBuf)
+			continue
+		}
+
+		spatial := false
+		if site.reachDerived && site.reachStateVer == stateVer {
+			spatial = site.reachSpatial // state untouched ⇒ reach untouched
+		} else {
+			spatial = w.deriveSiteReach(site, srcRT)
+			site.reachDerived = true
+			site.reachSpatial = spatial
+			site.reachStateVer = stateVer
+		}
+		site.shared = !spatial
+		if !spatial {
+			w.fillSharedView(site, srcRT, track)
+			pp := &site.parts[0]
+			if site.strategy == plan.NestedLoop {
+				pp.builtOK = false
+				continue
+			}
+			switch w.siteMaint(site, pp, srcRT, true) {
+			case plan.MaintReuse:
+				if track {
+					w.execStats.IndexReuses++
+				}
+			case plan.MaintIncremental:
+				if track {
+					w.execStats.IndexIncrements++
+					w.chargeGhosts(site, int64(pw.n-1)*int64(n))
+				}
+			default:
+				pw.buildList = append(pw.buildList, partBuild{site: site, pp: pp})
+				if track {
+					w.chargeGhosts(site, int64(pw.n-1)*int64(n))
+				}
+			}
+			continue
+		}
+
+		w.prepareSpatialSite(site, srcRT, track)
+	}
+
+	// Rebuilds fan out across the worker pool: member views are already
+	// filled (serially, above), so workers only sort entries and build
+	// trees/grids into their own retained arenas.
+	if w.parallelOK() && len(pw.buildList) > 1 {
+		w.buildPartsParallel(pw.buildList)
+	} else {
+		for _, b := range pw.buildList {
+			w.buildPartIndex(b.site, b.pp)
+		}
+	}
+	if track {
+		w.execStats.IndexBuildNanos += time.Since(t0).Nanoseconds()
+	}
+}
+
+// fillSharedView points a shared site's single part at the full live
+// extent and accounts it as one conceptual replica per other partition —
+// the §4.2 pathology of partitioning-oblivious predicates. The member view
+// is overwritten, so any retained member-scoped state is invalidated: a
+// later spatial tick must refill, and the shared ladder below must never
+// reuse an index that only covered one partition's members.
+func (w *World) fillSharedView(site *siteRT, srcRT *classRT, track bool) {
+	pp := &site.parts[0]
+	pp.rowsBuf = srcRT.tab.LiveRows(pp.rowsBuf[:0])
+	pp.view = srcRT.tab.ViewOf(pp.rowsBuf)
+	pp.memberViewOK = false
+	if pp.builtMembers {
+		pp.builtOK = false
+	}
+	pp.ghosts = int64(w.parts.n-1) * int64(len(pp.rowsBuf))
+	if track {
+		w.execStats.GhostRows += pp.ghosts
+		if site.step.Join == nil {
+			// Unindexed whole-extent scans have no build/reuse ladder to
+			// hang refresh traffic on: charge full replication per tick.
+			w.execStats.PartMsgsGhost += pp.ghosts
+			w.execStats.PartBytes += pp.ghosts * cluster.BytesPerGhost
+		}
+	}
+}
+
+// chargeGhosts accounts ghost refresh messages for one site's replicas
+// (called when its indexes are rebuilt or patched — a reused index means
+// nothing changed, so nothing is sent).
+func (w *World) chargeGhosts(site *siteRT, ghosts int64) {
+	w.execStats.PartMsgsGhost += ghosts
+	w.execStats.PartBytes += ghosts * cluster.BytesPerGhost
+}
+
+// reachEqual compares derived reaches bit-for-bit (NaN never occurs: empty
+// reaches are -Inf, unbounded dims are excluded by axis == -1).
+func reachEqual(a, b []dimReach) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepareSpatialSite brings one spatially bounded site's per-partition
+// views and indexes up to date: reuse everything when nothing that feeds
+// them changed (source columns, structure, ownership, reach, strategy);
+// otherwise refill the member views in one pass and queue index rebuilds.
+func (w *World) prepareSpatialSite(site *siteRT, srcRT *classRT, track bool) {
+	pw := w.parts
+	tab := srcRT.tab
+	for len(site.parts) < pw.n {
+		site.parts = append(site.parts, sitePart{})
+	}
+
+	fresh := site.builtReachOK && reachEqual(site.reach, site.builtReach)
+	if fresh {
+		for i := range site.parts[:pw.n] {
+			pp := &site.parts[i]
+			if !pp.memberViewOK || pp.builtAssign != pw.assignVer ||
+				pp.builtStruct != tab.StructVersion() {
+				fresh = false
+				break
+			}
+			if site.strategy != plan.NestedLoop &&
+				(!pp.builtOK || pp.builtStrategy != site.strategy || !pp.builtMembers) {
+				fresh = false
+				break
+			}
+			if site.strategy == plan.GridIndex && w.gridCell(site, pp) != pp.builtCell {
+				fresh = false
+				break
+			}
+			for vi, a := range site.srcAttrs {
+				if vi >= len(pp.builtVers) || tab.ColVersion(a) != pp.builtVers[vi] {
+					fresh = false
+					break
+				}
+			}
+			if !fresh {
+				break
+			}
+		}
+	}
+	ghosts := int64(0)
+	if fresh {
+		for i := range site.parts[:pw.n] {
+			ghosts += site.parts[i].ghosts
+		}
+		if track {
+			w.execStats.GhostRows += ghosts
+			w.execStats.IndexReuses++
+		}
+		return
+	}
+
+	ghosts = w.fillSiteMembers(site, srcRT)
+	site.builtReach = append(site.builtReach[:0], site.reach...)
+	site.builtReachOK = true
+	if track {
+		w.execStats.GhostRows += ghosts
+		w.chargeGhosts(site, ghosts)
+	}
+	for i := range site.parts[:pw.n] {
+		pp := &site.parts[i]
+		pp.memberViewOK = true
+		pp.builtAssign = pw.assignVer
+		if site.strategy == plan.NestedLoop {
+			pp.builtOK = false
+			pp.noteBuilt(site, tab) // version basis for next tick's freshness check
+			continue
+		}
+		pw.buildList = append(pw.buildList, partBuild{site: site, pp: pp})
+	}
+}
+
+// stateFingerprint folds every table's structural and per-column write
+// versions into one monotone counter: equality across ticks means no
+// committed state changed anywhere, which is the (sound, conservative)
+// condition under which cached reach derivations stay valid.
+func (w *World) stateFingerprint() uint64 {
+	var v uint64
+	for _, rt := range w.order {
+		v += rt.tab.StructVersion()
+		for ci := range rt.tab.Columns() {
+			v += rt.tab.ColVersion(ci)
+		}
+	}
+	return v
+}
+
+// deriveSiteReach evaluates the site's compiled range conjuncts over the
+// frozen probing extent and anchors each dimension to the partition axis
+// with the tightest finite reach (plan.InteractionRadius). Returns false —
+// whole-world fallback — when nothing could be bounded: no self-only range
+// conjuncts, a hash layout, a reactive-handler site (it probes post-update
+// state the tick-start ghosts would not cover), or unbounded predicates.
+func (w *World) deriveSiteReach(site *siteRT, srcRT *classRT) bool {
+	pw := w.parts
+	if site.phase < 0 {
+		return false
+	}
+	probeRT := w.classes[site.class]
+	pc := probeRT.prt
+	if pc.layout.Axes == 0 {
+		return false // hash layout or no spatial axes
+	}
+	j := site.step.Join
+	dims := len(j.Ranges)
+	site.reach = site.reach[:0]
+	for d := 0; d < dims; d++ {
+		site.reach = append(site.reach, dimReach{axis: -1})
+	}
+
+	// Gather anchors and evaluate every self-only dimension's interval per
+	// probing row (all phases: a conservative superset of actual probers).
+	naxes := pc.layout.Axes
+	for len(pw.axisPos) < naxes {
+		pw.axisPos = append(pw.axisPos, nil)
+	}
+	for len(pw.boxLo) < dims {
+		pw.boxLo = append(pw.boxLo, nil)
+		pw.boxHi = append(pw.boxHi, nil)
+	}
+	for k := 0; k < naxes; k++ {
+		pw.axisPos[k] = pw.axisPos[k][:0]
+	}
+	anyDim := false
+	for d := range j.Ranges {
+		pw.boxLo[d] = pw.boxLo[d][:0]
+		pw.boxHi[d] = pw.boxHi[d][:0]
+		if j.Ranges[d].SelfOnly {
+			anyDim = true
+		}
+	}
+	if !anyDim {
+		return false
+	}
+	ctx := expr.Ctx{W: w, Class: site.class}
+	tab := probeRT.tab
+	for r, ok := range tab.AliveMask() {
+		if !ok {
+			continue
+		}
+		ctx.SelfID = tab.ID(r)
+		ctx.Self = rowReader{rt: probeRT, row: r}
+		for k := 0; k < naxes; k++ {
+			pw.axisPos[k] = append(pw.axisPos[k], tab.NumColumn(pc.axes[k])[r])
+		}
+		for d, rd := range j.Ranges {
+			if !rd.SelfOnly {
+				continue
+			}
+			lo, hi := evalDimBounds(&ctx, rd)
+			pw.boxLo[d] = append(pw.boxLo[d], lo)
+			pw.boxHi[d] = append(pw.boxHi[d], hi)
+		}
+	}
+
+	anchored := false
+	for d, rd := range j.Ranges {
+		if !rd.SelfOnly {
+			continue
+		}
+		best, bestSpan := -1, math.Inf(1)
+		var bestLo, bestHi float64
+		for k := 0; k < naxes; k++ {
+			rLo, rHi := plan.InteractionRadius(pw.axisPos[k], pw.boxLo[d], pw.boxHi[d])
+			if !plan.BoundedReach(rLo, rHi) {
+				continue
+			}
+			if span := rLo + rHi; span < bestSpan {
+				best, bestSpan = k, span
+				bestLo, bestHi = rLo, rHi
+			}
+		}
+		if best >= 0 {
+			site.reach[d] = dimReach{axis: best, lo: bestLo, hi: bestHi}
+			anchored = true
+		}
+	}
+	return anchored
+}
+
+// evalDimBounds evaluates one range dimension's probe interval for the
+// bound row — the per-dimension core of evalBox, shared semantics included:
+// a NaN bound collapses the interval to empty.
+func evalDimBounds(ctx *expr.Ctx, rd compile.RangeDim) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	nan := false
+	for _, f := range rd.Lo {
+		v := f(ctx).AsNumber()
+		if math.IsNaN(v) {
+			nan = true
+		}
+		if v > lo {
+			lo = v
+		}
+	}
+	for _, f := range rd.Hi {
+		v := f(ctx).AsNumber()
+		if math.IsNaN(v) {
+			nan = true
+		}
+		if v < hi {
+			hi = v
+		}
+	}
+	if nan {
+		lo, hi = math.Inf(1), math.Inf(-1)
+	}
+	return lo, hi
+}
+
+// fillSiteMembers rebuilds every partition's member view for a spatial
+// site in one pass over the source extent: a row joins each partition whose
+// ownership interval — the owners of every anchor position that could reach
+// it, computed with the layout's own monotone clamped-coordinate functions —
+// it intersects on all anchored dimensions. Returns the total ghost count
+// (members owned elsewhere).
+func (w *World) fillSiteMembers(site *siteRT, srcRT *classRT) int64 {
+	pw := w.parts
+	probeRT := w.classes[site.class]
+	layout := probeRT.prt.layout
+	srcAssign := srcRT.prt.assign
+	tab := srcRT.tab
+	j := site.step.Join
+
+	for i := range site.parts[:pw.n] {
+		pp := &site.parts[i]
+		pp.rowsBuf = pp.rowsBuf[:0]
+		pp.ghosts = 0
+	}
+	ghosts := int64(0)
+	alive := tab.AliveMask()
+	for r, ok := range alive {
+		if !ok {
+			continue
+		}
+		cxLo, cxHi := 0, layout.PX-1
+		cyLo, cyHi := 0, layout.PY-1
+		for d, rc := range site.reach {
+			if rc.axis < 0 {
+				continue
+			}
+			v := tab.NumColumn(j.Ranges[d].AttrIdx)[r]
+			// Anchors that can reach v lie in [v−reachHi, v+reachLo]; their
+			// owners are a contiguous clamped-coordinate interval.
+			if rc.axis == 0 {
+				if c := layout.CoordX(v - rc.hi); c > cxLo {
+					cxLo = c
+				}
+				if c := layout.CoordX(v + rc.lo); c < cxHi {
+					cxHi = c
+				}
+			} else {
+				if c := layout.CoordY(v - rc.hi); c > cyLo {
+					cyLo = c
+				}
+				if c := layout.CoordY(v + rc.lo); c < cyHi {
+					cyHi = c
+				}
+			}
+		}
+		for cy := cyLo; cy <= cyHi; cy++ {
+			for cx := cxLo; cx <= cxHi; cx++ {
+				p := layout.Part(cx, cy)
+				pp := &site.parts[p]
+				pp.rowsBuf = append(pp.rowsBuf, int32(r))
+				if srcAssign[r] != int32(p) {
+					pp.ghosts++
+					ghosts++
+				}
+			}
+		}
+	}
+	for i := range site.parts[:pw.n] {
+		pp := &site.parts[i]
+		pp.view = tab.ViewOf(pp.rowsBuf)
+	}
+	return ghosts
+}
+
+// buildPartIndex rebuilds one partition's index — over its member view for
+// spatial sites, over the whole extent for shared ones (the entry gather
+// may not shard there: several builds can be in flight on the pool).
+func (w *World) buildPartIndex(site *siteRT, pp *sitePart) {
+	srcRT := w.classes[site.step.SourceClass]
+	if site.shared {
+		w.buildSiteIndex(site, pp, srcRT, nil, false)
+		return
+	}
+	w.buildSiteIndex(site, pp, srcRT, pp.view.Rows(), false)
+}
+
+// fillMemberEntries materializes (id, row, coords) entries for a member
+// view, in view (= physical row) order.
+func fillMemberEntries(tab *table.Table, dims []int, rows []int32, entries []index.Entry, coords []float64) {
+	ids := tab.RawIDs()
+	d := len(dims)
+	for k, r := range rows {
+		c := coords[k*d : k*d+d : k*d+d]
+		for di, ai := range dims {
+			c[di] = tab.NumColumn(ai)[int(r)]
+		}
+		entries[k] = index.Entry{ID: ids[r], Row: r, Coords: c}
+	}
+}
+
+// buildPartsParallel fans the per-partition index rebuilds out across the
+// worker pool. Views are immutable by now; every build writes only its own
+// retained arena.
+func (w *World) buildPartsParallel(builds []partBuild) {
+	w.ensureWorkers()
+	nw := w.opts.Workers
+	if nw > len(builds) {
+		nw = len(builds)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= len(builds) {
+					return
+				}
+				w.buildPartIndex(builds[j].site, builds[j].pp)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// vecPhasePart is vecPhaseRange with the partition-ownership test folded
+// into the selection mask: one partition's masked kernel sweep over its
+// owned row span. Emissions are self-only and therefore row-disjoint across
+// partitions, so direct accumulator writes stay deterministic.
+func (w *World) vecPhasePart(rt *classRT, phase int, vp *vecPhase, lo, hi int, assign []int32, part int32) int {
+	v := rt.vec
+	mask := v.masks[0]
+	selected := 0
+	if rt.plan.NumPhases > 1 {
+		pcCol := rt.tab.NumColumn(rt.pcCol)
+		for r := lo; r < hi; r++ {
+			mask[r] = assign[r] == part && int(pcCol[r]) == phase
+			if mask[r] {
+				selected++
+			}
+		}
+	} else {
+		for r := lo; r < hi; r++ {
+			mask[r] = assign[r] == part
+			if mask[r] {
+				selected++
+			}
+		}
+	}
+	if selected > 0 {
+		w.execVecSteps(rt, vp.steps, mask, lo, hi, &v.machine, nil)
+	}
+	return selected
+}
+
+// runEffectPhasePartitioned executes the query/effect phase partition-at-a-
+// time: per class, the vectorized phases sweep each partition's span with an
+// ownership mask, then every partition's scalar row loop runs (fanned out
+// across the worker pool when Workers > 1) probing partition-local indexes
+// and staging emissions into its sink, and finally the sinks merge in
+// (partition, row) order — which is exactly ascending physical-row order,
+// the serial fold order.
+func (w *World) runEffectPhasePartitioned() {
+	pw := w.parts
+	track := !w.opts.DisableStats
+	for _, rt := range w.order {
+		if rt.plan.Decl.Run == nil || rt.tab.Len() == 0 {
+			continue
+		}
+		pc := rt.prt
+		capRows := rt.tab.Cap()
+		vecSel, _ := w.chooseEffectExec(rt, rt.phaseCounts())
+		if vecSel != nil {
+			w.prepareVecPhases(rt, vecSel, capRows)
+			vecRows := int64(0)
+			for p := 0; p < pw.n; p++ {
+				lo, hi := pc.span(p, capRows)
+				if lo >= hi {
+					continue
+				}
+				sel := 0
+				for ph, on := range vecSel {
+					if on {
+						sel += w.vecPhasePart(rt, ph, rt.vec.phases[ph], lo, hi, pc.assign, int32(p))
+					}
+				}
+				pw.loads[p] += int64(sel)
+				vecRows += int64(sel)
+			}
+			if track {
+				w.execStats.VectorRows += vecRows
+			}
+		}
+
+		for _, s := range pw.sinks {
+			s.reset()
+		}
+		runPart := func(p int) {
+			sink := pw.sinks[p]
+			x := newExecCtx(w, sink, rt.plan.NumSlots)
+			x.part = int32(p)
+			tab := rt.tab
+			lo, hi := pc.span(p, capRows)
+			scalarRows := int64(0)
+			for r := lo; r < hi; r++ {
+				if pc.assign[r] != int32(p) {
+					continue
+				}
+				pcv := int(tab.At(r, rt.pcCol).AsNumber())
+				if vecSel != nil && vecSel[pcv] {
+					continue
+				}
+				steps := rt.plan.Phases[pcv]
+				if len(steps) == 0 {
+					continue
+				}
+				sink.curRow = int32(r)
+				x.bindRow(rt, r)
+				x.runSteps(steps)
+				scalarRows++
+			}
+			atomic.AddInt64(&pw.loads[p], scalarRows+x.joinMatches)
+			if track {
+				atomic.AddInt64(&w.execStats.ScalarRows, scalarRows)
+			}
+			x.flushJoinStats()
+		}
+		w.runParts(runPart)
+		w.mergePartSinks(track)
+	}
+}
+
+// runParts dispatches fn(p) for every partition, across the worker pool
+// when it pays (per-partition sinks make the result order-independent of
+// scheduling). Tracing keeps the loop serial so hooks fire in (partition,
+// row) order.
+func (w *World) runParts(fn func(p int)) {
+	pw := w.parts
+	nw := w.opts.Workers
+	if nw > pw.n {
+		nw = pw.n
+	}
+	if nw <= 1 || w.tracer != nil {
+		for p := 0; p < pw.n; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(atomic.AddInt64(&next, 1)) - 1
+				if p >= pw.n {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeByRow runs the k-way merge shared by effects and transactions:
+// every sink's stream is sorted by source row (rows(si)), rows are unique
+// across sinks (each row is owned by exactly one partition), and apply is
+// invoked in globally ascending row order — exactly the (partition, row)
+// order, which is the serial row loop's order.
+func (w *World) mergeByRow(rows func(si int) []int32, apply func(si, i int)) {
+	pw := w.parts
+	idx := pw.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best, bestRow := -1, int32(0)
+		for si := range pw.sinks {
+			if rs := rows(si); idx[si] < len(rs) {
+				if r := rs[idx[si]]; best < 0 || r < bestRow {
+					best, bestRow = si, r
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		rs := rows(best)
+		for idx[best] < len(rs) && rs[idx[best]] == bestRow {
+			apply(best, idx[best])
+			idx[best]++
+		}
+	}
+}
+
+// mergePartSinks folds the per-partition sinks into the world's effect
+// buffers and transaction list in ascending source-row order, replaying
+// exactly the emission order of the serial row loop. Emissions whose target
+// row is owned by a different partition than their source row count as
+// cross-partition effect messages.
+func (w *World) mergePartSinks(track bool) {
+	pw := w.parts
+	w.mergeByRow(
+		func(si int) []int32 { return pw.sinks[si].rows },
+		func(si, i int) {
+			e := pw.sinks[si].ems[i]
+			rt := w.classes[e.Class]
+			row := rt.tab.Row(e.Target)
+			if row < 0 {
+				return // dangling target: contribution is dropped
+			}
+			rt.fx[e.AttrIdx].add(row, e.Val, e.Key)
+			if track && rt.prt.assign[row] != int32(si) {
+				w.execStats.PartMsgsEffect++
+				w.execStats.PartBytes += cluster.BytesPerEffect
+			}
+		})
+	// Transactions merge the same way, so admission sees them in the serial
+	// collection order.
+	w.mergeByRow(
+		func(si int) []int32 { return pw.sinks[si].txnRows },
+		func(si, i int) { w.txns = append(w.txns, pw.sinks[si].txns[i]) })
+}
+
+// runHandlersPartitioned evaluates reactive handlers partition-at-a-time
+// with the same sink staging and (partition, row)-ordered merge as the
+// effect phase. Handler accum sites are always shared (they probe
+// post-update state), so partition contexts resolve parts[0].
+func (w *World) runHandlersPartitioned() {
+	pw := w.parts
+	track := !w.opts.DisableStats
+	for _, rt := range w.order {
+		if len(rt.plan.Handlers) == 0 || rt.tab.Len() == 0 {
+			continue
+		}
+		pc := rt.prt
+		capRows := rt.tab.Cap()
+		for _, s := range pw.sinks {
+			s.reset()
+		}
+		runPart := func(p int) {
+			sink := pw.sinks[p]
+			x := newExecCtx(w, sink, rt.plan.NumSlots)
+			x.part = int32(p)
+			lo, hi := pc.span(p, capRows)
+			rows := int64(0)
+			for r := lo; r < hi; r++ {
+				if pc.assign[r] != int32(p) {
+					continue
+				}
+				sink.curRow = int32(r)
+				x.bindRow(rt, r)
+				for _, h := range rt.plan.Handlers {
+					if h.Cond(&x.ctx).AsBool() {
+						x.runSteps(h.Body)
+					}
+				}
+				rows++
+			}
+			atomic.AddInt64(&pw.loads[p], rows)
+			if track {
+				atomic.AddInt64(&w.execStats.HandlerRows, rows)
+			}
+			x.flushJoinStats()
+		}
+		w.runParts(runPart)
+		w.mergePartSinks(track)
+	}
+}
+
+// foldPartitionLoads closes the tick's load-balance accounting.
+func (w *World) foldPartitionLoads() {
+	if w.opts.DisableStats {
+		return
+	}
+	pw := w.parts
+	maxLoad, sum := int64(0), int64(0)
+	for _, l := range pw.loads {
+		sum += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	w.execStats.PartLoadMax += maxLoad
+	w.execStats.PartLoadSum += sum
+}
+
+// Partitions returns the configured partition count (0 = partitioned
+// execution disabled).
+func (w *World) Partitions() int {
+	if w.parts == nil {
+		return 0
+	}
+	return w.parts.n
+}
+
+// PartitionIndexBytes estimates each partition's resident accum-index
+// memory — the §4.2 partitioned index memory question, measured from the
+// engine's real per-tick indexes. Shared (whole-world fallback) indexes are
+// charged to every partition: under shared-nothing execution each node
+// would hold a full replica.
+func (w *World) PartitionIndexBytes() []int64 {
+	if w.parts == nil {
+		return nil
+	}
+	out := make([]int64, w.parts.n)
+	for _, site := range w.sites {
+		if site.shared {
+			b := site.parts[0].indexBytes()
+			for p := range out {
+				out[p] += b
+			}
+			continue
+		}
+		for p := 0; p < w.parts.n && p < len(site.parts); p++ {
+			out[p] += site.parts[p].indexBytes()
+		}
+	}
+	return out
+}
+
+func (pp *sitePart) indexBytes() int64 {
+	if !pp.builtOK {
+		return 0
+	}
+	b := int64(0)
+	if pp.tree != nil {
+		b += int64(pp.tree.EstimatedBytes())
+	}
+	if pp.hash != nil {
+		b += int64(pp.hash.EstimatedBytes())
+	}
+	return b
+}
+
+// SiteReach describes one accum site's derived interaction radius — the
+// per-class-pair answer to "how far can a probe reach", as used for ghost
+// margins. Valid after at least one partitioned tick.
+type SiteReach struct {
+	Class  string // probing class
+	Source string // iterated class
+	Phase  int
+	Shared bool // whole-world fallback (unbounded, handler, hash layout, …)
+	Dims   []SiteReachDim
+}
+
+// SiteReachDim is one range dimension's reach around its anchor axis.
+type SiteReachDim struct {
+	Attr     string // source attribute the dimension bounds
+	Axis     string // probing-class position attribute anchoring it
+	Lo, Hi   float64
+	Anchored bool
+}
+
+// InteractionRadii reports every accum site's derived reach (per probing/
+// source class pair) from the last prepared tick.
+func (w *World) InteractionRadii() []SiteReach {
+	if w.parts == nil {
+		return nil
+	}
+	var out []SiteReach
+	for _, site := range w.sites {
+		sr := SiteReach{Class: site.class, Source: site.step.SourceClass, Phase: site.phase, Shared: site.shared}
+		if j := site.step.Join; j != nil {
+			srcRT := w.classes[site.step.SourceClass]
+			probeRT := w.classes[site.class]
+			for d, rd := range j.Ranges {
+				dim := SiteReachDim{Attr: srcRT.cls.State[rd.AttrIdx].Name}
+				if d < len(site.reach) && site.reach[d].axis >= 0 {
+					rc := site.reach[d]
+					dim.Anchored = true
+					dim.Axis = probeRT.cls.State[probeRT.prt.axes[rc.axis]].Name
+					dim.Lo, dim.Hi = rc.lo, rc.hi
+				}
+				sr.Dims = append(sr.Dims, dim)
+			}
+		}
+		out = append(out, sr)
+	}
+	return out
+}

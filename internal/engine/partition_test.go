@@ -1,0 +1,462 @@
+package engine_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func flockWorldFor(t *testing.T, n int, opts engine.Options) *engine.World {
+	t.Helper()
+	sc, err := core.LoadScenario("flock", core.SrcFlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.PopulateBoids(w, workload.Uniform(n, 900, 900, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func carWorldFor(t *testing.T, n int, opts engine.Options) *engine.World {
+	t.Helper()
+	sc, err := core.LoadScenario("traffic-prox", core.SrcTraffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := workload.TrafficNetwork{W: 4000, H: 4000, Roads: 40, Speed: 3}
+	if _, err := core.PopulateCars(w, net.Vehicles(n, 9)); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+var (
+	boidAttrs = []string{"x", "y", "vx", "vy", "sight"}
+	carAttrs  = []string{"x", "y", "dx", "dy", "speed", "slow"}
+)
+
+// TestPartitionMatrixDifferential is the acceptance guard for shared-
+// nothing partitioned execution: Partitions ∈ {1, 2, 4} × layout ∈ {grid,
+// stripes} × Workers ∈ {1, 4} over the traffic (vectorized phases, no
+// joins), headway-join traffic and flock (three range joins per boid per
+// tick) scenarios, with spawn/kill churn and continuous movement driving
+// boundary-crossing migrations — every configuration must end bit-identical
+// to the single-partition run. This is the same bar PR 2 set for the
+// Workers×Exec axes and PR 3 for the Join axis.
+func TestPartitionMatrixDifferential(t *testing.T) {
+	type cfg struct {
+		parts   int
+		strat   plan.PartitionStrategy
+		workers int
+	}
+	var cfgs []cfg
+	for _, p := range []int{1, 2, 4} {
+		for _, s := range []plan.PartitionStrategy{plan.PartitionGrid, plan.PartitionStripes} {
+			for _, wk := range []int{1, 4} {
+				cfgs = append(cfgs, cfg{p, s, wk})
+			}
+		}
+	}
+	scenarios := []struct {
+		name  string
+		class string
+		attrs []string
+		n     int
+		ticks int
+		build func(t *testing.T, n int, opts engine.Options) *engine.World
+		spawn func(w *engine.World, i int) (value.ID, error)
+	}{
+		{
+			name: "traffic", class: "Vehicle", attrs: vehicleAttrs, n: 2000, ticks: 5,
+			build: trafficWorld,
+			spawn: func(w *engine.World, i int) (value.ID, error) {
+				return w.Spawn("Vehicle", map[string]value.Value{
+					"x": value.Num(float64(i%97) * 40), "y": value.Num(float64(i%89) * 40),
+					"dx": value.Num(1), "speed": value.Num(float64(2 + i%4)),
+					"fuel": value.Num(float64(300 + i%57)),
+				})
+			},
+		},
+		{
+			name: "traffic-prox", class: "Car", attrs: carAttrs, n: 1500, ticks: 4,
+			build: carWorldFor,
+			spawn: func(w *engine.World, i int) (value.ID, error) {
+				return w.Spawn("Car", map[string]value.Value{
+					"x": value.Num(float64(i%83) * 48), "y": value.Num(float64(i%79) * 50),
+					"dx": value.Num(1), "speed": value.Num(float64(2 + i%3)),
+				})
+			},
+		},
+		{
+			name: "flock", class: "Boid", attrs: boidAttrs, n: 1200, ticks: 4,
+			build: flockWorldFor,
+			spawn: func(w *engine.World, i int) (value.ID, error) {
+				return w.Spawn("Boid", map[string]value.Value{
+					"x": value.Num(float64(i%59) * 15), "y": value.Num(float64(i%53) * 17),
+					"vx": value.Num(1), "vy": value.Num(-0.5),
+				})
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			worlds := make([]*engine.World, len(cfgs))
+			for i, c := range cfgs {
+				worlds[i] = sc.build(t, sc.n, engine.Options{
+					Partitions: c.parts, Partition: c.strat, Workers: c.workers,
+				})
+			}
+			ref := worlds[0] // Partitions=1
+			live := append([]value.ID(nil), ref.IDs(sc.class)...)
+			rng := rand.New(rand.NewSource(13))
+			for tick := 0; tick < sc.ticks; tick++ {
+				// Churn: kill a random live object and spawn a fresh one
+				// identically in every world (ids stay aligned because
+				// spawn order is identical).
+				if len(live) > 20 {
+					k := rng.Intn(len(live))
+					for _, w := range worlds {
+						if err := w.Kill(sc.class, live[k]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					live = append(live[:k], live[k+1:]...)
+				}
+				var nid value.ID
+				for wi, w := range worlds {
+					id, err := sc.spawn(w, tick*37)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wi == 0 {
+						nid = id
+					} else if id != nid {
+						t.Fatalf("id drift: %d vs %d", id, nid)
+					}
+				}
+				live = append(live, nid)
+				for wi, w := range worlds {
+					if err := w.RunTick(); err != nil {
+						t.Fatalf("cfg %+v tick %d: %v", cfgs[wi], tick, err)
+					}
+				}
+			}
+			for wi := 1; wi < len(worlds); wi++ {
+				if d := diffClassWorlds(ref, worlds[wi], sc.class, sc.attrs, live); d != "" {
+					t.Fatalf("cfg %+v diverged from Partitions=1: %s", cfgs[wi], d)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionedMatchesUnpartitionedTraffic ties the partitioned executor
+// back to the plain engine: on the join-free traffic scenario every fold is
+// exact, so partitioned execution must be bit-identical to the
+// unpartitioned world too, not just to Partitions=1.
+func TestPartitionedMatchesUnpartitionedTraffic(t *testing.T) {
+	const n, ticks = 2000, 5
+	plain := trafficWorld(t, n, engine.Options{})
+	parted := trafficWorld(t, n, engine.Options{Partitions: 4})
+	for _, w := range []*engine.World{plain, parted} {
+		if err := w.Run(ticks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := diffClassWorlds(plain, parted, "Vehicle", vehicleAttrs, plain.IDs("Vehicle")); d != "" {
+		t.Fatal(d)
+	}
+	if parted.Partitions() != 4 || plain.Partitions() != 0 {
+		t.Fatalf("Partitions() = %d / %d", parted.Partitions(), plain.Partitions())
+	}
+}
+
+// TestPartitionCounters pins the §4.2 accounting: spatial partitioning of a
+// moving join workload must report ghost replicas, boundary migrations, a
+// sane imbalance ratio and per-partition index memory — and the hash
+// strawman must replicate everything everywhere.
+func TestPartitionCounters(t *testing.T) {
+	const n, parts, ticks = 1500, 4, 4
+	w := flockWorldFor(t, n, engine.Options{Partitions: parts, Partition: plan.PartitionStripes})
+	if err := w.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	st := w.ExecStats()
+	if st.GhostRows == 0 {
+		t.Fatal("spatial partitioning of flock reported no ghost rows")
+	}
+	if st.MigratedRows == 0 {
+		t.Fatal("moving boids never migrated across stripe boundaries")
+	}
+	if st.PartMsgsGhost == 0 {
+		t.Fatal("index rebuilds sent no ghost refresh messages")
+	}
+	if st.PartBytes == 0 {
+		t.Fatal("messages carried no modeled bytes")
+	}
+	if imb := st.PartImbalance(parts); imb < 1 || imb > float64(parts) {
+		t.Fatalf("imbalance %v outside [1, parts]", imb)
+	}
+	ib := w.PartitionIndexBytes()
+	if len(ib) != parts {
+		t.Fatalf("PartitionIndexBytes len %d, want %d", len(ib), parts)
+	}
+	tot := int64(0)
+	for _, b := range ib {
+		if b <= 0 {
+			t.Fatalf("partition index bytes = %v", ib)
+		}
+		tot += b
+	}
+
+	// The hash layout must replicate every boid to every other partition,
+	// per site, per tick — and keep one full-size shared index.
+	h := flockWorldFor(t, n, engine.Options{Partitions: parts, Partition: plan.PartitionHash})
+	if err := h.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	hst := h.ExecStats()
+	const sites = 3 // flock runs three accum joins
+	want := int64(parts-1) * int64(n) * sites * ticks
+	if hst.GhostRows < want {
+		t.Fatalf("hash ghost rows %d, want >= %d (full replication)", hst.GhostRows, want)
+	}
+	if hst.GhostRows <= st.GhostRows*10 {
+		t.Fatalf("hash replication (%d) must dwarf spatial ghosts (%d)", hst.GhostRows, st.GhostRows)
+	}
+
+	// DisableStats silences the partition counters like every other counter.
+	off := flockWorldFor(t, n, engine.Options{Partitions: parts, DisableStats: true})
+	if err := off.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if c := off.ExecStats(); c.PartMessages() != 0 || c.GhostRows != 0 || c.MigratedRows != 0 ||
+		c.PartLoadSum != 0 || c.PartBytes != 0 {
+		t.Fatalf("DisableStats leaked partition counters: %+v", c)
+	}
+}
+
+// TestInteractionRadiiExposed pins the derived per-class-pair interaction
+// radius: flock's ±sight box must anchor both dimensions at the maximum
+// sight (20), and an accum with a one-sided (unbounded) range conjunct must
+// fall back to a shared whole-world site.
+func TestInteractionRadiiExposed(t *testing.T) {
+	w := flockWorldFor(t, 800, engine.Options{Partitions: 4})
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	radii := w.InteractionRadii()
+	if len(radii) != 3 {
+		t.Fatalf("flock has 3 sites, got %d", len(radii))
+	}
+	for _, sr := range radii {
+		if sr.Class != "Boid" || sr.Source != "Boid" {
+			t.Fatalf("site pair %s->%s", sr.Class, sr.Source)
+		}
+		if sr.Shared {
+			t.Fatalf("bounded flock site classified shared: %+v", sr)
+		}
+		if len(sr.Dims) != 2 {
+			t.Fatalf("dims: %+v", sr.Dims)
+		}
+		for _, d := range sr.Dims {
+			if !d.Anchored || d.Attr != d.Axis {
+				t.Fatalf("dim not anchored to its own axis: %+v", d)
+			}
+			if math.Abs(d.Lo-20) > 1e-9 || math.Abs(d.Hi-20) > 1e-9 {
+				t.Fatalf("sight reach = %v/%v, want 20/20", d.Lo, d.Hi)
+			}
+		}
+	}
+
+	// One-sided predicate: `u.x >= x - 5` has no upper bound, so the reach
+	// is unbounded and the site must fall back to whole-world replication.
+	const unboundedSrc = `
+class P {
+  state:
+    number x = 0;
+    number v = 1;
+  effects:
+    number s : sum;
+  update:
+    x = x + 1;
+  run {
+    accum number c with sum over P u from P {
+      if (u.x >= x - 5) {
+        c <- u.v;
+      }
+    } in {
+      s <- c;
+    }
+  }
+}
+`
+	sc, err := core.LoadScenario("unbounded", unboundedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uw, err := sc.NewWorld(engine.Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := uw.Spawn("P", map[string]value.Value{"x": value.Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := uw.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	ur := uw.InteractionRadii()
+	if len(ur) != 1 || !ur[0].Shared {
+		t.Fatalf("unbounded site must be shared: %+v", ur)
+	}
+	if st := uw.ExecStats(); st.GhostRows == 0 {
+		t.Fatal("shared fallback must account full replication")
+	}
+}
+
+// TestPartitionByOption covers the explicit axis designation and its
+// validation.
+func TestPartitionByOption(t *testing.T) {
+	sc, err := core.LoadScenario("flock", core.SrcFlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.NewWorld(engine.Options{Partitions: 2, PartitionBy: map[string][]string{"Nope": {"x"}}}); err == nil {
+		t.Fatal("unknown class must be rejected")
+	}
+	if _, err := sc.NewWorld(engine.Options{Partitions: 2, PartitionBy: map[string][]string{"Boid": {"zap"}}}); err == nil {
+		t.Fatal("unknown attribute must be rejected")
+	}
+	if _, err := sc.NewWorld(engine.Options{Partitions: 2, PartitionBy: map[string][]string{"Boid": {}}}); err == nil {
+		t.Fatal("empty axis list must be rejected")
+	}
+	// Partitioning on a single explicit axis must still be bit-identical.
+	a := flockWorldFor(t, 600, engine.Options{Partitions: 1})
+	b := flockWorldFor(t, 600, engine.Options{Partitions: 3, PartitionBy: map[string][]string{"Boid": {"y"}}})
+	for _, w := range []*engine.World{a, b} {
+		if err := w.Run(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := diffClassWorlds(a, b, "Boid", boidAttrs, a.IDs("Boid")); d != "" {
+		t.Fatal(d)
+	}
+}
+
+// TestSpatialToSharedFlipRebuilds pins the stale-index hazard on a
+// spatial→shared site transition: tick 1 builds partition-local
+// member-scoped indexes; a NaN anchor then forces the whole-world fallback
+// while the source class's columns are completely unchanged — the
+// maintenance ladder must NOT reuse the member-scoped index for
+// whole-extent probes (it only covers one partition's neighborhood), it
+// must rebuild over the full extent.
+func TestSpatialToSharedFlipRebuilds(t *testing.T) {
+	const src = `
+class S {
+  state:
+    number sx = 0;
+    number v = 1;
+}
+class C {
+  state:
+    number x = 0;
+    number tx = 0;
+    number o = 0;
+  effects:
+    number out : sum;
+  update:
+    o = out;
+  run {
+    accum number c with sum over S u from S {
+      if (u.sx >= tx - 5 && u.sx <= tx + 5) {
+        c <- u.v;
+      }
+    } in {
+      out <- c;
+    }
+  }
+}
+`
+	sc, err := core.LoadScenario("flip", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(engine.Options{
+		Partitions: 2, Partition: plan.PartitionStripes,
+		Strategy:    plan.RangeTreeIndex,
+		PartitionBy: map[string][]string{"C": {"x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := w.Spawn("S", map[string]value.Value{"sx": value.Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var probes []value.ID
+	for _, x := range []float64{10, 48, 52, 90} {
+		id, err := w.Spawn("C", map[string]value.Value{"x": value.Num(x), "tx": value.Num(x)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, id)
+	}
+	check := func(tag string) {
+		t.Helper()
+		for _, id := range probes {
+			// Each probe sees 11 source rows (tx±5 over integer sx).
+			if got := w.MustGet("C", id, "o").AsNumber(); got != 11 {
+				t.Fatalf("%s: probe %d counted %v, want 11", tag, id, got)
+			}
+		}
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	check("spatial tick")
+	// Poison one anchor: the probe box (tx±5) stays valid but has no
+	// relation to the partition axis any more, so the site must fall back
+	// to a shared whole-extent index — S's columns never changed, which is
+	// exactly what made the stale member-scoped reuse possible.
+	if err := w.SetState("C", probes[0], "x", value.Num(math.NaN())); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	check("shared tick")
+	radii := w.InteractionRadii()
+	if len(radii) != 1 || !radii[0].Shared {
+		t.Fatalf("site must have fallen back to shared: %+v", radii)
+	}
+	// And back: restoring the anchor must restore spatial ghosting (the
+	// shared pass overwrote the member views, so they must refill).
+	if err := w.SetState("C", probes[0], "x", value.Num(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	check("respatialized tick")
+	if radii = w.InteractionRadii(); radii[0].Shared {
+		t.Fatalf("site must be spatial again: %+v", radii)
+	}
+}

@@ -30,13 +30,17 @@ func (w *World) RunTick() error {
 	}
 	w.prepareSites()
 
-	// (2) Query/effect phase. The parallel path composes both execution
-	// axes (sharded batch kernels + sharded scalar rows); small extents
-	// still run inline there, so the cost model — not the option alone —
-	// decides the actual fan-out per class.
-	if w.parallelOK() {
+	// (2) Query/effect phase. Partitioned worlds run partition-at-a-time
+	// (partitions fan out across the pool; see partition.go); otherwise the
+	// parallel path composes both execution axes (sharded batch kernels +
+	// sharded scalar rows), with small extents still running inline — the
+	// cost model, not the option alone, decides the actual fan-out.
+	switch {
+	case w.parts != nil:
+		w.runEffectPhasePartitioned()
+	case w.parallelOK():
 		w.runEffectPhaseParallel()
-	} else {
+	default:
 		w.runEffectPhaseSerial()
 	}
 
@@ -69,6 +73,9 @@ func (w *World) RunTick() error {
 	w.runHandlers()
 
 	// (7) Tick boundary.
+	if w.parts != nil {
+		w.foldPartitionLoads()
+	}
 	w.inTick = false
 	w.applyPending()
 	for _, site := range w.sites {

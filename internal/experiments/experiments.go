@@ -12,7 +12,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/index"
@@ -450,65 +449,84 @@ func E10(sizes []int) Table {
 	return t
 }
 
-// E11 runs the shared-nothing cluster simulation (§4.2): messages, load
-// balance and modeled tick latency under spatial vs hash partitioning.
+// partitionedTrafficWorld builds the SrcTraffic car scenario with the real
+// engine in partitioned mode, spawned stripe-major so each partition's rows
+// stay in a contiguous span — the shared fixture of E11/E12/E16.
+func partitionedTrafficWorld(cars, parts int, strat plan.PartitionStrategy, seed int64) (*engine.World, error) {
+	net := workload.TrafficNetwork{W: 4000, H: 4000, Roads: 60, Speed: 3}
+	ents := net.Vehicles(cars, seed)
+	core.SortEntitiesByStripe(ents, parts, net.W)
+	sc, err := core.LoadScenario("traffic-prox", core.SrcTraffic)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sc.NewWorld(engine.Options{Partitions: parts, Partition: strat})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.PopulateCars(w, ents); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// E11 measures shared-nothing partitioned execution (§4.2) on the real
+// engine: per-tick cross-partition messages (ghost refreshes + foreign
+// effects + migrations), resident ghost replicas and load balance, under
+// spatial versus hash partitioning of the headway-join traffic workload.
+// Earlier revisions answered this with a standalone simulator; these
+// numbers now come from the engine's own partition executor.
 func E11(vehicles int, nodes []int, ticks int) (Table, error) {
 	t := Table{
 		ID:     "E11",
-		Title:  fmt.Sprintf("cluster partitioning (traffic, %d vehicles)", vehicles),
-		Header: []string{"nodes", "partition", "msgs/tick", "ghosts", "imbalance", "tick (model ms)"},
-		Notes:  "spatial (strip) partitioning keeps neighbors co-located; hash replicates everything",
+		Title:  fmt.Sprintf("partitioned execution: messages and balance (traffic, %d cars)", vehicles),
+		Header: []string{"parts", "partition", "msgs/tick", "ghost rows/tick", "migr/tick", "imbalance", "ms/tick"},
+		Notes:  "real engine ticks; spatial partitioning keeps neighbors partition-local, hash replicates everything (§4.2)",
 	}
-	net := workload.TrafficNetwork{W: 4000, H: 4000, Roads: 60, Speed: 3}
 	for _, k := range nodes {
-		for _, part := range []cluster.Partitioner{
-			cluster.StripPartitioner{N: k, MinX: 0, MaxX: 4000},
-			cluster.HashPartitioner{N: k},
-		} {
-			sim, err := cluster.New(cluster.Config{
-				Part:           part,
-				InteractRadius: 12,
-			}, net.Vehicles(vehicles, 21))
+		for _, strat := range []plan.PartitionStrategy{plan.PartitionStripes, plan.PartitionHash} {
+			w, err := partitionedTrafficWorld(vehicles, k, strat, 21)
 			if err != nil {
 				return t, err
 			}
-			var msv []cluster.TickMetrics
-			for i := 0; i < ticks; i++ {
-				msv = append(msv, sim.Step())
+			d, err := tickTime(w.RunTick, ticks)
+			if err != nil {
+				return t, err
 			}
-			m := cluster.AggregateMetrics(msv)
+			st := w.ExecStats()
+			n := int64(ticks)
 			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(k), part.Name(),
-				fmt.Sprint(m.Messages), fmt.Sprint(m.GhostCount),
-				fmt.Sprintf("%.2f", m.Imbalance),
-				fmt.Sprintf("%.2f", m.TickUS/1000),
+				fmt.Sprint(k), strat.String(),
+				fmt.Sprint(st.PartMessages() / n), fmt.Sprint(st.GhostRows / n),
+				fmt.Sprint(st.MigratedRows / n),
+				fmt.Sprintf("%.2f", st.PartImbalance(k)),
+				ms(d),
 			})
 		}
 	}
 	return t, nil
 }
 
-// E12 reports per-node partitioned index memory (§4.2).
+// E12 reports per-partition accum-index memory (§4.2), measured from the
+// engine's real per-tick partition indexes.
 func E12(vehicles int, nodes []int) (Table, error) {
 	t := Table{
 		ID:     "E12",
-		Title:  fmt.Sprintf("partitioned range-index memory (traffic, %d vehicles)", vehicles),
-		Header: []string{"nodes", "max node MB", "total MB", "single-node MB"},
-		Notes:  "spatial partitioning divides both n and the log factor",
+		Title:  fmt.Sprintf("partitioned index memory (traffic, %d cars)", vehicles),
+		Header: []string{"parts", "max part MB", "total MB", "single-part MB"},
+		Notes:  "spatial partitioning divides both n and the log factor; totals include ghost replicas",
 	}
-	net := workload.TrafficNetwork{W: 4000, H: 4000, Roads: 60, Speed: 3}
 	single := 0.0
 	for i, k := range nodes {
-		sim, err := cluster.New(cluster.Config{
-			Part:           cluster.StripPartitioner{N: k, MinX: 0, MaxX: 4000},
-			InteractRadius: 12,
-		}, net.Vehicles(vehicles, 33))
+		w, err := partitionedTrafficWorld(vehicles, k, plan.PartitionStripes, 33)
 		if err != nil {
 			return t, err
 		}
-		m := sim.Step()
-		maxB, totB := 0, 0
-		for _, b := range m.IndexBytesPN {
+		if err := w.RunTick(); err != nil {
+			return t, err
+		}
+		maxB, totB := int64(0), int64(0)
+		for _, b := range w.PartitionIndexBytes() {
 			totB += b
 			if b > maxB {
 				maxB = b

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// E16 measures partition scaling of the real engine (§4.2): ticks/sec and
+// cross-partition messages per tick versus partition count on the
+// headway-join traffic workload at large object counts. The message and
+// ghost columns are the paper's open §4.2 questions answered from the
+// engine's own counters; the wall-clock column is single-process (every
+// partition runs in one address space — on this repo's 1-CPU containers
+// partitioning cannot speed ticks up, it bounds the per-partition work and
+// communication a multi-process deployment would see).
+func E16(cars int, parts []int, ticks int) (Table, error) {
+	t := Table{
+		ID:     "E16",
+		Title:  fmt.Sprintf("partition scaling (traffic, %d cars)", cars),
+		Header: []string{"parts", "ms/tick", "ticks/sec", "msgs/tick", "ghost rows/tick", "migr/tick", "imbalance", "max part index MB"},
+		Notes:  "real partitioned engine, stripes layout; msgs = ghost refresh + foreign effects + migrations; any partition count is bit-identical to parts=1",
+	}
+	for _, k := range parts {
+		w, err := partitionedTrafficWorld(cars, k, plan.PartitionAuto, 17)
+		if err != nil {
+			return t, err
+		}
+		d, err := tickTime(w.RunTick, ticks)
+		if err != nil {
+			return t, err
+		}
+		st := w.ExecStats()
+		n := int64(ticks)
+		maxIdx := int64(0)
+		for _, b := range w.PartitionIndexBytes() {
+			if b > maxIdx {
+				maxIdx = b
+			}
+		}
+		tps := 0.0
+		if d > 0 {
+			tps = float64(time.Second) / float64(d)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k), ms(d), fmt.Sprintf("%.1f", tps),
+			fmt.Sprint(st.PartMessages() / n),
+			fmt.Sprint(st.GhostRows / n),
+			fmt.Sprint(st.MigratedRows / n),
+			fmt.Sprintf("%.2f", st.PartImbalance(k)),
+			fmt.Sprintf("%.1f", float64(maxIdx)/(1<<20)),
+		})
+	}
+	return t, nil
+}

@@ -149,11 +149,16 @@ func TestE11E12Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Row 0 = strip, row 1 = hash at 4 nodes.
-	strip := num(t, cell(t, tbl, 0, 2))
+	// Row 0 = stripes, row 1 = hash at 4 partitions — both measured from
+	// the real partitioned engine now.
+	stripes := num(t, cell(t, tbl, 0, 2))
 	hash := num(t, cell(t, tbl, 1, 2))
-	if strip >= hash {
-		t.Errorf("strip msgs (%v) must be below hash (%v)", strip, hash)
+	if stripes >= hash {
+		t.Errorf("stripes msgs (%v) must be below hash (%v)", stripes, hash)
+	}
+	// Hash replicates everything: at least (parts-1)·n ghost rows per tick.
+	if g := num(t, cell(t, tbl, 1, 3)); g < 3*3000 {
+		t.Errorf("hash ghost rows/tick = %v, want full replication", g)
 	}
 	t12, err := E12(3000, []int{1, 4})
 	if err != nil {
@@ -162,7 +167,30 @@ func TestE11E12Shape(t *testing.T) {
 	one := num(t, cell(t, t12, 0, 1))
 	four := num(t, cell(t, t12, 1, 1))
 	if four >= one {
-		t.Errorf("partitioned max-node MB (%v) must be below single node (%v)", four, one)
+		t.Errorf("partitioned max-part MB (%v) must be below single partition (%v)", four, one)
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	tbl, err := E16(3000, []int{1, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// parts=1 sends nothing; parts=4 must report cross-partition traffic
+	// and positive tick times.
+	if m := num(t, cell(t, tbl, 0, 3)); m != 0 {
+		t.Errorf("single partition sent %v msgs/tick", m)
+	}
+	if m := num(t, cell(t, tbl, 1, 3)); m <= 0 {
+		t.Errorf("4 partitions sent %v msgs/tick, want > 0", m)
+	}
+	for row := 0; row < 2; row++ {
+		if v := num(t, cell(t, tbl, row, 1)); v <= 0 {
+			t.Errorf("row %d: non-positive ms/tick %v", row, v)
+		}
 	}
 }
 

@@ -120,6 +120,15 @@ func (h *RowHash) Lookup(key uint64) ([]value.ID, []int32) {
 // Len returns the number of inserted entries.
 func (h *RowHash) Len() int { return h.n }
 
+// EstimatedBytes approximates resident memory — the per-partition index
+// memory accounting of §4.2, alongside RangeTree.EstimatedBytes and
+// Grid.EstimatedBytes.
+func (h *RowHash) EstimatedBytes() int {
+	const entrySize = 8 + 4 // id + row
+	const bucketOverhead = 64
+	return h.n*entrySize + len(h.buckets)*bucketOverhead
+}
+
 // Sorted is a one-dimensional sorted index supporting range lookups, used
 // for single-attribute band predicates.
 type Sorted struct {

@@ -251,3 +251,21 @@ func TestIndexEquivalenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSortRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 13, 100, 5000} {
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(rng.Intn(n*2 + 1))
+		}
+		want := append([]int32(nil), rows...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		SortRows(rows)
+		for i := range rows {
+			if rows[i] != want[i] {
+				t.Fatalf("n=%d: rows[%d]=%d want %d", n, i, rows[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package index
+
+// SortRows orders physical row indexes ascending in place. The partitioned
+// join executor canonicalizes every candidate set to physical-row order
+// before running match bodies, so the fold order — and therefore the bit
+// pattern of ⊕-combined floats — is independent of which partition index
+// (and which physical strategy's traversal order) produced the candidates.
+// Hand-rolled for the same reason as sortEntries: sort.Slice allocates its
+// closure on every probe.
+func SortRows(rows []int32) {
+	for len(rows) > 12 {
+		// Median-of-three pivot moved to the front; Hoare partition.
+		m := len(rows) / 2
+		hi := len(rows) - 1
+		if rows[m] < rows[0] {
+			rows[m], rows[0] = rows[0], rows[m]
+		}
+		if rows[hi] < rows[0] {
+			rows[hi], rows[0] = rows[0], rows[hi]
+		}
+		if rows[hi] < rows[m] {
+			rows[hi], rows[m] = rows[m], rows[hi]
+		}
+		rows[0], rows[m] = rows[m], rows[0]
+		p := rows[0]
+		i, j := -1, len(rows)
+		for {
+			for {
+				i++
+				if rows[i] >= p {
+					break
+				}
+			}
+			for {
+				j--
+				if rows[j] <= p {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			rows[i], rows[j] = rows[j], rows[i]
+		}
+		// Recurse into the smaller half, iterate on the larger.
+		if j+1 <= len(rows)-(j+1) {
+			SortRows(rows[:j+1])
+			rows = rows[j+1:]
+		} else {
+			SortRows(rows[j+1:])
+			rows = rows[:j+1]
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		r := rows[i]
+		j := i - 1
+		for j >= 0 && rows[j] > r {
+			rows[j+1] = rows[j]
+			j--
+		}
+		rows[j+1] = r
+	}
+}

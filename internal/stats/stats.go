@@ -178,6 +178,50 @@ type ExecCounters struct {
 	IndexBuildNanos int64
 	IndexReuses     int64
 	IndexIncrements int64
+
+	// Shared-nothing partitioned execution accounting (§4.2 of the paper:
+	// cross-node message cost per tick, per-node load balance, partitioned
+	// index memory). All counters are zero unless the world runs with
+	// Options.Partitions > 0.
+	//
+	// PartMsgsGhost counts ghost-replica refresh messages (one per ghost
+	// row whenever its partition index is (re)built — an unchanged, reused
+	// index sends nothing); PartMsgsEffect counts effect contributions whose
+	// target row is owned by a different partition than the emitting row;
+	// PartMsgsMigrate counts ownership migrations (an object's new position
+	// crossed a partition boundary during the update step). PartBytes is the
+	// modeled wire volume of all three. GhostRows counts resident ghost
+	// replicas across all partition indexes, summed per tick (an occupancy
+	// metric, charged even when the index is reused).
+	PartMsgsGhost   int64
+	PartMsgsEffect  int64
+	PartMsgsMigrate int64
+	PartBytes       int64
+	GhostRows       int64
+	MigratedRows    int64
+
+	// Load balance: per tick the effect-phase row visits (scalar rows,
+	// vectorized rows, join candidates) are tallied per partition;
+	// PartLoadMax accumulates the busiest partition's tally and PartLoadSum
+	// the total, so PartImbalance recovers the paper's max/mean ratio.
+	PartLoadMax int64
+	PartLoadSum int64
+}
+
+// PartMessages returns the total cross-partition messages per the §4.2
+// accounting: ghost refreshes plus foreign effects plus migrations.
+func (c ExecCounters) PartMessages() int64 {
+	return c.PartMsgsGhost + c.PartMsgsEffect + c.PartMsgsMigrate
+}
+
+// PartImbalance returns the load-balance ratio busiest/mean over everything
+// tallied so far (1.0 = perfectly balanced, parts = one partition did all
+// the work). Zero when nothing ran partitioned.
+func (c ExecCounters) PartImbalance(parts int) float64 {
+	if c.PartLoadSum <= 0 || parts <= 0 {
+		return 0
+	}
+	return float64(c.PartLoadMax) * float64(parts) / float64(c.PartLoadSum)
 }
 
 // VectorFraction returns the share of row evaluations that were vectorized

@@ -129,3 +129,22 @@ func TestExecCounters(t *testing.T) {
 		t.Errorf("VectorFraction = %v, want 0.6", got)
 	}
 }
+
+func TestPartitionCounters(t *testing.T) {
+	var c ExecCounters
+	if c.PartImbalance(4) != 0 || c.PartMessages() != 0 {
+		t.Error("empty counters must report zero")
+	}
+	c.PartLoadMax, c.PartLoadSum = 25, 100
+	if v := c.PartImbalance(4); v != 1 {
+		t.Errorf("balanced = %v", v)
+	}
+	c.PartLoadMax = 100
+	if v := c.PartImbalance(4); v != 4 {
+		t.Errorf("one-sided = %v", v)
+	}
+	c.PartMsgsGhost, c.PartMsgsEffect, c.PartMsgsMigrate = 3, 2, 1
+	if c.PartMessages() != 6 {
+		t.Errorf("PartMessages = %d", c.PartMessages())
+	}
+}

@@ -310,6 +310,40 @@ func (t *Table) StructVersion() uint64 { return t.structVer }
 // dead slots (consult Alive). Read-only; it aliases table storage.
 func (t *Table) RawIDs() []value.ID { return t.ids }
 
+// LiveRows appends the physical indexes of every live row, ascending, and
+// returns the extended slice (pass a reused buffer to avoid allocation).
+func (t *Table) LiveRows(buf []int32) []int32 {
+	for r, ok := range t.alive {
+		if ok {
+			buf = append(buf, int32(r))
+		}
+	}
+	return buf
+}
+
+// View is a read-only view over a subset of a table's physical rows — the
+// partition-local slice of a shared columnar extent in the engine's
+// shared-nothing execution mode (§4.2). A view holds row indexes, not data:
+// the columns stay in the backing table, so building one costs nothing per
+// row and ghost replicas are literal row references rather than copies.
+type View struct {
+	t    *Table
+	rows []int32
+}
+
+// ViewOf wraps a set of physical row indexes (which the caller keeps sorted
+// ascending) as a view of this table. The slice is aliased, not copied.
+func (t *Table) ViewOf(rows []int32) View { return View{t: t, rows: rows} }
+
+// Table returns the backing table.
+func (v View) Table() *Table { return v.t }
+
+// Rows returns the member physical rows (read-only, ascending).
+func (v View) Rows() []int32 { return v.rows }
+
+// Len returns the number of member rows.
+func (v View) Len() int { return len(v.rows) }
+
 // Clear removes all rows but keeps capacity.
 func (t *Table) Clear() {
 	t.structVer++

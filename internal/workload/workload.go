@@ -9,12 +9,19 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/cluster"
 	"repro/internal/value"
 )
 
 // Pos is a 2-D position.
 type Pos struct{ X, Y float64 }
+
+// Entity is one generated moving object (e.g. a vehicle in the paper's
+// million-vehicle traffic simulation): a position plus a per-tick velocity.
+type Entity struct {
+	ID     value.ID
+	X, Y   float64
+	VX, VY float64
+}
 
 // Uniform scatters n positions uniformly over [0,w)×[0,h) — the "exploring"
 // regime: spread out, sparse neighborhoods.
@@ -87,13 +94,13 @@ type TrafficNetwork struct {
 }
 
 // Vehicles spawns n vehicles on the network, alternating directions.
-func (t TrafficNetwork) Vehicles(n int, seed int64) []cluster.Entity {
+func (t TrafficNetwork) Vehicles(n int, seed int64) []Entity {
 	rng := rand.New(rand.NewSource(seed))
 	spacingH := t.H / float64(t.Roads)
 	spacingV := t.W / float64(t.Roads)
-	out := make([]cluster.Entity, n)
+	out := make([]Entity, n)
 	for i := range out {
-		e := cluster.Entity{ID: value.ID(i + 1)}
+		e := Entity{ID: value.ID(i + 1)}
 		if i%2 == 0 { // horizontal road
 			road := rng.Intn(t.Roads)
 			e.Y = (float64(road) + 0.5) * spacingH
@@ -110,9 +117,8 @@ func (t TrafficNetwork) Vehicles(n int, seed int64) []cluster.Entity {
 	return out
 }
 
-// Advance moves vehicles one tick with toroidal wrapping. (The cluster
-// simulator integrates movement itself; Advance is for standalone use.)
-func (t TrafficNetwork) Advance(ents []cluster.Entity) {
+// Advance moves vehicles one tick with toroidal wrapping.
+func (t TrafficNetwork) Advance(ents []Entity) {
 	for i := range ents {
 		ents[i].X = math.Mod(ents[i].X+ents[i].VX+t.W, t.W)
 		ents[i].Y = math.Mod(ents[i].Y+ents[i].VY+t.H, t.H)
@@ -129,7 +135,7 @@ func dir(rng *rand.Rand) float64 {
 // Teleports applies the paper's "exotic feature": with probability p per
 // entity per call, jump to a uniform random position (stress-tests
 // continuous-motion assumptions).
-func Teleports(ents []cluster.Entity, w, h, p float64, seed int64) int {
+func Teleports(ents []Entity, w, h, p float64, seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	n := 0
 	for i := range ents {

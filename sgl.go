@@ -54,6 +54,9 @@ type (
 	// JoinMode selects scalar vs batch-gathered accum-join execution
 	// (see Options.Join).
 	JoinMode = plan.JoinMode
+	// PartitionStrategy selects the shared-nothing partition layout
+	// (see Options.Partitions / Options.Partition).
+	PartitionStrategy = plan.PartitionStrategy
 	// UpdateComponent is a non-scripted owner of state attributes
 	// (physics, pathfinding, ...; §2.2 of the paper).
 	UpdateComponent = engine.UpdateComponent
@@ -98,6 +101,21 @@ const (
 	JoinAuto    = plan.JoinAuto
 	JoinScalar  = plan.JoinScalar
 	JoinBatched = plan.JoinBatched
+)
+
+// Partition layouts for shared-nothing partitioned execution (§4.2; see
+// Options.Partitions). The default PartitionAuto picks the spatial layout
+// with the least modeled ghost volume; PartitionStripes cuts 1-D stripes
+// along the first position axis, PartitionGrid a 2-D grid over both, and
+// PartitionHash spreads objects by id — the communication-oblivious
+// strawman whose full replication E11 quantifies. Every layout and
+// partition count produces bit-identical worlds; only the message, ghost
+// and balance accounting differs.
+const (
+	PartitionAuto    = plan.PartitionAuto
+	PartitionStripes = plan.PartitionStripes
+	PartitionGrid    = plan.PartitionGrid
+	PartitionHash    = plan.PartitionHash
 )
 
 // Value constructors.
