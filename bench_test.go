@@ -389,6 +389,51 @@ func BenchmarkE16_PartitionScaling(b *testing.B) {
 	}
 }
 
+// E17 — §4.2 under populations that refuse to stay where they were
+// measured: adaptive layout epochs vs frozen first-tick layouts on the
+// drifting, contracting swarm workload.
+
+func swarmBenchWorld(b *testing.B, motes, parts int, pol sgl.RebalancePolicy) *sgl.World {
+	b.Helper()
+	sc := core.MustLoad("swarm", core.SrcSwarm)
+	w, err := sc.NewWorld(engine.Options{
+		Partitions: parts, Partition: sgl.PartitionStripes, Rebalance: pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.PopulateMotes(w, workload.Uniform(motes, 3000, 3000, 27), 8, 2, 0.003); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkE17_AdaptiveDrift(b *testing.B) {
+	const motes, parts = 50000, 8
+	for _, cfg := range []struct {
+		name string
+		pol  sgl.RebalancePolicy
+	}{
+		{"frozen", sgl.RebalanceOff},
+		{"adaptive", sgl.RebalanceAdaptive},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			w := swarmBenchWorld(b, motes, parts, cfg.pol)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := w.ExecStats()
+			b.ReportMetric(st.PartImbalance(parts), "imbalance")
+			b.ReportMetric(float64(st.PartLoadMax)/float64(b.N), "maxload/tick")
+			b.ReportMetric(float64(st.RebalanceCount), "rebalances")
+		})
+	}
+}
+
 // Ablation — DESIGN.md: per-tick index rebuild cost in isolation, the
 // design choice of rebuilding instead of maintaining indexes incrementally
 // under O(n) updates per tick (§4.1).

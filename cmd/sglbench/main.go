@@ -58,6 +58,7 @@ func main() {
 	}
 	e15Ticks := 3
 	e16V, e16Parts, e16Ticks := 50000, []int{1, 2, 4, 8}, 3
+	e17N, e17Parts, e17Ticks := 50000, 8, 60
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -71,6 +72,7 @@ func main() {
 		e15Sizes = map[string][]int{"fig2": {2000}, "rts": {2000}, "flock": {2000}}
 		e15Ticks = 2
 		e16V, e16Parts, e16Ticks = 10000, []int{1, 2, 4}, 2
+		e17N, e17Parts, e17Ticks = 10000, 4, 25
 	}
 
 	want := map[string]bool{}
@@ -144,6 +146,9 @@ func main() {
 	}
 	if sel("E16") {
 		emit(experiments.E16(e16V, e16Parts, e16Ticks))
+	}
+	if sel("E17") {
+		emit(experiments.E17(e17N, e17Parts, e17Ticks))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

@@ -283,6 +283,41 @@ class Boid {
 }
 `
 
+// SrcSwarm is the drift workload behind experiment E17: motes carry
+// constant per-object velocities aimed slightly ahead of a shared
+// rendezvous point, so the whole population simultaneously translates
+// (drift) and contracts (clustering) tick over tick, while one bounded
+// neighborhood accum (local density) gives partitioned execution real
+// ghosts, migrations and per-partition load to measure. Any layout frozen
+// at first-tick bounds degrades on this population — the measured box goes
+// stale and ownership piles into edge and hot-spot partitions — which is
+// exactly what adaptive layout epochs (Options.Rebalance) are for.
+const SrcSwarm = `
+class Mote {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 0;
+    number vy = 0;
+    number near = 0;
+  effects:
+    number nb : sum;
+  update:
+    x = x + vx;
+    y = y + vy;
+    near = nb;
+  run {
+    accum number cnt with sum over Mote u from Mote {
+      if (u.x >= x - 10 && u.x <= x + 10 && u.y >= y - 10 && u.y <= y + 10) {
+        cnt <- 1;
+      }
+    } in {
+      nb <- cnt;
+    }
+  }
+}
+`
+
 // SrcGuard is the multi-tick + reactive example of §3.2: move to a post,
 // pick up an item, attack — with a handler that arms fleeing at low health.
 const SrcGuard = `
@@ -483,6 +518,35 @@ func PopulateCars(w Spawner, ents []workload.Entity) ([]value.ID, error) {
 			"x": value.Num(e.X), "y": value.Num(e.Y),
 			"dx": value.Num(dx), "dy": value.Num(dy),
 			"speed": value.Num(speed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// PopulateMotes spawns SrcSwarm motes at the given positions. Each mote's
+// velocity is the shared drift plus a pull toward the population's initial
+// center scaled by rate, so after k ticks the swarm has translated by
+// drift·k and contracted by the factor (1 − rate·k): drift and clustering
+// in one deterministic kinematic field, no global state needed.
+func PopulateMotes(w Spawner, ps []workload.Pos, driftX, driftY, rate float64) ([]value.ID, error) {
+	var cx, cy float64
+	for _, p := range ps {
+		cx += p.X
+		cy += p.Y
+	}
+	if n := float64(len(ps)); n > 0 {
+		cx, cy = cx/n, cy/n
+	}
+	ids := make([]value.ID, 0, len(ps))
+	for _, p := range ps {
+		id, err := w.Spawn("Mote", map[string]value.Value{
+			"x": value.Num(p.X), "y": value.Num(p.Y),
+			"vx": value.Num(driftX + (cx-p.X)*rate),
+			"vy": value.Num(driftY + (cy-p.Y)*rate),
 		})
 		if err != nil {
 			return nil, err

@@ -74,6 +74,17 @@ type Options struct {
 	// predicates, then from attrs named x/y; classes with no spatial axes
 	// at all are spread by id hash.
 	PartitionBy map[string][]string
+	// Rebalance selects how partitioned layouts evolve across ticks.
+	// Layouts are versioned epochs: under the default
+	// (plan.RebalanceAdaptive) the cost model replaces a class's layout —
+	// re-measured drift-widened bounds, or population-quantile cuts that
+	// split hot partitions — whenever the modeled imbalance penalty
+	// amortizes the re-layout plus mass migration, with hysteresis so
+	// layouts never thrash. plan.RebalanceOff freezes every layout at its
+	// first-tick epoch. Any epoch sequence stays bit-identical to
+	// Partitions=1: rebalancing changes only who computes what, and all
+	// staging merges in (partition, row) order.
+	Rebalance plan.RebalancePolicy
 	// DisableStats turns off runtime statistics collection (experiment E8).
 	DisableStats bool
 }
@@ -112,8 +123,11 @@ type World struct {
 	shardBuf    []shard     // scratch shard partition, reused per pass
 
 	// parts is the shared-nothing partitioned-execution state (nil unless
-	// Options.Partitions > 0); see partition.go.
-	parts *partWorld
+	// Options.Partitions > 0); see partition.go. partPrepGen identifies the
+	// current partitioned class pass, so each worker prepares its private
+	// kernel scratch exactly once per pass.
+	parts       *partWorld
+	partPrepGen uint64
 
 	// execCosts models the scalar-vs-vectorized trade-off (§4.1's cost
 	// model, extended to execution mode); execStats tallies which path ran.

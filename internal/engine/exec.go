@@ -2,7 +2,6 @@ package engine
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -519,27 +518,10 @@ func (w *World) prepareSites() {
 // never cost the serial path an allocation.
 func (w *World) buildSitesParallel(rebuild []*siteRT) {
 	w.ensureWorkers()
-	nw := w.opts.Workers
-	if nw > len(rebuild) {
-		nw = len(rebuild)
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(atomic.AddInt64(&next, 1)) - 1
-				if j >= len(rebuild) {
-					return
-				}
-				site := rebuild[j]
-				w.buildSiteIndex(site, &site.parts[0], w.classes[site.step.SourceClass], nil, false)
-			}
-		}()
-	}
-	wg.Wait()
+	w.runPool(len(rebuild), w.opts.Workers, func(_, j int) {
+		site := rebuild[j]
+		w.buildSiteIndex(site, &site.parts[0], w.classes[site.step.SourceClass], nil, false)
+	})
 }
 
 // siteMaint decides how to bring one partition's index up to date. Reuse

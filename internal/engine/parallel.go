@@ -29,6 +29,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/compile"
 	"repro/internal/expr"
@@ -107,6 +108,13 @@ type shardCtx struct {
 	handlerRows int64
 	touched     touchedLog
 	staged      []stagedWrite
+
+	// pvec is the worker's private vectorized-phase scratch for the
+	// partitioned executor, whose partition row spans may interleave (so
+	// the class's shared range-disjoint scratch cannot be used). pvecGen
+	// marks which partitioned class pass it was last prepared for.
+	pvec    vecScratch
+	pvecGen uint64
 }
 
 // parallelOK reports whether this tick may use the worker pool at all.
@@ -125,6 +133,39 @@ func (w *World) ensureWorkers() {
 		w.workerSinks[i] = newWorkerSink(w)
 		w.shardCtxs[i] = &shardCtx{}
 	}
+}
+
+// runPool dispatches fn(slot, i) for every i in [0, n) across up to nw
+// worker goroutines pulling from a shared worklist, and waits for the
+// barrier; slot identifies the worker's private state (shardCtx). The one
+// pool-dispatch loop behind partition passes and index-rebuild fan-outs —
+// unlike runShards, work items may outnumber workers.
+func (w *World) runPool(n, nw int, fn func(slot, i int)) {
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for s := 0; s < nw; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(slot, i)
+			}
+		}(s)
+	}
+	wg.Wait()
 }
 
 // runShards dispatches fn over the shards on the worker pool and waits for
@@ -247,7 +288,7 @@ func (w *World) runEffectShard(rt *classRT, vecSel []bool, lo, hi int, sc *shard
 		sc.touched.ensure(len(rt.fx))
 		for p, on := range vecSel {
 			if on {
-				sc.vectorRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], lo, hi, &sc.machine, &sc.touched))
+				sc.vectorRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], lo, hi, &rt.vec.sc, &sc.machine, &sc.touched))
 			}
 		}
 	}

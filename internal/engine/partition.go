@@ -5,66 +5,47 @@ package engine
 // partitions and the real tick pipeline — vectorized effect phases, the
 // scalar row loop, batched joins over per-partition indexes — runs
 // partition-at-a-time over each partition's owned rows plus read-only ghost
-// replicas of the neighbor rows its probes can reach. This replaces the old
-// standalone cluster simulator: the message, ghost, balance and
-// index-memory numbers of E11/E12/E16 now come from the machinery that
-// actually executes scripts.
+// replicas of the neighbor rows its probes can reach.
 //
-// The moving parts, in tick order:
+// The runtime is decomposed along its three concerns:
 //
-//   - Ownership. Each class designates up to two numeric position
-//     attributes (Options.PartitionBy, else inferred from compiled join
-//     ranges, else attrs named x/y); a cluster.Layout built from the
-//     world's measured bounds maps positions to partitions. At every tick
-//     start the assignment is rescanned: an object whose update moved it
-//     across a boundary migrates (counted as a message), spawns are
-//     assigned, deaths released. Classes with no spatial axes spread by id
-//     hash.
+//   - partition.go (this file): the layout lifecycle. Ownership layouts are
+//     versioned epochs: the first partitioned tick measures world bounds
+//     and installs epoch 1 per class, and from then on a per-class
+//     rebalancer (plan.Rebalancer over plan.Costs.ChooseRebalance) watches
+//     the per-partition load tally, boundary-migration churn and clamped
+//     (out-of-bounds) row counts, and installs a successor epoch when the
+//     modeled imbalance penalty amortizes the re-layout: re-measured
+//     drift-widened bounds (cluster.Layout.Remeasure) when the box went
+//     stale, population-quantile cuts that split hot partitions
+//     (cluster.Layout.Split) when the population clustered. Ownership is
+//     rescanned every tick, so an epoch change shows up as mass migration
+//     and every downstream consumer (member views, indexes, spans)
+//     refreshes through the ordinary version ladder.
 //
-//   - Ghost derivation. For each accum site, the compiled range conjuncts
-//     are evaluated over the frozen probing extent and plan.InteractionRadius
-//     turns them into per-dimension reaches around the best-fitting
-//     partition axis. A partition's member view is then every source row
-//     whose ownership interval — computed with the same clamped-coordinate
-//     arithmetic as ownership itself, so float rounding can never drop a
-//     boundary ghost — intersects the partition. Sites that cannot be
-//     bounded (unbounded or frame-dependent predicates, computed source
-//     sets, reactive-handler sites which probe post-update state, hash
-//     layouts) fall back to one shared whole-extent index, accounted as a
-//     full replica per partition.
+//   - partition_view.go: member views and per-partition indexes. For each
+//     accum site the compiled range conjuncts are evaluated over the frozen
+//     probing extent, plan.InteractionRadius turns them into per-dimension
+//     reaches, and each partition's member view (owned rows + ghosts) is
+//     filled with the layout's own monotone clamped-coordinate arithmetic —
+//     identical under every epoch, so no float rounding can drop a boundary
+//     ghost across a rebalance. Per-partition grids are patched in place by
+//     the member-view-aware index.Grid.SyncRows when churn is small.
 //
-//   - Execution. Vectorized phases run per partition as masked kernel
-//     sweeps over the partition's row span (self-only emissions are
-//     row-local, so direct writes stay deterministic). Scalar rows run per
-//     partition in ascending physical-row order, staging every emission and
-//     transaction into a per-partition sink tagged with its source row.
-//     Probes resolve the partition-local index, and candidates are
-//     canonicalized to physical-row order, so the ⊕ fold order per
-//     accumulator is independent of the layout.
-//
-//   - Merge. After each class pass the per-partition sinks merge by source
-//     row — a k-way merge of streams that are each row-sorted, i.e. exactly
-//     the (partition, row) order — replaying the serial row loop's emission
-//     order bit-for-bit. An emission whose target row is owned by another
-//     partition counts as a cross-partition effect message.
-//
-// Workers composes: partitions fan out across the worker pool (per-partition
-// sinks keep the merge deterministic regardless of scheduling). Deferred to
-// ROADMAP: a multi-process transport behind the message staging, dynamic
-// repartitioning (layouts are frozen at first tick), and incremental
-// maintenance of partition-local grids.
+//   - partition_exec.go: partition-parallel execution. Partitions fan out
+//     across the worker pool for vectorized phases (per-worker vexpr
+//     scratch; self-only emissions are row-disjoint across partitions),
+//     scalar rows and handlers; per-partition sinks merge in (partition,
+//     row) order — exactly ascending physical-row order — which is what
+//     makes ANY partition count, layout, epoch sequence and worker count
+//     bit-identical to Partitions=1.
 
 import (
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/compile"
-	"repro/internal/expr"
-	"repro/internal/index"
 	"repro/internal/plan"
 	"repro/internal/table"
 	"repro/internal/value"
@@ -78,7 +59,7 @@ type partWorld struct {
 
 	sinks    []*partSink
 	mergeIdx []int
-	loads    []int64 // per-partition row visits this tick
+	loads    []int64 // per-partition fold scratch (foldPartitionLoads)
 
 	buildList []partBuild // per-tick (site, partition) rebuild worklist
 
@@ -102,6 +83,28 @@ type partClass struct {
 	assignID []value.ID // id the assignment was made for (guards row reuse)
 	spanLo   []int32    // per partition: owned physical row span [lo, hi)
 	spanHi   []int32
+
+	// Layout-epoch lifecycle state. loads tallies this tick's per-partition
+	// row visits for this class (each partition is written only by the
+	// worker that owns it); foldPartitionLoads snapshots them into
+	// lastMax/lastSum at tick end, and assignPartitions records the tick's
+	// boundary migrations and clamped rows — the three signals the
+	// rebalancer weighs next tick. All of it is tracked regardless of
+	// DisableStats: it drives execution, not just reporting.
+	reb          *plan.Rebalancer
+	loads        []int64
+	lastMax      int64
+	lastSum      int64
+	lastMigrated int64
+	lastClamped  int64
+
+	// Bounds measured when the current epoch was installed and the tick it
+	// happened: the drift-rate basis for the next epoch's widen margin.
+	measMinX, measMaxX float64
+	measMinY, measMaxY float64
+	measTick           int64
+
+	sampleX, sampleY []float64 // quantile-split position scratch, reused
 }
 
 // span returns partition p's owned row span clamped to the table capacity.
@@ -114,44 +117,6 @@ func (pc *partClass) span(p, capRows int) (int, int) {
 		return 0, 0
 	}
 	return lo, hi
-}
-
-// dimReach is one range dimension's derived interaction reach: probes bound
-// the dimension's source attribute within [anchor−lo, anchor+hi] where the
-// anchor is the probing row's position on partition axis `axis` (-1 when the
-// dimension could not be bounded against any axis).
-type dimReach struct {
-	axis   int
-	lo, hi float64
-}
-
-// partSink stages one partition's effect emissions and transactions during
-// a class pass, each tagged with the emitting physical row. Rows are
-// appended in ascending order (the partition row loop), which is what makes
-// the cross-partition merge a k-way merge of sorted streams.
-type partSink struct {
-	curRow  int32
-	ems     []Emission
-	rows    []int32
-	txns    []*Txn
-	txnRows []int32
-}
-
-func (s *partSink) emit(w *World, e Emission) {
-	s.ems = append(s.ems, e)
-	s.rows = append(s.rows, s.curRow)
-}
-
-func (s *partSink) addTxn(t *Txn) {
-	s.txns = append(s.txns, t)
-	s.txnRows = append(s.txnRows, s.curRow)
-}
-
-func (s *partSink) reset() {
-	s.ems = s.ems[:0]
-	s.rows = s.rows[:0]
-	s.txns = s.txns[:0]
-	s.txnRows = s.txnRows[:0]
 }
 
 // initPartitions validates the partitioning options at world construction.
@@ -234,10 +199,10 @@ func (w *World) partitionAxes(rt *classRT) []int {
 	return axes
 }
 
-// ensurePartitionLayouts measures world bounds and freezes each class's
-// layout on the first partitioned tick (dynamic repartitioning is an open
-// item, see ROADMAP). Positions that later wander outside the measured box
-// clamp to the edge partitions.
+// ensurePartitionLayouts measures world bounds and installs each class's
+// epoch-1 layout on the first partitioned tick. Later epochs come from
+// maybeRebalanceLayouts; positions outside the measured box always clamp to
+// the edge partitions (and are counted as clamped rows).
 func (w *World) ensurePartitionLayouts() {
 	pw := w.parts
 	if pw.ready {
@@ -263,9 +228,137 @@ func (w *World) ensurePartitionLayouts() {
 			layout: layout,
 			spanLo: make([]int32, pw.n),
 			spanHi: make([]int32, pw.n),
+			loads:  make([]int64, pw.n),
+			reb:    plan.NewRebalancer(w.execCosts, w.opts.Rebalance),
+
+			measMinX: minX, measMaxX: maxX,
+			measMinY: minY, measMaxY: maxY,
+			measTick: w.tick,
 		}
 	}
 	pw.ready = true
+}
+
+// maybeRebalanceLayouts runs the per-class layout maintenance decision at
+// tick start, before ownership is rescanned: each class's rebalancer weighs
+// last tick's load imbalance, migration churn and clamp skew, and when an
+// action fires the class's layout advances to its successor epoch. The new
+// assignment scan then observes the epoch's mass migration through the
+// ordinary ownership diff, and every member view and index refreshes
+// through the assignment-version ladder — nothing downstream knows about
+// epochs beyond that.
+func (w *World) maybeRebalanceLayouts() {
+	pw := w.parts
+	track := !w.opts.DisableStats
+	if pw.n > 1 && w.opts.Rebalance != plan.RebalanceOff {
+		for _, rt := range w.order {
+			pc := rt.prt
+			if pc.layout.Axes == 0 {
+				continue // hash layouts are position-oblivious and stay put
+			}
+			act := pc.reb.Decide(float64(pc.lastMax), float64(pc.lastSum), pw.n,
+				rt.tab.Len(), int(pc.lastMigrated), int(pc.lastClamped))
+			if act == plan.RebalanceNone {
+				continue
+			}
+			var t0 time.Time
+			if track {
+				t0 = time.Now()
+			}
+			w.relayout(rt, act)
+			if track {
+				w.execStats.RebalanceCount++
+				w.execStats.RebalanceNanos += time.Since(t0).Nanoseconds()
+			}
+		}
+	}
+	if track {
+		for _, rt := range w.order {
+			if ep := int64(rt.prt.layout.Epoch); ep > w.execStats.EpochID {
+				w.execStats.EpochID = ep
+			}
+		}
+	}
+}
+
+// relayout installs a class's successor layout epoch. Widen re-measures the
+// world box and extends each side by the measured drift rate — how fast
+// that bound has been moving outward since the epoch was installed —
+// projected over the rebalance horizon, so a population that keeps drifting
+// the way it has stays in-bounds (and unclamped) until the next epoch pays
+// for itself. Split refits population-quantile cut points from the live
+// positions, giving every slot an equal population share.
+func (w *World) relayout(rt *classRT, act plan.RebalanceAction) {
+	pc := rt.prt
+	tab := rt.tab
+	switch act {
+	case plan.RebalanceWiden:
+		minX, maxX := columnBounds(tab, pc.axes[0])
+		minY, maxY := 0.0, 1.0
+		if len(pc.axes) > 1 {
+			minY, maxY = columnBounds(tab, pc.axes[1])
+		}
+		dt := w.tick - pc.measTick
+		if dt < 1 {
+			dt = 1
+		}
+		h := w.execCosts.RebalanceHorizon
+		pc.layout = pc.layout.Remeasure(
+			minX-driftMargin(pc.measMinX-minX, dt, h),
+			maxX+driftMargin(maxX-pc.measMaxX, dt, h),
+			minY-driftMargin(pc.measMinY-minY, dt, h),
+			maxY+driftMargin(maxY-pc.measMaxY, dt, h))
+		pc.measMinX, pc.measMaxX = minX, maxX
+		pc.measMinY, pc.measMaxY = minY, maxY
+	case plan.RebalanceSplit:
+		xs, ys := w.gatherAxisSamples(rt)
+		pc.layout = pc.layout.Split(xs, ys)
+		pc.measMinX, pc.measMaxX = pc.layout.MinX, pc.layout.MaxX
+		pc.measMinY, pc.measMaxY = pc.layout.MinY, pc.layout.MaxY
+	}
+	pc.measTick = w.tick
+}
+
+// driftMargin projects a bound's outward movement per tick over the
+// rebalance horizon. Bounds that held still or moved inward contribute no
+// margin, and non-finite movement (a position exploded to ±Inf/NaN) is
+// ignored rather than poisoning the box.
+func driftMargin(outward float64, dt int64, horizon float64) float64 {
+	if !(outward > 0) || math.IsInf(outward, 1) {
+		return 0
+	}
+	return outward / float64(dt) * horizon
+}
+
+// gatherAxisSamples collects the class's live positions per partition axis
+// (NaNs filtered — cluster.Layout.Split sorts the samples) into retained
+// scratch. The Y sample is gathered only when the layout actually cuts Y
+// (Split's own condition): a stripes layout over a two-axis class never
+// reads it.
+func (w *World) gatherAxisSamples(rt *classRT) (xs, ys []float64) {
+	pc := rt.prt
+	tab := rt.tab
+	colX := tab.NumColumn(pc.axes[0])
+	var colY []float64
+	if pc.layout.Axes > 1 && len(pc.axes) > 1 {
+		colY = tab.NumColumn(pc.axes[1])
+	}
+	pc.sampleX = pc.sampleX[:0]
+	pc.sampleY = pc.sampleY[:0]
+	for r, ok := range tab.AliveMask() {
+		if !ok {
+			continue
+		}
+		if v := colX[r]; !math.IsNaN(v) {
+			pc.sampleX = append(pc.sampleX, v)
+		}
+		if colY != nil {
+			if v := colY[r]; !math.IsNaN(v) {
+				pc.sampleY = append(pc.sampleY, v)
+			}
+		}
+	}
+	return pc.sampleX, pc.sampleY
 }
 
 // columnBounds returns the min/max of a numeric column over live rows,
@@ -298,11 +391,13 @@ func columnBounds(tab *table.Table, ci int) (lo, hi float64) {
 }
 
 // assignPartitions rescans ownership at tick start: every live row's owner
-// is recomputed from its current position with the frozen layout, so
-// update-step movement across a boundary shows up here as a migration
-// message, spawns get assigned and deaths released. The scan also refreshes
-// each partition's owned row span (the range the per-partition executors
-// iterate).
+// is recomputed from its current position with the current layout epoch, so
+// update-step movement across a boundary — and the mass migration a fresh
+// epoch implies — shows up here as migration messages, spawns get assigned
+// and deaths released. The scan also refreshes each partition's owned row
+// span and counts clamped rows (positions outside the epoch's measured box,
+// the §4.2 edge-skew signal). Migration and clamp tallies always run — they
+// feed the rebalancer — while message counters honor track.
 func (w *World) assignPartitions(track bool) {
 	pw := w.parts
 	changed := false
@@ -327,6 +422,7 @@ func (w *World) assignPartitions(track bool) {
 		if len(pc.axes) > 1 {
 			colY = tab.NumColumn(pc.axes[1])
 		}
+		migrated, clamped := int64(0), int64(0)
 		for r := 0; r < capRows; r++ {
 			if !alive[r] {
 				if pc.assign[r] != -1 {
@@ -342,14 +438,15 @@ func (w *World) assignPartitions(track bool) {
 			if colY != nil {
 				y = colY[r]
 			}
+			if colX != nil && pc.layout.OutOfBounds(x, y) {
+				clamped++
+			}
 			owner := int32(pc.layout.Owner(x, y, ids[r]))
 			prev := pc.assign[r]
 			if prev != owner || pc.assignID[r] != ids[r] {
-				if prev >= 0 && pc.assignID[r] == ids[r] && track {
+				if prev >= 0 && pc.assignID[r] == ids[r] {
 					// Same object, new partition: a boundary migration.
-					w.execStats.MigratedRows++
-					w.execStats.PartMsgsMigrate++
-					w.execStats.PartBytes += cluster.BytesPerMigration
+					migrated++
 				}
 				pc.assign[r] = owner
 				pc.assignID[r] = ids[r]
@@ -362,742 +459,48 @@ func (w *World) assignPartitions(track bool) {
 				pc.spanHi[owner] = int32(r) + 1
 			}
 		}
+		pc.lastMigrated, pc.lastClamped = migrated, clamped
+		if track {
+			w.execStats.MigratedRows += migrated
+			w.execStats.PartMsgsMigrate += migrated
+			w.execStats.PartBytes += migrated * cluster.BytesPerMigration
+			w.execStats.ClampedRows += clamped
+		}
 	}
 	if changed {
 		pw.assignVer++
 	}
 }
 
-// preparePartitionedSites is prepareSites for partitioned worlds: ownership
-// rescan, then per site either a shared whole-extent index (with full
-// replication accounted) or per-partition member views and indexes with
-// ghost margins derived from the compiled predicates.
-func (w *World) preparePartitionedSites() {
+// foldPartitionLoads closes the tick's load-balance accounting: per class,
+// the per-partition row-visit tallies snapshot into the rebalancer's
+// feedback (always — rebalancing is engine behavior, not reporting) and
+// reset; the cross-class per-partition totals feed the §4.2
+// PartLoadMax/PartLoadSum counters when statistics are on.
+func (w *World) foldPartitionLoads() {
 	pw := w.parts
-	track := !w.opts.DisableStats
-	var t0 time.Time
-	if track {
-		t0 = time.Now()
-	}
-	w.ensurePartitionLayouts()
-	w.assignPartitions(track)
-	stateVer := w.stateFingerprint()
 	for i := range pw.loads {
 		pw.loads[i] = 0
 	}
-
-	pw.buildList = pw.buildList[:0]
-	for _, site := range w.sites {
-		srcRT, n, p := w.decideSite(site)
-		if srcRT == nil {
-			// Computed source sets never consult an index; unanalyzed
-			// bodies scan the member view, which for shared sites is the
-			// full live extent.
-			site.shared = true
-			if site.step.SourceFn == nil {
-				src := w.classes[site.step.SourceClass]
-				w.fillSharedView(site, src, track)
-			}
-			continue
-		}
-		if n == 0 || p == 0 {
-			site.strategy = plan.NestedLoop
-			site.shared = true
-			pp := &site.parts[0]
-			pp.tree, pp.hash = nil, nil
-			pp.builtOK = false
-			pp.rowsBuf = srcRT.tab.LiveRows(pp.rowsBuf[:0])
-			pp.view = srcRT.tab.ViewOf(pp.rowsBuf)
-			continue
-		}
-
-		spatial := false
-		if site.reachDerived && site.reachStateVer == stateVer {
-			spatial = site.reachSpatial // state untouched ⇒ reach untouched
-		} else {
-			spatial = w.deriveSiteReach(site, srcRT)
-			site.reachDerived = true
-			site.reachSpatial = spatial
-			site.reachStateVer = stateVer
-		}
-		site.shared = !spatial
-		if !spatial {
-			w.fillSharedView(site, srcRT, track)
-			pp := &site.parts[0]
-			if site.strategy == plan.NestedLoop {
-				pp.builtOK = false
-				continue
-			}
-			switch w.siteMaint(site, pp, srcRT, true) {
-			case plan.MaintReuse:
-				if track {
-					w.execStats.IndexReuses++
-				}
-			case plan.MaintIncremental:
-				if track {
-					w.execStats.IndexIncrements++
-					w.chargeGhosts(site, int64(pw.n-1)*int64(n))
-				}
-			default:
-				pw.buildList = append(pw.buildList, partBuild{site: site, pp: pp})
-				if track {
-					w.chargeGhosts(site, int64(pw.n-1)*int64(n))
-				}
-			}
-			continue
-		}
-
-		w.prepareSpatialSite(site, srcRT, track)
-	}
-
-	// Rebuilds fan out across the worker pool: member views are already
-	// filled (serially, above), so workers only sort entries and build
-	// trees/grids into their own retained arenas.
-	if w.parallelOK() && len(pw.buildList) > 1 {
-		w.buildPartsParallel(pw.buildList)
-	} else {
-		for _, b := range pw.buildList {
-			w.buildPartIndex(b.site, b.pp)
-		}
-	}
-	if track {
-		w.execStats.IndexBuildNanos += time.Since(t0).Nanoseconds()
-	}
-}
-
-// fillSharedView points a shared site's single part at the full live
-// extent and accounts it as one conceptual replica per other partition —
-// the §4.2 pathology of partitioning-oblivious predicates. The member view
-// is overwritten, so any retained member-scoped state is invalidated: a
-// later spatial tick must refill, and the shared ladder below must never
-// reuse an index that only covered one partition's members.
-func (w *World) fillSharedView(site *siteRT, srcRT *classRT, track bool) {
-	pp := &site.parts[0]
-	pp.rowsBuf = srcRT.tab.LiveRows(pp.rowsBuf[:0])
-	pp.view = srcRT.tab.ViewOf(pp.rowsBuf)
-	pp.memberViewOK = false
-	if pp.builtMembers {
-		pp.builtOK = false
-	}
-	pp.ghosts = int64(w.parts.n-1) * int64(len(pp.rowsBuf))
-	if track {
-		w.execStats.GhostRows += pp.ghosts
-		if site.step.Join == nil {
-			// Unindexed whole-extent scans have no build/reuse ladder to
-			// hang refresh traffic on: charge full replication per tick.
-			w.execStats.PartMsgsGhost += pp.ghosts
-			w.execStats.PartBytes += pp.ghosts * cluster.BytesPerGhost
-		}
-	}
-}
-
-// chargeGhosts accounts ghost refresh messages for one site's replicas
-// (called when its indexes are rebuilt or patched — a reused index means
-// nothing changed, so nothing is sent).
-func (w *World) chargeGhosts(site *siteRT, ghosts int64) {
-	w.execStats.PartMsgsGhost += ghosts
-	w.execStats.PartBytes += ghosts * cluster.BytesPerGhost
-}
-
-// reachEqual compares derived reaches bit-for-bit (NaN never occurs: empty
-// reaches are -Inf, unbounded dims are excluded by axis == -1).
-func reachEqual(a, b []dimReach) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// prepareSpatialSite brings one spatially bounded site's per-partition
-// views and indexes up to date: reuse everything when nothing that feeds
-// them changed (source columns, structure, ownership, reach, strategy);
-// otherwise refill the member views in one pass and queue index rebuilds.
-func (w *World) prepareSpatialSite(site *siteRT, srcRT *classRT, track bool) {
-	pw := w.parts
-	tab := srcRT.tab
-	for len(site.parts) < pw.n {
-		site.parts = append(site.parts, sitePart{})
-	}
-
-	fresh := site.builtReachOK && reachEqual(site.reach, site.builtReach)
-	if fresh {
-		for i := range site.parts[:pw.n] {
-			pp := &site.parts[i]
-			if !pp.memberViewOK || pp.builtAssign != pw.assignVer ||
-				pp.builtStruct != tab.StructVersion() {
-				fresh = false
-				break
-			}
-			if site.strategy != plan.NestedLoop &&
-				(!pp.builtOK || pp.builtStrategy != site.strategy || !pp.builtMembers) {
-				fresh = false
-				break
-			}
-			if site.strategy == plan.GridIndex && w.gridCell(site, pp) != pp.builtCell {
-				fresh = false
-				break
-			}
-			for vi, a := range site.srcAttrs {
-				if vi >= len(pp.builtVers) || tab.ColVersion(a) != pp.builtVers[vi] {
-					fresh = false
-					break
-				}
-			}
-			if !fresh {
-				break
-			}
-		}
-	}
-	ghosts := int64(0)
-	if fresh {
-		for i := range site.parts[:pw.n] {
-			ghosts += site.parts[i].ghosts
-		}
-		if track {
-			w.execStats.GhostRows += ghosts
-			w.execStats.IndexReuses++
-		}
-		return
-	}
-
-	ghosts = w.fillSiteMembers(site, srcRT)
-	site.builtReach = append(site.builtReach[:0], site.reach...)
-	site.builtReachOK = true
-	if track {
-		w.execStats.GhostRows += ghosts
-		w.chargeGhosts(site, ghosts)
-	}
-	for i := range site.parts[:pw.n] {
-		pp := &site.parts[i]
-		pp.memberViewOK = true
-		pp.builtAssign = pw.assignVer
-		if site.strategy == plan.NestedLoop {
-			pp.builtOK = false
-			pp.noteBuilt(site, tab) // version basis for next tick's freshness check
-			continue
-		}
-		pw.buildList = append(pw.buildList, partBuild{site: site, pp: pp})
-	}
-}
-
-// stateFingerprint folds every table's structural and per-column write
-// versions into one monotone counter: equality across ticks means no
-// committed state changed anywhere, which is the (sound, conservative)
-// condition under which cached reach derivations stay valid.
-func (w *World) stateFingerprint() uint64 {
-	var v uint64
 	for _, rt := range w.order {
-		v += rt.tab.StructVersion()
-		for ci := range rt.tab.Columns() {
-			v += rt.tab.ColVersion(ci)
-		}
-	}
-	return v
-}
-
-// deriveSiteReach evaluates the site's compiled range conjuncts over the
-// frozen probing extent and anchors each dimension to the partition axis
-// with the tightest finite reach (plan.InteractionRadius). Returns false —
-// whole-world fallback — when nothing could be bounded: no self-only range
-// conjuncts, a hash layout, a reactive-handler site (it probes post-update
-// state the tick-start ghosts would not cover), or unbounded predicates.
-func (w *World) deriveSiteReach(site *siteRT, srcRT *classRT) bool {
-	pw := w.parts
-	if site.phase < 0 {
-		return false
-	}
-	probeRT := w.classes[site.class]
-	pc := probeRT.prt
-	if pc.layout.Axes == 0 {
-		return false // hash layout or no spatial axes
-	}
-	j := site.step.Join
-	dims := len(j.Ranges)
-	site.reach = site.reach[:0]
-	for d := 0; d < dims; d++ {
-		site.reach = append(site.reach, dimReach{axis: -1})
-	}
-
-	// Gather anchors and evaluate every self-only dimension's interval per
-	// probing row (all phases: a conservative superset of actual probers).
-	naxes := pc.layout.Axes
-	for len(pw.axisPos) < naxes {
-		pw.axisPos = append(pw.axisPos, nil)
-	}
-	for len(pw.boxLo) < dims {
-		pw.boxLo = append(pw.boxLo, nil)
-		pw.boxHi = append(pw.boxHi, nil)
-	}
-	for k := 0; k < naxes; k++ {
-		pw.axisPos[k] = pw.axisPos[k][:0]
-	}
-	anyDim := false
-	for d := range j.Ranges {
-		pw.boxLo[d] = pw.boxLo[d][:0]
-		pw.boxHi[d] = pw.boxHi[d][:0]
-		if j.Ranges[d].SelfOnly {
-			anyDim = true
-		}
-	}
-	if !anyDim {
-		return false
-	}
-	ctx := expr.Ctx{W: w, Class: site.class}
-	tab := probeRT.tab
-	for r, ok := range tab.AliveMask() {
-		if !ok {
-			continue
-		}
-		ctx.SelfID = tab.ID(r)
-		ctx.Self = rowReader{rt: probeRT, row: r}
-		for k := 0; k < naxes; k++ {
-			pw.axisPos[k] = append(pw.axisPos[k], tab.NumColumn(pc.axes[k])[r])
-		}
-		for d, rd := range j.Ranges {
-			if !rd.SelfOnly {
-				continue
-			}
-			lo, hi := evalDimBounds(&ctx, rd)
-			pw.boxLo[d] = append(pw.boxLo[d], lo)
-			pw.boxHi[d] = append(pw.boxHi[d], hi)
-		}
-	}
-
-	anchored := false
-	for d, rd := range j.Ranges {
-		if !rd.SelfOnly {
-			continue
-		}
-		best, bestSpan := -1, math.Inf(1)
-		var bestLo, bestHi float64
-		for k := 0; k < naxes; k++ {
-			rLo, rHi := plan.InteractionRadius(pw.axisPos[k], pw.boxLo[d], pw.boxHi[d])
-			if !plan.BoundedReach(rLo, rHi) {
-				continue
-			}
-			if span := rLo + rHi; span < bestSpan {
-				best, bestSpan = k, span
-				bestLo, bestHi = rLo, rHi
-			}
-		}
-		if best >= 0 {
-			site.reach[d] = dimReach{axis: best, lo: bestLo, hi: bestHi}
-			anchored = true
-		}
-	}
-	return anchored
-}
-
-// evalDimBounds evaluates one range dimension's probe interval for the
-// bound row — the per-dimension core of evalBox, shared semantics included:
-// a NaN bound collapses the interval to empty.
-func evalDimBounds(ctx *expr.Ctx, rd compile.RangeDim) (lo, hi float64) {
-	lo, hi = math.Inf(-1), math.Inf(1)
-	nan := false
-	for _, f := range rd.Lo {
-		v := f(ctx).AsNumber()
-		if math.IsNaN(v) {
-			nan = true
-		}
-		if v > lo {
-			lo = v
-		}
-	}
-	for _, f := range rd.Hi {
-		v := f(ctx).AsNumber()
-		if math.IsNaN(v) {
-			nan = true
-		}
-		if v < hi {
-			hi = v
-		}
-	}
-	if nan {
-		lo, hi = math.Inf(1), math.Inf(-1)
-	}
-	return lo, hi
-}
-
-// fillSiteMembers rebuilds every partition's member view for a spatial
-// site in one pass over the source extent: a row joins each partition whose
-// ownership interval — the owners of every anchor position that could reach
-// it, computed with the layout's own monotone clamped-coordinate functions —
-// it intersects on all anchored dimensions. Returns the total ghost count
-// (members owned elsewhere).
-func (w *World) fillSiteMembers(site *siteRT, srcRT *classRT) int64 {
-	pw := w.parts
-	probeRT := w.classes[site.class]
-	layout := probeRT.prt.layout
-	srcAssign := srcRT.prt.assign
-	tab := srcRT.tab
-	j := site.step.Join
-
-	for i := range site.parts[:pw.n] {
-		pp := &site.parts[i]
-		pp.rowsBuf = pp.rowsBuf[:0]
-		pp.ghosts = 0
-	}
-	ghosts := int64(0)
-	alive := tab.AliveMask()
-	for r, ok := range alive {
-		if !ok {
-			continue
-		}
-		cxLo, cxHi := 0, layout.PX-1
-		cyLo, cyHi := 0, layout.PY-1
-		for d, rc := range site.reach {
-			if rc.axis < 0 {
-				continue
-			}
-			v := tab.NumColumn(j.Ranges[d].AttrIdx)[r]
-			// Anchors that can reach v lie in [v−reachHi, v+reachLo]; their
-			// owners are a contiguous clamped-coordinate interval.
-			if rc.axis == 0 {
-				if c := layout.CoordX(v - rc.hi); c > cxLo {
-					cxLo = c
-				}
-				if c := layout.CoordX(v + rc.lo); c < cxHi {
-					cxHi = c
-				}
-			} else {
-				if c := layout.CoordY(v - rc.hi); c > cyLo {
-					cyLo = c
-				}
-				if c := layout.CoordY(v + rc.lo); c < cyHi {
-					cyHi = c
-				}
-			}
-		}
-		for cy := cyLo; cy <= cyHi; cy++ {
-			for cx := cxLo; cx <= cxHi; cx++ {
-				p := layout.Part(cx, cy)
-				pp := &site.parts[p]
-				pp.rowsBuf = append(pp.rowsBuf, int32(r))
-				if srcAssign[r] != int32(p) {
-					pp.ghosts++
-					ghosts++
-				}
-			}
-		}
-	}
-	for i := range site.parts[:pw.n] {
-		pp := &site.parts[i]
-		pp.view = tab.ViewOf(pp.rowsBuf)
-	}
-	return ghosts
-}
-
-// buildPartIndex rebuilds one partition's index — over its member view for
-// spatial sites, over the whole extent for shared ones (the entry gather
-// may not shard there: several builds can be in flight on the pool).
-func (w *World) buildPartIndex(site *siteRT, pp *sitePart) {
-	srcRT := w.classes[site.step.SourceClass]
-	if site.shared {
-		w.buildSiteIndex(site, pp, srcRT, nil, false)
-		return
-	}
-	w.buildSiteIndex(site, pp, srcRT, pp.view.Rows(), false)
-}
-
-// fillMemberEntries materializes (id, row, coords) entries for a member
-// view, in view (= physical row) order.
-func fillMemberEntries(tab *table.Table, dims []int, rows []int32, entries []index.Entry, coords []float64) {
-	ids := tab.RawIDs()
-	d := len(dims)
-	for k, r := range rows {
-		c := coords[k*d : k*d+d : k*d+d]
-		for di, ai := range dims {
-			c[di] = tab.NumColumn(ai)[int(r)]
-		}
-		entries[k] = index.Entry{ID: ids[r], Row: r, Coords: c}
-	}
-}
-
-// buildPartsParallel fans the per-partition index rebuilds out across the
-// worker pool. Views are immutable by now; every build writes only its own
-// retained arena.
-func (w *World) buildPartsParallel(builds []partBuild) {
-	w.ensureWorkers()
-	nw := w.opts.Workers
-	if nw > len(builds) {
-		nw = len(builds)
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(atomic.AddInt64(&next, 1)) - 1
-				if j >= len(builds) {
-					return
-				}
-				w.buildPartIndex(builds[j].site, builds[j].pp)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// vecPhasePart is vecPhaseRange with the partition-ownership test folded
-// into the selection mask: one partition's masked kernel sweep over its
-// owned row span. Emissions are self-only and therefore row-disjoint across
-// partitions, so direct accumulator writes stay deterministic.
-func (w *World) vecPhasePart(rt *classRT, phase int, vp *vecPhase, lo, hi int, assign []int32, part int32) int {
-	v := rt.vec
-	mask := v.masks[0]
-	selected := 0
-	if rt.plan.NumPhases > 1 {
-		pcCol := rt.tab.NumColumn(rt.pcCol)
-		for r := lo; r < hi; r++ {
-			mask[r] = assign[r] == part && int(pcCol[r]) == phase
-			if mask[r] {
-				selected++
-			}
-		}
-	} else {
-		for r := lo; r < hi; r++ {
-			mask[r] = assign[r] == part
-			if mask[r] {
-				selected++
-			}
-		}
-	}
-	if selected > 0 {
-		w.execVecSteps(rt, vp.steps, mask, lo, hi, &v.machine, nil)
-	}
-	return selected
-}
-
-// runEffectPhasePartitioned executes the query/effect phase partition-at-a-
-// time: per class, the vectorized phases sweep each partition's span with an
-// ownership mask, then every partition's scalar row loop runs (fanned out
-// across the worker pool when Workers > 1) probing partition-local indexes
-// and staging emissions into its sink, and finally the sinks merge in
-// (partition, row) order — which is exactly ascending physical-row order,
-// the serial fold order.
-func (w *World) runEffectPhasePartitioned() {
-	pw := w.parts
-	track := !w.opts.DisableStats
-	for _, rt := range w.order {
-		if rt.plan.Decl.Run == nil || rt.tab.Len() == 0 {
-			continue
-		}
 		pc := rt.prt
-		capRows := rt.tab.Cap()
-		vecSel, _ := w.chooseEffectExec(rt, rt.phaseCounts())
-		if vecSel != nil {
-			w.prepareVecPhases(rt, vecSel, capRows)
-			vecRows := int64(0)
-			for p := 0; p < pw.n; p++ {
-				lo, hi := pc.span(p, capRows)
-				if lo >= hi {
-					continue
-				}
-				sel := 0
-				for ph, on := range vecSel {
-					if on {
-						sel += w.vecPhasePart(rt, ph, rt.vec.phases[ph], lo, hi, pc.assign, int32(p))
-					}
-				}
-				pw.loads[p] += int64(sel)
-				vecRows += int64(sel)
-			}
-			if track {
-				w.execStats.VectorRows += vecRows
-			}
-		}
-
-		for _, s := range pw.sinks {
-			s.reset()
-		}
-		runPart := func(p int) {
-			sink := pw.sinks[p]
-			x := newExecCtx(w, sink, rt.plan.NumSlots)
-			x.part = int32(p)
-			tab := rt.tab
-			lo, hi := pc.span(p, capRows)
-			scalarRows := int64(0)
-			for r := lo; r < hi; r++ {
-				if pc.assign[r] != int32(p) {
-					continue
-				}
-				pcv := int(tab.At(r, rt.pcCol).AsNumber())
-				if vecSel != nil && vecSel[pcv] {
-					continue
-				}
-				steps := rt.plan.Phases[pcv]
-				if len(steps) == 0 {
-					continue
-				}
-				sink.curRow = int32(r)
-				x.bindRow(rt, r)
-				x.runSteps(steps)
-				scalarRows++
-			}
-			atomic.AddInt64(&pw.loads[p], scalarRows+x.joinMatches)
-			if track {
-				atomic.AddInt64(&w.execStats.ScalarRows, scalarRows)
-			}
-			x.flushJoinStats()
-		}
-		w.runParts(runPart)
-		w.mergePartSinks(track)
-	}
-}
-
-// runParts dispatches fn(p) for every partition, across the worker pool
-// when it pays (per-partition sinks make the result order-independent of
-// scheduling). Tracing keeps the loop serial so hooks fire in (partition,
-// row) order.
-func (w *World) runParts(fn func(p int)) {
-	pw := w.parts
-	nw := w.opts.Workers
-	if nw > pw.n {
-		nw = pw.n
-	}
-	if nw <= 1 || w.tracer != nil {
-		for p := 0; p < pw.n; p++ {
-			fn(p)
-		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				p := int(atomic.AddInt64(&next, 1)) - 1
-				if p >= pw.n {
-					return
-				}
-				fn(p)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// mergeByRow runs the k-way merge shared by effects and transactions:
-// every sink's stream is sorted by source row (rows(si)), rows are unique
-// across sinks (each row is owned by exactly one partition), and apply is
-// invoked in globally ascending row order — exactly the (partition, row)
-// order, which is the serial row loop's order.
-func (w *World) mergeByRow(rows func(si int) []int32, apply func(si, i int)) {
-	pw := w.parts
-	idx := pw.mergeIdx
-	for i := range idx {
-		idx[i] = 0
-	}
-	for {
-		best, bestRow := -1, int32(0)
-		for si := range pw.sinks {
-			if rs := rows(si); idx[si] < len(rs) {
-				if r := rs[idx[si]]; best < 0 || r < bestRow {
-					best, bestRow = si, r
-				}
-			}
-		}
-		if best < 0 {
-			return
-		}
-		rs := rows(best)
-		for idx[best] < len(rs) && rs[idx[best]] == bestRow {
-			apply(best, idx[best])
-			idx[best]++
-		}
-	}
-}
-
-// mergePartSinks folds the per-partition sinks into the world's effect
-// buffers and transaction list in ascending source-row order, replaying
-// exactly the emission order of the serial row loop. Emissions whose target
-// row is owned by a different partition than their source row count as
-// cross-partition effect messages.
-func (w *World) mergePartSinks(track bool) {
-	pw := w.parts
-	w.mergeByRow(
-		func(si int) []int32 { return pw.sinks[si].rows },
-		func(si, i int) {
-			e := pw.sinks[si].ems[i]
-			rt := w.classes[e.Class]
-			row := rt.tab.Row(e.Target)
-			if row < 0 {
-				return // dangling target: contribution is dropped
-			}
-			rt.fx[e.AttrIdx].add(row, e.Val, e.Key)
-			if track && rt.prt.assign[row] != int32(si) {
-				w.execStats.PartMsgsEffect++
-				w.execStats.PartBytes += cluster.BytesPerEffect
-			}
-		})
-	// Transactions merge the same way, so admission sees them in the serial
-	// collection order.
-	w.mergeByRow(
-		func(si int) []int32 { return pw.sinks[si].txnRows },
-		func(si, i int) { w.txns = append(w.txns, pw.sinks[si].txns[i]) })
-}
-
-// runHandlersPartitioned evaluates reactive handlers partition-at-a-time
-// with the same sink staging and (partition, row)-ordered merge as the
-// effect phase. Handler accum sites are always shared (they probe
-// post-update state), so partition contexts resolve parts[0].
-func (w *World) runHandlersPartitioned() {
-	pw := w.parts
-	track := !w.opts.DisableStats
-	for _, rt := range w.order {
-		if len(rt.plan.Handlers) == 0 || rt.tab.Len() == 0 {
+		if pc == nil {
 			continue
 		}
-		pc := rt.prt
-		capRows := rt.tab.Cap()
-		for _, s := range pw.sinks {
-			s.reset()
-		}
-		runPart := func(p int) {
-			sink := pw.sinks[p]
-			x := newExecCtx(w, sink, rt.plan.NumSlots)
-			x.part = int32(p)
-			lo, hi := pc.span(p, capRows)
-			rows := int64(0)
-			for r := lo; r < hi; r++ {
-				if pc.assign[r] != int32(p) {
-					continue
-				}
-				sink.curRow = int32(r)
-				x.bindRow(rt, r)
-				for _, h := range rt.plan.Handlers {
-					if h.Cond(&x.ctx).AsBool() {
-						x.runSteps(h.Body)
-					}
-				}
-				rows++
+		maxL, sum := int64(0), int64(0)
+		for p, l := range pc.loads {
+			pw.loads[p] += l
+			sum += l
+			if l > maxL {
+				maxL = l
 			}
-			atomic.AddInt64(&pw.loads[p], rows)
-			if track {
-				atomic.AddInt64(&w.execStats.HandlerRows, rows)
-			}
-			x.flushJoinStats()
+			pc.loads[p] = 0
 		}
-		w.runParts(runPart)
-		w.mergePartSinks(track)
+		pc.lastMax, pc.lastSum = maxL, sum
 	}
-}
-
-// foldPartitionLoads closes the tick's load-balance accounting.
-func (w *World) foldPartitionLoads() {
 	if w.opts.DisableStats {
 		return
 	}
-	pw := w.parts
 	maxLoad, sum := int64(0), int64(0)
 	for _, l := range pw.loads {
 		sum += l
@@ -1118,88 +521,17 @@ func (w *World) Partitions() int {
 	return w.parts.n
 }
 
-// PartitionIndexBytes estimates each partition's resident accum-index
-// memory — the §4.2 partitioned index memory question, measured from the
-// engine's real per-tick indexes. Shared (whole-world fallback) indexes are
-// charged to every partition: under shared-nothing execution each node
-// would hold a full replica.
-func (w *World) PartitionIndexBytes() []int64 {
+// LayoutEpochs reports each class's current layout epoch (1 = still on the
+// first-tick measurement). Valid after at least one partitioned tick.
+func (w *World) LayoutEpochs() map[string]uint64 {
 	if w.parts == nil {
 		return nil
 	}
-	out := make([]int64, w.parts.n)
-	for _, site := range w.sites {
-		if site.shared {
-			b := site.parts[0].indexBytes()
-			for p := range out {
-				out[p] += b
-			}
-			continue
+	out := make(map[string]uint64, len(w.order))
+	for _, rt := range w.order {
+		if rt.prt != nil {
+			out[rt.name] = rt.prt.layout.Epoch
 		}
-		for p := 0; p < w.parts.n && p < len(site.parts); p++ {
-			out[p] += site.parts[p].indexBytes()
-		}
-	}
-	return out
-}
-
-func (pp *sitePart) indexBytes() int64 {
-	if !pp.builtOK {
-		return 0
-	}
-	b := int64(0)
-	if pp.tree != nil {
-		b += int64(pp.tree.EstimatedBytes())
-	}
-	if pp.hash != nil {
-		b += int64(pp.hash.EstimatedBytes())
-	}
-	return b
-}
-
-// SiteReach describes one accum site's derived interaction radius — the
-// per-class-pair answer to "how far can a probe reach", as used for ghost
-// margins. Valid after at least one partitioned tick.
-type SiteReach struct {
-	Class  string // probing class
-	Source string // iterated class
-	Phase  int
-	Shared bool // whole-world fallback (unbounded, handler, hash layout, …)
-	Dims   []SiteReachDim
-}
-
-// SiteReachDim is one range dimension's reach around its anchor axis.
-type SiteReachDim struct {
-	Attr     string // source attribute the dimension bounds
-	Axis     string // probing-class position attribute anchoring it
-	Lo, Hi   float64
-	Anchored bool
-}
-
-// InteractionRadii reports every accum site's derived reach (per probing/
-// source class pair) from the last prepared tick.
-func (w *World) InteractionRadii() []SiteReach {
-	if w.parts == nil {
-		return nil
-	}
-	var out []SiteReach
-	for _, site := range w.sites {
-		sr := SiteReach{Class: site.class, Source: site.step.SourceClass, Phase: site.phase, Shared: site.shared}
-		if j := site.step.Join; j != nil {
-			srcRT := w.classes[site.step.SourceClass]
-			probeRT := w.classes[site.class]
-			for d, rd := range j.Ranges {
-				dim := SiteReachDim{Attr: srcRT.cls.State[rd.AttrIdx].Name}
-				if d < len(site.reach) && site.reach[d].axis >= 0 {
-					rc := site.reach[d]
-					dim.Anchored = true
-					dim.Axis = probeRT.cls.State[probeRT.prt.axes[rc.axis]].Name
-					dim.Lo, dim.Hi = rc.lo, rc.hi
-				}
-				sr.Dims = append(sr.Dims, dim)
-			}
-		}
-		out = append(out, sr)
 	}
 	return out
 }

@@ -1,0 +1,356 @@
+package engine
+
+// Partition-parallel execution — the tick-pipeline half of partition.go's
+// §4.2 runtime. Per class pass, partitions fan out across the worker pool
+// for all three row loops:
+//
+//   - Vectorized phases sweep each partition's owned row span as masked
+//     kernel runs. Each worker owns a private vexpr scratch (masks, bufs,
+//     slot vectors, id vector — shardCtx.pvec), because partition spans may
+//     interleave arbitrarily and so cannot share mask storage the way the
+//     sharded executor's disjoint row ranges do. Self-only emissions are
+//     row-local and rows are partition-disjoint, so workers write the
+//     shared accumulators directly; the newly-touched row logs are staged
+//     per partition and folded in partition-major order — deterministic,
+//     but globally row-sorted only while spans don't interleave, so
+//     nothing may depend on touched-list row order (no consumer does: the
+//     list is a set used for resets and dense-vector scatter).
+//
+//   - Scalar rows and reactive handlers run per partition in ascending
+//     physical-row order, staging every emission and transaction into a
+//     per-partition sink tagged with its source row. Probes resolve the
+//     partition-local index and candidates are canonicalized to physical-
+//     row order, so the ⊕ fold order per accumulator is independent of the
+//     layout, the epoch and the worker schedule.
+//
+//   - After each class pass the per-partition sinks merge by source row — a
+//     k-way merge of streams that are each row-sorted, i.e. exactly the
+//     (partition, row) order — replaying the serial row loop's emission
+//     order bit-for-bit. An emission whose target row is owned by another
+//     partition counts as a cross-partition effect message.
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/vexpr"
+)
+
+// partSink stages one partition's effect emissions, transactions, touched-
+// row logs and row counters during a class pass, each emission tagged with
+// the emitting physical row. Rows are appended in ascending order (the
+// partition row loop), which is what makes the cross-partition merge a
+// k-way merge of sorted streams. A sink is owned by exactly one worker for
+// the duration of a pass, so nothing here needs atomics.
+type partSink struct {
+	curRow  int32
+	ems     []Emission
+	rows    []int32
+	txns    []*Txn
+	txnRows []int32
+
+	touched     touchedLog // vectorized-phase empty→touched transitions
+	vecRows     int64
+	scalarRows  int64
+	handlerRows int64
+}
+
+func (s *partSink) emit(w *World, e Emission) {
+	s.ems = append(s.ems, e)
+	s.rows = append(s.rows, s.curRow)
+}
+
+func (s *partSink) addTxn(t *Txn) {
+	s.txns = append(s.txns, t)
+	s.txnRows = append(s.txnRows, s.curRow)
+}
+
+func (s *partSink) reset() {
+	s.ems = s.ems[:0]
+	s.rows = s.rows[:0]
+	s.txns = s.txns[:0]
+	s.txnRows = s.txnRows[:0]
+	s.touched.reset()
+	s.vecRows, s.scalarRows, s.handlerRows = 0, 0, 0
+}
+
+// partFanout reports whether partition passes fan out across the worker
+// pool this tick — the same condition runParts dispatches under.
+func (w *World) partFanout() bool {
+	nw := w.opts.Workers
+	if nw > w.parts.n {
+		nw = w.parts.n
+	}
+	return nw > 1 && w.tracer == nil
+}
+
+// vecPhasePart is vecPhaseRange with the partition-ownership test folded
+// into the selection mask: one partition's masked kernel sweep over its
+// owned row span, through the caller's scratch and machine. Emissions are
+// self-only and therefore row-disjoint across partitions, so direct
+// accumulator writes stay deterministic; the touched log keeps the shared
+// touched lists out of the concurrent path.
+func (w *World) vecPhasePart(rt *classRT, phase int, vp *vecPhase, lo, hi int, assign []int32, part int32, sc *vecScratch, m *vexpr.Machine, tl *touchedLog) int {
+	mask := sc.masks[0]
+	selected := 0
+	if rt.plan.NumPhases > 1 {
+		pcCol := rt.tab.NumColumn(rt.pcCol)
+		for r := lo; r < hi; r++ {
+			mask[r] = assign[r] == part && int(pcCol[r]) == phase
+			if mask[r] {
+				selected++
+			}
+		}
+	} else {
+		for r := lo; r < hi; r++ {
+			mask[r] = assign[r] == part
+			if mask[r] {
+				selected++
+			}
+		}
+	}
+	if selected > 0 {
+		w.execVecSteps(rt, vp.steps, mask, lo, hi, sc, m, tl)
+	}
+	return selected
+}
+
+// runEffectPhasePartitioned executes the query/effect phase partition-
+// parallel: per class, every partition — vectorized phase sweeps and the
+// scalar row loop alike — is one work unit on the worker pool, with
+// per-worker kernel scratch and per-partition sinks, and finally the sinks
+// merge in (partition, row) order — which is exactly ascending physical-row
+// order, the serial fold order.
+func (w *World) runEffectPhasePartitioned() {
+	pw := w.parts
+	track := !w.opts.DisableStats
+	for _, rt := range w.order {
+		if rt.plan.Decl.Run == nil || rt.tab.Len() == 0 {
+			continue
+		}
+		pc := rt.prt
+		capRows := rt.tab.Cap()
+		vecSel, _ := w.chooseEffectExec(rt, rt.phaseCounts())
+		fanout := w.partFanout()
+		if vecSel != nil && !fanout {
+			w.prepareVecPhases(rt, vecSel, capRows)
+		}
+		w.partPrepGen++
+		for _, s := range pw.sinks {
+			s.reset()
+		}
+		runPart := func(slot, p int) {
+			sink := pw.sinks[p]
+			lo, hi := pc.span(p, capRows)
+			if vecSel != nil {
+				sc, m := &rt.vec.sc, &rt.vec.machine
+				if fanout {
+					wc := w.shardCtxs[slot]
+					if wc.pvecGen != w.partPrepGen {
+						w.prepareVecScratch(rt, &wc.pvec, vecSel, capRows)
+						wc.pvecGen = w.partPrepGen
+					}
+					sc, m = &wc.pvec, &wc.machine
+				}
+				sink.touched.ensure(len(rt.fx))
+				sel := 0
+				if lo < hi {
+					for ph, on := range vecSel {
+						if on {
+							sel += w.vecPhasePart(rt, ph, rt.vec.phases[ph], lo, hi, pc.assign, int32(p), sc, m, &sink.touched)
+						}
+					}
+				}
+				sink.vecRows += int64(sel)
+				pc.loads[p] += int64(sel)
+			}
+			if lo >= hi {
+				return
+			}
+			x := newExecCtx(w, sink, rt.plan.NumSlots)
+			x.part = int32(p)
+			tab := rt.tab
+			scalarRows := int64(0)
+			for r := lo; r < hi; r++ {
+				if pc.assign[r] != int32(p) {
+					continue
+				}
+				pcv := int(tab.At(r, rt.pcCol).AsNumber())
+				if vecSel != nil && vecSel[pcv] {
+					continue
+				}
+				steps := rt.plan.Phases[pcv]
+				if len(steps) == 0 {
+					continue
+				}
+				sink.curRow = int32(r)
+				x.bindRow(rt, r)
+				x.runSteps(steps)
+				scalarRows++
+			}
+			sink.scalarRows += scalarRows
+			pc.loads[p] += scalarRows + x.joinMatches
+			x.flushJoinStats()
+		}
+		if w.runParts(runPart) && track {
+			w.execStats.ParallelShards += int64(pw.n)
+		}
+		w.foldPartSinks(rt, track)
+		w.mergePartSinks(track)
+	}
+}
+
+// runParts dispatches fn(slot, p) for every partition, across the worker
+// pool when it pays (per-partition sinks and per-worker scratch make the
+// result order-independent of scheduling); slot identifies the worker's
+// private shardCtx. Tracing keeps the loop serial so hooks fire in
+// (partition, row) order. Returns whether the pass fanned out.
+func (w *World) runParts(fn func(slot, p int)) bool {
+	pw := w.parts
+	if !w.partFanout() {
+		for p := 0; p < pw.n; p++ {
+			fn(0, p)
+		}
+		return false
+	}
+	w.ensureWorkers()
+	w.runPool(pw.n, w.opts.Workers, fn)
+	return true
+}
+
+// foldPartSinks folds the per-partition vectorized touched-row logs into
+// the shared touched lists in partition-major order and the per-partition
+// row counters into the execution statistics. The merged list is
+// deterministic but not globally row-sorted when partition spans interleave
+// (hash layouts, drifted ownership); every consumer of fx.touched treats it
+// as an unordered set (accumulator resets, dense effect-vector scatter), so
+// only determinism matters here.
+func (w *World) foldPartSinks(rt *classRT, track bool) {
+	pw := w.parts
+	var vec, scalar, handler int64
+	for _, s := range pw.sinks {
+		for ai, rows := range s.touched.rows {
+			if len(rows) > 0 {
+				rt.fx[ai].touched = append(rt.fx[ai].touched, rows...)
+			}
+		}
+		s.touched.reset()
+		vec += s.vecRows
+		scalar += s.scalarRows
+		handler += s.handlerRows
+		s.vecRows, s.scalarRows, s.handlerRows = 0, 0, 0
+	}
+	if track {
+		w.execStats.VectorRows += vec
+		w.execStats.ScalarRows += scalar
+		w.execStats.HandlerRows += handler
+	}
+}
+
+// mergeByRow runs the k-way merge shared by effects and transactions:
+// every sink's stream is sorted by source row (rows(si)), rows are unique
+// across sinks (each row is owned by exactly one partition), and apply is
+// invoked in globally ascending row order — exactly the (partition, row)
+// order, which is the serial row loop's order.
+func (w *World) mergeByRow(rows func(si int) []int32, apply func(si, i int)) {
+	pw := w.parts
+	idx := pw.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best, bestRow := -1, int32(0)
+		for si := range pw.sinks {
+			if rs := rows(si); idx[si] < len(rs) {
+				if r := rs[idx[si]]; best < 0 || r < bestRow {
+					best, bestRow = si, r
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		rs := rows(best)
+		for idx[best] < len(rs) && rs[idx[best]] == bestRow {
+			apply(best, idx[best])
+			idx[best]++
+		}
+	}
+}
+
+// mergePartSinks folds the per-partition sinks into the world's effect
+// buffers and transaction list in ascending source-row order, replaying
+// exactly the emission order of the serial row loop. Emissions whose target
+// row is owned by a different partition than their source row count as
+// cross-partition effect messages.
+func (w *World) mergePartSinks(track bool) {
+	pw := w.parts
+	w.mergeByRow(
+		func(si int) []int32 { return pw.sinks[si].rows },
+		func(si, i int) {
+			e := pw.sinks[si].ems[i]
+			rt := w.classes[e.Class]
+			row := rt.tab.Row(e.Target)
+			if row < 0 {
+				return // dangling target: contribution is dropped
+			}
+			rt.fx[e.AttrIdx].add(row, e.Val, e.Key)
+			if track && rt.prt.assign[row] != int32(si) {
+				w.execStats.PartMsgsEffect++
+				w.execStats.PartBytes += cluster.BytesPerEffect
+			}
+		})
+	// Transactions merge the same way, so admission sees them in the serial
+	// collection order.
+	w.mergeByRow(
+		func(si int) []int32 { return pw.sinks[si].txnRows },
+		func(si, i int) { w.txns = append(w.txns, pw.sinks[si].txns[i]) })
+}
+
+// runHandlersPartitioned evaluates reactive handlers partition-parallel
+// with the same sink staging and (partition, row)-ordered merge as the
+// effect phase. Handler accum sites are always shared (they probe
+// post-update state), so partition contexts resolve parts[0].
+func (w *World) runHandlersPartitioned() {
+	pw := w.parts
+	track := !w.opts.DisableStats
+	for _, rt := range w.order {
+		if len(rt.plan.Handlers) == 0 || rt.tab.Len() == 0 {
+			continue
+		}
+		pc := rt.prt
+		capRows := rt.tab.Cap()
+		for _, s := range pw.sinks {
+			s.reset()
+		}
+		runPart := func(slot, p int) {
+			sink := pw.sinks[p]
+			lo, hi := pc.span(p, capRows)
+			if lo >= hi {
+				return
+			}
+			x := newExecCtx(w, sink, rt.plan.NumSlots)
+			x.part = int32(p)
+			rows := int64(0)
+			for r := lo; r < hi; r++ {
+				if pc.assign[r] != int32(p) {
+					continue
+				}
+				sink.curRow = int32(r)
+				x.bindRow(rt, r)
+				for _, h := range rt.plan.Handlers {
+					if h.Cond(&x.ctx).AsBool() {
+						x.runSteps(h.Body)
+					}
+				}
+				rows++
+			}
+			sink.handlerRows += rows
+			pc.loads[p] += rows
+			x.flushJoinStats()
+		}
+		if w.runParts(runPart) && track {
+			w.execStats.ParallelShards += int64(pw.n)
+		}
+		w.foldPartSinks(rt, track)
+		w.mergePartSinks(track)
+	}
+}

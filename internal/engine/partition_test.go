@@ -460,3 +460,351 @@ class C {
 		t.Fatalf("site must be spatial again: %+v", radii)
 	}
 }
+
+// TestRebalanceMatrixDifferential is the acceptance guard for layout
+// epochs: Partitions ∈ {1, 2, 4} × Rebalance ∈ {eager, off} × Workers ∈
+// {1, 4} over the traffic (vectorized phases) and flock (three range
+// joins) scenarios, with drift-heavy churn — every tick kills random
+// objects and spawns replacements clustered into one corner, so ownership
+// skews hard and eager worlds install successor epochs mid-run — and every
+// configuration must end bit-identical to the single-partition reference.
+// Rebalancing may only change who computes what, never what is computed.
+func TestRebalanceMatrixDifferential(t *testing.T) {
+	type cfg struct {
+		parts   int
+		reb     plan.RebalancePolicy
+		workers int
+	}
+	var cfgs []cfg
+	for _, p := range []int{1, 2, 4} {
+		for _, rb := range []plan.RebalancePolicy{plan.RebalanceEager, plan.RebalanceOff} {
+			for _, wk := range []int{1, 4} {
+				cfgs = append(cfgs, cfg{p, rb, wk})
+			}
+		}
+	}
+	scenarios := []struct {
+		name  string
+		class string
+		attrs []string
+		n     int
+		ticks int
+		build func(t *testing.T, n int, opts engine.Options) *engine.World
+		spawn func(w *engine.World, i int) (value.ID, error)
+	}{
+		{
+			name: "traffic", class: "Vehicle", attrs: vehicleAttrs, n: 2000, ticks: 8,
+			build: func(t *testing.T, n int, opts engine.Options) *engine.World {
+				// A clustered population (two tight blobs in a 4000² world)
+				// so uniform first-tick slots start out skewed and eager
+				// worlds have something to split.
+				t.Helper()
+				sc, err := core.LoadScenario("vehicles", core.SrcVehicles)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w, err := sc.NewWorld(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := core.PopulateVehicles(w, workload.Clustered(n, 2, 80, 4000, 4000, 5)); err != nil {
+					t.Fatal(err)
+				}
+				return w
+			},
+			spawn: func(w *engine.World, i int) (value.ID, error) {
+				// Cluster churn into one corner so loads skew further.
+				return w.Spawn("Vehicle", map[string]value.Value{
+					"x": value.Num(3600 + float64(i%13)*30), "y": value.Num(3700 + float64(i%11)*25),
+					"dx": value.Num(1), "speed": value.Num(float64(2 + i%4)),
+					"fuel": value.Num(float64(300 + i%57)),
+				})
+			},
+		},
+		{
+			name: "flock", class: "Boid", attrs: boidAttrs, n: 1000, ticks: 6,
+			build: flockWorldFor,
+			spawn: func(w *engine.World, i int) (value.ID, error) {
+				return w.Spawn("Boid", map[string]value.Value{
+					"x": value.Num(float64(i%23) * 6), "y": value.Num(float64(i%19) * 7),
+					"vx": value.Num(2), "vy": value.Num(1),
+				})
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			worlds := make([]*engine.World, len(cfgs))
+			for i, c := range cfgs {
+				worlds[i] = sc.build(t, sc.n, engine.Options{
+					Partitions: c.parts, Rebalance: c.reb, Workers: c.workers,
+				})
+			}
+			ref := worlds[0]
+			live := append([]value.ID(nil), ref.IDs(sc.class)...)
+			rng := rand.New(rand.NewSource(29))
+			for tick := 0; tick < sc.ticks; tick++ {
+				for k := 0; k < 3 && len(live) > 40; k++ {
+					j := rng.Intn(len(live))
+					for _, w := range worlds {
+						if err := w.Kill(sc.class, live[j]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					live = append(live[:j], live[j+1:]...)
+				}
+				for k := 0; k < 3; k++ {
+					var nid value.ID
+					for wi, w := range worlds {
+						id, err := sc.spawn(w, tick*41+k*17)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if wi == 0 {
+							nid = id
+						} else if id != nid {
+							t.Fatalf("id drift: %d vs %d", id, nid)
+						}
+					}
+					live = append(live, nid)
+				}
+				for wi, w := range worlds {
+					if err := w.RunTick(); err != nil {
+						t.Fatalf("cfg %+v tick %d: %v", cfgs[wi], tick, err)
+					}
+				}
+			}
+			rebalanced := false
+			for wi := 1; wi < len(worlds); wi++ {
+				if d := diffClassWorlds(ref, worlds[wi], sc.class, sc.attrs, live); d != "" {
+					t.Fatalf("cfg %+v diverged from reference: %s", cfgs[wi], d)
+				}
+				if cfgs[wi].parts > 1 && cfgs[wi].reb == plan.RebalanceEager &&
+					worlds[wi].ExecStats().RebalanceCount > 0 {
+					rebalanced = true
+				}
+				if cfgs[wi].reb == plan.RebalanceOff {
+					if c := worlds[wi].ExecStats().RebalanceCount; c != 0 {
+						t.Fatalf("cfg %+v: frozen layout rebalanced %d times", cfgs[wi], c)
+					}
+				}
+			}
+			if !rebalanced {
+				t.Fatal("no eager configuration installed a successor epoch; the matrix exercised nothing")
+			}
+		})
+	}
+}
+
+// SrcDriftFlock is a flock whose members share one constant velocity: the
+// whole population translates every tick, so any frozen layout's measured
+// box goes stale and every row eventually clamps into the far edge
+// partition — the §4.2 clamp-skew pathology this PR makes observable
+// (stats.ClampedRows) and fixable (RebalanceWiden with a measured drift
+// margin).
+const srcDriftFlock = `
+class Boid {
+  state:
+    number x = 0;
+    number y = 0;
+    number vx = 4;
+    number vy = 0;
+  effects:
+    number nb : sum;
+  update:
+    x = x + vx;
+    y = y + vy;
+  run {
+    accum number cnt with sum over Boid u from Boid {
+      if (u.x >= x - 10 && u.x <= x + 10 && u.y >= y - 10 && u.y <= y + 10) {
+        cnt <- 1;
+      }
+    } in {
+      nb <- cnt;
+    }
+  }
+}
+`
+
+func driftFlockWorld(t *testing.T, n int, opts engine.Options) *engine.World {
+	t.Helper()
+	sc, err := core.LoadScenario("drift-flock", srcDriftFlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := w.Spawn("Boid", map[string]value.Value{
+			"x": value.Num(float64(i%30) * 4), "y": value.Num(float64(i/30) * 5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// TestDriftingFlockClampSkew is the edge-partition clamp-skew regression: a
+// drifting flock under a frozen layout piles every row into the boundary
+// stripe (clamped rows accumulate, imbalance approaches the partition
+// count), while the adaptive default re-measures drift-widened bounds —
+// epochs advance, clamp skew stays bounded, the imbalance holds near 1 —
+// and the two worlds still end bit-identical, because layouts never change
+// results.
+func TestDriftingFlockClampSkew(t *testing.T) {
+	const n, parts, ticks = 600, 4, 40
+	frozen := driftFlockWorld(t, n, engine.Options{
+		Partitions: parts, Partition: plan.PartitionStripes, Rebalance: plan.RebalanceOff,
+	})
+	adaptive := driftFlockWorld(t, n, engine.Options{
+		Partitions: parts, Partition: plan.PartitionStripes,
+	})
+	for _, w := range []*engine.World{frozen, adaptive} {
+		if err := w.Run(ticks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, as := frozen.ExecStats(), adaptive.ExecStats()
+
+	// The skew is observable: the frozen world clamps essentially the whole
+	// population every late tick.
+	if fs.ClampedRows < int64(n)*int64(ticks)/4 {
+		t.Fatalf("frozen drift clamped only %d row-ticks; skew not observable", fs.ClampedRows)
+	}
+	if fs.RebalanceCount != 0 || fs.EpochID != 1 {
+		t.Fatalf("frozen layout advanced epochs: %d fires, epoch %d", fs.RebalanceCount, fs.EpochID)
+	}
+
+	// The adaptive world re-measures: epochs advance, and the measured
+	// drift margin keeps clamping bounded well below the frozen world.
+	if as.RebalanceCount == 0 || as.EpochID < 2 {
+		t.Fatalf("adaptive drift never rebalanced: %d fires, epoch %d", as.RebalanceCount, as.EpochID)
+	}
+	if as.ClampedRows*2 >= fs.ClampedRows {
+		t.Fatalf("adaptive clamp skew %d not clearly below frozen %d", as.ClampedRows, fs.ClampedRows)
+	}
+	fi, ai := fs.PartImbalance(parts), as.PartImbalance(parts)
+	if ai >= fi {
+		t.Fatalf("adaptive imbalance %.2f did not beat frozen %.2f", ai, fi)
+	}
+	if fi < 2 {
+		t.Fatalf("frozen imbalance %.2f never degraded; drift workload too tame", fi)
+	}
+
+	// And rebalancing never changed what was computed.
+	if d := diffClassWorlds(frozen, adaptive, "Boid", []string{"x", "y", "vx", "vy"}, frozen.IDs("Boid")); d != "" {
+		t.Fatalf("adaptive layouts diverged from frozen: %s", d)
+	}
+}
+
+// TestPartitionedVecFanOut pins the per-worker kernel scratch: partitioned
+// vectorized phases must fan out across the pool (ParallelShards counts the
+// dispatched partition sweeps — it stayed zero when vec phases ran
+// partition-serial over one shared scratch) and stay bit-identical with
+// identical VectorRows accounting across worker counts.
+func TestPartitionedVecFanOut(t *testing.T) {
+	const n, parts, ticks = 3000, 4, 4
+	w1 := trafficWorld(t, n, engine.Options{Partitions: parts, Workers: 1})
+	w4 := trafficWorld(t, n, engine.Options{Partitions: parts, Workers: 4})
+	for _, w := range []*engine.World{w1, w4} {
+		if err := w.Run(ticks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, s4 := w1.ExecStats(), w4.ExecStats()
+	if s1.VectorRows == 0 {
+		t.Fatal("traffic phases never vectorized under partitioning")
+	}
+	if s1.VectorRows != s4.VectorRows {
+		t.Fatalf("VectorRows drifted across worker counts: %d vs %d", s1.VectorRows, s4.VectorRows)
+	}
+	if s1.ParallelShards != 0 {
+		t.Fatalf("Workers=1 dispatched %d partition sweeps", s1.ParallelShards)
+	}
+	if s4.ParallelShards < int64(parts)*ticks {
+		t.Fatalf("Workers=4 dispatched %d partition sweeps, want >= %d (fan-out per class pass)",
+			s4.ParallelShards, int64(parts)*ticks)
+	}
+	if d := diffClassWorlds(w1, w4, "Vehicle", vehicleAttrs, w1.IDs("Vehicle")); d != "" {
+		t.Fatalf("partitioned vec fan-out diverged: %s", d)
+	}
+}
+
+// srcSparseMove is a mostly-static 2-D join workload: only movers (v != 0)
+// change position, so per-partition grids see a small dirty fraction per
+// tick — the regime where member-view-aware Grid.SyncRows patches in place
+// instead of rebuilding.
+const srcSparseMove = `
+class P {
+  state:
+    number x = 0;
+    number y = 0;
+    number v = 0;
+    number near = 0;
+  effects:
+    number nb : sum;
+  update:
+    x = x + v;
+    near = nb;
+  run {
+    accum number cnt with sum over P u from P {
+      if (u.x >= x - 15 && u.x <= x + 15 && u.y >= y - 15 && u.y <= y + 15) {
+        cnt <- 1;
+      }
+    } in {
+      nb <- cnt;
+    }
+  }
+}
+`
+
+// TestPartitionMemberGridSync pins incremental maintenance of partition-
+// local grids: under sparse churn the per-partition grids must patch in
+// place (IndexIncrements, previously always zero in partitioned mode
+// because Grid.Sync reconciled against the whole alive mask) and the
+// results must stay bit-identical to Partitions=1.
+func TestPartitionMemberGridSync(t *testing.T) {
+	build := func(parts int) *engine.World {
+		sc, err := core.LoadScenario("sparse-move", srcSparseMove)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := sc.NewWorld(engine.Options{
+			Partitions: parts, Partition: plan.PartitionStripes,
+			Strategy: plan.GridIndex,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1200; i++ {
+			v := 0.0
+			if i%25 == 0 {
+				v = 2 // 4% movers
+			}
+			if _, err := w.Spawn("P", map[string]value.Value{
+				"x": value.Num(float64(i%40) * 10), "y": value.Num(float64(i/40) * 12),
+				"v": value.Num(v),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+	const ticks = 6
+	ref := build(1)
+	parted := build(3)
+	for _, w := range []*engine.World{ref, parted} {
+		if err := w.Run(ticks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := parted.ExecStats()
+	if st.IndexIncrements == 0 {
+		t.Fatal("partition-local grids never patched incrementally under sparse churn")
+	}
+	if d := diffClassWorlds(ref, parted, "P", []string{"x", "y", "v", "near"}, ref.IDs("P")); d != "" {
+		t.Fatalf("synced partition grids diverged from Partitions=1: %s", d)
+	}
+}

@@ -118,7 +118,7 @@ func (w *World) runEffectPhaseSerial() {
 				vecRows := int64(0)
 				for p, on := range vecRun {
 					if on {
-						vecRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], 0, rt.tab.Cap(), &rt.vec.machine, nil))
+						vecRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], 0, rt.tab.Cap(), &rt.vec.sc, &rt.vec.machine, nil))
 					}
 				}
 				if !w.opts.DisableStats {

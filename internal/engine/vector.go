@@ -78,12 +78,26 @@ type vecPhase struct {
 	maxDepth int  // deepest if-nesting level (selection-mask levels - 1)
 }
 
-// vecClassPlan carries a class's compiled batch kernels plus the scratch
-// vectors reused across ticks. The scratch is shared between shards: every
-// kernel run writes only its shard's [lo, hi) range of each vector, so after
-// prepareVecPhases pre-sizes everything no synchronization is needed. Only
-// the embedded machine is serial-path-only; sharded runs use the per-worker
-// machines in World.shardCtxs.
+// vecScratch is one independent set of kernel I/O state: the environment
+// binding, the id vector for self() kernels, frame-slot vectors, emit/if
+// output buffers and the selection-mask stack. The serial and sharded
+// executors share the class's embedded scratch (shards write range-disjoint
+// [lo, hi) slices, so pre-sizing makes that safe); the partitioned executor
+// hands each worker its own (World.shardCtxs), because partition row spans
+// may interleave arbitrarily — hash layouts, drifted ownership — and so
+// cannot share mask storage.
+type vecScratch struct {
+	env      vexpr.Env
+	ids      []float64
+	slotVecs [][]float64
+	bufs     [][]float64 // per-emit/if output vectors
+	masks    [][]bool    // selection masks by if-nesting depth
+}
+
+// vecClassPlan carries a class's compiled batch kernels plus the shared
+// scratch reused across ticks. Only the embedded machine is
+// serial-path-only; sharded runs use the per-worker machines in
+// World.shardCtxs.
 type vecClassPlan struct {
 	updates       []vecUpdateRule
 	scalarUpdates []compile.UpdatePlan // rules that stay on the closure path
@@ -94,16 +108,12 @@ type vecClassPlan struct {
 	phases    []*vecPhase // indexed by phase; nil = scalar only
 	hasPhases bool        // any phase compiled (guards the per-tick scan)
 
-	// Scratch, sized to the table capacity on demand.
-	machine  vexpr.Machine
-	env      vexpr.Env
-	ids      []float64
-	fxVecs   [][]float64 // indexed by effect attr; nil when unused
-	slotVecs [][]float64
-	bufs     [][]float64 // per-emit/if output vectors
-	masks    [][]bool    // selection masks by if-nesting depth
-	outVecs  [][]float64 // staged update-rule results, one per vec rule
-	staged   bool        // outVecs hold this tick's results
+	// Shared scratch, sized to the table capacity on demand.
+	machine vexpr.Machine
+	sc      vecScratch
+	fxVecs  [][]float64 // indexed by effect attr; nil when unused
+	outVecs [][]float64 // staged update-rule results, one per vec rule
+	staged  bool        // outVecs hold this tick's results
 }
 
 // phaseCounts returns the number of live rows at each script phase — the
@@ -389,49 +399,56 @@ func growFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-func (v *vecClassPlan) buf(i, n int) []float64 {
-	for len(v.bufs) <= i {
-		v.bufs = append(v.bufs, nil)
+func (s *vecScratch) buf(i, n int) []float64 {
+	for len(s.bufs) <= i {
+		s.bufs = append(s.bufs, nil)
 	}
-	v.bufs[i] = growFloats(v.bufs[i], n)
-	return v.bufs[i]
+	s.bufs[i] = growFloats(s.bufs[i], n)
+	return s.bufs[i]
 }
 
-func (v *vecClassPlan) mask(depth, n int) []bool {
-	for len(v.masks) <= depth {
-		v.masks = append(v.masks, nil)
+func (s *vecScratch) mask(depth, n int) []bool {
+	for len(s.masks) <= depth {
+		s.masks = append(s.masks, nil)
 	}
-	if cap(v.masks[depth]) < n {
-		v.masks[depth] = make([]bool, n)
+	if cap(s.masks[depth]) < n {
+		s.masks[depth] = make([]bool, n)
 	}
-	v.masks[depth] = v.masks[depth][:n]
-	return v.masks[depth]
+	s.masks[depth] = s.masks[depth][:n]
+	return s.masks[depth]
 }
 
 // fillIDs materializes the per-row object-id vector for self() kernels.
-func (v *vecClassPlan) fillIDs(rt *classRT, n int) {
-	v.ids = growFloats(v.ids, n)
+func (s *vecScratch) fillIDs(rt *classRT, n int) {
+	s.ids = growFloats(s.ids, n)
 	for r := 0; r < n; r++ {
-		v.ids[r] = float64(rt.tab.ID(r))
+		s.ids[r] = float64(rt.tab.ID(r))
 	}
-	v.env.IDs = v.ids
+	s.env.IDs = s.ids
 }
 
-// bindEnv points the shared kernel environment at the class's current
+// bindEnv points the scratch's kernel environment at the class's current
 // columns.
-func (v *vecClassPlan) bindEnv(w *World, rt *classRT) {
-	v.env.Cols = rt.tab.NumColumns()
-	v.env.Gather = w.gatherState
+func (s *vecScratch) bindEnv(w *World, rt *classRT) {
+	s.env.Cols = rt.tab.NumColumns()
+	s.env.Gather = w.gatherState
 }
 
-// prepareVecPhases readies the shared scratch for every selected phase —
-// environment binding, id vector, slot/buf/mask sizing — before any kernel
-// runs. Sharded execution depends on this: once pre-sized, kernel runs only
-// ever write range-disjoint slices of the shared vectors, so lazy growth
-// (which would race) never happens inside a worker.
+// prepareVecPhases readies the class's shared scratch for every selected
+// phase. Sharded execution depends on this: once pre-sized, kernel runs
+// only ever write range-disjoint slices of the shared vectors, so lazy
+// growth (which would race) never happens inside a worker.
 func (w *World) prepareVecPhases(rt *classRT, vecSel []bool, n int) {
+	w.prepareVecScratch(rt, &rt.vec.sc, vecSel, n)
+}
+
+// prepareVecScratch readies one scratch for every selected phase —
+// environment binding, id vector, slot/buf/mask sizing — before any kernel
+// runs through it. The partitioned executor calls it once per worker and
+// class pass, giving each worker a fully independent set of vectors.
+func (w *World) prepareVecScratch(rt *classRT, sc *vecScratch, vecSel []bool, n int) {
 	v := rt.vec
-	v.bindEnv(w, rt)
+	sc.bindEnv(w, rt)
 	needIDs := false
 	for p, on := range vecSel {
 		if !on {
@@ -440,23 +457,23 @@ func (w *World) prepareVecPhases(rt *classRT, vecSel []bool, n int) {
 		vp := v.phases[p]
 		needIDs = needIDs || vp.needIDs
 		if vp.maxSlot >= 0 {
-			for len(v.slotVecs) <= vp.maxSlot {
-				v.slotVecs = append(v.slotVecs, nil)
+			for len(sc.slotVecs) <= vp.maxSlot {
+				sc.slotVecs = append(sc.slotVecs, nil)
 			}
-			for i := range v.slotVecs {
-				v.slotVecs[i] = growFloats(v.slotVecs[i], n)
+			for i := range sc.slotVecs {
+				sc.slotVecs[i] = growFloats(sc.slotVecs[i], n)
 			}
-			v.env.Slots = v.slotVecs
+			sc.env.Slots = sc.slotVecs
 		}
 		for i := 0; i < vp.nBufs; i++ {
-			v.buf(i, n)
+			sc.buf(i, n)
 		}
 		for d := 0; d <= vp.maxDepth; d++ {
-			v.mask(d, n)
+			sc.mask(d, n)
 		}
 	}
 	if needIDs {
-		v.fillIDs(rt, n)
+		sc.fillIDs(rt, n)
 	}
 }
 
@@ -484,13 +501,13 @@ func (t *touchedLog) reset() {
 // vecPhaseRange executes one vectorized effect phase over physical rows
 // [lo, hi): the base selection mask is alive ∧ pc=phase, refined by nested
 // if conditions; kernels evaluate unmasked (expressions are total, dead
-// lanes are ignored) and only masked rows emit. Scratch must have been
-// pre-sized by prepareVecPhases. tl is nil on the serial path (emissions
-// append to the shared touched lists directly); sharded runs pass their
-// worker's log. Returns the number of selected rows.
-func (w *World) vecPhaseRange(rt *classRT, phase int, vp *vecPhase, lo, hi int, m *vexpr.Machine, tl *touchedLog) int {
-	v := rt.vec
-	mask := v.masks[0]
+// lanes are ignored) and only masked rows emit. sc must have been pre-sized
+// by prepareVecPhases/prepareVecScratch. tl is nil on the serial path
+// (emissions append to the shared touched lists directly); sharded and
+// partitioned runs pass their private log. Returns the number of selected
+// rows.
+func (w *World) vecPhaseRange(rt *classRT, phase int, vp *vecPhase, lo, hi int, sc *vecScratch, m *vexpr.Machine, tl *touchedLog) int {
+	mask := sc.masks[0]
 	alive := rt.tab.AliveMask()
 	selected := 0
 	if rt.plan.NumPhases > 1 {
@@ -510,24 +527,23 @@ func (w *World) vecPhaseRange(rt *classRT, phase int, vp *vecPhase, lo, hi int, 
 		}
 	}
 	if selected > 0 {
-		w.execVecSteps(rt, vp.steps, mask, lo, hi, m, tl)
+		w.execVecSteps(rt, vp.steps, mask, lo, hi, sc, m, tl)
 	}
 	return selected
 }
 
-func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi int, m *vexpr.Machine, tl *touchedLog) {
-	v := rt.vec
+func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi int, sc *vecScratch, m *vexpr.Machine, tl *touchedLog) {
 	for _, s := range steps {
 		switch s := s.(type) {
 		case *vecLet:
-			s.prog.Run(m, &v.env, lo, hi, v.slotVecs[s.slot])
+			s.prog.Run(m, &sc.env, lo, hi, sc.slotVecs[s.slot])
 		case *vecEmit:
-			val := v.bufs[s.valBuf]
-			s.val.Run(m, &v.env, lo, hi, val)
+			val := sc.bufs[s.valBuf]
+			s.val.Run(m, &sc.env, lo, hi, val)
 			var key []float64
 			if s.key != nil {
-				key = v.bufs[s.keyBuf]
-				s.key.Run(m, &v.env, lo, hi, key)
+				key = sc.bufs[s.keyBuf]
+				s.key.Run(m, &sc.env, lo, hi, key)
 			}
 			fx := &rt.fx[s.attrIdx]
 			for r := lo; r < hi; r++ {
@@ -545,16 +561,16 @@ func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi i
 				}
 			}
 		case *vecIf:
-			cond := v.bufs[s.condBuf]
-			s.cond.Run(m, &v.env, lo, hi, cond)
-			sub := v.masks[s.depth+1]
+			cond := sc.bufs[s.condBuf]
+			s.cond.Run(m, &sc.env, lo, hi, cond)
+			sub := sc.masks[s.depth+1]
 			any := false
 			for r := lo; r < hi; r++ {
 				sub[r] = mask[r] && cond[r] != 0
 				any = any || sub[r]
 			}
 			if any {
-				w.execVecSteps(rt, s.then, sub, lo, hi, m, tl)
+				w.execVecSteps(rt, s.then, sub, lo, hi, sc, m, tl)
 			}
 			if s.els != nil {
 				any = false
@@ -563,7 +579,7 @@ func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi i
 					any = any || sub[r]
 				}
 				if any {
-					w.execVecSteps(rt, s.els, sub, lo, hi, m, tl)
+					w.execVecSteps(rt, s.els, sub, lo, hi, sc, m, tl)
 				}
 			}
 		}
@@ -580,7 +596,7 @@ func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi i
 func (w *World) runVecUpdates(rt *classRT) {
 	v := rt.vec
 	n := rt.tab.Cap()
-	v.bindEnv(w, rt)
+	v.sc.bindEnv(w, rt)
 	// Dense combined-effect vectors: zero payload everywhere, overwritten
 	// at rows that received contributions (fx.touched).
 	for len(v.fxVecs) < len(rt.fx) {
@@ -601,9 +617,9 @@ func (w *World) runVecUpdates(rt *classRT) {
 			}
 		}
 	}
-	v.env.Fx = v.fxVecs
+	v.sc.env.Fx = v.fxVecs
 	if v.updateNeedIDs {
-		v.fillIDs(rt, n)
+		v.sc.fillIDs(rt, n)
 	}
 	for len(v.outVecs) < len(v.updates) {
 		v.outVecs = append(v.outVecs, nil)
@@ -614,13 +630,13 @@ func (w *World) runVecUpdates(rt *classRT) {
 	shards := w.updateShards(rt)
 	if len(shards) <= 1 {
 		for i, u := range v.updates {
-			u.prog.Run(&v.machine, &v.env, 0, n, v.outVecs[i])
+			u.prog.Run(&v.machine, &v.sc.env, 0, n, v.outVecs[i])
 		}
 	} else {
 		w.runShards(shards, func(si int, sh shard) {
 			m := &w.shardCtxs[si].machine
 			for i, u := range v.updates {
-				u.prog.Run(m, &v.env, sh.lo, sh.hi, v.outVecs[i])
+				u.prog.Run(m, &v.sc.env, sh.lo, sh.hi, v.outVecs[i])
 			}
 		})
 		if !w.opts.DisableStats {

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// swarmWorld builds the SrcSwarm drift workload (a population that
+// translates and contracts every tick) in partitioned mode — the fixture of
+// E17 and BenchmarkE17_*.
+func swarmWorld(motes, parts int, pol plan.RebalancePolicy, seed int64) (*engine.World, error) {
+	sc, err := core.LoadScenario("swarm", core.SrcSwarm)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sc.NewWorld(engine.Options{
+		Partitions: parts, Partition: plan.PartitionStripes, Rebalance: pol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ps := workload.Uniform(motes, 3000, 3000, seed)
+	if _, err := core.PopulateMotes(w, ps, 8, 2, 0.003); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// E17 measures adaptive layout epochs against frozen first-tick layouts on
+// a drift workload (§4.2's scaling story under a population that refuses to
+// stay where it was measured): the swarm translates by 8 units/tick and
+// contracts 0.3%/tick toward its centroid, so a frozen layout's measured box
+// goes stale — rows clamp into the edge partition and the busiest
+// partition's load runs away — while the adaptive default re-measures
+// drift-widened bounds and splits population-quantile cuts as the
+// imbalance amortizes the re-layout. Both arms are bit-identical worlds;
+// only who computes what differs.
+func E17(motes, parts, ticks int) (Table, error) {
+	t := Table{
+		ID:     "E17",
+		Title:  fmt.Sprintf("adaptive vs frozen layouts (drifting swarm, %d motes, %d parts)", motes, parts),
+		Header: []string{"layout", "msgs/tick", "clamped/tick", "migr/tick", "max part load/tick", "imbalance", "rebalances", "epoch", "ms/tick"},
+		Notes:  "drift 8/tick + 0.3%/tick contraction; frozen = first-tick layout (pre-epoch behavior); imbalance = busiest/mean per-partition row visits; results bit-identical across layouts",
+	}
+	for _, cfg := range []struct {
+		name string
+		pol  plan.RebalancePolicy
+	}{
+		{"frozen", plan.RebalanceOff},
+		{"adaptive", plan.RebalanceAdaptive},
+	} {
+		w, err := swarmWorld(motes, parts, cfg.pol, 27)
+		if err != nil {
+			return t, err
+		}
+		d, err := tickTime(w.RunTick, ticks)
+		if err != nil {
+			return t, err
+		}
+		st := w.ExecStats()
+		n := int64(ticks)
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			fmt.Sprint(st.PartMessages() / n),
+			fmt.Sprint(st.ClampedRows / n),
+			fmt.Sprint(st.MigratedRows / n),
+			fmt.Sprint(st.PartLoadMax / n),
+			fmt.Sprintf("%.2f", st.PartImbalance(parts)),
+			fmt.Sprint(st.RebalanceCount),
+			fmt.Sprint(st.EpochID),
+			ms(d),
+		})
+	}
+	return t, nil
+}

@@ -334,3 +334,102 @@ func TestBuilderZeroAllocSteadyState(t *testing.T) {
 		t.Errorf("hash rebuild allocates %.1f/run in steady state", a)
 	}
 }
+
+// TestGridSyncRowsMemberChurn drives SyncRows — the member-view-aware
+// reconciliation the partitioned engine patches per-partition grids with —
+// through random membership churn: each round perturbs the extent (moves,
+// spawns, kills) AND re-draws the member subset (rows entering/leaving a
+// partition's ownership interval), then checks the synced grid is
+// bit-indistinguishable, candidate order included, from a fresh rebuild
+// over exactly the current members.
+func TestGridSyncRowsMemberChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	sim := &tableSim{}
+	for i := 0; i < 300; i++ {
+		sim.spawn(rng)
+	}
+	// Membership: rows whose x falls inside a sliding window.
+	memberRows := func(lo, hi float64) []int32 {
+		var rows []int32
+		for r, ok := range sim.alive {
+			if ok && sim.x[r] >= lo && sim.x[r] <= hi {
+				rows = append(rows, int32(r))
+			}
+		}
+		return rows
+	}
+	memberEntries := func(rows []int32) []Entry {
+		out := make([]Entry, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Entry{ID: sim.ids[r], Row: r, Coords: []float64{sim.x[r], sim.y[r]}})
+		}
+		return out
+	}
+
+	var b Builder
+	winLo, winHi := 50.0, 250.0
+	rows := memberRows(winLo, winHi)
+	g := b.BuildGrid(40, memberEntries(rows))
+
+	checkAgainstFresh := func(round int, rows []int32) {
+		t.Helper()
+		var fb Builder
+		fresh := fb.BuildGrid(g.Cell(), memberEntries(rows))
+		if g.Len() != fresh.Len() {
+			t.Fatalf("round %d: synced %d entries, fresh %d", round, g.Len(), fresh.Len())
+		}
+		for q := 0; q < 20; q++ {
+			cx, cy := float64(rng.Intn(400)), float64(rng.Intn(400))
+			w := float64(rng.Intn(90) + 1)
+			lo, hi := []float64{cx - w, cy - w}, []float64{cx + w, cy + w}
+			got := g.QueryRows(lo, hi, nil)
+			want := fresh.QueryRows(lo, hi, nil)
+			if len(got) != len(want) {
+				t.Fatalf("round %d: synced %d rows, fresh %d", round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: candidate order diverged at %d: row %d vs %d", round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 10; i++ {
+			sim.move(rng)
+		}
+		for i := 0; i < 3; i++ {
+			sim.kill(rng)
+			sim.spawn(rng)
+		}
+		// Slide the ownership window so rows enter and leave membership —
+		// including across "epochs" (larger jumps every few rounds).
+		if round%5 == 4 {
+			winLo += float64(rng.Intn(81) - 40)
+		} else {
+			winLo += float64(rng.Intn(11) - 5)
+		}
+		winHi = winLo + 200
+		rows = memberRows(winLo, winHi)
+		if dirty, ok := g.SyncRows(sim.x, sim.y, rows, sim.ids, len(sim.alive)*2+16); !ok {
+			t.Fatalf("round %d: unbounded budget sync gave up (dirty %d)", round, dirty)
+		}
+		checkAgainstFresh(round, rows)
+	}
+
+	// The bail-out contract: a tiny budget must report failure once the
+	// dirty count exceeds it.
+	for i := 0; i < 50; i++ {
+		sim.move(rng)
+	}
+	rows = memberRows(winLo-500, winHi+500)
+	if _, ok := g.SyncRows(sim.x, sim.y, rows, sim.ids, 1); ok {
+		t.Fatal("mass churn under a dirty budget of 1 must fail")
+	}
+	// And an untracked grid (not Builder-backed row tracking) refuses.
+	plain := BuildGrid(40, memberEntries(rows))
+	if _, ok := plain.SyncRows(sim.x, sim.y, rows, sim.ids, 1<<30); ok {
+		t.Fatal("untracked grid must refuse SyncRows")
+	}
+}

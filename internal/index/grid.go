@@ -156,6 +156,50 @@ func (g *Grid) Sync(x, y []float64, alive []bool, ids []value.ID, maxDirty int) 
 	return dirty, true
 }
 
+// SyncRows is Sync for member views: it reconciles the grid against a
+// sorted list of member physical rows (the engine's partition-local
+// owned+ghost views) instead of the whole alive mask. Rows that joined the
+// membership, left it, moved or changed identity since the last build/sync
+// are fixed up in place, under the same maxDirty bail-out; a synced grid is
+// bit-indistinguishable — candidate order included — from a fresh rebuild
+// over exactly those member rows. This is what lets partitioned execution
+// patch per-partition grids across ticks (and across layout epochs, when
+// ownership intervals barely moved) instead of rebuilding them.
+func (g *Grid) SyncRows(x, y []float64, rows []int32, ids []value.ID, maxDirty int) (dirty int, ok bool) {
+	if !g.track {
+		return 0, false
+	}
+	n := len(g.present)
+	if k := len(rows); k > 0 && int(rows[k-1])+1 > n {
+		n = int(rows[k-1]) + 1
+	}
+	k := 0
+	for r := 0; r < n; r++ {
+		is := k < len(rows) && int(rows[k]) == r
+		if is {
+			k++
+		}
+		was := r < len(g.present) && g.present[r]
+		if !was && !is {
+			continue
+		}
+		if was && is && g.prevX[r] == x[r] && g.prevY[r] == y[r] && g.prevID[r] == ids[r] {
+			continue
+		}
+		dirty++
+		if dirty > maxDirty {
+			return dirty, false
+		}
+		if was {
+			g.remove(int32(r))
+		}
+		if is {
+			g.insertSorted(ids[r], int32(r), x[r], y[r])
+		}
+	}
+	return dirty, true
+}
+
 func (g *Grid) remove(row int32) {
 	k := g.keyOf(g.prevX[row], g.prevY[row])
 	c := g.cells[k]

@@ -162,6 +162,15 @@ type Costs struct {
 	// below which incremental maintenance wins.
 	IndexBuildRow float64
 	IndexApplyRow float64
+
+	// Layout maintenance (partitioned execution): the per-tick penalty
+	// weight of one boundary migration under the current layout, the
+	// one-time per-row cost of installing a successor layout epoch
+	// (re-measure/quantile refit + mass migration), and the tick horizon
+	// the one-time cost amortizes over. See ChooseRebalance.
+	MigrateRow       float64
+	RelayoutRow      float64
+	RebalanceHorizon float64
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -187,6 +196,10 @@ func DefaultCosts() Costs {
 
 		IndexBuildRow: 1.5,
 		IndexApplyRow: 6.0,
+
+		MigrateRow:       2.0,
+		RelayoutRow:      3.0,
+		RebalanceHorizon: 30,
 	}
 }
 

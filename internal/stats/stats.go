@@ -200,6 +200,19 @@ type ExecCounters struct {
 	GhostRows       int64
 	MigratedRows    int64
 
+	// Layout-epoch accounting (adaptive repartitioning). RebalanceCount
+	// counts layout replacements (a class's layout advancing to a successor
+	// epoch — re-measured bounds or refitted quantile cuts); RebalanceNanos
+	// is the wall time spent deriving those successors. EpochID is the
+	// highest layout epoch any class has reached (1 = every layout still on
+	// its first-tick measurement). ClampedRows counts row-ticks whose
+	// position fell outside their layout's measured box and clamped into an
+	// edge partition — the §4.2 skew signal that drives RebalanceWiden.
+	RebalanceCount int64
+	RebalanceNanos int64
+	EpochID        int64
+	ClampedRows    int64
+
 	// Load balance: per tick the effect-phase row visits (scalar rows,
 	// vectorized rows, join candidates) are tallied per partition;
 	// PartLoadMax accumulates the busiest partition's tally and PartLoadSum
