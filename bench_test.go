@@ -434,6 +434,68 @@ func BenchmarkE17_AdaptiveDrift(b *testing.B) {
 	}
 }
 
+// E20 — §3.1 at scale: serial vs batched vs partitioned transaction
+// admission on a paired contended marketplace (one buyer per seller, so
+// admission is conflict-free and batchable; shallow-stock segments sell
+// out and keep aborting on seller.stock >= 0).
+
+func marketBenchWorld(b *testing.B, pairs int, opts engine.Options) *sgl.World {
+	b.Helper()
+	sc := core.MustLoad("market", core.SrcMarket)
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Varied segment sizes mix buyer/seller id offsets so the id-hash
+	// partition layout yields both local and cross-partition transactions.
+	sizes := []int{612, 613, 616, 619}
+	deep := true
+	for remaining, chunk := pairs, 0; remaining > 0; chunk++ {
+		n := sizes[chunk%len(sizes)]
+		if n > remaining {
+			n = remaining
+		}
+		stock := 1 << 20
+		if !deep {
+			stock = 8
+		}
+		if _, _, err := core.PopulateMarket(w, workload.Market{
+			Sellers: n, BuyersPerItem: 1, Stock: stock, Price: 25, Gold: 1e9,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		deep = !deep
+		remaining -= n
+	}
+	return w
+}
+
+func BenchmarkE20_TxnAdmission(b *testing.B) {
+	const pairs = 10000
+	for _, cfg := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"scalar", engine.Options{Txn: sgl.TxnScalar}},
+		{"batched", engine.Options{Txn: sgl.TxnBatched}},
+		{"batched+4part", engine.Options{Txn: sgl.TxnBatched, Partitions: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			w := marketBenchWorld(b, pairs, cfg.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := w.ExecStats()
+			b.ReportMetric(float64(st.TxnBatchedRows)/float64(b.N), "batched/tick")
+			b.ReportMetric(float64(st.TxnCrossPart)/float64(b.N), "cross/tick")
+		})
+	}
+}
+
 // Ablation — DESIGN.md: per-tick index rebuild cost in isolation, the
 // design choice of rebuilding instead of maintaining indexes incrementally
 // under O(n) updates per tick (§4.1).

@@ -59,6 +59,7 @@ func main() {
 	e15Ticks := 3
 	e16V, e16Parts, e16Ticks := 50000, []int{1, 2, 4, 8}, 3
 	e17N, e17Parts, e17Ticks := 50000, 8, 60
+	e20Pairs, e20Ticks := 10000, 24
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -73,6 +74,7 @@ func main() {
 		e15Ticks = 2
 		e16V, e16Parts, e16Ticks = 10000, []int{1, 2, 4}, 2
 		e17N, e17Parts, e17Ticks = 10000, 4, 25
+		e20Pairs, e20Ticks = 2000, 9
 	}
 
 	want := map[string]bool{}
@@ -149,6 +151,9 @@ func main() {
 	}
 	if sel("E17") {
 		emit(experiments.E17(e17N, e17Parts, e17Ticks))
+	}
+	if sel("E20") {
+		emit(experiments.E20(e20Pairs, e20Ticks))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

@@ -74,6 +74,17 @@ type Options struct {
 	// predicates, then from attrs named x/y; classes with no spatial axes
 	// at all are spread by id hash.
 	PartitionBy map[string][]string
+	// Txn selects how transaction admission (§3.1) executes: the serial
+	// object-at-a-time greedy loop (plan.TxnScalar), or the batched driver
+	// (plan.TxnBatched) that groups conflict-independent transactions,
+	// validates the independent ones whole-batch against a columnar
+	// tentative view through vexpr constraint kernels, and fans true
+	// conflict groups out across the worker pool (partition-major when
+	// partitioned). The default (plan.TxnAuto) decides per tick from the
+	// cost model with batch-fraction feedback. Every mode, worker count and
+	// partition count produces bit-identical admission outcomes — commit/
+	// abort sets and effect-buffer contents — to the serial loop.
+	Txn plan.TxnMode
 	// Rebalance selects how partitioned layouts evolve across ticks.
 	// Layouts are versioned epochs: under the default
 	// (plan.RebalanceAdaptive) the cost model replaces a class's layout —
@@ -115,6 +126,13 @@ type World struct {
 	opts          Options
 
 	txns []*Txn
+
+	// txnSites holds the per-atomic-block admission analysis (constraint
+	// kernels, conflict read sets, tentative-view requirements); txnrt is
+	// the retained scratch of the batched admission driver. See txnsite.go
+	// and txnbatch.go.
+	txnSites map[*compile.AtomicStep]*txnSite
+	txnrt    txnRuntime
 
 	tracer      TraceFn
 	inspectors  []Inspector
@@ -195,6 +213,18 @@ type classRT struct {
 
 	// hasRule[i] is true when state attr i has an expression update rule.
 	hasRule []bool
+
+	// Batched-admission scratch (txnbatch.go), all generation-stamped so
+	// nothing is cleared between admissions. txnRowOwner maps a physical
+	// row to the transaction that last claimed it during conflict grouping;
+	// txnViewCols holds the columnar tentative post-update view per state
+	// attr; txnFxGen marks which dense effect vectors in vec.fxVecs are
+	// fresh for the current admission pass.
+	txnRowOwner []int32
+	txnRowGen   []uint64
+	txnViewCols [][]float64
+	txnViewGen  []uint64
+	txnFxGen    []uint64
 	// staged new-state values for the update step.
 	staged map[int]map[value.ID]value.Value // attrIdx -> id -> value
 }
@@ -291,6 +321,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		return nil, err
 	}
 	w.collectSites()
+	w.collectTxnSites()
 	if err := w.initPartitions(); err != nil {
 		return nil, err
 	}
@@ -604,6 +635,11 @@ type Txn struct {
 	Emissions   []Emission
 	// Aborted is set by the admission policy during the update step.
 	Aborted bool
+
+	// step links back to the compiled atomic block, giving admission access
+	// to the build-time constraint analysis (txnsite.go). Nil for
+	// hand-crafted transactions, which always admit through the serial loop.
+	step *compile.AtomicStep
 }
 
 // Emission is one effect contribution, either inside a Txn or flowing

@@ -184,6 +184,7 @@ func (x *execCtx) runAtomic(s *compile.AtomicStep) {
 		Class:       x.rt.name,
 		Source:      x.id,
 		Constraints: s.Constraints,
+		step:        s,
 	}
 	txn.Frame = append([]value.Value(nil), x.frame...)
 	prev := x.curTxn

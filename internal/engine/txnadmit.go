@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/expr"
+	"repro/internal/plan"
 	"repro/internal/value"
 )
 
@@ -28,39 +29,64 @@ func AdmitOrdered(ctx *UpdateCtx, txns []*Txn) error {
 // AdmitPrepared runs greedy admission over transactions in the exact order
 // given. Custom policies (priority, fairness rotation) order the slice
 // themselves and delegate here.
+//
+// How the order executes is an engine decision (Options.Txn): the serial
+// loop validates one transaction at a time by rule replay; the batched
+// driver (txnbatch.go) groups conflicting transactions, validates
+// non-conflicting ones whole-batch against a columnar tentative view, fans
+// conflict groups across the worker pool and routes single-partition
+// groups partition-locally. Both produce bit-identical admission outcomes
+// for any policy order, worker count and partition count.
 func AdmitPrepared(ctx *UpdateCtx, txns []*Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
 	w := ctx.w
+	if w.txnAdmitMode(txns) == plan.TxnBatched {
+		w.admitBatched(txns)
+		return nil
+	}
+	w.admitSerial(txns)
+	return nil
+}
+
+func (w *World) admitSerial(txns []*Txn) {
 	tw := &tentWorld{w: w}
 	for _, t := range txns {
 		admitOne(w, tw, t)
 	}
-	return nil
 }
 
-type appliedEmission struct {
-	rt   *classRT
-	row  int
-	attr int
-	val  value.Value
-	key  float64
-}
-
+// admitOne admits a single transaction: §3.1 atomicity means a dead source
+// *or any dead emission target* aborts the whole transaction before
+// anything applies — a half-applied purchase from a despawned seller would
+// otherwise duplicate goods. Targets are resolved up front; only a fully
+// resolvable transaction applies, then validates, then rolls back on
+// constraint failure.
 func admitOne(w *World, tw *tentWorld, t *Txn) {
-	applied := make([]appliedEmission, 0, len(t.Emissions))
-	for _, e := range t.Emissions {
-		rt := w.classes[e.Class]
-		row := rt.tab.Row(e.Target)
-		if row < 0 {
-			continue // dangling target: contribution is dropped
+	if w.classes[t.Class].tab.Row(t.Source) < 0 {
+		t.Aborted = true
+		return
+	}
+	for i := range t.Emissions {
+		e := &t.Emissions[i]
+		if w.classes[e.Class].tab.Row(e.Target) < 0 {
+			t.Aborted = true
+			return
 		}
-		rt.fx[e.AttrIdx].add(row, e.Val, e.Key)
-		applied = append(applied, appliedEmission{rt: rt, row: row, attr: e.AttrIdx, val: e.Val, key: e.Key})
+	}
+	for i := range t.Emissions {
+		e := &t.Emissions[i]
+		rt := w.classes[e.Class]
+		rt.fx[e.AttrIdx].add(rt.tab.Row(e.Target), e.Val, e.Key)
 	}
 	if constraintsHold(w, tw, t) {
 		return
 	}
-	for _, a := range applied {
-		a.rt.fx[a.attr].acc[a.row].Remove(a.val, a.key)
+	for i := range t.Emissions {
+		e := &t.Emissions[i]
+		rt := w.classes[e.Class]
+		rt.fx[e.AttrIdx].acc[rt.tab.Row(e.Target)].Remove(e.Val, e.Key)
 	}
 	t.Aborted = true
 }
@@ -130,8 +156,8 @@ func (t *tentWorld) StateValue(class string, id value.ID, attrIdx int) (value.Va
 // balance.
 type tentRowReader struct {
 	tw  *tentWorld
-	rt  *classRT
 	row int
+	rt  *classRT
 }
 
 func (r tentRowReader) Attr(attrIdx int) value.Value {

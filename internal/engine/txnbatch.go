@@ -1,0 +1,728 @@
+package engine
+
+// The batched transaction-admission driver (§3.1 scaled across the three
+// execution axes). Serial greedy admission validates object-at-a-time,
+// replaying update rules per constraint read; this driver instead:
+//
+//  1. resolves every transaction's touched rows (source, emission targets,
+//     stable-base constraint referents) once, aborting transactions with
+//     dead rows up front, and unions transactions sharing any row into
+//     conflict groups — transactions in different groups commute, because a
+//     group's admission outcome and effect-buffer residue depend only on
+//     committed state plus the group's own accumulator cells;
+//  2. admits all singleton groups whole-batch: their emissions apply in
+//     admission order, a columnar tentative post-update view is built once
+//     per affected (class, attr) by running the attr's vectorized update
+//     rule over the dense combined-effect vectors, and constraints evaluate
+//     as vexpr mask kernels over per-lane gathers of that view (string/set/
+//     iterator constraints fall back to per-lane closures over tentWorld);
+//  3. runs true conflict groups through the serial greedy loop group-at-a-
+//     time — in admission order within each group — fanned out across the
+//     worker pool (partition-major when partitioned execution is active;
+//     groups spanning partitions stay on the caller).
+//
+// Every path preserves bit-identity with the serial loop: group
+// disjointness keeps each accumulator cell's add/remove sequence identical,
+// the vectorized tentative view is bitwise equal to per-row rule replay
+// (vexpr ≡ expr by construction), and constraint evaluation is total and
+// side-effect-free, so evaluation order cannot change outcomes.
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// fxTouch records one accumulator cell's empty→non-empty transition made by
+// a pooled conflict group; the logs merge into the shared touched lists in
+// group order after the barrier.
+type fxTouch struct {
+	col *fxColumn
+	row int32
+}
+
+// txnGroup is one multi-transaction conflict group: members are
+// s.gmem[off:off+n] in admission order; part is the partition owning every
+// touched row, or -1 when the group spans partitions (or partitioning is
+// off).
+type txnGroup struct {
+	off  int32
+	n    int32
+	fill int32
+	part int32
+}
+
+// txnRuntime is the retained scratch of the batched admission driver,
+// generation-stamped so nothing clears between admissions.
+type txnRuntime struct {
+	inited bool
+	gen    uint64
+	parts  bool // partition routing active this pass
+
+	machine  vexpr.Machine
+	fBatch   stats.EMA
+	tw       tentWorld
+	ectx     expr.Ctx // committed-state ctx for stable-base resolution
+	tctx     expr.Ctx // tentative ctx for closure-constraint lanes
+	baseRead *mutRowReader
+	tentRead *mutTentReader
+
+	gatherCommitted func(class string, attrIdx int, refs, out []float64, zero float64)
+	gatherTent      func(class string, attrIdx int, refs, out []float64, zero float64)
+	viewEnv         vexpr.Env
+	viewIDs         []float64
+
+	sites []*txnSite
+
+	// Per-transaction state, indexed by admission-order position.
+	parent []int32
+	root   []int32
+	gsize  []int32
+	gfirst []int32
+	part   []int32
+	cross  []bool
+	srcRow []int32
+	emOff  []int32
+	emRow  []int32
+	emRT   []*classRT
+
+	groups   []txnGroup
+	gmem     []int32
+	gtouch   [][]fxTouch
+	partBkt  [][]int32
+	partList []int32
+	crossG   []int32
+}
+
+// mutRowReader is a reusable boxed expr.RowReader over committed state.
+type mutRowReader struct {
+	rt  *classRT
+	row int
+}
+
+func (r *mutRowReader) Attr(attrIdx int) value.Value { return r.rt.tab.At(r.row, attrIdx) }
+
+// mutTentReader is a reusable boxed expr.RowReader over tentative state.
+type mutTentReader struct {
+	tw  *tentWorld
+	rt  *classRT
+	row int
+}
+
+func (r *mutTentReader) Attr(attrIdx int) value.Value {
+	v, _ := r.tw.StateValue(r.rt.name, r.rt.tab.ID(r.row), attrIdx)
+	return v
+}
+
+func (s *txnRuntime) init(w *World) {
+	if s.inited {
+		return
+	}
+	s.inited = true
+	s.fBatch = stats.NewEMA(0.3)
+	s.tw.w = w
+	s.baseRead = &mutRowReader{}
+	s.tentRead = &mutTentReader{tw: &s.tw}
+	s.ectx.W = w
+	s.ectx.Self = s.baseRead
+	s.tctx.W = &s.tw
+	s.tctx.Self = s.tentRead
+	s.gatherCommitted = w.gatherState
+	s.gatherTent = func(class string, attrIdx int, refs, out []float64, zero float64) {
+		rt := w.classes[class]
+		col := rt.tab.NumColumn(attrIdx)
+		if attrIdx < len(rt.txnViewGen) && rt.txnViewGen[attrIdx] == s.gen {
+			col = rt.txnViewCols[attrIdx]
+		}
+		for i, f := range refs {
+			if row := rt.tab.Row(value.ID(f)); row >= 0 {
+				out[i] = col[row]
+			} else {
+				out[i] = zero
+			}
+		}
+	}
+	s.viewEnv.Gather = s.gatherCommitted
+}
+
+// txnAdmitMode picks this batch's admission mode: the serial loop whenever
+// any transaction lacks an analyzable site, else the cost model's choice
+// between per-transaction rule replay and batched validation (forcible via
+// Options.Txn). As a side effect it stamps and collects the batch's
+// distinct sites for the batched driver.
+func (w *World) txnAdmitMode(txns []*Txn) plan.TxnMode {
+	if w.opts.Txn == plan.TxnScalar {
+		return plan.TxnScalar
+	}
+	s := &w.txnrt
+	s.init(w)
+	s.gen++
+	s.sites = s.sites[:0]
+	viewRows := 0.0
+	for _, t := range txns {
+		if t.step == nil {
+			return plan.TxnScalar
+		}
+		site := w.txnSites[t.step]
+		if site == nil || !site.analyzable {
+			return plan.TxnScalar
+		}
+		if site.gen != s.gen {
+			site.gen = s.gen
+			site.lanes = site.lanes[:0]
+			s.sites = append(s.sites, site)
+			for _, va := range site.views {
+				viewRows += float64(va.rt.tab.Cap())
+			}
+		}
+	}
+	fb := 0.9 // optimistic prior before feedback arrives
+	if s.fBatch.Ready() {
+		fb = s.fBatch.Value()
+	}
+	return w.execCosts.ChooseTxn(w.opts.Txn, float64(len(txns)), viewRows, fb)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func (s *txnRuntime) find(i int32) int32 {
+	p := s.parent
+	for p[i] != i {
+		p[i] = p[p[i]]
+		i = p[i]
+	}
+	return i
+}
+
+func (s *txnRuntime) union(a, b int32) {
+	ra, rb := s.find(a), s.find(b)
+	if ra != rb {
+		s.parent[ra] = rb
+	}
+}
+
+// txnClaim adds one touched row to transaction i's conflict set, unioning
+// with whichever transaction claimed the row before, and folds the row's
+// partition into i's routing classification.
+func (w *World) txnClaim(i int, rt *classRT, row int) {
+	s := &w.txnrt
+	if len(rt.txnRowGen) < rt.tab.Cap() {
+		rt.txnRowGen = growU64(rt.txnRowGen, rt.tab.Cap())
+		rt.txnRowOwner = growI32(rt.txnRowOwner, rt.tab.Cap())
+	}
+	if rt.txnRowGen[row] == s.gen {
+		s.union(int32(i), rt.txnRowOwner[row])
+	} else {
+		rt.txnRowGen[row] = s.gen
+	}
+	rt.txnRowOwner[row] = int32(i)
+	if s.parts {
+		p := int32(-1)
+		if rt.prt != nil && row < len(rt.prt.assign) {
+			p = rt.prt.assign[row]
+		}
+		switch {
+		case p < 0 || (s.part[i] >= 0 && s.part[i] != p):
+			s.part[i] = -1
+			s.cross[i] = true
+		case s.part[i] == -2:
+			s.part[i] = p
+		}
+	}
+}
+
+// admitBatched is the batched/parallel/partition-aware admission driver.
+// txnAdmitMode must have stamped the current generation and collected the
+// batch's sites; every transaction carries an analyzable site.
+func (w *World) admitBatched(txns []*Txn) {
+	s := &w.txnrt
+	n := len(txns)
+
+	// (1) Resolve rows, pre-abort dead transactions, group conflicts.
+	s.parent = growI32(s.parent, n)
+	s.root = growI32(s.root, n)
+	s.gsize = growI32(s.gsize, n)
+	s.gfirst = growI32(s.gfirst, n)
+	s.part = growI32(s.part, n)
+	s.cross = growBool(s.cross, n)
+	s.srcRow = growI32(s.srcRow, n)
+	s.emOff = growI32(s.emOff, n+1)
+	s.emRow = s.emRow[:0]
+	s.emRT = s.emRT[:0]
+	s.parts = w.parts != nil && w.parts.ready
+	considered, crossCount := 0, 0
+	for i, t := range txns {
+		s.parent[i] = int32(i)
+		s.part[i] = -2
+		s.cross[i] = false
+		s.emOff[i] = int32(len(s.emRow))
+		rt := w.classes[t.Class]
+		srow := rt.tab.Row(t.Source)
+		live := srow >= 0
+		if live {
+			for k := range t.Emissions {
+				e := &t.Emissions[k]
+				ert := w.classes[e.Class]
+				erow := ert.tab.Row(e.Target)
+				if erow < 0 {
+					live = false
+					break
+				}
+				s.emRow = append(s.emRow, int32(erow))
+				s.emRT = append(s.emRT, ert)
+			}
+		}
+		if !live {
+			// A dead source or dead emission target aborts the whole
+			// transaction before anything applies (§3.1 atomicity), exactly
+			// like the serial loop.
+			s.emRow = s.emRow[:s.emOff[i]]
+			s.emRT = s.emRT[:s.emOff[i]]
+			s.srcRow[i] = -1
+			t.Aborted = true
+			continue
+		}
+		considered++
+		s.srcRow[i] = int32(srow)
+		w.txnClaim(i, rt, srow)
+		for k := s.emOff[i]; k < int32(len(s.emRow)); k++ {
+			w.txnClaim(i, s.emRT[k], int(s.emRow[k]))
+		}
+		site := w.txnSites[t.step]
+		if len(site.bases) > 0 {
+			s.baseRead.rt, s.baseRead.row = rt, srow
+			s.ectx.Class, s.ectx.SelfID, s.ectx.Frame = t.Class, t.Source, t.Frame
+			for bi := range site.bases {
+				b := &site.bases[bi]
+				v := b.fn(&s.ectx)
+				if v.IsNullRef() {
+					continue
+				}
+				brt := w.classes[b.class]
+				if brow := brt.tab.Row(v.AsRef()); brow >= 0 {
+					w.txnClaim(i, brt, brow)
+				}
+			}
+		}
+	}
+	s.emOff[n] = int32(len(s.emRow))
+	for i := range txns {
+		if s.srcRow[i] < 0 {
+			s.root[i] = -1
+			continue
+		}
+		s.root[i] = s.find(int32(i))
+	}
+	for i := range txns {
+		s.gsize[i] = 0
+	}
+	for i := range txns {
+		if r := s.root[i]; r >= 0 {
+			s.gsize[r]++
+		}
+		if s.cross[i] && s.srcRow[i] >= 0 {
+			crossCount++
+		}
+	}
+
+	// (2) Singleton groups: apply emissions in admission order, bucket
+	// lanes per site, validate whole-batch against the tentative view.
+	singles := 0
+	for i, t := range txns {
+		r := s.root[i]
+		if r < 0 || s.gsize[r] != 1 {
+			continue
+		}
+		singles++
+		w.txnSites[t.step].lanes = append(w.txnSites[t.step].lanes, int32(i))
+		for k := s.emOff[i]; k < s.emOff[i+1]; k++ {
+			e := &t.Emissions[k-s.emOff[i]]
+			s.emRT[k].fx[e.AttrIdx].add(int(s.emRow[k]), e.Val, e.Key)
+		}
+	}
+	if singles > 0 {
+		for _, site := range s.sites {
+			for _, va := range site.views {
+				w.buildTxnView(va)
+			}
+		}
+		for _, site := range s.sites {
+			w.runTxnSiteLanes(site, txns)
+		}
+	}
+
+	// (3) Multi-transaction groups: serial greedy within each group,
+	// groups fanned out across the pool (partition-major when partitioned).
+	s.groups = s.groups[:0]
+	total := 0
+	for i := range txns {
+		if r := s.root[i]; r >= 0 && s.gsize[r] > 1 {
+			total++
+		}
+	}
+	if total > 0 {
+		for i := range txns {
+			s.gfirst[i] = -1
+		}
+		for i := range txns {
+			r := s.root[i]
+			if r < 0 || s.gsize[r] <= 1 {
+				continue
+			}
+			if s.gfirst[r] < 0 {
+				s.gfirst[r] = int32(len(s.groups))
+				s.groups = append(s.groups, txnGroup{part: -2})
+			}
+			s.groups[s.gfirst[r]].n++
+		}
+		off := int32(0)
+		for gi := range s.groups {
+			g := &s.groups[gi]
+			g.off, g.fill = off, off
+			off += g.n
+		}
+		s.gmem = growI32(s.gmem, total)
+		for i := range txns {
+			r := s.root[i]
+			if r < 0 || s.gsize[r] <= 1 {
+				continue
+			}
+			g := &s.groups[s.gfirst[r]]
+			s.gmem[g.fill] = int32(i)
+			g.fill++
+			switch {
+			case s.cross[i] || s.part[i] < 0 && s.parts:
+				g.part = -1
+			case g.part == -2:
+				g.part = s.part[i]
+			case g.part >= 0 && g.part != s.part[i]:
+				g.part = -1
+			}
+		}
+		if !s.parts {
+			for gi := range s.groups {
+				s.groups[gi].part = -1
+			}
+		}
+	}
+	pooled := w.runTxnGroups(txns, total)
+
+	if considered > 0 {
+		s.fBatch.Add(float64(singles) / float64(considered))
+	}
+	if !w.opts.DisableStats {
+		w.execStats.TxnBatchedRows += int64(singles)
+		w.execStats.TxnParallelGroups += int64(pooled)
+		w.execStats.TxnCrossPart += int64(crossCount)
+	}
+}
+
+// buildTxnView materializes the tentative post-update column for one
+// (class, attr): the attr's vectorized update rule runs over committed
+// columns plus dense combined-effect vectors — bitwise equal to
+// tentWorld.StateValue's per-row rule replay.
+func (w *World) buildTxnView(va txnViewAttr) {
+	s := &w.txnrt
+	rt := va.rt
+	if len(rt.txnViewGen) < len(rt.cls.State) {
+		rt.txnViewGen = growU64(rt.txnViewGen, len(rt.cls.State))
+		for len(rt.txnViewCols) < len(rt.cls.State) {
+			rt.txnViewCols = append(rt.txnViewCols, nil)
+		}
+	}
+	if rt.txnViewGen[va.attr] == s.gen {
+		return
+	}
+	rt.txnViewGen[va.attr] = s.gen
+	n := rt.tab.Cap()
+	v := rt.vec
+	for len(v.fxVecs) < len(rt.fx) {
+		v.fxVecs = append(v.fxVecs, nil)
+	}
+	rt.txnFxGen = growU64(rt.txnFxGen, len(rt.fx))
+	for _, ai := range va.prog.FxUsed() {
+		if rt.txnFxGen[ai] == s.gen {
+			continue
+		}
+		rt.txnFxGen[ai] = s.gen
+		vec := growFloats(v.fxVecs[ai], n)
+		v.fxVecs[ai] = vec
+		e := rt.cls.Effects[ai]
+		zero := payloadOf(value.Zero(e.Comb.ResultKind(e.Kind)))
+		for r := range vec {
+			vec[r] = zero
+		}
+		fx := &rt.fx[ai]
+		for _, r := range fx.touched {
+			if val, ok := fx.acc[r].Result(); ok {
+				vec[r] = payloadOf(val)
+			}
+		}
+	}
+	out := growFloats(rt.txnViewCols[va.attr], n)
+	rt.txnViewCols[va.attr] = out
+	s.viewEnv.Cols = rt.tab.NumColumns()
+	s.viewEnv.Fx = v.fxVecs
+	if va.prog.NeedIDs() {
+		s.viewIDs = growFloats(s.viewIDs, n)
+		for r := 0; r < n; r++ {
+			s.viewIDs[r] = float64(rt.tab.ID(r))
+		}
+		s.viewEnv.IDs = s.viewIDs
+	}
+	va.prog.Run(&s.machine, &s.viewEnv, 0, n, out)
+}
+
+// runTxnSiteLanes validates one site's singleton lanes: kernel constraints
+// run whole-batch over gathered lane vectors (self attrs read the tentative
+// view for rule attrs, committed columns otherwise; frame slots broadcast
+// per lane; cross-object reads gather through the view), closure
+// constraints evaluate per lane over tentWorld. Failed lanes roll their
+// emissions back and abort.
+func (w *World) runTxnSiteLanes(site *txnSite, txns []*Txn) {
+	nl := len(site.lanes)
+	if nl == 0 {
+		return
+	}
+	s := &w.txnrt
+	rt := site.rt
+	if len(site.envCols) < len(rt.cls.State) {
+		site.envCols = make([][]float64, len(rt.cls.State))
+	}
+	for len(site.colBufs) < len(site.cols) {
+		site.colBufs = append(site.colBufs, nil)
+	}
+	for bi, a := range site.cols {
+		vec := growFloats(site.colBufs[bi], nl)
+		site.colBufs[bi] = vec
+		col := rt.tab.NumColumn(a)
+		if rt.hasRule[a] && a < len(rt.txnViewGen) && rt.txnViewGen[a] == s.gen {
+			col = rt.txnViewCols[a]
+		}
+		for k, li := range site.lanes {
+			vec[k] = col[s.srcRow[li]]
+		}
+		site.envCols[a] = vec
+	}
+	for len(site.slotBufs) < len(site.slots) {
+		site.slotBufs = append(site.slotBufs, nil)
+	}
+	for bi, sl := range site.slots {
+		vec := growFloats(site.slotBufs[bi], nl)
+		site.slotBufs[bi] = vec
+		for len(site.slotVecs) <= sl {
+			site.slotVecs = append(site.slotVecs, nil)
+		}
+		for k, li := range site.lanes {
+			vec[k] = payloadOf(txns[li].Frame[sl])
+		}
+		site.slotVecs[sl] = vec
+	}
+	if site.needIDs {
+		site.idBuf = growFloats(site.idBuf, nl)
+		for k, li := range site.lanes {
+			site.idBuf[k] = float64(txns[li].Source)
+		}
+	}
+	env := &site.env
+	env.Cols = site.envCols
+	env.Slots = site.slotVecs
+	env.IDs = site.idBuf
+	env.Gather = s.gatherTent
+	site.outBuf = growFloats(site.outBuf, nl)
+	site.passBuf = growBool(site.passBuf, nl)
+	pass := site.passBuf
+	for k := range pass {
+		pass[k] = true
+	}
+	for ci := range site.cons {
+		c := &site.cons[ci]
+		if c.prog != nil {
+			c.prog.Run(&s.machine, env, 0, nl, site.outBuf)
+			for k := range pass {
+				if site.outBuf[k] == 0 {
+					pass[k] = false
+				}
+			}
+			continue
+		}
+		// Closure fallback: exact per-lane evaluation over the tentative
+		// world — group disjointness confines its reads to the lane's own
+		// accumulators. Constraints are total and side-effect-free, so
+		// skipping already-failed lanes cannot change outcomes.
+		for k, li := range site.lanes {
+			if !pass[k] {
+				continue
+			}
+			t := txns[li]
+			s.tentRead.rt, s.tentRead.row = rt, int(s.srcRow[li])
+			s.tctx.Class, s.tctx.SelfID, s.tctx.Frame = t.Class, t.Source, t.Frame
+			if !c.fn(&s.tctx).AsBool() {
+				pass[k] = false
+			}
+		}
+	}
+	for k, li := range site.lanes {
+		if pass[k] {
+			continue
+		}
+		t := txns[li]
+		for j := s.emOff[li]; j < s.emOff[li+1]; j++ {
+			e := &t.Emissions[j-s.emOff[li]]
+			s.emRT[j].fx[e.AttrIdx].acc[s.emRow[j]].Remove(e.Val, e.Key)
+		}
+		t.Aborted = true
+	}
+}
+
+// admitGroupTxn is the serial greedy step for one member of a conflict
+// group, using the rows resolved during grouping. A non-nil log records
+// empty→non-empty accumulator transitions instead of appending to the
+// shared touched lists (pooled groups merge logs in group order).
+func (w *World) admitGroupTxn(t *Txn, i int, log *[]fxTouch) {
+	s := &w.txnrt
+	lo, hi := s.emOff[i], s.emOff[i+1]
+	for k := lo; k < hi; k++ {
+		e := &t.Emissions[k-lo]
+		f := &s.emRT[k].fx[e.AttrIdx]
+		row := int(s.emRow[k])
+		if log == nil {
+			f.add(row, e.Val, e.Key)
+		} else {
+			if f.acc[row].N() == 0 {
+				*log = append(*log, fxTouch{col: f, row: s.emRow[k]})
+			}
+			f.acc[row].Add(e.Val, e.Key)
+		}
+	}
+	if constraintsHold(w, &s.tw, t) {
+		return
+	}
+	for k := lo; k < hi; k++ {
+		e := &t.Emissions[k-lo]
+		s.emRT[k].fx[e.AttrIdx].acc[s.emRow[k]].Remove(e.Val, e.Key)
+	}
+	t.Aborted = true
+}
+
+// runTxnGroups executes the multi-transaction conflict groups, returning
+// how many were dispatched to the worker pool.
+func (w *World) runTxnGroups(txns []*Txn, total int) int {
+	s := &w.txnrt
+	if len(s.groups) == 0 {
+		return 0
+	}
+	runGroup := func(gi int, log *[]fxTouch) {
+		g := &s.groups[gi]
+		for _, m := range s.gmem[g.off : g.off+g.n] {
+			w.admitGroupTxn(txns[m], int(m), log)
+		}
+	}
+	if !s.parts {
+		nw := 1
+		if w.parallelOK() && len(s.groups) > 1 {
+			nw = w.execCosts.ChooseWorkers(w.opts.Workers,
+				w.execCosts.TxnScalarCheck*float64(total))
+		}
+		if nw <= 1 {
+			for gi := range s.groups {
+				runGroup(gi, nil)
+			}
+			return 0
+		}
+		w.ensureWorkers()
+		w.resetGroupLogs(len(s.groups))
+		w.runPool(len(s.groups), nw, func(_, gi int) {
+			runGroup(gi, &s.gtouch[gi])
+		})
+		w.mergeGroupLogs(len(s.groups))
+		return len(s.groups)
+	}
+
+	// Partition-aware routing: groups whose rows live in one partition
+	// bucket per partition and fan out partition-major; spanning groups
+	// stay serial on the caller.
+	for len(s.partBkt) < w.parts.n {
+		s.partBkt = append(s.partBkt, nil)
+	}
+	s.partList = s.partList[:0]
+	s.crossG = s.crossG[:0]
+	for gi := range s.groups {
+		g := &s.groups[gi]
+		if g.part < 0 {
+			s.crossG = append(s.crossG, int32(gi))
+			continue
+		}
+		if len(s.partBkt[g.part]) == 0 {
+			s.partList = append(s.partList, g.part)
+		}
+		s.partBkt[g.part] = append(s.partBkt[g.part], int32(gi))
+	}
+	pooled := 0
+	if w.parallelOK() && len(s.partList) > 1 {
+		w.ensureWorkers()
+		w.resetGroupLogs(len(s.groups))
+		w.runPool(len(s.partList), w.opts.Workers, func(_, pi int) {
+			for _, gi := range s.partBkt[s.partList[pi]] {
+				runGroup(int(gi), &s.gtouch[gi])
+			}
+		})
+		w.mergeGroupLogs(len(s.groups))
+		for _, p := range s.partList {
+			pooled += len(s.partBkt[p])
+		}
+	} else {
+		for _, p := range s.partList {
+			for _, gi := range s.partBkt[p] {
+				runGroup(int(gi), nil)
+			}
+		}
+	}
+	for _, p := range s.partList {
+		s.partBkt[p] = s.partBkt[p][:0]
+	}
+	for _, gi := range s.crossG {
+		runGroup(int(gi), nil)
+	}
+	return pooled
+}
+
+func (w *World) resetGroupLogs(n int) {
+	s := &w.txnrt
+	for len(s.gtouch) < n {
+		s.gtouch = append(s.gtouch, nil)
+	}
+	for gi := 0; gi < n; gi++ {
+		s.gtouch[gi] = s.gtouch[gi][:0]
+	}
+}
+
+func (w *World) mergeGroupLogs(n int) {
+	s := &w.txnrt
+	for gi := 0; gi < n; gi++ {
+		for _, t := range s.gtouch[gi] {
+			t.col.touched = append(t.col.touched, int(t.row))
+		}
+	}
+}

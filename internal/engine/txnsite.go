@@ -1,0 +1,319 @@
+package engine
+
+// Build-time analysis of atomic blocks (§3.1) for the batched admission
+// driver. For every compiled AtomicStep the analysis determines, per
+// constraint, (a) the conflict read set — which rows a constraint's
+// evaluation can observe through the tentative view — and (b) whether the
+// constraint compiles to a vexpr mask kernel over the columnar tentative
+// state, the same shape as the batched-join residual conjuncts.
+//
+// The key property the analysis certifies is *read-set stability*: every
+// cross-object read in a constraint must go through a base expression whose
+// value cannot change during admission. Stable bases are committed-state
+// reads (self, frame slots, ref attributes without update rules, chains of
+// those); their referents are resolvable once per transaction before
+// grouping, which is what makes conflict groups — transactions whose
+// touched rows are disjoint — provably commutative: a group's admission
+// outcome and effect-buffer residue depend only on committed state plus the
+// group's own accumulators. A constraint reading through an unstable base
+// (a rule-updated ref attribute, a conditional ref) has an unbounded read
+// set, so its whole site is marked unanalyzable and every batch containing
+// it falls back to the serial loop.
+
+import (
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/sgl/ast"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// txnConstraint is one analyzed constraint: the scalar closure (the
+// semantic reference, aligned with AtomicStep.Constraints) plus its batch
+// kernel when every read has a columnar tentative representation. A nil
+// prog evaluates per-lane through tentWorld instead — exact by group
+// disjointness.
+type txnConstraint struct {
+	fn   expr.Fn
+	prog *vexpr.Prog
+}
+
+// txnBase is one stable base expression through which a constraint reads a
+// rule-updated attribute of another object. The compiled fn evaluates over
+// committed state per transaction; the referenced row joins the
+// transaction's conflict read set.
+type txnBase struct {
+	fn    expr.Fn
+	class string
+}
+
+// txnViewAttr names one (class, attr) column of the tentative post-update
+// view a site's kernels read, with the attr's vectorized update rule.
+type txnViewAttr struct {
+	rt   *classRT
+	attr int
+	prog *vexpr.Prog
+}
+
+// txnSite is the admission runtime of one atomic block: the build-time
+// analysis plus retained per-admission lane scratch for the batched
+// validator.
+type txnSite struct {
+	rt   *classRT
+	step *compile.AtomicStep
+
+	// analyzable is false when any constraint's read set cannot be bounded
+	// at build time; such sites always admit through the serial loop.
+	analyzable bool
+
+	cons  []txnConstraint
+	bases []txnBase
+
+	// Kernel evaluation requirements, unioned over kernel constraints.
+	cols    []int // self state attrs loaded by kernels
+	slots   []int // frame slots loaded by kernels
+	needIDs bool
+	views   []txnViewAttr
+
+	// Per-admission lane state (txnbatch.go), generation-stamped.
+	gen      uint64
+	lanes    []int32 // indices into the admission-order transaction slice
+	envCols  [][]float64
+	colBufs  [][]float64 // backing storage, parallel to cols
+	slotVecs [][]float64
+	slotBufs [][]float64 // backing storage, parallel to slots
+	idBuf    []float64
+	outBuf   []float64
+	passBuf  []bool
+	env      vexpr.Env
+}
+
+// collectTxnSites walks all compiled plans and analyzes every atomic block.
+func (w *World) collectTxnSites() {
+	w.txnSites = make(map[*compile.AtomicStep]*txnSite)
+	for _, rt := range w.order {
+		var walk func(steps []compile.Step)
+		walk = func(steps []compile.Step) {
+			for _, s := range steps {
+				switch s := s.(type) {
+				case *compile.IfStep:
+					walk(s.Then)
+					walk(s.Else)
+				case *compile.AccumStep:
+					walk(s.Body)
+					if s.Join != nil {
+						walk(s.Join.Inner)
+					}
+				case *compile.AtomicStep:
+					w.txnSites[s] = w.analyzeTxnSite(rt, s)
+					walk(s.Body)
+				}
+			}
+		}
+		for _, steps := range rt.plan.Phases {
+			walk(steps)
+		}
+		for _, h := range rt.plan.Handlers {
+			walk(h.Body)
+		}
+	}
+}
+
+// vecRuleProg returns the vectorized update-rule kernel for a state attr,
+// or nil when the attr's rule stayed on the closure path (or has no rule).
+func vecRuleProg(rt *classRT, attr int) *vexpr.Prog {
+	if rt.vec == nil {
+		return nil
+	}
+	for _, u := range rt.vec.updates {
+		if u.attrIdx == attr {
+			return u.prog
+		}
+	}
+	return nil
+}
+
+// consAnalysis accumulates one constraint's reads during the AST walk.
+type consAnalysis struct {
+	w  *World
+	rt *classRT
+
+	ok       bool // read set bounded (site-level requirement)
+	kernelOK bool // every rule-attr read has a tentative view column
+
+	cols    []int
+	slots   []int
+	needIDs bool
+	views   []txnViewAttr
+	bases   []txnBase
+}
+
+func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
+	site := &txnSite{rt: rt, step: step, analyzable: true}
+	colSeen := make(map[int]bool)
+	slotSeen := make(map[int]bool)
+	viewSeen := make(map[txnViewKey]bool)
+	for ci, src := range step.Srcs {
+		c := txnConstraint{fn: step.Constraints[ci]}
+		a := &consAnalysis{w: w, rt: rt, ok: true, kernelOK: true}
+		a.walk(src)
+		if !a.ok {
+			site.analyzable = false
+			site.cons = append(site.cons, c)
+			continue
+		}
+		// Conflict read sets feed grouping for kernel and closure
+		// constraints alike.
+		site.bases = append(site.bases, a.bases...)
+		if a.kernelOK {
+			if prog, ok := vexpr.CompileWithSlots(src, func(int) bool { return true }); ok {
+				c.prog = prog
+				site.needIDs = site.needIDs || a.needIDs || prog.NeedIDs()
+				for _, col := range a.cols {
+					if !colSeen[col] {
+						colSeen[col] = true
+						site.cols = append(site.cols, col)
+					}
+				}
+				for _, sl := range a.slots {
+					if !slotSeen[sl] {
+						slotSeen[sl] = true
+						site.slots = append(site.slots, sl)
+					}
+				}
+				for _, va := range a.views {
+					k := txnViewKey{rt: va.rt, attr: va.attr}
+					if !viewSeen[k] {
+						viewSeen[k] = true
+						site.views = append(site.views, va)
+					}
+				}
+			}
+		}
+		site.cons = append(site.cons, c)
+	}
+	return site
+}
+
+type txnViewKey struct {
+	rt   *classRT
+	attr int
+}
+
+func (a *consAnalysis) addCol(attr int) {
+	a.cols = append(a.cols, attr)
+	if a.rt.hasRule[attr] {
+		prog := vecRuleProg(a.rt, attr)
+		if prog == nil {
+			a.kernelOK = false
+			return
+		}
+		a.views = append(a.views, txnViewAttr{rt: a.rt, attr: attr, prog: prog})
+	}
+}
+
+func (a *consAnalysis) walk(e ast.Expr) {
+	if !a.ok {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.NumLit, *ast.BoolLit, *ast.StrLit, *ast.NullLit:
+	case *ast.Ident:
+		switch e.Bind.Kind {
+		case ast.BindStateAttr:
+			a.addCol(e.Bind.AttrIdx)
+		case ast.BindLocal, ast.BindIter:
+			a.slots = append(a.slots, e.Bind.Slot)
+		case ast.BindSelf:
+			a.needIDs = true
+		default:
+			// Effect attrs and class extents have no tentative-view story
+			// inside constraints; keep the whole site on the serial loop.
+			a.ok = false
+		}
+	case *ast.FieldExpr:
+		a.walkField(e)
+	case *ast.UnaryExpr:
+		a.walk(e.X)
+	case *ast.BinaryExpr:
+		a.walk(e.X)
+		a.walk(e.Y)
+	case *ast.CondExpr:
+		a.walk(e.C)
+		a.walk(e.T)
+		a.walk(e.F)
+	case *ast.CallExpr:
+		if e.Builtin == ast.BSelfFn {
+			a.needIDs = true
+		}
+		for _, arg := range e.Args {
+			a.walk(arg)
+		}
+	default:
+		a.ok = false
+	}
+}
+
+// walkField analyzes one cross-object read x.attr: the base x must be
+// stable, and a rule-updated leaf registers the referent in the conflict
+// read set plus the tentative view.
+func (a *consAnalysis) walkField(e *ast.FieldExpr) {
+	if !a.stableBase(e.X) {
+		a.ok = false
+		return
+	}
+	trt := a.w.classes[e.Class]
+	if trt == nil {
+		a.ok = false
+		return
+	}
+	if trt.hasRule[e.AttrIdx] {
+		a.bases = append(a.bases, txnBase{fn: expr.Compile(e.X), class: e.Class})
+		prog := vecRuleProg(trt, e.AttrIdx)
+		if prog == nil {
+			a.kernelOK = false
+			return
+		}
+		a.views = append(a.views, txnViewAttr{rt: trt, attr: e.AttrIdx, prog: prog})
+	}
+}
+
+// stableBase reports whether a base expression's value is fixed for the
+// whole admission pass (it reads only committed state, the frame snapshot
+// or self), registering the reads the kernel evaluation of the base itself
+// performs.
+func (a *consAnalysis) stableBase(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.NullLit:
+		return true
+	case *ast.Ident:
+		switch e.Bind.Kind {
+		case ast.BindSelf:
+			a.needIDs = true
+			return true
+		case ast.BindLocal, ast.BindIter:
+			a.slots = append(a.slots, e.Bind.Slot)
+			return true
+		case ast.BindStateAttr:
+			if e.Ty.Kind != value.KindRef || a.rt.hasRule[e.Bind.AttrIdx] {
+				return false
+			}
+			a.cols = append(a.cols, e.Bind.AttrIdx)
+			return true
+		}
+		return false
+	case *ast.FieldExpr:
+		if !a.stableBase(e.X) {
+			return false
+		}
+		trt := a.w.classes[e.Class]
+		return trt != nil && e.Ty.Kind == value.KindRef && !trt.hasRule[e.AttrIdx]
+	case *ast.CallExpr:
+		if e.Builtin == ast.BSelfFn {
+			a.needIDs = true
+			return true
+		}
+		return false
+	}
+	return false
+}

@@ -105,6 +105,37 @@ func (m JoinMode) String() string {
 	}
 }
 
+// TxnMode selects how transaction admission (§3.1) executes: through the
+// serial object-at-a-time greedy loop, or through the batched driver that
+// groups conflict-independent transactions, validates the independent ones
+// whole-batch against a columnar tentative view, and fans true conflict
+// groups out across the worker pool.
+type TxnMode uint8
+
+const (
+	// TxnAuto lets the cost model pick per tick (the default).
+	TxnAuto TxnMode = iota
+	// TxnScalar forces the serial per-transaction greedy loop.
+	TxnScalar
+	// TxnBatched forces the grouped/batched admission driver wherever the
+	// program's atomic blocks are analyzable (unanalyzable constraint read
+	// sets still fall back to the serial loop).
+	TxnBatched
+)
+
+func (m TxnMode) String() string {
+	switch m {
+	case TxnAuto:
+		return "auto"
+	case TxnScalar:
+		return "scalar"
+	case TxnBatched:
+		return "batched"
+	default:
+		return fmt.Sprintf("txn(%d)", uint8(m))
+	}
+}
+
 // Maint names a per-tick index maintenance decision for one accum site.
 type Maint uint8
 
@@ -163,6 +194,16 @@ type Costs struct {
 	IndexBuildRow float64
 	IndexApplyRow float64
 
+	// Transaction-admission axis (§3.1): validating one transaction through
+	// the serial greedy loop (per-candidate rule replay) versus streaming it
+	// through a batched constraint lane, plus the fixed batch setup and the
+	// per-row cost of materializing the columnar tentative view the lanes
+	// read. See ChooseTxn.
+	TxnScalarCheck float64
+	TxnBatchLane   float64
+	TxnBatchSetup  float64
+	TxnViewRow     float64
+
 	// Layout maintenance (partitioned execution): the per-tick penalty
 	// weight of one boundary migration under the current layout, the
 	// one-time per-row cost of installing a successor layout epoch
@@ -194,6 +235,11 @@ func DefaultCosts() Costs {
 		JoinBatchRowVec: 0.35,
 		JoinBatchProbe:  4.0,
 
+		TxnScalarCheck: 14.0,
+		TxnBatchLane:   1.5,
+		TxnBatchSetup:  32,
+		TxnViewRow:     0.35,
+
 		IndexBuildRow: 1.5,
 		IndexApplyRow: 6.0,
 
@@ -223,6 +269,36 @@ func (c Costs) ChooseJoin(mode JoinMode, kHat float64, vecInner bool) JoinMode {
 		return JoinBatched
 	}
 	return JoinScalar
+}
+
+// ChooseTxn resolves the transaction-admission mode for one tick's batch:
+// forced modes pass through; TxnAuto compares the modeled cost of replaying
+// n candidates through the serial greedy loop against batching them —
+// fixed setup, one tentative-view row per affected lane (viewRows), the
+// batchable fraction fBatch of candidates streamed through constraint
+// kernels, and the remainder still validated serially (conflict groups).
+// fBatch is per-tick feedback: the observed fraction of singleton
+// (conflict-independent) transactions, analogous to ChooseJoin's k̂. Tiny
+// batches stay scalar — the view and setup cannot amortize.
+func (c Costs) ChooseTxn(mode TxnMode, n, viewRows, fBatch float64) TxnMode {
+	if mode != TxnAuto {
+		return mode
+	}
+	if n <= 0 {
+		return TxnScalar
+	}
+	if fBatch < 0 {
+		fBatch = 0
+	} else if fBatch > 1 {
+		fBatch = 1
+	}
+	scalar := c.TxnScalarCheck * n
+	batched := c.TxnBatchSetup + c.TxnViewRow*viewRows +
+		c.TxnBatchLane*n*fBatch + c.TxnScalarCheck*n*(1-fBatch)
+	if batched < scalar {
+		return TxnBatched
+	}
+	return TxnScalar
 }
 
 // ChooseMaint resolves the per-tick index maintenance decision for a site

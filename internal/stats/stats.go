@@ -170,6 +170,19 @@ type ExecCounters struct {
 	JoinMatchRows   int64
 	JoinBatchedRows int64
 
+	// Transaction-admission accounting (§3.1, the fourth execution axis).
+	// TxnBatchedRows counts transactions validated by the batched driver
+	// (constraint kernels over the columnar tentative view, or batched
+	// closure lanes); serial-loop validations contribute nothing.
+	// TxnParallelGroups counts conflict groups dispatched to the worker
+	// pool; TxnCrossPart counts admitted-considered transactions whose
+	// touched rows (source, emission targets, constraint read set) spanned
+	// more than one partition and therefore routed through cross-partition
+	// admission instead of a partition-local lane.
+	TxnBatchedRows    int64
+	TxnParallelGroups int64
+	TxnCrossPart      int64
+
 	// Index maintenance accounting. IndexBuildNanos is wall time spent
 	// preparing per-tick indexes (builds, syncs and reuse checks);
 	// IndexReuses counts site-ticks that kept last tick's index untouched,

@@ -54,6 +54,9 @@ type (
 	// JoinMode selects scalar vs batch-gathered accum-join execution
 	// (see Options.Join).
 	JoinMode = plan.JoinMode
+	// TxnMode selects serial vs batched transaction admission
+	// (see Options.Txn).
+	TxnMode = plan.TxnMode
 	// PartitionStrategy selects the shared-nothing partition layout
 	// (see Options.Partitions / Options.Partition).
 	PartitionStrategy = plan.PartitionStrategy
@@ -105,6 +108,20 @@ const (
 	JoinAuto    = plan.JoinAuto
 	JoinScalar  = plan.JoinScalar
 	JoinBatched = plan.JoinBatched
+)
+
+// Transaction-admission modes (§3.1; see Options.Txn). The default TxnAuto
+// batches admission whenever enough transactions arrive per tick to
+// amortize building the columnar tentative view: conflict-free
+// transactions validate whole-batch through vexpr constraint kernels, true
+// conflict groups replay serially (fanned across the worker pool, routed
+// partition-locally when partitioned execution is active). Every mode,
+// worker count and partition count produces bit-identical admission
+// outcomes under every policy.
+const (
+	TxnAuto    = plan.TxnAuto
+	TxnScalar  = plan.TxnScalar
+	TxnBatched = plan.TxnBatched
 )
 
 // Partition layouts for shared-nothing partitioned execution (§4.2; see
