@@ -5,8 +5,13 @@
 // Usage:
 //
 //	sglc [-plan] [-schema] [-src] file.sgl
+//	sglc vet [-json] file.sgl...
 //
-// With no flags, sglc prints everything.
+// With no flags, sglc prints everything. The vet subcommand runs the
+// static-analysis diagnostics (dead handlers and branches, unsatisfiable
+// or trivial atomic constraints, half-open join ranges, scalar-pinning
+// cross emissions, dead effect attributes) and exits non-zero when any
+// file produces findings.
 package main
 
 import (
@@ -19,6 +24,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	plan := flag.Bool("plan", false, "print the relational-algebra plan per class")
 	sch := flag.Bool("schema", false, "print the generated relational schema")
 	src := flag.Bool("src", false, "print the canonicalized SGL source")

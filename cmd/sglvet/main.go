@@ -1,0 +1,40 @@
+// Command sglvet runs the repository's custom determinism-lint suite — a
+// multichecker over the deterministic-core packages:
+//
+//	maprange   range over a map on engine/index/txn merge-and-fold paths
+//	nodeterm   time.Now / math/rand in the deterministic core
+//	statsgate  stats-counter writes outside a DisableStats gate
+//
+// Findings can be suppressed per line with `//sglvet:allow <analyzer>: why`.
+// Exit status is 1 when any finding survives, so CI can enforce zero.
+//
+// Usage:
+//
+//	sglvet [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze")
+	flag.Parse()
+	pkgs, err := analyzers.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	findings := analyzers.Run(pkgs, analyzers.All)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sglvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

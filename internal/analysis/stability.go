@@ -1,0 +1,170 @@
+package analysis
+
+// Transaction-constraint stability (§3.1): every cross-object read in an
+// atomic constraint must go through a base expression whose value cannot
+// change during admission. Stable bases are committed-state reads — self,
+// frame slots, ref attributes without update rules, and chains of those;
+// their referents resolve once per transaction before conflict grouping,
+// which is what makes disjoint groups provably commutative. A constraint
+// reading through an unstable base (a rule-updated ref attribute, a
+// computed ref) has an unbounded read set, so its whole site falls back to
+// the serial admission loop.
+//
+// This walk is the structural half of the engine's former ad-hoc analysis
+// (engine/txnsite.go); kernel compilability — whether each rule-updated
+// read has a vectorized tentative-view column — stays with the engine,
+// which resolves RuleReads against its compiled update-rule kernels.
+
+import (
+	"repro/internal/compile"
+	"repro/internal/sgl/ast"
+	"repro/internal/value"
+)
+
+func (r *Result) analyzeAtomic(c *Class, s *Script, st *compile.AtomicStep) *Atomic {
+	a := &Atomic{Step: st, Class: c.Name, Phase: s.Phase}
+	for _, src := range st.Srcs {
+		collectExprReads(src, &s.Reads)
+		a.Constraints = append(a.Constraints, r.analyzeConstraint(c, src))
+	}
+	return a
+}
+
+func (r *Result) analyzeConstraint(c *Class, src ast.Expr) Constraint {
+	w := &consWalk{r: r, c: c, ok: true}
+	w.walk(src)
+	return Constraint{
+		Src:       src,
+		Stable:    w.ok,
+		Cols:      w.cols,
+		Slots:     w.slots,
+		NeedIDs:   w.needIDs,
+		RuleReads: w.ruleReads,
+	}
+}
+
+// consWalk accumulates one constraint's reads in walk order.
+type consWalk struct {
+	r *Result
+	c *Class
+
+	ok        bool
+	cols      []int
+	slots     []int
+	needIDs   bool
+	ruleReads []RuleRead
+}
+
+// hasRule reports whether a class's state attribute has an expression
+// update rule (false for unknown classes).
+func (w *consWalk) hasRule(class string, attr int) bool {
+	tc := w.r.Classes[class]
+	return tc != nil && attr < len(tc.HasRule) && tc.HasRule[attr]
+}
+
+// addCol records an own-row state read; a rule-updated attribute must
+// additionally resolve through the tentative post-update view.
+func (w *consWalk) addCol(attr int) {
+	w.cols = append(w.cols, attr)
+	if w.c.HasRule[attr] {
+		w.ruleReads = append(w.ruleReads, RuleRead{Class: w.c.Name, Attr: attr})
+	}
+}
+
+func (w *consWalk) walk(e ast.Expr) {
+	if !w.ok {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.NumLit, *ast.BoolLit, *ast.StrLit, *ast.NullLit:
+	case *ast.Ident:
+		switch e.Bind.Kind {
+		case ast.BindStateAttr:
+			w.addCol(e.Bind.AttrIdx)
+		case ast.BindLocal, ast.BindIter:
+			w.slots = append(w.slots, e.Bind.Slot)
+		case ast.BindSelf:
+			w.needIDs = true
+		default:
+			// Effect attrs and class extents have no tentative-view story
+			// inside constraints; keep the whole site on the serial loop.
+			w.ok = false
+		}
+	case *ast.FieldExpr:
+		w.walkField(e)
+	case *ast.UnaryExpr:
+		w.walk(e.X)
+	case *ast.BinaryExpr:
+		w.walk(e.X)
+		w.walk(e.Y)
+	case *ast.CondExpr:
+		w.walk(e.C)
+		w.walk(e.T)
+		w.walk(e.F)
+	case *ast.CallExpr:
+		if e.Builtin == ast.BSelfFn {
+			w.needIDs = true
+		}
+		for _, arg := range e.Args {
+			w.walk(arg)
+		}
+	default:
+		w.ok = false
+	}
+}
+
+// walkField analyzes one cross-object read x.attr: the base x must be
+// stable, and a rule-updated leaf joins the constraint's rule-read list
+// with its base expression.
+func (w *consWalk) walkField(e *ast.FieldExpr) {
+	if !w.stableBase(e.X) {
+		w.ok = false
+		return
+	}
+	if w.r.Classes[e.Class] == nil {
+		w.ok = false
+		return
+	}
+	if w.hasRule(e.Class, e.AttrIdx) {
+		w.ruleReads = append(w.ruleReads, RuleRead{Class: e.Class, Attr: e.AttrIdx, Base: e.X})
+	}
+}
+
+// stableBase reports whether a base expression's value is fixed for the
+// whole admission pass (it reads only committed state, the frame snapshot
+// or self), registering the reads evaluating the base itself performs.
+func (w *consWalk) stableBase(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.NullLit:
+		return true
+	case *ast.Ident:
+		switch e.Bind.Kind {
+		case ast.BindSelf:
+			w.needIDs = true
+			return true
+		case ast.BindLocal, ast.BindIter:
+			w.slots = append(w.slots, e.Bind.Slot)
+			return true
+		case ast.BindStateAttr:
+			if e.Ty.Kind != value.KindRef || w.c.HasRule[e.Bind.AttrIdx] {
+				return false
+			}
+			w.cols = append(w.cols, e.Bind.AttrIdx)
+			return true
+		}
+		return false
+	case *ast.FieldExpr:
+		if !w.stableBase(e.X) {
+			return false
+		}
+		return w.r.Classes[e.Class] != nil && e.Ty.Kind == value.KindRef &&
+			!w.hasRule(e.Class, e.AttrIdx)
+	case *ast.CallExpr:
+		if e.Builtin == ast.BSelfFn {
+			w.needIDs = true
+			return true
+		}
+		return false
+	}
+	return false
+}

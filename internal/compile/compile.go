@@ -83,7 +83,8 @@ type IfStep struct {
 // EmitStep contributes a value to an effect attribute (or to an enclosing
 // accum accumulator when AccumSlot >= 0). The *Src fields retain the
 // type-checked expressions so alternative evaluators (the vectorized batch
-// path) can recompile them.
+// path) can recompile them; Pos is the source position of the emission,
+// retained for analysis diagnostics.
 type EmitStep struct {
 	TargetFn  expr.Fn // nil = self
 	Class     string
@@ -95,6 +96,7 @@ type EmitStep struct {
 
 	ValSrc ast.Expr
 	KeySrc ast.Expr
+	Pos    token.Pos
 }
 
 // AtomicStep wraps body emissions into a transaction intent with
@@ -103,6 +105,7 @@ type AtomicStep struct {
 	Constraints []expr.Fn
 	Srcs        []ast.Expr
 	Body        []Step
+	Src         *ast.AtomicStmt // source statement, for analysis diagnostics
 }
 
 // AccumStep is a compiled accum-loop: a θ-join between the executing row
@@ -123,6 +126,9 @@ type AccumStep struct {
 	// `if (pred) { contributions }` and pred decomposed into
 	// index-servable conjuncts plus a residual.
 	Join *JoinSpec
+
+	// Src is the source accum statement, for analysis diagnostics.
+	Src *ast.AccumStmt
 }
 
 // JoinSpec is the index-accelerable decomposition of an accum predicate.
@@ -256,6 +262,7 @@ func compileStmt(info *sem.Info, s ast.Stmt) []Step {
 			ValSrc:    s.Value,
 			SetInsert: s.SetInsert,
 			AccumSlot: s.AccumSlot,
+			Pos:       s.Pos,
 		}
 		if s.Target != nil {
 			st.TargetFn = expr.Compile(s.Target)
@@ -266,7 +273,7 @@ func compileStmt(info *sem.Info, s ast.Stmt) []Step {
 		}
 		return []Step{st}
 	case *ast.AtomicStmt:
-		st := &AtomicStep{Body: compileBlockStmts(info, s.Body.Stmts), Srcs: s.Constraints}
+		st := &AtomicStep{Body: compileBlockStmts(info, s.Body.Stmts), Srcs: s.Constraints, Src: s}
 		for _, c := range s.Constraints {
 			st.Constraints = append(st.Constraints, expr.Compile(c))
 		}
@@ -290,6 +297,7 @@ func compileAccum(info *sem.Info, s *ast.AccumStmt) []Step {
 		IterSlot:    s.IterSlot,
 		SourceClass: s.IterClass,
 		Body:        compileBlockStmts(info, s.Body.Stmts),
+		Src:         s,
 	}
 	if id, ok := s.Source.(*ast.Ident); !ok || id.Bind.Kind != ast.BindExtent {
 		st.SourceFn = expr.Compile(s.Source)

@@ -29,8 +29,10 @@ func Explain(cp *ClassPlan) string {
 	for _, u := range cp.Updates {
 		fmt.Fprintf(&b, "update: %s ← %s\n", cp.Class.State[u.AttrIdx].Name, ast.ExprString(u.Src.Expr))
 	}
-	for attr, owner := range cp.OwnedBy {
-		fmt.Fprintf(&b, "update: %s owned by component %q\n", attr, owner)
+	for _, a := range cp.Class.State {
+		if owner, ok := cp.OwnedBy[a.Name]; ok {
+			fmt.Fprintf(&b, "update: %s owned by component %q\n", a.Name, owner)
+		}
 	}
 	return b.String()
 }

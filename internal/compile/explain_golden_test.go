@@ -1,0 +1,60 @@
+package compile_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+var updateExplain = flag.Bool("update-explain", false, "rewrite explain golden files")
+
+// TestExplainGoldens pins the full relational-algebra rendering of the three
+// plan-shape-diverse shipped scenarios: traffic (partition-friendly phases +
+// handlers), rts (minby target selection + atomic), flock (join-dominated
+// accums). Any change to compilation output shows up as a golden diff.
+func TestExplainGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"traffic", core.SrcTraffic},
+		{"rts", core.SrcRTS},
+		{"flock", core.SrcFlock},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := core.MustLoad(tc.name, tc.src)
+			names := make([]string, 0, len(sc.Prog.Classes))
+			for name := range sc.Prog.Classes { //sglvet:allow maprange: sorted below
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			var b strings.Builder
+			for _, name := range names {
+				b.WriteString(compile.Explain(sc.Prog.Classes[name]))
+				b.WriteString("\n")
+			}
+			got := b.String()
+			path := filepath.Join("..", "..", "testdata", "explain", tc.name+".golden")
+			if *updateExplain {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update-explain to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("explain output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

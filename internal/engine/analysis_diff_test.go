@@ -1,0 +1,162 @@
+package engine_test
+
+// Differential pin for the unified static-analysis refactor: every
+// physical-plan decision the engine now routes through internal/analysis —
+// batch-kernel eligibility per phase and update rule, the cross-self-
+// emission hazard, atomic-site stability classification with its kernel
+// read sets, and the partitioned reach derivation's static preconditions —
+// must be identical to what the pre-refactor ad-hoc code computed. The
+// old logic lives on, verbatim, as test-only copies in export_test.go;
+// these tests run both over every shipped scenario and demand equality.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+var diffScenarios = []struct {
+	name string
+	src  string
+}{
+	{"fig2", core.SrcFig2},
+	{"rts", core.SrcRTS},
+	{"market", core.SrcMarket},
+	{"market-unsafe", core.SrcMarketUnsafe},
+	{"vehicles", core.SrcVehicles},
+	{"traffic-prox", core.SrcTraffic},
+	{"flock", core.SrcFlock},
+	{"swarm", core.SrcSwarm},
+	{"guard", core.SrcGuard},
+}
+
+func diffWorld(t *testing.T, name, src string, opts engine.Options) *engine.World {
+	t.Helper()
+	sc, err := core.LoadScenario(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func classNames(t *testing.T, name, src string) []string {
+	t.Helper()
+	sc, err := core.LoadScenario(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for n := range sc.Prog.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestVecDecisionDifferential pins exec-mode eligibility: per class, the
+// cross-self-emission verdict, which phases compiled to batch kernels and
+// which update rules took the kernel vs closure path must match the
+// pre-refactor inline logic exactly.
+func TestVecDecisionDifferential(t *testing.T) {
+	for _, sc := range diffScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			w := diffWorld(t, sc.name, sc.src, engine.Options{})
+			for _, cls := range classNames(t, sc.name, sc.src) {
+				got := w.VecDecisions(cls)
+				want := w.OldVecDecisions(cls)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s.%s: vec decisions diverged\n new: %+v\n old: %+v",
+						sc.name, cls, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTxnSiteDifferential pins transaction-site classification: per atomic
+// block, analyzability, the kernel column/slot/view read sets, conflict
+// bases and which constraints compiled to mask kernels must match the
+// pre-refactor consAnalysis walk exactly.
+func TestTxnSiteDifferential(t *testing.T) {
+	for _, sc := range diffScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			w := diffWorld(t, sc.name, sc.src, engine.Options{})
+			got := w.TxnSiteSummaries()
+			want := w.OldTxnSiteSummaries()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: txn site classification diverged\n new: %+v\n old: %+v",
+					sc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestReachDifferential pins the partitioned interaction-radius
+// derivation: on populated partitioned worlds after real ticks, the
+// analysis-routed deriveSiteReach must anchor the same dimensions to the
+// same axes with bit-identical reach bounds as the pre-refactor
+// derivation, and spatial sites must never have fallen back to the shared
+// whole-extent index.
+func TestReachDifferential(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() *engine.World
+	}{
+		{"flock", func() *engine.World {
+			return flockWorldFor(t, 600, engine.Options{Partitions: 4})
+		}},
+		{"traffic-prox", func() *engine.World {
+			return carWorldFor(t, 500, engine.Options{Partitions: 4})
+		}},
+		{"fig2", func() *engine.World {
+			w := diffWorld(t, "fig2", core.SrcFig2, engine.Options{Partitions: 4})
+			if _, err := core.PopulateUnits(w, workload.Uniform(400, 600, 600, 5), 25); err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}},
+		{"swarm", func() *engine.World {
+			w := diffWorld(t, "swarm", core.SrcSwarm, engine.Options{Partitions: 4})
+			if _, err := core.PopulateMotes(w, workload.Uniform(400, 500, 500, 7), 0.7, -0.3, 0.01); err != nil {
+				t.Fatal(err)
+			}
+			return w
+		}},
+	}
+	for _, b := range builds {
+		t.Run(b.name, func(t *testing.T) {
+			w := b.build()
+			for i := 0; i < 3; i++ {
+				if err := w.RunTick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			comps := w.CompareReachDerivations()
+			if len(comps) == 0 {
+				t.Fatalf("%s: no indexed accum sites to compare", b.name)
+			}
+			for _, rc := range comps {
+				if rc.Spatial != rc.OldSpatial {
+					t.Errorf("%s %s←%s phase %d: spatial verdict diverged: new %v old %v",
+						b.name, rc.Class, rc.Source, rc.Phase, rc.Spatial, rc.OldSpatial)
+				}
+				if rc.Spatial && !reflect.DeepEqual(rc.Reach, rc.OldReach) {
+					t.Errorf("%s %s←%s phase %d: reach diverged\n new: %+v\n old: %+v",
+						b.name, rc.Class, rc.Source, rc.Phase, rc.Reach, rc.OldReach)
+				}
+				if rc.Spatial && rc.Shared {
+					t.Errorf("%s %s←%s phase %d: spatial site fell back to shared index",
+						b.name, rc.Class, rc.Source, rc.Phase)
+				}
+			}
+		})
+	}
+}

@@ -39,7 +39,7 @@ func (w *World) Restore(c *Checkpoint) error {
 	if w.inTick {
 		return fmt.Errorf("engine: restore is only valid at tick boundaries")
 	}
-	for name := range c.Tables {
+	for name := range c.Tables { //sglvet:allow maprange: membership validation only, no state mutated
 		if _, ok := w.classes[name]; !ok {
 			return fmt.Errorf("engine: checkpoint has unknown class %q", name)
 		}

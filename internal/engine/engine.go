@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/combinator"
 	"repro/internal/compile"
 	"repro/internal/expr"
@@ -106,6 +107,12 @@ type World struct {
 	prog    *compile.Program
 	classes map[string]*classRT
 	order   []*classRT
+
+	// ai is the program's unified static analysis (internal/analysis):
+	// read/write sets, fold classification, structural vectorizability,
+	// constraint stability and join partitionability. Every build-time
+	// physical-plan decision below routes through it.
+	ai *analysis.Result
 
 	comps      []UpdateComponent
 	compByName map[string]UpdateComponent
@@ -214,6 +221,9 @@ type classRT struct {
 	// hasRule[i] is true when state attr i has an expression update rule.
 	hasRule []bool
 
+	// ai is the class's slice of the program analysis.
+	ai *analysis.Class
+
 	// Batched-admission scratch (txnbatch.go), all generation-stamped so
 	// nothing is cleared between admissions. txnRowOwner maps a physical
 	// row to the transaction that last claimed it during conflict grouping;
@@ -275,6 +285,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 	}
 	w := &World{
 		prog:       prog,
+		ai:         analysis.Analyze(prog),
 		classes:    make(map[string]*classRT),
 		compByName: make(map[string]UpdateComponent),
 		siteIndex:  make(map[*compile.AccumStep]*siteRT),
@@ -295,6 +306,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 			plan:    cp,
 			tab:     table.New(cls.Name, cols),
 			pcCol:   len(cls.State),
+			ai:      w.ai.Class(cls.Name),
 			hasRule: make([]bool, len(cls.State)),
 			staged:  make(map[int]map[value.ID]value.Value),
 		}
@@ -350,7 +362,7 @@ func (w *World) Register(c UpdateComponent) error {
 		return fmt.Errorf("engine: duplicate update component %q", name)
 	}
 	for _, rt := range w.order {
-		for attr, owner := range rt.plan.OwnedBy {
+		for attr, owner := range rt.plan.OwnedBy { //sglvet:allow maprange: validation only, first-error choice is not state
 			if owner != name {
 				continue
 			}
@@ -365,13 +377,18 @@ func (w *World) Register(c UpdateComponent) error {
 }
 
 // MissingOwners returns "class.attr" strings whose declared owner component
-// has not been registered; ticking with missing owners is an error.
+// has not been registered; ticking with missing owners is an error. Attrs
+// report in declaration order, not map order.
 func (w *World) MissingOwners() []string {
 	var out []string
 	for _, rt := range w.order {
-		for attr, owner := range rt.plan.OwnedBy {
+		for _, a := range rt.cls.State {
+			owner, owned := rt.plan.OwnedBy[a.Name]
+			if !owned {
+				continue
+			}
 			if _, ok := w.compByName[owner]; !ok {
-				out = append(out, rt.name+"."+attr+" (by "+owner+")")
+				out = append(out, rt.name+"."+a.Name+" (by "+owner+")")
 			}
 		}
 	}
@@ -437,7 +454,7 @@ func (w *World) Spawn(class string, init map[string]value.Value) (value.ID, erro
 	if !ok {
 		return value.NullID, fmt.Errorf("engine: unknown class %q", class)
 	}
-	for name := range init {
+	for name := range init { //sglvet:allow maprange: membership validation only, no state mutated
 		if rt.cls.StateIndex(name) < 0 {
 			return value.NullID, fmt.Errorf("engine: class %s has no state attribute %q", class, name)
 		}

@@ -216,7 +216,7 @@ func (s *workerSink) emit(w *World, e Emission) {
 func (s *workerSink) addTxn(t *Txn) { s.txns = append(s.txns, t) }
 
 func (s *workerSink) reset() {
-	for _, cols := range s.cols {
+	for _, cols := range s.cols { //sglvet:allow maprange: independent per-class resets, order-free
 		for i := range cols {
 			cols[i].reset()
 		}
@@ -226,7 +226,7 @@ func (s *workerSink) reset() {
 
 // mergeInto folds the worker's private accumulators into the world buffers.
 func (s *workerSink) mergeInto(w *World) {
-	for rt, cols := range s.cols {
+	for rt, cols := range s.cols { //sglvet:allow maprange: per-class destinations are disjoint; within a class, fold order follows the deterministic touched lists
 		for ai := range cols {
 			c := &cols[ai]
 			dst := &rt.fx[ai]

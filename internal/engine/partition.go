@@ -126,7 +126,7 @@ func (w *World) initPartitions() error {
 	if w.opts.Partitions <= 0 {
 		return nil
 	}
-	for class, attrs := range w.opts.PartitionBy {
+	for class, attrs := range w.opts.PartitionBy { //sglvet:allow maprange: option validation only, no state mutated
 		rt, ok := w.classes[class]
 		if !ok {
 			return fmt.Errorf("engine: PartitionBy names unknown class %q", class)

@@ -184,6 +184,9 @@ func (w *World) fillSharedView(site *siteRT, srcRT *classRT, track bool) {
 // (called when its indexes are rebuilt or patched — a reused index means
 // nothing changed, so nothing is sent).
 func (w *World) chargeGhosts(site *siteRT, ghosts int64) {
+	if w.opts.DisableStats {
+		return
+	}
 	w.execStats.PartMsgsGhost += ghosts
 	w.execStats.PartBytes += ghosts * cluster.BytesPerGhost
 }
@@ -325,7 +328,11 @@ func (w *World) stateFingerprint() uint64 {
 // state the tick-start ghosts would not cover), or unbounded predicates.
 func (w *World) deriveSiteReach(site *siteRT, srcRT *classRT) bool {
 	pw := w.parts
-	if site.phase < 0 {
+	// The static preconditions — a non-handler site with at least one
+	// self-only range dimension — come from the unified analysis; the
+	// spatial-layout requirement and the bound evaluation below are the
+	// runtime halves.
+	if ja := w.ai.Join(site.step); ja == nil || !ja.Partitionable {
 		return false
 	}
 	probeRT := w.classes[site.class]
@@ -353,16 +360,9 @@ func (w *World) deriveSiteReach(site *siteRT, srcRT *classRT) bool {
 	for k := 0; k < naxes; k++ {
 		pw.axisPos[k] = pw.axisPos[k][:0]
 	}
-	anyDim := false
 	for d := range j.Ranges {
 		pw.boxLo[d] = pw.boxLo[d][:0]
 		pw.boxHi[d] = pw.boxHi[d][:0]
-		if j.Ranges[d].SelfOnly {
-			anyDim = true
-		}
-	}
-	if !anyDim {
-		return false
 	}
 	ctx := expr.Ctx{W: w, Class: site.class}
 	tab := probeRT.tab

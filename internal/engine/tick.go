@@ -206,8 +206,8 @@ func (w *World) runUpdateStep() error {
 	// scalar rules and components, then the dense columns staged by the
 	// vectorized rules (disjoint attributes by strict ownership).
 	for _, rt := range w.order {
-		for attrIdx, m := range rt.staged {
-			for id, v := range m {
+		for attrIdx, m := range rt.staged { //sglvet:allow maprange: keyed writes to disjoint (attr, id) cells, order-free
+			for id, v := range m { //sglvet:allow maprange: keyed writes to disjoint (attr, id) cells, order-free
 				row := rt.tab.Row(id)
 				if row < 0 {
 					continue // object died this tick

@@ -7,24 +7,28 @@ package engine
 // constraint compiles to a vexpr mask kernel over the columnar tentative
 // state, the same shape as the batched-join residual conjuncts.
 //
-// The key property the analysis certifies is *read-set stability*: every
-// cross-object read in a constraint must go through a base expression whose
-// value cannot change during admission. Stable bases are committed-state
-// reads (self, frame slots, ref attributes without update rules, chains of
-// those); their referents are resolvable once per transaction before
-// grouping, which is what makes conflict groups — transactions whose
-// touched rows are disjoint — provably commutative: a group's admission
-// outcome and effect-buffer residue depend only on committed state plus the
-// group's own accumulators. A constraint reading through an unstable base
-// (a rule-updated ref attribute, a conditional ref) has an unbounded read
-// set, so its whole site is marked unanalyzable and every batch containing
-// it falls back to the serial loop.
+// The key property certified is *read-set stability*: every cross-object
+// read in a constraint must go through a base expression whose value cannot
+// change during admission. Stable bases are committed-state reads (self,
+// frame slots, ref attributes without update rules, chains of those); their
+// referents are resolvable once per transaction before grouping, which is
+// what makes conflict groups — transactions whose touched rows are disjoint
+// — provably commutative: a group's admission outcome and effect-buffer
+// residue depend only on committed state plus the group's own accumulators.
+// A constraint reading through an unstable base (a rule-updated ref
+// attribute, a conditional ref) has an unbounded read set, so its whole
+// site is marked unanalyzable and every batch containing it falls back to
+// the serial loop.
+//
+// The stability walk itself lives in the unified static-analysis layer
+// (internal/analysis, stability.go); this file resolves its verdicts
+// against the engine's compiled kernels: a constraint becomes a vexpr mask
+// kernel when it is stable, every rule-updated read it performs has a
+// vectorized tentative-view column, and the expression compiles.
 
 import (
 	"repro/internal/compile"
 	"repro/internal/expr"
-	"repro/internal/sgl/ast"
-	"repro/internal/value"
 	"repro/internal/vexpr"
 )
 
@@ -133,55 +137,56 @@ func vecRuleProg(rt *classRT, attr int) *vexpr.Prog {
 	return nil
 }
 
-// consAnalysis accumulates one constraint's reads during the AST walk.
-type consAnalysis struct {
-	w  *World
-	rt *classRT
-
-	ok       bool // read set bounded (site-level requirement)
-	kernelOK bool // every rule-attr read has a tentative view column
-
-	cols    []int
-	slots   []int
-	needIDs bool
-	views   []txnViewAttr
-	bases   []txnBase
-}
-
 func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
 	site := &txnSite{rt: rt, step: step, analyzable: true}
+	ai := w.ai.Atomic(step)
 	colSeen := make(map[int]bool)
 	slotSeen := make(map[int]bool)
 	viewSeen := make(map[txnViewKey]bool)
 	for ci, src := range step.Srcs {
 		c := txnConstraint{fn: step.Constraints[ci]}
-		a := &consAnalysis{w: w, rt: rt, ok: true, kernelOK: true}
-		a.walk(src)
-		if !a.ok {
+		ca := ai.Constraints[ci]
+		if !ca.Stable {
 			site.analyzable = false
 			site.cons = append(site.cons, c)
 			continue
 		}
-		// Conflict read sets feed grouping for kernel and closure
-		// constraints alike.
-		site.bases = append(site.bases, a.bases...)
-		if a.kernelOK {
+		// Resolve the constraint's rule-updated reads against the compiled
+		// update-rule kernels: every one needs a vectorized rule to have a
+		// tentative-view column; cross-object reads additionally register
+		// their stable base in the conflict read set. Conflict read sets
+		// feed grouping for kernel and closure constraints alike.
+		kernelOK := true
+		var views []txnViewAttr
+		for _, rr := range ca.RuleReads {
+			trt := w.classes[rr.Class]
+			if rr.Base != nil {
+				site.bases = append(site.bases, txnBase{fn: expr.Compile(rr.Base), class: rr.Class})
+			}
+			prog := vecRuleProg(trt, rr.Attr)
+			if prog == nil {
+				kernelOK = false
+				continue
+			}
+			views = append(views, txnViewAttr{rt: trt, attr: rr.Attr, prog: prog})
+		}
+		if kernelOK {
 			if prog, ok := vexpr.CompileWithSlots(src, func(int) bool { return true }); ok {
 				c.prog = prog
-				site.needIDs = site.needIDs || a.needIDs || prog.NeedIDs()
-				for _, col := range a.cols {
+				site.needIDs = site.needIDs || ca.NeedIDs || prog.NeedIDs()
+				for _, col := range ca.Cols {
 					if !colSeen[col] {
 						colSeen[col] = true
 						site.cols = append(site.cols, col)
 					}
 				}
-				for _, sl := range a.slots {
+				for _, sl := range ca.Slots {
 					if !slotSeen[sl] {
 						slotSeen[sl] = true
 						site.slots = append(site.slots, sl)
 					}
 				}
-				for _, va := range a.views {
+				for _, va := range views {
 					k := txnViewKey{rt: va.rt, attr: va.attr}
 					if !viewSeen[k] {
 						viewSeen[k] = true
@@ -198,122 +203,4 @@ func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
 type txnViewKey struct {
 	rt   *classRT
 	attr int
-}
-
-func (a *consAnalysis) addCol(attr int) {
-	a.cols = append(a.cols, attr)
-	if a.rt.hasRule[attr] {
-		prog := vecRuleProg(a.rt, attr)
-		if prog == nil {
-			a.kernelOK = false
-			return
-		}
-		a.views = append(a.views, txnViewAttr{rt: a.rt, attr: attr, prog: prog})
-	}
-}
-
-func (a *consAnalysis) walk(e ast.Expr) {
-	if !a.ok {
-		return
-	}
-	switch e := e.(type) {
-	case *ast.NumLit, *ast.BoolLit, *ast.StrLit, *ast.NullLit:
-	case *ast.Ident:
-		switch e.Bind.Kind {
-		case ast.BindStateAttr:
-			a.addCol(e.Bind.AttrIdx)
-		case ast.BindLocal, ast.BindIter:
-			a.slots = append(a.slots, e.Bind.Slot)
-		case ast.BindSelf:
-			a.needIDs = true
-		default:
-			// Effect attrs and class extents have no tentative-view story
-			// inside constraints; keep the whole site on the serial loop.
-			a.ok = false
-		}
-	case *ast.FieldExpr:
-		a.walkField(e)
-	case *ast.UnaryExpr:
-		a.walk(e.X)
-	case *ast.BinaryExpr:
-		a.walk(e.X)
-		a.walk(e.Y)
-	case *ast.CondExpr:
-		a.walk(e.C)
-		a.walk(e.T)
-		a.walk(e.F)
-	case *ast.CallExpr:
-		if e.Builtin == ast.BSelfFn {
-			a.needIDs = true
-		}
-		for _, arg := range e.Args {
-			a.walk(arg)
-		}
-	default:
-		a.ok = false
-	}
-}
-
-// walkField analyzes one cross-object read x.attr: the base x must be
-// stable, and a rule-updated leaf registers the referent in the conflict
-// read set plus the tentative view.
-func (a *consAnalysis) walkField(e *ast.FieldExpr) {
-	if !a.stableBase(e.X) {
-		a.ok = false
-		return
-	}
-	trt := a.w.classes[e.Class]
-	if trt == nil {
-		a.ok = false
-		return
-	}
-	if trt.hasRule[e.AttrIdx] {
-		a.bases = append(a.bases, txnBase{fn: expr.Compile(e.X), class: e.Class})
-		prog := vecRuleProg(trt, e.AttrIdx)
-		if prog == nil {
-			a.kernelOK = false
-			return
-		}
-		a.views = append(a.views, txnViewAttr{rt: trt, attr: e.AttrIdx, prog: prog})
-	}
-}
-
-// stableBase reports whether a base expression's value is fixed for the
-// whole admission pass (it reads only committed state, the frame snapshot
-// or self), registering the reads the kernel evaluation of the base itself
-// performs.
-func (a *consAnalysis) stableBase(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.NullLit:
-		return true
-	case *ast.Ident:
-		switch e.Bind.Kind {
-		case ast.BindSelf:
-			a.needIDs = true
-			return true
-		case ast.BindLocal, ast.BindIter:
-			a.slots = append(a.slots, e.Bind.Slot)
-			return true
-		case ast.BindStateAttr:
-			if e.Ty.Kind != value.KindRef || a.rt.hasRule[e.Bind.AttrIdx] {
-				return false
-			}
-			a.cols = append(a.cols, e.Bind.AttrIdx)
-			return true
-		}
-		return false
-	case *ast.FieldExpr:
-		if !a.stableBase(e.X) {
-			return false
-		}
-		trt := a.w.classes[e.Class]
-		return trt != nil && e.Ty.Kind == value.KindRef && !trt.hasRule[e.AttrIdx]
-	case *ast.CallExpr:
-		if e.Builtin == ast.BSelfFn {
-			a.needIDs = true
-			return true
-		}
-		return false
-	}
-	return false
 }

@@ -174,15 +174,18 @@ func (w *World) chooseEffectExec(rt *classRT, counts []int) (vecSel []bool, work
 	return vecSel, work
 }
 
-// buildVecPlan compiles everything vectorizable about a class. Returns nil
-// when nothing compiled, which keeps the scalar fast path branch-free.
+// buildVecPlan compiles everything vectorizable about a class. Structural
+// eligibility — payload kinds, step shapes, the cross-self-emission hazard
+// — comes from the unified analysis (internal/analysis); this function
+// adds the expression-compilability half by lowering eligible rules and
+// phases through the vexpr compiler. Returns nil when nothing compiled,
+// which keeps the scalar fast path branch-free.
 func buildVecPlan(rt *classRT) *vecClassPlan {
 	v := &vecClassPlan{}
 	fxSeen := make(map[int]bool)
-	for _, u := range rt.plan.Updates {
-		kind := rt.cls.State[u.AttrIdx].Kind
+	for i, u := range rt.plan.Updates {
 		prog, ok := vexpr.Compile(u.Src.Expr)
-		if !ok || (kind != value.KindNumber && kind != value.KindBool && kind != value.KindRef) {
+		if !ok || !rt.ai.Updates[i].VecKind {
 			v.scalarUpdates = append(v.scalarUpdates, u)
 			continue
 		}
@@ -202,12 +205,13 @@ func buildVecPlan(rt *classRT) *vecClassPlan {
 	// with a vectorized phase's self-emissions in a different order than
 	// the scalar row loop (row 3's cross-contribution into row 9 vs row
 	// 9's own), which would break bit-identity for ⊕ folds. Vectorized
-	// phases themselves never cross-emit (rejected below), so the hazard
-	// exists exactly when any phase emits into the own class via a target
-	// expression; in that case no phase of the class vectorizes.
-	if !classCrossEmitsSelf(rt) {
+	// phases themselves never cross-emit (analysis rejects the shape), so
+	// the hazard exists exactly when any phase emits into the own class via
+	// a target expression — analysis.Class.CrossSelfEmit; in that case no
+	// phase of the class vectorizes.
+	if !rt.ai.CrossSelfEmit {
 		for p, steps := range rt.plan.Phases {
-			if len(steps) == 0 {
+			if !rt.ai.Phases[p].Vectorizable {
 				continue
 			}
 			if vp := compileVecPhase(rt, steps); vp != nil {
@@ -223,47 +227,8 @@ func buildVecPlan(rt *classRT) *vecClassPlan {
 	return v
 }
 
-// classCrossEmitsSelf reports whether any phase of the class contains a
-// direct (non-transactional) targeted emission into the class itself.
-// Atomic-block emissions are excluded: they flow through transaction
-// admission, which runs after the whole effect phase in both execution
-// modes.
-func classCrossEmitsSelf(rt *classRT) bool {
-	var walk func(steps []compile.Step) bool
-	walk = func(steps []compile.Step) bool {
-		for _, s := range steps {
-			switch s := s.(type) {
-			case *compile.EmitStep:
-				if s.TargetFn != nil && s.Class == rt.name && s.AccumSlot < 0 {
-					return true
-				}
-			case *compile.IfStep:
-				if walk(s.Then) || walk(s.Else) {
-					return true
-				}
-			case *compile.AccumStep:
-				if walk(s.Body) {
-					return true
-				}
-				if s.Join != nil && walk(s.Join.Inner) {
-					return true
-				}
-			case *compile.AtomicStep:
-				// Emissions inside atomic blocks apply during admission.
-			}
-		}
-		return false
-	}
-	for _, steps := range rt.plan.Phases {
-		if walk(steps) {
-			return true
-		}
-	}
-	return false
-}
-
-// compileVecPhase lowers one phase's step list to batch form, or nil when
-// any step is outside the vectorizable subset.
+// compileVecPhase lowers one structurally eligible phase's step list to
+// batch form, or nil when any expression falls outside the vexpr subset.
 func compileVecPhase(rt *classRT, steps []compile.Step) *vecPhase {
 	vp := &vecPhase{maxSlot: -1}
 	defined := make(map[int]bool)
@@ -311,15 +276,11 @@ func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, de
 			}
 			out = append(out, st)
 		case *compile.EmitStep:
-			// Only self-targeted scalar emissions keep per-accumulator
-			// contribution order identical to the scalar row loop.
-			if s.TargetFn != nil || s.SetInsert || s.AccumSlot >= 0 || s.Class != rt.name {
-				return nil, false
-			}
+			// The structural requirements — self-targeted scalar emissions
+			// of columnar payload kinds only, which keep per-accumulator
+			// contribution order identical to the scalar row loop — are
+			// certified by analysis.Script.Vectorizable before this runs.
 			kind := rt.cls.Effects[s.AttrIdx].Kind
-			if kind != value.KindNumber && kind != value.KindBool && kind != value.KindRef {
-				return nil, false
-			}
 			val, ok := vexpr.CompileWithSlots(s.ValSrc, slotOK)
 			if !ok {
 				return nil, false

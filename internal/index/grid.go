@@ -66,13 +66,13 @@ func (g *Grid) rebuild(cellSize float64, entries []Entry) {
 		panic("index: grid cell size must be positive")
 	}
 	live := 0
-	for _, c := range g.cells {
+	for _, c := range g.cells { //sglvet:allow maprange: occupancy count only
 		if len(c.es) > 0 {
 			live++
 		}
 	}
 	if len(g.cells) > 2*live+16 {
-		for k, c := range g.cells {
+		for k, c := range g.cells { //sglvet:allow maprange: keyed deletion of empties, order-free
 			if len(c.es) == 0 {
 				delete(g.cells, k)
 			}
@@ -80,7 +80,7 @@ func (g *Grid) rebuild(cellSize float64, entries []Entry) {
 	}
 	g.cell = cellSize
 	g.n = 0
-	for _, c := range g.cells {
+	for _, c := range g.cells { //sglvet:allow maprange: independent per-cell resets, order-free
 		c.es = c.es[:0]
 	}
 	for i := range g.present {
@@ -243,7 +243,7 @@ func (g *Grid) Cell() float64 { return g.cell }
 // Cells returns the number of occupied cells.
 func (g *Grid) Cells() int {
 	n := 0
-	for _, c := range g.cells {
+	for _, c := range g.cells { //sglvet:allow maprange: occupancy count only
 		if len(c.es) > 0 {
 			n++
 		}

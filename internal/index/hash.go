@@ -75,19 +75,19 @@ func NewRowHash() *RowHash {
 // is freed and refills stay allocation-free.
 func (h *RowHash) Reset() {
 	live := 0
-	for _, b := range h.buckets {
+	for _, b := range h.buckets { //sglvet:allow maprange: occupancy count only
 		if len(b.ids) > 0 {
 			live++
 		}
 	}
 	if len(h.buckets) > 2*live+16 {
-		for k, b := range h.buckets {
+		for k, b := range h.buckets { //sglvet:allow maprange: keyed deletion of empties, order-free
 			if len(b.ids) == 0 {
 				delete(h.buckets, k)
 			}
 		}
 	}
-	for _, b := range h.buckets {
+	for _, b := range h.buckets { //sglvet:allow maprange: independent per-bucket resets, order-free
 		b.ids = b.ids[:0]
 		b.rows = b.rows[:0]
 	}

@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture is a minimal module reproducing each violation the suite must
+// catch, plus gated and allowlisted variants it must not flag.
+const fixtureSrc = `package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+type options struct{ DisableStats bool }
+
+type counters struct{ Ticks int64 }
+
+type world struct {
+	opts      options
+	execStats counters
+}
+
+func (w *world) bad(m map[int]int) int {
+	t := time.Now()
+	n := rand.Int()
+	s := 0
+	for k := range m {
+		s += k
+	}
+	w.execStats.Ticks++
+	_ = t
+	return s + n
+}
+
+func (w *world) gated(m map[int]int) {
+	track := !w.opts.DisableStats
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+		w.execStats.Ticks++
+	}
+	_ = t0
+	for k := range m { //sglvet:allow maprange: fixture, order-free
+		_ = k
+	}
+}
+
+func (w *world) earlyReturn() {
+	if w.opts.DisableStats {
+		return
+	}
+	w.execStats.Ticks++
+}
+`
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module repro\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "engine")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "engine.go"), []byte(fixtureSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestAnalyzersDetect pins that each analyzer catches its violation and
+// that stats gates, early-return guards and allow comments suppress.
+func TestAnalyzersDetect(t *testing.T) {
+	pkgs, err := LoadModule(writeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, All)
+	count := map[string]int{}
+	for _, f := range findings {
+		count[f.Analyzer]++
+	}
+	if count["nodeterm"] != 2 {
+		t.Errorf("nodeterm: want 2 findings (time.Now, rand.Int), got %d", count["nodeterm"])
+	}
+	if count["maprange"] != 1 {
+		t.Errorf("maprange: want 1 finding (allow comment suppresses the second), got %d", count["maprange"])
+	}
+	if count["statsgate"] != 1 {
+		t.Errorf("statsgate: want 1 finding (gated and early-return writes pass), got %d", count["statsgate"])
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Pos.Filename, "engine.go") {
+			t.Errorf("finding outside fixture: %s", f)
+		}
+	}
+}
+
+// TestRepoClean enforces the zero-findings bar on the repository itself —
+// the same check CI runs through cmd/sglvet.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := Run(pkgs, All); len(findings) > 0 {
+		for _, f := range findings {
+			t.Error(f)
+		}
+	}
+}

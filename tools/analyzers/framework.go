@@ -1,0 +1,221 @@
+package analyzers
+
+// A minimal analyzer framework mirroring the shape of golang.org/x/tools
+// go/analysis (Analyzer / Pass / Report), built on the stdlib-only loader
+// in load.go. Findings can be suppressed per line with an allowlist
+// comment:
+//
+//	//sglvet:allow <analyzer>[: justification]
+//
+// placed on the reported line or the line immediately above it. The
+// justification is free text; suppressions without one are still honored,
+// but reviewers should demand a reason.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one determinism check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages restricts the analyzer to these import paths (exact match).
+	// Empty means every loaded package.
+	Packages []string
+	Run      func(*Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(pos token.Pos, format string, args ...any)
+}
+
+// Reportf records a finding at pos unless an allowlist comment suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, format, args...)
+}
+
+// Finding is one reported diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Msg)
+}
+
+// Run executes every analyzer over every matching package and returns the
+// surviving findings in file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if len(a.Packages) > 0 && !contains(a.Packages, pkg.Path) {
+				continue
+			}
+			allow := allowlist(pkg, a.Name)
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(pos token.Pos, format string, args ...any) {
+					p := pkg.Fset.Position(pos)
+					if allow[p.Filename] != nil &&
+						(allow[p.Filename][p.Line] || allow[p.Filename][p.Line-1]) {
+						return
+					}
+					findings = append(findings, Finding{
+						Analyzer: a.Name, Pos: p, Msg: fmt.Sprintf(format, args...),
+					})
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// allowlist maps filename → set of lines carrying an
+// `//sglvet:allow <name>` comment for the given analyzer.
+func allowlist(pkg *Package, name string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "sglvet:allow ")
+				if !ok {
+					continue
+				}
+				granted, _, _ := strings.Cut(strings.TrimSpace(rest), ":")
+				if strings.TrimSpace(granted) != name {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				if out[p.Filename] == nil {
+					out[p.Filename] = map[int]bool{}
+				}
+				out[p.Filename][p.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectStack walks the file like ast.Inspect but hands the callback the
+// stack of enclosing nodes (outermost first, excluding n itself).
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		cont := fn(n, stack)
+		stack = append(stack, n)
+		if !cont {
+			// Still push/popped symmetrically: Inspect will deliver the
+			// nil pop only if we returned true, so pop now instead.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// mentionsStatsGate reports whether a condition expression references the
+// stats gate: the DisableStats option or a local `track` flag derived from
+// it (the engine's idiom is `track := !w.opts.DisableStats`).
+func mentionsStatsGate(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "track" || n.Name == "DisableStats" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "DisableStats" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// underStatsGate reports whether any enclosing if-statement's condition
+// references the stats gate.
+func underStatsGate(stack []ast.Node) bool {
+	for _, n := range stack {
+		if ifs, ok := n.(*ast.IfStmt); ok && mentionsStatsGate(ifs.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost enclosing function declaration or
+// literal body on the stack.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			return n.Body
+		case *ast.FuncLit:
+			return n.Body
+		}
+	}
+	return nil
+}
+
+// hasEarlyStatsReturn reports whether the function body contains, before
+// pos, a top-level `if …DisableStats… { return }` guard — the engine's
+// early-out idiom for stats-only helpers.
+func hasEarlyStatsReturn(body *ast.BlockStmt, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	for _, st := range body.List {
+		if st.Pos() >= pos {
+			break
+		}
+		ifs, ok := st.(*ast.IfStmt)
+		if !ok || !mentionsStatsGate(ifs.Cond) {
+			continue
+		}
+		for _, bs := range ifs.Body.List {
+			if _, ok := bs.(*ast.ReturnStmt); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

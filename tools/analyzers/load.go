@@ -1,0 +1,193 @@
+package analyzers
+
+// A self-contained package loader for the determinism-lint suite. The
+// build environment has no module cache, so golang.org/x/tools (and its
+// go/packages loader) is unavailable; this loader reproduces the small
+// slice of it the analyzers need using only the standard library: parse
+// every package in the module with comments retained, topologically sort
+// by intra-module imports, and type-check in dependency order. Standard-
+// library imports resolve through the source importer (go/importer with
+// compiler "source"), which works offline against GOROOT.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/engine
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every package in the module rooted at
+// root (skipping testdata and _test.go files) and returns them in
+// dependency order.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	type rawPkg struct {
+		pkg     *Package
+		imports []string
+	}
+	raw := map[string]*rawPkg{} // by import path
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var files []*ast.File
+		imports := map[string]bool{}
+		for _, e := range ents {
+			fn := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(path, fn), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				imports[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		var deps []string
+		for imp := range imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		raw[ip] = &rawPkg{
+			pkg:     &Package{Path: ip, Dir: path, Fset: fset, Files: files},
+			imports: deps,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topological order over intra-module imports, then type-check. The
+	// importer consults the already-checked module packages first and
+	// falls back to the source importer for the standard library.
+	checked := map[string]*types.Package{}
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", ip)
+		case 2:
+			return nil
+		}
+		state[ip] = 1
+		for _, dep := range raw[ip].imports {
+			if _, ok := raw[dep]; !ok {
+				return fmt.Errorf("%s imports %s, not found in module", ip, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[ip] = 2
+		order = append(order, ip)
+		return nil
+	}
+	var paths []string
+	for ip := range raw {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, ip := range order {
+		rp := raw[ip]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(ip, fset, rp.pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %w", ip, err)
+		}
+		rp.pkg.Types, rp.pkg.Info = tp, info
+		checked[ip] = tp
+		out = append(out, rp.pkg)
+	}
+	return out, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

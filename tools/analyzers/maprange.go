@@ -1,0 +1,46 @@
+package analyzers
+
+// maprange: Go map iteration order is randomized, so a `range` over a map
+// anywhere on the engine's merge-and-fold paths is a nondeterminism
+// hazard — two runs of the same scenario could fold contributions or
+// rebuild indexes in different orders. Loops that are provably
+// order-independent (keyed stores where each iteration touches a disjoint
+// key) or that sort keys first must carry an
+// `//sglvet:allow maprange: <why>` justification.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags range statements over map-typed expressions in the
+// deterministic core packages.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "range over a map in a deterministic-core package; iteration order is random — sort keys first or justify order-independence",
+	Packages: []string{
+		"repro/internal/engine",
+		"repro/internal/index",
+		"repro/internal/txn",
+	},
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Pkg.Info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Reportf(rs.Pos(),
+						"range over map (%s): iteration order is random; sort keys first or justify order-independence",
+						types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)))
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,56 @@
+package analyzers
+
+// nodeterm: wall-clock time and unseeded randomness must never influence
+// tick semantics — the engine's whole differential-testing story (scalar
+// vs vectorized, serial vs sharded, partitioned vs not) depends on
+// bit-identical replay. time.Now is tolerated only for stats timing under
+// a DisableStats gate; math/rand is banned outright in the deterministic
+// core (scenario workloads seed their own generators outside these
+// packages).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterm flags time.Now and math/rand usage in the deterministic core,
+// except time.Now calls under a stats gate (`if track { … }`,
+// `if !w.opts.DisableStats { … }`).
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "time.Now/math/rand in a deterministic-core package; clocks and randomness break bit-identical replay",
+	Packages: []string{
+		"repro/internal/engine",
+		"repro/internal/vexpr",
+		"repro/internal/index",
+		"repro/internal/txn",
+	},
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Pkg.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if obj.Name() == "Now" && !underStatsGate(stack) {
+						p.Reportf(id.Pos(),
+							"time.Now outside a DisableStats gate: wall-clock reads must only feed gated stats timing")
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isType := obj.(*types.TypeName); isType {
+						return true // naming rand.Rand in a signature is fine
+					}
+					p.Reportf(id.Pos(),
+						"math/rand in the deterministic core: randomness breaks bit-identical replay")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,79 @@
+package analyzers
+
+// statsgate: every write to the engine's execution counters must be
+// gated on Options.DisableStats, either directly (`if track { … }`,
+// `if !w.opts.DisableStats { … }`) or through an early-return guard at
+// the top of the enclosing function. Ungated counter writes make the
+// DisableStats benchmark configuration lie, and — worse — make counter
+// state an accidental input to anything that later branches on it.
+// Accounting that intentionally runs regardless (because it drives
+// execution decisions, not reporting) carries an
+// `//sglvet:allow statsgate: <why>` justification.
+
+import (
+	"go/ast"
+)
+
+// StatsGate flags writes to execStats fields outside a DisableStats gate.
+var StatsGate = &Analyzer{
+	Name:     "statsgate",
+	Doc:      "stats-counter write outside a DisableStats gate",
+	Packages: []string{"repro/internal/engine"},
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				var target ast.Node
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if mentionsExecStats(lhs) {
+							target = n
+						}
+					}
+				case *ast.IncDecStmt:
+					if mentionsExecStats(n.X) {
+						target = n
+					}
+				case *ast.CallExpr:
+					// atomic.AddInt64(&w.execStats.X, …) and friends.
+					for _, arg := range n.Args {
+						if u, ok := arg.(*ast.UnaryExpr); ok && mentionsExecStats(u.X) {
+							target = n
+						}
+					}
+				}
+				if target == nil {
+					return true
+				}
+				if underStatsGate(stack) {
+					return true
+				}
+				if hasEarlyStatsReturn(enclosingFunc(stack), target.Pos()) {
+					return true
+				}
+				p.Reportf(target.Pos(),
+					"stats-counter write outside a DisableStats gate: wrap in `if track { … }` or guard the function with an early return")
+				return true
+			})
+		}
+	},
+}
+
+// mentionsExecStats reports whether the expression's selector chain
+// touches the execStats counters.
+func mentionsExecStats(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "execStats" {
+			found = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "execStats" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// All is the multichecker's analyzer suite.
+var All = []*Analyzer{MapRange, NoDeterm, StatsGate}
