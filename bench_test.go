@@ -123,7 +123,7 @@ func BenchmarkE3_PhysicsUpdate(b *testing.B) {
 			}
 			for _, p := range workload.Clustered(n, 1, 40, 200, 200, 9) {
 				if _, err := w.Spawn("Soldier", map[string]value.Value{
-					"player": value.Num(0),
+					"player": value.Str("red"),
 					"x":      value.Num(p.X), "y": value.Num(p.Y),
 					"tx": value.Num(100), "ty": value.Num(100),
 				}); err != nil {

@@ -49,14 +49,14 @@ func main() {
 	e10 := []int{10000, 30000, 100000}
 	e11V, e11Ticks := 50000, 3
 	e12V := 50000
-	e13Sizes := []int{10000, 50000, 200000}
+	e13Sizes := []int{10000, 50000, 100000, 200000}
 	e14N, e14Workers := 100000, []int{1, 2, 4, 8}
 	e15Sizes := map[string][]int{
 		"fig2":  {5000, 20000},
 		"rts":   {5000, 20000},
 		"flock": {5000, 20000},
 	}
-	e15Ticks := 3
+	e15Ticks := 5
 	e16V, e16Parts, e16Ticks := 50000, []int{1, 2, 4, 8}, 3
 	e17N, e17Parts, e17Ticks := 50000, 8, 60
 	e20Pairs, e20Ticks := 10000, 24

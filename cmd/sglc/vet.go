@@ -8,6 +8,13 @@ package main
 // replication, cross-object emissions that pin a class scalar, and effect
 // attributes whose folded value nothing reads.
 //
+// With -perf, the opt-in scalar-fallback check also runs: it reports every
+// point where execution silently leaves the fused kernel path (update
+// rules and phase expressions the kernel compiler bails on, residual join
+// conjuncts with no mask-kernel form, string-keyed ordered folds) along
+// with the reason. These are trade-offs, not mistakes, so they are not
+// part of the default check set.
+//
 // Exit status is 0 when every file is clean, 1 when any file fails to
 // compile or produces diagnostics, 2 on usage errors.
 
@@ -35,8 +42,9 @@ type vetFinding struct {
 func runVet(args []string) int {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	perf := fs.Bool("perf", false, "also report scalar-fallback performance diagnostics")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sglc vet [-json] file.sgl...\n")
+		fmt.Fprintf(os.Stderr, "usage: sglc vet [-json] [-perf] file.sgl...\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -71,7 +79,12 @@ func runVet(args []string) int {
 			failed = true
 			continue
 		}
-		for _, d := range analysis.Vet(prog) {
+		r := analysis.Analyze(prog)
+		diags := analysis.VetResult(r)
+		if *perf {
+			diags = append(diags, analysis.VetPerfResult(r)...)
+		}
+		for _, d := range diags {
 			findings = append(findings, vetFinding{
 				File: file, Line: d.Pos.Line, Col: d.Pos.Col,
 				Code: d.Code, Class: d.Class, Msg: d.Msg,

@@ -41,7 +41,7 @@ func main() {
 	var ids []sgl.ID
 	for i := 0; i < 300; i++ {
 		b, err := world.Spawn("Soldier", map[string]sgl.Value{
-			"player": sgl.Num(0),
+			"player": sgl.Str("blue"),
 			"x":      sgl.Num(blue[i].X), "y": sgl.Num(blue[i].Y),
 			"tx": sgl.Num(200), "ty": sgl.Num(200),
 		})
@@ -49,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		r, err := world.Spawn("Soldier", map[string]sgl.Value{
-			"player": sgl.Num(1),
+			"player": sgl.Str("red"),
 			"x":      sgl.Num(280 + red[i].X), "y": sgl.Num(280 + red[i].Y),
 			"tx": sgl.Num(200), "ty": sgl.Num(200),
 		})
@@ -65,7 +65,7 @@ func main() {
 			if !ok || hp.AsNumber() <= 0 {
 				continue
 			}
-			if world.MustGet("Soldier", id, "player").AsNumber() == 0 {
+			if world.MustGet("Soldier", id, "player").AsString() == "blue" {
 				alive0++
 			} else {
 				alive1++

@@ -124,7 +124,8 @@ type Update struct {
 	Kind    value.Kind
 	// VecKind reports the target attribute's payload kind is columnar
 	// (number/bool/ref) — the structural half of update-rule kernel
-	// eligibility.
+	// eligibility. String targets stay scalar even under a dictionary:
+	// applying a staged code would bypass the column's string storage.
 	VecKind bool
 	Reads   ReadSet
 }
@@ -377,8 +378,12 @@ func structVec(cls *schema.Class, className string, steps []compile.Step) bool {
 			if st.TargetFn != nil || st.SetInsert || st.AccumSlot >= 0 || st.Class != className {
 				return false
 			}
+			// String effects are columnar too: the world dictionary gives
+			// string payloads a numeric code lane, and the engine decodes at
+			// the accumulator boundary. Only set effects (no payload lane)
+			// stay scalar here.
 			kind := cls.Effects[st.AttrIdx].Kind
-			if kind != value.KindNumber && kind != value.KindBool && kind != value.KindRef {
+			if kind != value.KindNumber && kind != value.KindBool && kind != value.KindRef && kind != value.KindString {
 				return false
 			}
 		default: // AccumStep, AtomicStep

@@ -1,0 +1,253 @@
+package analysis
+
+// Opt-in performance diagnostics: where does a program silently leave the
+// fused kernel path? Unlike the default vet checks (which flag probable
+// authoring mistakes and hold on every shipped scenario), scalar fallback
+// is often a deliberate trade — set-valued state, ordered string logic —
+// so these checks run only under `sglc vet -perf` / VetPerf.
+//
+// Each finding names the construct that forces row-at-a-time execution and
+// why the kernel compiler cannot take it, mirroring the exact gates in
+// internal/vexpr and the engine's plan builders (engine/vector.go,
+// engine/join.go): a diagnostic fires iff the engine would fall back.
+
+import (
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/token"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// DiagScalarFallback is the code for every opt-in performance finding.
+const DiagScalarFallback = "scalar-fallback"
+
+// perfDict is a throwaway intern table satisfying vexpr.Dict: the perf
+// checks only need to know whether an expression *compiles* under a
+// dictionary, never the codes a real world would assign.
+type perfDict map[string]float64
+
+func (d perfDict) Code(s string) float64 {
+	if c, ok := d[s]; ok {
+		return c
+	}
+	c := float64(len(d))
+	d[s] = c
+	return c
+}
+
+// VetPerf analyzes the program and runs only the opt-in performance
+// checks, returning findings in source order.
+func VetPerf(prog *compile.Program) []Diagnostic {
+	return VetPerfResult(Analyze(prog))
+}
+
+// VetPerfResult runs the performance checks over an existing analysis
+// result.
+func VetPerfResult(r *Result) []Diagnostic {
+	v := &vetter{r: r}
+	names := make([]string, 0, len(r.Classes))
+	for n := range r.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v.checkScalarFallback(r.Classes[n])
+	}
+	sort.SliceStable(v.diags, func(i, j int) bool {
+		a, b := v.diags[i], v.diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Code < b.Code
+	})
+	return v.diags
+}
+
+// checkScalarFallback reproduces the engine's kernel-eligibility decisions
+// with a throwaway dictionary and reports every point where execution
+// degrades to the scalar path.
+func (v *vetter) checkScalarFallback(c *Class) {
+	o := vexpr.Opts{Dict: perfDict{}, SlotOK: func(int) bool { return true }}
+
+	// Update rules: non-columnar targets and non-compiling expressions.
+	for i, u := range c.Plan.Updates {
+		name := c.Plan.Class.State[u.AttrIdx].Name
+		if !c.Updates[i].VecKind {
+			v.add(u.Src.Expr.Position(), c.Name, DiagScalarFallback,
+				"update rule for %s.%s targets a %s attribute; staged kernel writes cannot maintain %s storage, so the rule runs row-at-a-time",
+				c.Name, name, c.Updates[i].Kind, c.Updates[i].Kind)
+			continue
+		}
+		if _, ok := vexpr.CompileOpts(u.Src.Expr, o); !ok {
+			v.add(u.Src.Expr.Position(), c.Name, DiagScalarFallback,
+				"update rule for %s.%s runs through the scalar closure: %s",
+				c.Name, name, exprWhy(u.Src.Expr))
+		}
+	}
+
+	// The class-wide pin: a targeted emission into the own class forces
+	// every phase scalar regardless of shape. Report it once, at the first
+	// pinning emission, and skip the per-phase checks (they are moot).
+	if c.CrossSelfEmit {
+		pos := token.Pos{}
+		for _, s := range c.Phases {
+			for _, e := range s.Emits {
+				if e.Targeted && e.Class == c.Name && e.AccumSlot < 0 && !e.InAtomic {
+					if pos == (token.Pos{}) || lessPos(e.Pos, pos) {
+						pos = e.Pos
+					}
+				}
+			}
+		}
+		v.add(pos, c.Name, DiagScalarFallback,
+			"targeted emission into own class %s pins every phase of the class to the scalar path: cross-object contributions must fold in program order with self-emissions",
+			c.Name)
+	} else {
+		// Phases that pass the structural gate can still lose the kernel
+		// path to an expression the compiler bails on.
+		for p, s := range c.Phases {
+			if !s.Vectorizable {
+				continue
+			}
+			v.checkPhaseKernels(c, c.Plan.Phases[p], o)
+		}
+	}
+
+	// Accum joins: residual conjuncts the batched driver cannot turn into
+	// mask kernels, and string-keyed minby/maxby folds.
+	for _, j := range c.Joins {
+		if j.Step.Join == nil {
+			continue
+		}
+		for _, src := range j.Step.Join.ResidualSrcs {
+			if _, _, _, ok := vexpr.CompileAccumOpts(src, j.Step.IterSlot, o); !ok {
+				v.add(src.Position(), c.Name, DiagScalarFallback,
+					"join residual conjunct does not compile to a mask kernel (%s); the batched driver re-evaluates the interpreted predicate per candidate",
+					exprWhy(src))
+			}
+		}
+		v.checkStringFoldKeys(c, j.Step.Join.Inner)
+	}
+}
+
+// checkPhaseKernels walks a structurally vectorizable phase and reports
+// each expression the kernel compiler bails on — the engine then runs the
+// whole phase row-at-a-time. Mirrors engine compileVecSteps.
+func (v *vetter) checkPhaseKernels(c *Class, steps []compile.Step, o vexpr.Opts) {
+	check := func(e ast.Expr, what string) {
+		if e == nil {
+			return
+		}
+		if _, ok := vexpr.CompileOpts(e, o); !ok {
+			v.add(e.Position(), c.Name, DiagScalarFallback,
+				"%s keeps the phase on the scalar path: %s", what, exprWhy(e))
+		}
+	}
+	for _, st := range steps {
+		switch st := st.(type) {
+		case *compile.LetStep:
+			check(st.Src, "let expression")
+		case *compile.IfStep:
+			check(st.CondSrc, "if condition")
+			v.checkPhaseKernels(c, st.Then, o)
+			v.checkPhaseKernels(c, st.Else, o)
+		case *compile.EmitStep:
+			check(st.ValSrc, "emission payload")
+			if st.KeySrc != nil && st.KeySrc.Type().Kind == value.KindString {
+				v.add(st.KeySrc.Position(), c.Name, DiagScalarFallback,
+					"minby/maxby key is a string; dictionary codes are interned in first-use order, not lexicographically, so the fold cannot run in a kernel")
+			} else {
+				check(st.KeySrc, "minby/maxby key")
+			}
+		}
+	}
+}
+
+// checkStringFoldKeys flags string-typed minby/maxby keys inside a join's
+// inner steps: the batched site keeps its probe but folds that emission
+// through the interpreted closure.
+func (v *vetter) checkStringFoldKeys(c *Class, steps []compile.Step) {
+	for _, st := range steps {
+		switch st := st.(type) {
+		case *compile.IfStep:
+			v.checkStringFoldKeys(c, st.Then)
+			v.checkStringFoldKeys(c, st.Else)
+		case *compile.EmitStep:
+			if st.KeySrc != nil && st.KeySrc.Type().Kind == value.KindString {
+				v.add(st.KeySrc.Position(), c.Name, DiagScalarFallback,
+					"minby/maxby key is a string; dictionary codes are interned in first-use order, not lexicographically, so the fold cannot run in a kernel")
+			}
+		}
+	}
+}
+
+// exprWhy names the first construct in an expression the kernel compiler
+// bails on, in the terms of vexpr's gates.
+func exprWhy(e ast.Expr) string {
+	if w := kernelWhy(e); w != "" {
+		return w
+	}
+	return "the expression falls outside the kernel subset"
+}
+
+func kernelWhy(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		switch e.Bind.Kind {
+		case ast.BindExtent:
+			return "it iterates the " + e.Bind.Class + " extent"
+		case ast.BindIter:
+			return "it reads an accum iteration variable"
+		}
+		if e.Ty.Kind == value.KindSet {
+			return "set values have no columnar lane"
+		}
+	case *ast.FieldExpr:
+		if e.Ty.Kind == value.KindSet {
+			return "set values have no columnar lane"
+		}
+		return kernelWhy(e.X)
+	case *ast.UnaryExpr:
+		return kernelWhy(e.X)
+	case *ast.BinaryExpr:
+		if w := kernelWhy(e.X); w != "" {
+			return w
+		}
+		if w := kernelWhy(e.Y); w != "" {
+			return w
+		}
+		switch e.Op {
+		case token.LT, token.LE, token.GT, token.GE:
+			if e.X.Type().Kind == value.KindString || e.Y.Type().Kind == value.KindString {
+				return "ordered string comparison has no code-lane form (dictionary codes are interned in first-use order, not lexicographically)"
+			}
+		}
+	case *ast.CondExpr:
+		if w := kernelWhy(e.C); w != "" {
+			return w
+		}
+		if w := kernelWhy(e.T); w != "" {
+			return w
+		}
+		return kernelWhy(e.F)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if w := kernelWhy(a); w != "" {
+				return w
+			}
+		}
+		switch e.Builtin {
+		case ast.BSize:
+			return "size() folds a set"
+		case ast.BContains:
+			return "contains() probes a set"
+		}
+	}
+	return ""
+}

@@ -44,9 +44,21 @@ func vetLines(t *testing.T, name, src string) string {
 	return b.String()
 }
 
+func vetPerfLines(t *testing.T, name, src string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range analysis.VetPerf(compileSrc(t, name, src)) {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // TestVetCorpusGoldens pins every diagnostic's position, code and message
 // on the testdata/vet corpus — one script per check, each triggering
-// exactly one finding.
+// exactly one finding. Files named scalar_fallback* exercise the opt-in
+// perf check (VetPerf) instead of the default set, and must vet clean
+// under plain Vet.
 func TestVetCorpusGoldens(t *testing.T) {
 	files, err := filepath.Glob("../../testdata/vet/*.sgl")
 	if err != nil || len(files) == 0 {
@@ -59,7 +71,15 @@ func TestVetCorpusGoldens(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := vetLines(t, name, string(src))
+			var got string
+			if strings.HasPrefix(name, "scalar_fallback") {
+				if out := vetLines(t, name, string(src)); out != "" {
+					t.Errorf("%s: perf corpus file must be clean under plain Vet, got:\n%s", name, out)
+				}
+				got = vetPerfLines(t, name, string(src))
+			} else {
+				got = vetLines(t, name, string(src))
+			}
 			if n := strings.Count(got, "\n"); n != 1 {
 				t.Errorf("%s: want exactly 1 diagnostic, got %d:\n%s", name, n, got)
 			}

@@ -57,7 +57,7 @@ class Unit {
 const SrcRTS = `
 class Soldier {
   state:
-    number player = 0;
+    string player = "";
     number x = 0 by physics;
     number y = 0 by physics;
     number tx = 0;
@@ -451,8 +451,9 @@ func PopulateMarket(w Spawner, m workload.Market) (sellers, buyers []value.ID, e
 }
 
 // PopulateSoldiers spawns two armies at the given positions, alternating
-// players, with movement targets at the overall centroid so the armies
-// close distance and engage.
+// players ("red"/"blue" — the string predicate `u.player != player`
+// exercises the dictionary-encoded kernel path), with movement targets at
+// the overall centroid so the armies close distance and engage.
 func PopulateSoldiers(w Spawner, ps []workload.Pos) ([]value.ID, error) {
 	var cx, cy float64
 	for _, p := range ps {
@@ -464,9 +465,10 @@ func PopulateSoldiers(w Spawner, ps []workload.Pos) ([]value.ID, error) {
 		cx, cy = cx/n, cy/n
 	}
 	ids := make([]value.ID, 0, len(ps))
+	players := [2]string{"red", "blue"}
 	for i, p := range ps {
 		id, err := w.Spawn("Soldier", map[string]value.Value{
-			"player": value.Num(float64(i % 2)),
+			"player": value.Str(players[i%2]),
 			"x":      value.Num(p.X), "y": value.Num(p.Y),
 			"tx": value.Num(cx), "ty": value.Num(cy),
 		})

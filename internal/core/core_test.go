@@ -84,9 +84,9 @@ func TestPopulateSoldiers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p0 := w.MustGet("Soldier", ids[0], "player").AsNumber()
-	p1 := w.MustGet("Soldier", ids[1], "player").AsNumber()
-	if p0 == p1 {
-		t.Error("players must alternate")
+	p0 := w.MustGet("Soldier", ids[0], "player").AsString()
+	p1 := w.MustGet("Soldier", ids[1], "player").AsString()
+	if p0 == p1 || p0 == "" || p1 == "" {
+		t.Errorf("players must alternate, got %q %q", p0, p1)
 	}
 }

@@ -99,6 +99,12 @@ type Options struct {
 	Rebalance plan.RebalancePolicy
 	// DisableStats turns off runtime statistics collection (experiment E8).
 	DisableStats bool
+	// Unfused compiles every vexpr kernel with the post-compile optimizer
+	// disabled (no superinstruction fusion, no invariant hoisting, no
+	// closure-chain specialization) — the pre-fusion interpreted kernels.
+	// Benchmark arms use it to measure the fusion delta (E13/E15);
+	// production callers leave it false.
+	Unfused bool
 }
 
 // World is a running game: tables for every class, compiled plans, effect
@@ -153,6 +159,12 @@ type World struct {
 	// kernel scratch exactly once per pass.
 	parts       *partWorld
 	partPrepGen uint64
+
+	// dict is the world-wide string dictionary: one shared interning space,
+	// so codes are comparable across columns, tables and compiled literals.
+	// It is what lets string ==/!= predicates and string-valued emissions
+	// run through numeric kernels instead of falling back to closures.
+	dict *table.Dict
 
 	// execCosts models the scalar-vs-vectorized trade-off (§4.1's cost
 	// model, extended to execution mode); execStats tallies which path ran.
@@ -255,9 +267,7 @@ func (f *fxColumn) ensure(capacity int) {
 }
 
 func (f *fxColumn) reset() {
-	for _, r := range f.touched {
-		f.acc[r].Reset()
-	}
+	combinator.ResetRows(f.acc, f.touched)
 	f.touched = f.touched[:0]
 }
 
@@ -278,6 +288,23 @@ func (f *fxColumn) addLogged(row int, v value.Value, key float64, log *[]int) {
 	f.acc[row].Add(v, key)
 }
 
+// addPayload / addPayloadLogged fold a raw column payload without boxing a
+// value.Value — the fused emission path (kernel outputs are already
+// payloads). Bit-identical to add via the AddPayload contract.
+func (f *fxColumn) addPayload(row int, p, key float64) {
+	if f.acc[row].N() == 0 {
+		f.touched = append(f.touched, row)
+	}
+	f.acc[row].AddPayload(p, key)
+}
+
+func (f *fxColumn) addPayloadLogged(row int, p, key float64, log *[]int) {
+	if f.acc[row].N() == 0 {
+		*log = append(*log, row)
+	}
+	f.acc[row].AddPayload(p, key)
+}
+
 // New builds a World for a compiled program.
 func New(prog *compile.Program, opts Options) (*World, error) {
 	if opts.Workers < 1 {
@@ -292,6 +319,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		opts:       opts,
 		execCosts:  plan.DefaultCosts(),
 		nextID:     1,
+		dict:       table.NewDict(),
 	}
 	for _, cls := range prog.Info.Schema.Classes() {
 		cp := prog.Classes[cls.Name]
@@ -304,7 +332,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 			name:    cls.Name,
 			cls:     cls,
 			plan:    cp,
-			tab:     table.New(cls.Name, cols),
+			tab:     table.NewWithDict(cls.Name, cols, w.dict),
 			pcCol:   len(cls.State),
 			ai:      w.ai.Class(cls.Name),
 			hasRule: make([]bool, len(cls.State)),
@@ -323,7 +351,7 @@ func New(prog *compile.Program, opts Options) (*World, error) {
 		for _, h := range cp.Handlers {
 			rt.handlerCost += 1 + stepsCost(h.Body)
 		}
-		rt.vec = buildVecPlan(rt)
+		rt.vec = buildVecPlan(w, rt)
 		w.classes[cls.Name] = rt
 		w.order = append(w.order, rt)
 	}
@@ -792,7 +820,7 @@ func (w *World) collectSites() {
 					}
 					site.candidates = candidatesFor(s)
 					site.selector = plan.NewSelector(site.candidates[0])
-					site.batch = newSiteBatch(s)
+					site.batch = newSiteBatch(w, s)
 					site.parts = make([]sitePart, 1)
 					w.resolveEqKinds(site)
 					if j := s.Join; j != nil {

@@ -80,6 +80,7 @@ type execCtx struct {
 	joinProbes  int64
 	joinMatches int64
 	joinBatched int64
+	dictLookups int64
 }
 
 func newExecCtx(w *World, sink emitSink, slots int) *execCtx {
@@ -119,8 +120,9 @@ func (x *execCtx) flushJoinStats() {
 		atomic.AddInt64(&x.w.execStats.JoinProbeRows, x.joinProbes)
 		atomic.AddInt64(&x.w.execStats.JoinMatchRows, x.joinMatches)
 		atomic.AddInt64(&x.w.execStats.JoinBatchedRows, x.joinBatched)
+		atomic.AddInt64(&x.w.execStats.DictLookups, x.dictLookups)
 	}
-	x.joinProbes, x.joinMatches, x.joinBatched = 0, 0, 0
+	x.joinProbes, x.joinMatches, x.joinBatched, x.dictLookups = 0, 0, 0, 0
 }
 
 func (x *execCtx) runSteps(steps []compile.Step) {

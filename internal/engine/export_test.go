@@ -206,6 +206,30 @@ func oldCompileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool,
 	return out, true
 }
 
+// SiteBatchSummary reports the batched-join compilation outcome of one
+// accum site: whether the single-emission fold and the residual conjuncts
+// lowered to gathered kernels.
+type SiteBatchSummary struct {
+	Class, Source string
+	VecFold       bool
+	VecResidual   bool
+}
+
+// SiteBatchSummaries lists every accum site's batch plan in collection
+// order.
+func (w *World) SiteBatchSummaries() []SiteBatchSummary {
+	var out []SiteBatchSummary
+	for _, site := range w.sites {
+		s := SiteBatchSummary{Class: site.class, Source: site.step.SourceClass}
+		if b := site.batch; b != nil {
+			s.VecFold = b.vec
+			s.VecResidual = len(b.resProgs) > 0
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // AttrKey names one (class, attr) pair in a summary.
 type AttrKey struct {
 	Class string

@@ -57,28 +57,35 @@ type siteBatch struct {
 
 // newSiteBatch analyzes an accum step for batched execution. Any accum with
 // an analyzed join can batch (the generic inner runs per survivor); the
-// columnar fold additionally requires the single-emission shape.
-func newSiteBatch(s *compile.AccumStep) *siteBatch {
+// columnar fold additionally requires the single-emission shape. Fold
+// VALUES stay numeric (payloadValueKind) — an accumulator of strings would
+// need per-contribution decode — but residual predicates compile through
+// the dictionary, so string conjuncts like `u.player != player` run as mask
+// kernels over code lanes instead of bailing the probe to the scalar loop.
+func newSiteBatch(w *World, s *compile.AccumStep) *siteBatch {
 	j := s.Join
 	if j == nil {
 		return nil
 	}
+	o := w.kernelOpts(nil)
 	b := &siteBatch{}
 	for range j.Eqs {
 		b.eqKinds = append(b.eqKinds, value.KindInvalid)
 	}
 	if len(j.Inner) == 1 && payloadValueKind(s.ValKind) && s.Comb != combinator.SetUnion {
 		if em, ok := j.Inner[0].(*compile.EmitStep); ok && em.AccumSlot == s.Slot && !em.SetInsert && em.ValSrc != nil {
-			valProg, valBc, valCols, okVal := vexpr.CompileAccum(em.ValSrc, s.IterSlot)
+			valProg, valBc, valCols, okVal := vexpr.CompileAccumOpts(em.ValSrc, s.IterSlot, o)
 			okKey := true
 			var keyProg *vexpr.Prog
 			var keyBc []vexpr.BcastSrc
 			var keyCols []int
 			if em.KeyFn != nil {
-				if em.KeySrc == nil {
+				// String minby/maxby keys cannot fold over dictionary codes
+				// (first-intern order, not lexicographic).
+				if em.KeySrc == nil || em.KeySrc.Type().Kind == value.KindString {
 					okKey = false
 				} else {
-					keyProg, keyBc, keyCols, okKey = vexpr.CompileAccum(em.KeySrc, s.IterSlot)
+					keyProg, keyBc, keyCols, okKey = vexpr.CompileAccumOpts(em.KeySrc, s.IterSlot, o)
 				}
 			}
 			if okVal && okKey {
@@ -87,6 +94,8 @@ func newSiteBatch(s *compile.AccumStep) *siteBatch {
 				b.keyProg, b.keyBcast = keyProg, keyBc
 				b.cols = mergeCols(valCols, keyCols)
 				b.needIDs = valProg.NeedIDs() || (keyProg != nil && keyProg.NeedIDs())
+				w.addFusedOps(valProg)
+				w.addFusedOps(keyProg)
 			}
 		}
 	}
@@ -97,7 +106,7 @@ func newSiteBatch(s *compile.AccumStep) *siteBatch {
 		needIDs := false
 		ok := true
 		for _, src := range j.ResidualSrcs {
-			p, bc, cc, compiled := vexpr.CompileAccum(src, s.IterSlot)
+			p, bc, cc, compiled := vexpr.CompileAccumOpts(src, s.IterSlot, o)
 			if !compiled {
 				ok = false
 				break
@@ -110,6 +119,9 @@ func newSiteBatch(s *compile.AccumStep) *siteBatch {
 		if ok {
 			b.resProgs, b.resBcast = progs, bcs
 			b.resCols, b.resNeedIDs = cols, needIDs
+			for _, p := range progs {
+				w.addFusedOps(p)
+			}
 		}
 	}
 	return b
@@ -229,6 +241,28 @@ func (x *execCtx) runAccumBatched(s *compile.AccumStep, site *siteRT, srcRT *cla
 					break
 				}
 				p := payloadOf(want)
+				col := tab.NumColumn(eq.AttrIdx)
+				k := 0
+				for _, r := range rows {
+					if col[r] == p {
+						rows[k] = r
+						k++
+					}
+				}
+				rows = rows[:k]
+			} else if b.eqKinds[i] == value.KindString && x.w.dict != nil {
+				// Probe through the dictionary: equal strings ⇔ equal codes.
+				// A never-interned probe value cannot match any stored row.
+				if want.Kind() != value.KindString {
+					rows = rows[:0]
+					break
+				}
+				p, interned := x.w.dict.CodeOf(want.AsString())
+				x.dictLookups++
+				if !interned {
+					rows = rows[:0]
+					break
+				}
 				col := tab.NumColumn(eq.AttrIdx)
 				k := 0
 				for _, r := range rows {
@@ -384,6 +418,12 @@ func (x *execCtx) foldVec(s *compile.AccumStep, b *siteBatch, srcRT *classRT, ro
 }
 
 // fillBcast evaluates the probing-row scalars a gathered program broadcasts.
+// String-kinded sources broadcast dictionary codes: state attrs read their
+// code lane directly; frame slots intern through Code — interning (not a
+// NaN miss sentinel) keeps slot-vs-slot comparisons correct: two slots
+// holding the same never-stored string must still compare equal, exactly as
+// the scalar evaluator would. Dict.Code is safe under worker parallelism
+// (mutex-guarded copy-on-write against lock-free snapshot readers).
 func (x *execCtx) fillBcast(srcs []vexpr.BcastSrc) []float64 {
 	bc := x.bcastBuf[:0]
 	for _, s := range srcs {
@@ -391,7 +431,12 @@ func (x *execCtx) fillBcast(srcs []vexpr.BcastSrc) []float64 {
 		case vexpr.BcastStateAttr:
 			bc = append(bc, x.rt.tab.NumColumn(s.Idx)[x.row])
 		case vexpr.BcastSlot:
-			bc = append(bc, payloadOf(x.frame[s.Idx]))
+			if v := x.frame[s.Idx]; v.Kind() == value.KindString {
+				x.dictLookups++
+				bc = append(bc, x.w.dict.Code(v.AsString()))
+			} else {
+				bc = append(bc, payloadOf(v))
+			}
 		default: // BcastSelfID
 			bc = append(bc, float64(x.id))
 		}

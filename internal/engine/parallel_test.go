@@ -199,7 +199,7 @@ func TestParallelMatrixDifferential(t *testing.T) {
 			build: rtsWorldFor,
 			spawn: func(w *engine.World, i int) (value.ID, error) {
 				return w.Spawn("Soldier", map[string]value.Value{
-					"player": value.Num(float64(i % 2)),
+					"player": value.Str([2]string{"red", "blue"}[i%2]),
 					"x":      value.Num(float64(50 + i%300)), "y": value.Num(float64(50 + i%290)),
 					"tx": value.Num(200), "ty": value.Num(200),
 				})

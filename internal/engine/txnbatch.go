@@ -457,28 +457,13 @@ func (w *World) buildTxnView(va txnViewAttr) {
 	rt.txnViewGen[va.attr] = s.gen
 	n := rt.tab.Cap()
 	v := rt.vec
-	for len(v.fxVecs) < len(rt.fx) {
-		v.fxVecs = append(v.fxVecs, nil)
-	}
 	rt.txnFxGen = growU64(rt.txnFxGen, len(rt.fx))
 	for _, ai := range va.prog.FxUsed() {
 		if rt.txnFxGen[ai] == s.gen {
 			continue
 		}
 		rt.txnFxGen[ai] = s.gen
-		vec := growFloats(v.fxVecs[ai], n)
-		v.fxVecs[ai] = vec
-		e := rt.cls.Effects[ai]
-		zero := payloadOf(value.Zero(e.Comb.ResultKind(e.Kind)))
-		for r := range vec {
-			vec[r] = zero
-		}
-		fx := &rt.fx[ai]
-		for _, r := range fx.touched {
-			if val, ok := fx.acc[r].Result(); ok {
-				vec[r] = payloadOf(val)
-			}
-		}
+		rt.fillFxVec(ai, n)
 	}
 	out := growFloats(rt.txnViewCols[va.attr], n)
 	rt.txnViewCols[va.attr] = out
@@ -535,7 +520,13 @@ func (w *World) runTxnSiteLanes(site *txnSite, txns []*Txn) {
 			site.slotVecs = append(site.slotVecs, nil)
 		}
 		for k, li := range site.lanes {
-			vec[k] = payloadOf(txns[li].Frame[sl])
+			// String txn args broadcast dictionary codes (interned, so
+			// slot-vs-slot equality matches the closure evaluator).
+			if v := txns[li].Frame[sl]; v.Kind() == value.KindString {
+				vec[k] = w.dict.Code(v.AsString())
+			} else {
+				vec[k] = payloadOf(v)
+			}
 		}
 		site.slotVecs[sl] = vec
 	}

@@ -171,7 +171,8 @@ func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
 			views = append(views, txnViewAttr{rt: trt, attr: rr.Attr, prog: prog})
 		}
 		if kernelOK {
-			if prog, ok := vexpr.CompileWithSlots(src, func(int) bool { return true }); ok {
+			if prog, ok := vexpr.CompileOpts(src, w.kernelOpts(func(int) bool { return true })); ok {
+				w.addFusedOps(prog)
 				c.prog = prog
 				site.needIDs = site.needIDs || ca.NeedIDs || prog.NeedIDs()
 				for _, col := range ca.Cols {

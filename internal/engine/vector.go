@@ -26,6 +26,9 @@ package engine
 // parallelism decision of plan.Costs.ChooseWorkers.
 
 import (
+	"sync/atomic"
+
+	"repro/internal/combinator"
 	"repro/internal/compile"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -54,6 +57,11 @@ type vecEmit struct {
 	key     *vexpr.Prog // non-nil for minby/maxby emissions
 	valBuf  int
 	keyBuf  int
+	// fold routes contributions through the unboxed payload fold
+	// (AddPayload) instead of constructing a value.Value per row. Set for
+	// payload-kind emissions unless Options.Unfused pins the pre-fusion
+	// executor; string emissions always decode at the boundary.
+	fold bool
 }
 
 type vecIf struct {
@@ -112,6 +120,7 @@ type vecClassPlan struct {
 	machine vexpr.Machine
 	sc      vecScratch
 	fxVecs  [][]float64 // indexed by effect attr; nil when unused
+	fxStale [][]int     // rows of fxVecs[ai] that may hold non-zero payloads
 	outVecs [][]float64 // staged update-rule results, one per vec rule
 	staged  bool        // outVecs hold this tick's results
 }
@@ -180,11 +189,11 @@ func (w *World) chooseEffectExec(rt *classRT, counts []int) (vecSel []bool, work
 // adds the expression-compilability half by lowering eligible rules and
 // phases through the vexpr compiler. Returns nil when nothing compiled,
 // which keeps the scalar fast path branch-free.
-func buildVecPlan(rt *classRT) *vecClassPlan {
+func buildVecPlan(w *World, rt *classRT) *vecClassPlan {
 	v := &vecClassPlan{}
 	fxSeen := make(map[int]bool)
 	for i, u := range rt.plan.Updates {
-		prog, ok := vexpr.Compile(u.Src.Expr)
+		prog, ok := vexpr.CompileOpts(u.Src.Expr, w.kernelOpts(nil))
 		if !ok || !rt.ai.Updates[i].VecKind {
 			v.scalarUpdates = append(v.scalarUpdates, u)
 			continue
@@ -192,6 +201,7 @@ func buildVecPlan(rt *classRT) *vecClassPlan {
 		v.updates = append(v.updates, vecUpdateRule{attrIdx: u.AttrIdx, prog: prog})
 		v.updateKernels += prog.Kernels()
 		v.updateNeedIDs = v.updateNeedIDs || prog.NeedIDs()
+		w.addFusedOps(prog)
 		for _, ai := range prog.FxUsed() {
 			if !fxSeen[ai] {
 				fxSeen[ai] = true
@@ -214,7 +224,7 @@ func buildVecPlan(rt *classRT) *vecClassPlan {
 			if !rt.ai.Phases[p].Vectorizable {
 				continue
 			}
-			if vp := compileVecPhase(rt, steps); vp != nil {
+			if vp := compileVecPhase(w, rt, steps); vp != nil {
 				v.phases[p] = vp
 				v.hasPhases = true
 				any = true
@@ -229,10 +239,10 @@ func buildVecPlan(rt *classRT) *vecClassPlan {
 
 // compileVecPhase lowers one structurally eligible phase's step list to
 // batch form, or nil when any expression falls outside the vexpr subset.
-func compileVecPhase(rt *classRT, steps []compile.Step) *vecPhase {
+func compileVecPhase(w *World, rt *classRT, steps []compile.Step) *vecPhase {
 	vp := &vecPhase{maxSlot: -1}
 	defined := make(map[int]bool)
-	out, ok := compileVecSteps(rt, steps, defined, 0, vp)
+	out, ok := compileVecSteps(w, rt, steps, defined, 0, vp)
 	if !ok {
 		return nil
 	}
@@ -240,13 +250,18 @@ func compileVecPhase(rt *classRT, steps []compile.Step) *vecPhase {
 	return vp
 }
 
-func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, depth int, vp *vecPhase) ([]vecStep, bool) {
+func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[int]bool, depth int, vp *vecPhase) ([]vecStep, bool) {
 	slotOK := func(slot int) bool { return defined[slot] }
+	kc := func(prog *vexpr.Prog) {
+		vp.kernels += prog.Kernels()
+		vp.needIDs = vp.needIDs || prog.NeedIDs()
+		w.addFusedOps(prog)
+	}
 	var out []vecStep
 	for _, s := range steps {
 		switch s := s.(type) {
 		case *compile.LetStep:
-			prog, ok := vexpr.CompileWithSlots(s.Src, slotOK)
+			prog, ok := vexpr.CompileOpts(s.Src, w.kernelOpts(slotOK))
 			if !ok {
 				return nil, false
 			}
@@ -254,24 +269,22 @@ func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, de
 			if s.Slot > vp.maxSlot {
 				vp.maxSlot = s.Slot
 			}
-			vp.kernels += prog.Kernels()
-			vp.needIDs = vp.needIDs || prog.NeedIDs()
+			kc(prog)
 			out = append(out, &vecLet{slot: s.Slot, prog: prog})
 		case *compile.IfStep:
-			cond, ok := vexpr.CompileWithSlots(s.CondSrc, slotOK)
+			cond, ok := vexpr.CompileOpts(s.CondSrc, w.kernelOpts(slotOK))
 			if !ok {
 				return nil, false
 			}
 			st := &vecIf{cond: cond, condBuf: vp.newBuf(), depth: depth}
-			vp.kernels += cond.Kernels()
-			vp.needIDs = vp.needIDs || cond.NeedIDs()
+			kc(cond)
 			if depth+1 > vp.maxDepth {
 				vp.maxDepth = depth + 1
 			}
-			if st.then, ok = compileVecSteps(rt, s.Then, defined, depth+1, vp); !ok {
+			if st.then, ok = compileVecSteps(w, rt, s.Then, defined, depth+1, vp); !ok {
 				return nil, false
 			}
-			if st.els, ok = compileVecSteps(rt, s.Else, defined, depth+1, vp); !ok {
+			if st.els, ok = compileVecSteps(w, rt, s.Else, defined, depth+1, vp); !ok {
 				return nil, false
 			}
 			out = append(out, st)
@@ -280,22 +293,31 @@ func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, de
 			// of columnar payload kinds only, which keep per-accumulator
 			// contribution order identical to the scalar row loop — are
 			// certified by analysis.Script.Vectorizable before this runs.
+			// String-valued payloads ride the dictionary: the kernel emits
+			// codes, decoded back at the accumulator boundary below.
 			kind := rt.cls.Effects[s.AttrIdx].Kind
-			val, ok := vexpr.CompileWithSlots(s.ValSrc, slotOK)
+			val, ok := vexpr.CompileOpts(s.ValSrc, w.kernelOpts(slotOK))
 			if !ok {
 				return nil, false
 			}
-			st := &vecEmit{attrIdx: s.AttrIdx, kind: kind, val: val, valBuf: vp.newBuf(), keyBuf: -1}
-			vp.kernels += val.Kernels()
-			vp.needIDs = vp.needIDs || val.NeedIDs()
+			st := &vecEmit{
+				attrIdx: s.AttrIdx, kind: kind, val: val, valBuf: vp.newBuf(), keyBuf: -1,
+				fold: !w.opts.Unfused && kind != value.KindString,
+			}
+			kc(val)
 			if s.KeyFn != nil {
-				key, ok := vexpr.CompileWithSlots(s.KeySrc, slotOK)
+				// Dictionary codes are first-intern-ordered, not
+				// lexicographic, so a string-typed minby/maxby key must not
+				// fold over codes — the phase stays scalar.
+				if s.KeySrc.Type().Kind == value.KindString {
+					return nil, false
+				}
+				key, ok := vexpr.CompileOpts(s.KeySrc, w.kernelOpts(slotOK))
 				if !ok {
 					return nil, false
 				}
 				st.key, st.keyBuf = key, vp.newBuf()
-				vp.kernels += key.Kernels()
-				vp.needIDs = vp.needIDs || key.NeedIDs()
+				kc(key)
 			}
 			out = append(out, st)
 		default: // AccumStep, AtomicStep
@@ -303,6 +325,24 @@ func compileVecSteps(rt *classRT, steps []compile.Step, defined map[int]bool, de
 		}
 	}
 	return out, true
+}
+
+// kernelOpts is the world's standard vexpr compilation configuration: the
+// caller's slot gate, the shared string dictionary (string EQ/NEQ and
+// string-valued payloads compile to code-lane kernels), and the Unfused
+// benchmark switch.
+func (w *World) kernelOpts(slotOK func(int) bool) vexpr.Opts {
+	return vexpr.Opts{SlotOK: slotOK, Dict: w.dict, NoOpt: w.opts.Unfused}
+}
+
+// addFusedOps folds a freshly compiled kernel's superinstruction count into
+// the build-time FusedOps gauge. Compilation is serial (world build), so no
+// atomics are needed.
+func (w *World) addFusedOps(p *vexpr.Prog) {
+	if w.opts.DisableStats || p == nil {
+		return
+	}
+	w.execStats.FusedOps += int64(p.FusedOps())
 }
 
 // newBuf reserves one scratch output vector for an emit or if condition.
@@ -507,6 +547,22 @@ func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi i
 				s.key.Run(m, &sc.env, lo, hi, key)
 			}
 			fx := &rt.fx[s.attrIdx]
+			if s.fold {
+				// Fused fold: kernel outputs are already column payloads, so
+				// they go straight into the accumulator's batch payload fold
+				// with no per-row boxing or combinator dispatch.
+				log := &fx.touched
+				if tl != nil {
+					log = &tl.rows[s.attrIdx]
+				}
+				combinator.AddPayloadRows(fx.acc, mask, lo, hi, val, key, log)
+				break
+			}
+			// String-valued kernels emit dictionary codes; decode at the
+			// accumulator boundary so the fold sees the same value.Value the
+			// scalar row loop would contribute.
+			isStr := s.kind == value.KindString
+			decodes := int64(0)
 			for r := lo; r < hi; r++ {
 				if !mask[r] {
 					continue
@@ -515,11 +571,21 @@ func (w *World) execVecSteps(rt *classRT, steps []vecStep, mask []bool, lo, hi i
 				if key != nil {
 					k = key[r]
 				}
-				if tl == nil {
-					fx.add(r, payloadValue(s.kind, val[r]), k)
+				var v value.Value
+				if isStr {
+					v = value.Str(w.dict.Lookup(val[r]))
+					decodes++
 				} else {
-					fx.addLogged(r, payloadValue(s.kind, val[r]), k, &tl.rows[s.attrIdx])
+					v = payloadValue(s.kind, val[r])
 				}
+				if tl == nil {
+					fx.add(r, v, k)
+				} else {
+					fx.addLogged(r, v, k, &tl.rows[s.attrIdx])
+				}
+			}
+			if decodes > 0 && !w.opts.DisableStats {
+				atomic.AddInt64(&w.execStats.DictLookups, decodes)
 			}
 		case *vecIf:
 			cond := sc.bufs[s.condBuf]
@@ -560,23 +626,8 @@ func (w *World) runVecUpdates(rt *classRT) {
 	v.sc.bindEnv(w, rt)
 	// Dense combined-effect vectors: zero payload everywhere, overwritten
 	// at rows that received contributions (fx.touched).
-	for len(v.fxVecs) < len(rt.fx) {
-		v.fxVecs = append(v.fxVecs, nil)
-	}
 	for _, ai := range v.updateFx {
-		vec := growFloats(v.fxVecs[ai], n)
-		v.fxVecs[ai] = vec
-		e := rt.cls.Effects[ai]
-		zero := payloadOf(value.Zero(e.Comb.ResultKind(e.Kind)))
-		for r := range vec {
-			vec[r] = zero
-		}
-		fx := &rt.fx[ai]
-		for _, r := range fx.touched {
-			if val, ok := fx.acc[r].Result(); ok {
-				vec[r] = payloadOf(val)
-			}
-		}
+		rt.fillFxVec(ai, n)
 	}
 	v.sc.env.Fx = v.fxVecs
 	if v.updateNeedIDs {
@@ -626,6 +677,40 @@ func (w *World) updateShards(rt *classRT) []shard {
 	return w.shardBuf
 }
 
+// fillFxVec materializes the dense combined-effect vector for one effect
+// attr: zero payload everywhere, overwritten at rows that received
+// contributions (fx.touched). Instead of sweeping the whole capacity every
+// tick, it re-zeroes only the rows the previous fill wrote (fxStale) —
+// every other lane still holds the zero payload from the last full sweep.
+func (rt *classRT) fillFxVec(ai, n int) []float64 {
+	v := rt.vec
+	for len(v.fxVecs) < len(rt.fx) {
+		v.fxVecs = append(v.fxVecs, nil)
+	}
+	for len(v.fxStale) < len(rt.fx) {
+		v.fxStale = append(v.fxStale, nil)
+	}
+	old := v.fxVecs[ai]
+	vec := growFloats(old, n)
+	v.fxVecs[ai] = vec
+	e := rt.cls.Effects[ai]
+	zero := payloadOf(value.Zero(e.Comb.ResultKind(e.Kind)))
+	if len(old) != n {
+		// Fresh or resized storage: establish the zero base everywhere.
+		for r := range vec {
+			vec[r] = zero
+		}
+	} else {
+		for _, r := range v.fxStale[ai] {
+			vec[r] = zero
+		}
+	}
+	fx := &rt.fx[ai]
+	combinator.ResultPayloads(fx.acc, fx.touched, vec)
+	v.fxStale[ai] = append(v.fxStale[ai][:0], fx.touched...)
+	return vec
+}
+
 // applyVecUpdates writes the staged dense columns back for live rows. Rule
 // and component attributes are disjoint (strict ownership), so ordering
 // against the map-staged writes is immaterial.
@@ -636,12 +721,7 @@ func (rt *classRT) applyVecUpdates() {
 	}
 	alive := rt.tab.AliveMask()
 	for i, u := range v.updates {
-		out := v.outVecs[i]
-		for r, ok := range alive {
-			if ok {
-				rt.tab.SetNumAt(r, u.attrIdx, out[r])
-			}
-		}
+		rt.tab.SetNumColumn(u.attrIdx, v.outVecs[i], alive)
 	}
 	v.staged = false
 }

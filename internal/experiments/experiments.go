@@ -9,6 +9,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -100,6 +101,13 @@ func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseco
 
 // tickTime measures mean wall time per tick.
 func tickTime(run func() error, ticks int) (time.Duration, error) {
+	// One warmup tick amortizes lazy setup (kernel compilation, scratch and
+	// effect-lane growth) out of the measurement, and a forced collection
+	// keeps the previous arm's garbage off this arm's clock.
+	if err := run(); err != nil {
+		return 0, err
+	}
+	runtime.GC()
 	start := time.Now()
 	for i := 0; i < ticks; i++ {
 		if err := run(); err != nil {
@@ -553,8 +561,8 @@ func E13(sizes []int, ticks int) (Table, error) {
 	t := Table{
 		ID:     "E13",
 		Title:  "vectorized batch kernels vs scalar closures (traffic workload)",
-		Header: []string{"vehicles", "baseline ms/tick", "scalar ms/tick", "vectorized ms/tick", "vec speedup", "vec rows %"},
-		Notes:  "vec speedup = scalar/vectorized; vec rows % = share of row evaluations run through batch kernels under ExecAuto",
+		Header: []string{"vehicles", "baseline ms/tick", "scalar ms/tick", "unfused ms/tick", "fused ms/tick", "vec speedup", "fused speedup", "vec rows %"},
+		Notes:  "vec speedup = scalar/fused; fused speedup = unfused/fused (fusion+specialization+hoisting delta over one-op-per-batch kernels); vec rows % = share of row evaluations run through batch kernels under ExecAuto",
 	}
 	sc := core.MustLoad("vehicles", core.SrcVehicles)
 	for _, n := range sizes {
@@ -569,19 +577,33 @@ func E13(sizes []int, ticks int) (Table, error) {
 			return t, err
 		}
 
-		times := make(map[plan.ExecMode]time.Duration)
-		for _, mode := range []plan.ExecMode{plan.ExecScalar, plan.ExecVectorized} {
-			w, err := sc.NewWorld(engine.Options{Exec: mode})
+		arms := []engine.Options{
+			{Exec: plan.ExecScalar},
+			{Exec: plan.ExecVectorized, Unfused: true},
+			{Exec: plan.ExecVectorized},
+		}
+		// The vectorized arms run an order of magnitude faster than the
+		// scalar ones, so they get proportionally more measured ticks to
+		// keep the unfused/fused ratio out of timer noise.
+		vecTicks := ticks * 10
+		times := make([]time.Duration, len(arms))
+		for i, opts := range arms {
+			w, err := sc.NewWorld(opts)
 			if err != nil {
 				return t, err
 			}
 			if _, err := core.PopulateVehicles(w, ps); err != nil {
 				return t, err
 			}
-			if times[mode], err = tickTime(w.RunTick, ticks); err != nil {
+			armTicks := ticks
+			if opts.Exec == plan.ExecVectorized {
+				armTicks = vecTicks
+			}
+			if times[i], err = tickTime(w.RunTick, armTicks); err != nil {
 				return t, err
 			}
 		}
+		scalar, unfused, fused := times[0], times[1], times[2]
 
 		auto, err := sc.NewWorld(engine.Options{})
 		if err != nil {
@@ -594,10 +616,10 @@ func E13(sizes []int, ticks int) (Table, error) {
 			return t, err
 		}
 
-		speedup := float64(times[plan.ExecScalar]) / float64(times[plan.ExecVectorized])
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), ms(blTime), ms(times[plan.ExecScalar]), ms(times[plan.ExecVectorized]),
-			fmt.Sprintf("%.1fx", speedup),
+			fmt.Sprint(n), ms(blTime), ms(scalar), ms(unfused), ms(fused),
+			fmt.Sprintf("%.1fx", float64(scalar)/float64(fused)),
+			fmt.Sprintf("%.2fx", float64(unfused)/float64(fused)),
 			fmt.Sprintf("%.0f%%", auto.ExecStats().VectorFraction()*100),
 		})
 	}

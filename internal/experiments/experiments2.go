@@ -45,7 +45,7 @@ func E3(colliders []int, ticks int) (Table, error) {
 		ids := make([]value.ID, 0, k)
 		for _, p := range ps {
 			id, err := w.Spawn("Soldier", map[string]value.Value{
-				"player": value.Num(0),
+				"player": value.Str("red"),
 				"x":      value.Num(p.X), "y": value.Num(p.Y),
 				"tx": value.Num(100), "ty": value.Num(100),
 			})

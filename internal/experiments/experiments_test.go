@@ -202,15 +202,15 @@ func TestE13Shape(t *testing.T) {
 	// All timing cells must be positive numbers; the actual speedup claim
 	// is asserted only by the benchmarks (wall-clock races are too noisy
 	// for a unit test at this tiny scale).
-	for col := 1; col <= 3; col++ {
+	for col := 1; col <= 4; col++ {
 		if v := num(t, cell(t, tbl, 0, col)); v <= 0 {
 			t.Errorf("column %d: non-positive time %v", col, v)
 		}
 	}
-	frac := strings.TrimSuffix(cell(t, tbl, 0, 5), "%")
+	frac := strings.TrimSuffix(cell(t, tbl, 0, 7), "%")
 	f, err := strconv.ParseFloat(frac, 64)
 	if err != nil {
-		t.Fatalf("vec rows cell %q is not numeric: %v", cell(t, tbl, 0, 5), err)
+		t.Fatalf("vec rows cell %q is not numeric: %v", cell(t, tbl, 0, 7), err)
 	}
 	if f < 99 {
 		t.Errorf("ExecAuto must fully vectorize the traffic workload, got %v%%", f)

@@ -226,6 +226,16 @@ type ExecCounters struct {
 	EpochID        int64
 	ClampedRows    int64
 
+	// Kernel-fusion accounting. FusedOps is a build-time gauge: the number
+	// of superinstructions the vexpr peephole pass produced across every
+	// kernel compiled for this world (each one replaced two interpreted
+	// batch operators with one fused loop). DictLookups counts runtime
+	// string-dictionary round-trips at kernel boundaries — decodes of
+	// string-valued emission payloads and encodes of batched string probe
+	// keys. Both are zero when no kernels compiled.
+	FusedOps    int64
+	DictLookups int64
+
 	// Load balance: per tick the effect-phase row visits (scalar rows,
 	// vectorized rows, join candidates) are tallied per partition;
 	// PartLoadMax accumulates the busiest partition's tally and PartLoadSum

@@ -1,0 +1,86 @@
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dict is a string dictionary shared by every table of a world: it interns
+// each distinct string once and hands out a dense float64 code, so string
+// columns get an ordinary numeric payload lane and equality predicates over
+// strings compile to numeric kernels (same dict ⇒ equal codes iff equal
+// strings, across columns, tables and literals).
+//
+// Codes are assigned in first-intern order and are NOT lexicographic:
+// ordered string comparisons must not be evaluated over code lanes. "" is
+// pre-interned as code 0 so the zero payload of a string lane decodes to
+// value.Zero(KindString) — this is what dangling-ref gathers produce.
+//
+// Interning happens in serial phases (world build, inserts, scalar effect
+// application); kernel execution only reads. The snapshot-swap layout below
+// makes reads lock-free so parallel kernels can decode/probe while another
+// partition's serial apply step interns a new string.
+type Dict struct {
+	mu    sync.Mutex
+	state atomic.Pointer[dictState]
+}
+
+type dictState struct {
+	codes map[string]float64
+	strs  []string
+}
+
+// NewDict returns a dictionary with "" pre-interned as code 0.
+func NewDict() *Dict {
+	d := &Dict{}
+	st := &dictState{codes: map[string]float64{"": 0}, strs: []string{""}}
+	d.state.Store(st)
+	return d
+}
+
+// Code returns the code for s, interning it on first use. Satisfies
+// vexpr.Dict.
+func (d *Dict) Code(s string) float64 {
+	if c, ok := d.state.Load().codes[s]; ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	if c, ok := st.codes[s]; ok {
+		return c
+	}
+	// Copy-on-write: readers keep seeing a consistent snapshot.
+	nw := &dictState{codes: make(map[string]float64, len(st.codes)+1), strs: make([]string, len(st.strs), len(st.strs)+1)}
+	for k, v := range st.codes {
+		nw.codes[k] = v
+	}
+	copy(nw.strs, st.strs)
+	c := float64(len(nw.strs))
+	nw.codes[s] = c
+	nw.strs = append(nw.strs, s)
+	d.state.Store(nw)
+	return c
+}
+
+// CodeOf returns the code for s without interning. The second result is
+// false when s was never interned — the caller then knows s cannot equal any
+// stored string lane.
+func (d *Dict) CodeOf(s string) (float64, bool) {
+	c, ok := d.state.Load().codes[s]
+	return c, ok
+}
+
+// Lookup decodes a code back to its string. Codes outside the interned range
+// decode to "".
+func (d *Dict) Lookup(code float64) string {
+	strs := d.state.Load().strs
+	i := int(code)
+	if i < 0 || i >= len(strs) || float64(i) != code {
+		return ""
+	}
+	return strs[i]
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.state.Load().strs) }

@@ -1,0 +1,95 @@
+package table
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestDictCodeLane(t *testing.T) {
+	d := NewDict()
+	if c, ok := d.CodeOf(""); !ok || c != 0 {
+		t.Fatalf(`"" must pre-intern as code 0, got %v ok=%v`, c, ok)
+	}
+	tb := NewWithDict("u", []Column{
+		{Name: "player", Kind: value.KindString},
+		{Name: "hp", Kind: value.KindNumber},
+	}, d)
+	tb.Insert(1, []value.Value{value.Str("red"), value.Num(10)})
+	tb.Insert(2, []value.Value{value.Str("blue"), value.Num(20)})
+	tb.Insert(3, []value.Value{value.Str("red"), value.Num(30)})
+
+	lane := tb.NumColumn(0)
+	if lane == nil {
+		t.Fatal("string column must expose a code lane under a dict")
+	}
+	red, _ := d.CodeOf("red")
+	blue, _ := d.CodeOf("blue")
+	if lane[0] != red || lane[1] != blue || lane[2] != red {
+		t.Fatalf("code lane %v does not match interned codes red=%v blue=%v", lane[:3], red, blue)
+	}
+	if d.Lookup(lane[1]) != "blue" {
+		t.Fatalf("Lookup(%v) = %q, want blue", lane[1], d.Lookup(lane[1]))
+	}
+
+	// Overwrite keeps the lane in step.
+	tb.Set(2, "player", value.Str("red"))
+	if lane[1] != red {
+		t.Fatalf("after rewrite, lane[1] = %v, want %v", lane[1], red)
+	}
+	if v, _ := tb.Get(2, "player"); v.AsString() != "red" {
+		t.Fatalf("string storage out of step: %v", v)
+	}
+
+	// Unknown strings and out-of-range codes.
+	if _, ok := d.CodeOf("never"); ok {
+		t.Fatal("CodeOf must miss for never-interned strings")
+	}
+	if d.Lookup(99) != "" || d.Lookup(-1) != "" || d.Lookup(0.5) != "" {
+		t.Fatal("out-of-range codes must decode to empty string")
+	}
+
+	// A dict-less table keeps the legacy layout: no code lane.
+	plain := New("p", []Column{{Name: "s", Kind: value.KindString}})
+	plain.Insert(1, []value.Value{value.Str("x")})
+	if plain.NumColumn(0) != nil {
+		t.Fatal("dict-less string column must not grow a code lane")
+	}
+}
+
+// TestDictConcurrentReads exercises the snapshot-swap layout: lock-free
+// readers race serial interning without torn state (run under -race).
+func TestDictConcurrentReads(t *testing.T) {
+	d := NewDict()
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range words {
+					if c, ok := d.CodeOf(s); ok && d.Lookup(c) != s {
+						t.Errorf("torn read: code %v decodes to %q, want %q", c, d.Lookup(c), s)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for _, s := range words {
+		d.Code(s)
+	}
+	close(stop)
+	wg.Wait()
+	if d.Len() != len(words)+1 {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(words)+1)
+	}
+}

@@ -40,11 +40,24 @@ type Table struct {
 	// unchanged since it was built is still valid verbatim.
 	colVer    []uint64
 	structVer uint64
+
+	// dict, when non-nil, maintains a float64 code lane in nums for every
+	// string column (the dictionary-encoded payload vectorized kernels
+	// execute over). The strs slices stay the source of truth for At/Get.
+	dict *Dict
 }
 
 // New creates an empty table with the given columns.
 func New(name string, cols []Column) *Table {
+	return NewWithDict(name, cols, nil)
+}
+
+// NewWithDict creates an empty table whose string columns carry
+// dictionary-encoded float64 code lanes alongside the string storage,
+// using (and extending) the given shared dictionary.
+func NewWithDict(name string, cols []Column, dict *Dict) *Table {
 	t := &Table{
+		dict:    dict,
 		name:    name,
 		cols:    cols,
 		colIdx:  make(map[string]int, len(cols)),
@@ -65,6 +78,10 @@ func New(name string, cols []Column) *Table {
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// Dict returns the shared string dictionary, or nil when the table stores
+// strings without code lanes.
+func (t *Table) Dict() *Dict { return t.dict }
 
 // Columns returns the column declarations.
 func (t *Table) Columns() []Column { return t.cols }
@@ -107,6 +124,9 @@ func (t *Table) Insert(id value.ID, vals []value.Value) int {
 			switch c.Kind {
 			case value.KindString:
 				t.strs[i] = append(t.strs[i], "")
+				if t.dict != nil {
+					t.nums[i] = append(t.nums[i], 0) // dict code of ""
+				}
 			case value.KindSet:
 				t.sets[i] = append(t.sets[i], nil)
 			default:
@@ -234,6 +254,11 @@ func (t *Table) setRaw(row, ci int, v value.Value) {
 		t.nums[ci][row] = float64(v.AsRef())
 	case value.KindString:
 		t.strs[ci][row] = v.AsString()
+		if t.dict != nil {
+			// Keep the dictionary-encoded code lane in step; interning only
+			// happens here, in serial phases.
+			t.nums[ci][row] = t.dict.Code(v.AsString())
+		}
 	case value.KindSet:
 		t.sets[ci][row] = v.AsSet()
 	}
@@ -245,10 +270,11 @@ func (t *Table) setRaw(row, ci int, v value.Value) {
 func (t *Table) NumColumn(ci int) []float64 { return t.nums[ci] }
 
 // NumColumns exposes the float64 storage of every column at once, indexed
-// by column index; entries for string and set columns are nil. This is the
-// read-only column view the vectorized batch evaluator executes over —
-// callers must not write through it and must consult AliveMask for
-// liveness.
+// by column index; entries for set columns are nil, and entries for string
+// columns are nil unless the table has a dictionary (then they hold the
+// dictionary code lane). This is the read-only column view the vectorized
+// batch evaluator executes over — callers must not write through it and
+// must consult AliveMask for liveness.
 func (t *Table) NumColumns() [][]float64 { return t.nums }
 
 // AliveMask exposes the liveness bitmap indexed by physical row. Read-only;
@@ -266,6 +292,29 @@ func (t *Table) SetNumAt(row, ci int, f float64) {
 		t.nums[ci][row] = f
 	default:
 		panic(fmt.Sprintf("table %s: SetNumAt on %s column %s", t.name, t.cols[ci].Kind, t.cols[ci].Name))
+	}
+}
+
+// SetNumColumn overwrites the payloads of a number/bool/ref column at every
+// row marked alive, bumping the column version once — the bulk counterpart
+// of SetNumAt for staged kernel write-back.
+func (t *Table) SetNumColumn(ci int, vals []float64, alive []bool) {
+	t.colVer[ci]++
+	switch t.cols[ci].Kind {
+	case value.KindNumber, value.KindBool, value.KindRef:
+	default:
+		panic(fmt.Sprintf("table %s: SetNumColumn on %s column %s", t.name, t.cols[ci].Kind, t.cols[ci].Name))
+	}
+	col := t.nums[ci]
+	if t.n == len(t.ids) {
+		// Every physical slot is live: one memmove instead of a masked loop.
+		copy(col, vals[:len(col)])
+		return
+	}
+	for r, ok := range alive {
+		if ok {
+			col[r] = vals[r]
+		}
 	}
 }
 

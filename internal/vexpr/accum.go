@@ -44,14 +44,18 @@ type BcastSrc struct {
 // attributes whose columns must be gathered (Env.Cols indices). ok is false
 // when the expression reads anything without a columnar payload.
 func CompileAccum(e ast.Expr, iterSlot int) (p *Prog, bcast []BcastSrc, cols []int, ok bool) {
-	c := &compiler{iterSlot: iterSlot}
+	return CompileAccumOpts(e, iterSlot, Opts{})
+}
+
+// CompileAccumOpts is CompileAccum with compilation options (dictionary
+// string lanes, optimization control).
+func CompileAccumOpts(e ast.Expr, iterSlot int, o Opts) (p *Prog, bcast []BcastSrc, cols []int, ok bool) {
+	c := &compiler{iterSlot: iterSlot, dict: o.Dict}
 	out := c.compile(e)
 	if c.fail || out < 0 {
 		return nil, nil, nil, false
 	}
-	c.p.out = out
-	c.p.nRegs = len(c.p.ins)
-	return &c.p, c.bcast, c.cols, true
+	return c.finish(out, o), c.bcast, c.cols, true
 }
 
 // compileAccumIdent is compileIdent under accum-gather lane semantics.
@@ -63,12 +67,12 @@ func (c *compiler) compileAccumIdent(e *ast.Ident) int {
 			c.p.needIDs = true
 			return c.emit(instr{op: opSelfID})
 		}
-		if e.Bind.Kind == ast.BindIter || !payloadKind(e.Ty.Kind) {
+		if e.Bind.Kind == ast.BindIter || !c.payloadOK(e.Ty.Kind) {
 			return c.bail() // a different (outer) iter variable
 		}
 		return c.bcastReg(BcastSrc{Kind: BcastSlot, Idx: e.Bind.Slot})
 	case ast.BindStateAttr:
-		if !payloadKind(e.Ty.Kind) {
+		if !c.payloadOK(e.Ty.Kind) {
 			return c.bail()
 		}
 		return c.bcastReg(BcastSrc{Kind: BcastStateAttr, Idx: e.Bind.AttrIdx})

@@ -1,0 +1,365 @@
+package vexpr_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/token"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// Extended differential fuzz: dictionary-encoded string equality, the
+// fused-chain shapes the peephole pass targets (mul-add, clamp, cmp-select,
+// abs-diff, mask chains), and adversarial numeric lanes (NaN, ±0, ±Inf,
+// dangling refs). Results must stay bitwise identical to the scalar closure
+// evaluator.
+
+// The extended fuzz world adds a string attribute on top of the layout of
+// vexpr_test.go.
+const (
+	xAttrN0 = 0 // number
+	xAttrN1 = 1 // number
+	xAttrB0 = 2 // bool
+	xAttrR0 = 3 // ref<C>
+	xAttrS0 = 4 // string
+)
+
+var xAttrKinds = []value.Kind{value.KindNumber, value.KindNumber, value.KindBool, value.KindRef, value.KindString}
+
+var fuzzStrings = []string{"", "red", "blue", "green", "αβ"}
+
+// testDict is a minimal vexpr.Dict: interning map with "" pre-interned as
+// code 0, mirroring table.Dict.
+type testDict struct {
+	codes map[string]float64
+	strs  []string
+}
+
+func newTestDict() *testDict {
+	d := &testDict{codes: map[string]float64{}}
+	d.Code("")
+	return d
+}
+
+func (d *testDict) Code(s string) float64 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := float64(len(d.strs))
+	d.codes[s] = c
+	d.strs = append(d.strs, s)
+	return c
+}
+
+type xWorld struct {
+	cols [][]float64 // per attr (string attr holds dict codes)
+	strs []string    // per row, the string attr's value
+	ids  []float64
+	byID map[value.ID]int
+	dict *testDict
+}
+
+// adversarialNum draws from a pool heavy in IEEE edge cases.
+func adversarialNum(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Copysign(0, -1)
+	case 2:
+		return 0
+	case 3:
+		return math.Inf(1)
+	case 4:
+		return math.Inf(-1)
+	default:
+		return math.Trunc(rng.Float64()*200-100) / 4
+	}
+}
+
+func newXWorld(rng *rand.Rand, n int, dict *testDict) *xWorld {
+	w := &xWorld{byID: make(map[value.ID]int), dict: dict}
+	w.cols = make([][]float64, len(xAttrKinds))
+	for a := range w.cols {
+		w.cols[a] = make([]float64, n)
+	}
+	w.strs = make([]string, n)
+	w.ids = make([]float64, n)
+	for r := 0; r < n; r++ {
+		id := value.ID(r + 1)
+		w.ids[r] = float64(id)
+		w.byID[id] = r
+		w.cols[xAttrN0][r] = adversarialNum(rng)
+		w.cols[xAttrN1][r] = adversarialNum(rng)
+		w.cols[xAttrB0][r] = float64(rng.Intn(2))
+		switch rng.Intn(4) {
+		case 0:
+			w.cols[xAttrR0][r] = float64(value.NullID)
+		case 1:
+			w.cols[xAttrR0][r] = float64(n + 50) // dangling
+		default:
+			w.cols[xAttrR0][r] = float64(rng.Intn(n) + 1)
+		}
+		s := fuzzStrings[rng.Intn(len(fuzzStrings))]
+		w.strs[r] = s
+		w.cols[xAttrS0][r] = dict.Code(s)
+	}
+	return w
+}
+
+func (w *xWorld) colValue(attr, row int) value.Value {
+	f := w.cols[attr][row]
+	switch xAttrKinds[attr] {
+	case value.KindBool:
+		return value.Bool(f != 0)
+	case value.KindRef:
+		return value.Ref(value.ID(f))
+	case value.KindString:
+		return value.Str(w.strs[row])
+	default:
+		return value.Num(f)
+	}
+}
+
+type xRowReader struct {
+	w   *xWorld
+	row int
+}
+
+func (r xRowReader) Attr(i int) value.Value { return r.w.colValue(i, r.row) }
+
+func (w *xWorld) StateValue(class string, id value.ID, attrIdx int) (value.Value, bool) {
+	row, ok := w.byID[id]
+	if !ok {
+		return value.Value{}, false
+	}
+	return w.colValue(attrIdx, row), true
+}
+
+func (w *xWorld) gather(class string, attrIdx int, refs, out []float64, zero float64) {
+	for i, f := range refs {
+		row, ok := w.byID[value.ID(f)]
+		if !ok {
+			out[i] = zero
+			continue
+		}
+		out[i] = w.cols[attrIdx][row]
+	}
+}
+
+// xGen generates typed ASTs biased toward fused-chain shapes and string
+// predicates.
+type xGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+func xIdent(attr int) *ast.Ident {
+	ty := ast.Type{Kind: xAttrKinds[attr]}
+	if ty.Kind == value.KindRef {
+		ty.RefClass = "C"
+	}
+	return &ast.Ident{Name: "a", Bind: ast.Binding{Kind: ast.BindStateAttr, AttrIdx: attr}, Ty: ty}
+}
+
+func (g *xGen) num(d int) ast.Expr {
+	if d >= g.depth {
+		if g.rng.Intn(3) == 0 {
+			return &ast.NumLit{V: math.Trunc(g.rng.Float64()*20 - 10)}
+		}
+		return xIdent([]int{xAttrN0, xAttrN1}[g.rng.Intn(2)])
+	}
+	switch g.rng.Intn(8) {
+	case 0: // mul-add / add-mul
+		mul := &ast.BinaryExpr{Op: token.STAR, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.NumberT}
+		if g.rng.Intn(2) == 0 {
+			return &ast.BinaryExpr{Op: token.PLUS, X: mul, Y: g.num(d + 1), Ty: ast.NumberT}
+		}
+		return &ast.BinaryExpr{Op: token.PLUS, X: g.num(d + 1), Y: mul, Ty: ast.NumberT}
+	case 1: // mul-sub / sub-mul
+		if g.rng.Intn(2) == 0 {
+			mul := &ast.BinaryExpr{Op: token.STAR, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.NumberT}
+			return &ast.BinaryExpr{Op: token.MINUS, X: mul, Y: g.num(d + 1), Ty: ast.NumberT}
+		}
+		sub := &ast.BinaryExpr{Op: token.MINUS, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.NumberT}
+		return &ast.BinaryExpr{Op: token.STAR, X: sub, Y: g.num(d + 1), Ty: ast.NumberT}
+	case 2: // clamp, both as builtin and as min∘max
+		if g.rng.Intn(2) == 0 {
+			return &ast.CallExpr{Name: "clamp", Builtin: ast.BClamp, Args: []ast.Expr{g.num(d + 1), g.num(d + 1), g.num(d + 1)}, Ty: ast.NumberT}
+		}
+		max := &ast.CallExpr{Name: "max", Builtin: ast.BMax, Args: []ast.Expr{g.num(d + 1), g.num(d + 1)}, Ty: ast.NumberT}
+		args := []ast.Expr{max, g.num(d + 1)}
+		if g.rng.Intn(2) == 0 {
+			args = []ast.Expr{args[1], args[0]}
+		}
+		return &ast.CallExpr{Name: "min", Builtin: ast.BMin, Args: args, Ty: ast.NumberT}
+	case 3: // cmp-select
+		return &ast.CondExpr{C: g.cmp(d + 1), T: g.num(d + 1), F: g.num(d + 1), Ty: ast.NumberT}
+	case 4: // abs-diff
+		sub := &ast.BinaryExpr{Op: token.MINUS, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.NumberT}
+		return &ast.CallExpr{Name: "abs", Builtin: ast.BAbs, Args: []ast.Expr{sub}, Ty: ast.NumberT}
+	case 5:
+		return &ast.BinaryExpr{Op: token.SLASH, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.NumberT}
+	case 6:
+		return &ast.FieldExpr{X: g.ref(d + 1), Name: "n0", AttrIdx: xAttrN0, Class: "C", Ty: ast.NumberT}
+	default:
+		op := []token.Kind{token.PLUS, token.MINUS, token.STAR}[g.rng.Intn(3)]
+		return &ast.BinaryExpr{Op: op, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.NumberT}
+	}
+}
+
+func (g *xGen) cmp(d int) ast.Expr {
+	op := []token.Kind{token.LT, token.LE, token.GT, token.GE, token.EQ, token.NEQ}[g.rng.Intn(6)]
+	return &ast.BinaryExpr{Op: op, X: g.num(d + 1), Y: g.num(d + 1), Ty: ast.BoolT}
+}
+
+func (g *xGen) str(d int) ast.Expr {
+	if d >= g.depth || g.rng.Intn(2) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return &ast.StrLit{V: fuzzStrings[g.rng.Intn(len(fuzzStrings))]}
+		}
+		return xIdent(xAttrS0)
+	}
+	switch g.rng.Intn(2) {
+	case 0:
+		return &ast.CondExpr{C: g.boolean(d + 1), T: g.str(d + 1), F: g.str(d + 1), Ty: ast.StringT}
+	default:
+		// Cross-object string read through a ref: dangling refs yield "".
+		return &ast.FieldExpr{X: g.ref(d + 1), Name: "s0", AttrIdx: xAttrS0, Class: "C", Ty: ast.StringT}
+	}
+}
+
+func (g *xGen) boolean(d int) ast.Expr {
+	if d >= g.depth {
+		return xIdent(xAttrB0)
+	}
+	switch g.rng.Intn(6) {
+	case 0: // string predicate — the dictionary-encoded lane
+		op := []token.Kind{token.EQ, token.NEQ}[g.rng.Intn(2)]
+		return &ast.BinaryExpr{Op: op, X: g.str(d + 1), Y: g.str(d + 1), Ty: ast.BoolT}
+	case 1: // mask chain (fused to and3/and4/or3/or4)
+		op := []token.Kind{token.ANDAND, token.OROR}[g.rng.Intn(2)]
+		e := g.boolean(d + 1)
+		for i := 1 + g.rng.Intn(3); i > 0; i-- {
+			e = &ast.BinaryExpr{Op: op, X: e, Y: g.boolean(d + 1), Ty: ast.BoolT}
+		}
+		return e
+	case 2:
+		return &ast.UnaryExpr{Op: token.NOT, X: g.boolean(d + 1), Ty: ast.BoolT}
+	case 3:
+		return &ast.CondExpr{C: g.boolean(d + 1), T: g.boolean(d + 1), F: g.boolean(d + 1), Ty: ast.BoolT}
+	default:
+		return g.cmp(d + 1)
+	}
+}
+
+func (g *xGen) ref(d int) ast.Expr {
+	refT := ast.RefT("C")
+	if d >= g.depth {
+		if g.rng.Intn(4) == 0 {
+			return &ast.NullLit{Ty: refT}
+		}
+		return xIdent(xAttrR0)
+	}
+	return &ast.FieldExpr{X: g.ref(d + 1), Name: "r0", AttrIdx: xAttrR0, Class: "C", Ty: refT}
+}
+
+// xPayload maps a scalar value to its columnar payload, encoding strings
+// through the dictionary.
+func xPayload(d *testDict, v value.Value) float64 {
+	switch v.Kind() {
+	case value.KindBool:
+		if v.AsBool() {
+			return 1
+		}
+		return 0
+	case value.KindRef:
+		return float64(v.AsRef())
+	case value.KindString:
+		return d.Code(v.AsString())
+	default:
+		return v.AsNumber()
+	}
+}
+
+// TestDifferentialFuzzExt asserts bitwise identity between the fused,
+// specialized, dictionary-aware kernels and the scalar closure evaluator,
+// and between optimized and NoOpt compilation of the same program.
+func TestDifferentialFuzzExt(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	compiled, withStrings := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		dict := newTestDict()
+		// Compile first so literal interning precedes world encoding —
+		// mirrors the engine, where programs are compiled at world build.
+		g := &xGen{rng: rng, depth: 1 + rng.Intn(4)}
+		var e ast.Expr
+		switch trial % 3 {
+		case 0:
+			e = g.num(0)
+		case 1:
+			e = g.boolean(0)
+		default:
+			e = g.str(0)
+			withStrings++
+		}
+		prog, ok := vexpr.CompileOpts(e, vexpr.Opts{Dict: dict})
+		if !ok {
+			t.Fatalf("trial %d: dict compile must not bail: %s", trial, ast.ExprString(e))
+		}
+		noopt, ok := vexpr.CompileOpts(e, vexpr.Opts{Dict: dict, NoOpt: true})
+		if !ok {
+			t.Fatalf("trial %d: NoOpt compile must not bail", trial)
+		}
+		compiled++
+		w := newXWorld(rng, 3+rng.Intn(80), dict)
+		fn := expr.Compile(e)
+		n := len(w.ids)
+		env := &vexpr.Env{Cols: w.cols, IDs: w.ids, Gather: w.gather}
+		out := make([]float64, n)
+		ref := make([]float64, n)
+		var m, m2 vexpr.Machine
+		prog.Run(&m, env, 0, n, out)
+		noopt.Run(&m2, env, 0, n, ref)
+
+		ctx := expr.Ctx{W: w, Class: "C"}
+		for r := 0; r < n; r++ {
+			ctx.SelfID = value.ID(w.ids[r])
+			ctx.Self = xRowReader{w: w, row: r}
+			want := xPayload(dict, fn(&ctx))
+			if !sameFloat(out[r], want) {
+				t.Fatalf("trial %d row %d: fused %v, scalar %v\nexpr: %s", trial, r, out[r], want, ast.ExprString(e))
+			}
+			if !sameFloat(ref[r], want) {
+				t.Fatalf("trial %d row %d: NoOpt %v, scalar %v\nexpr: %s", trial, r, ref[r], want, ast.ExprString(e))
+			}
+		}
+	}
+	if withStrings < 100 {
+		t.Fatalf("only %d string-rooted trials; generator too narrow", withStrings)
+	}
+	_ = compiled
+}
+
+// TestStringPredicateCompiles pins the dictionary contract: string ==/!=
+// compiles with a dict, bails without one, and ordered string comparisons
+// always bail (codes are not lexicographic).
+func TestStringPredicateCompiles(t *testing.T) {
+	pred := func(op token.Kind) ast.Expr {
+		return &ast.BinaryExpr{Op: op, X: xIdent(xAttrS0), Y: &ast.StrLit{V: "red"}, Ty: ast.BoolT}
+	}
+	dict := newTestDict()
+	if _, ok := vexpr.CompileOpts(pred(token.NEQ), vexpr.Opts{Dict: dict}); !ok {
+		t.Fatal("string != must compile with a dictionary")
+	}
+	if _, ok := vexpr.CompileOpts(pred(token.EQ), vexpr.Opts{}); ok {
+		t.Fatal("string == must bail without a dictionary")
+	}
+	if _, ok := vexpr.CompileOpts(pred(token.LT), vexpr.Opts{Dict: dict}); ok {
+		t.Fatal("ordered string comparison must bail even with a dictionary")
+	}
+}

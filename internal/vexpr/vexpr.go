@@ -71,6 +71,19 @@ const (
 	opSqrt
 	opClamp
 	opDist
+	// Fused superinstructions, produced only by the post-compile peephole
+	// pass (fuse.go), never by the compiler. Each collapses a single-use
+	// producer chain into one loop that reads its operands once and writes
+	// once; all rewrites are bitwise-identity-preserving (see fuse.go).
+	opMulAdd  // a*b + c  (intermediate product explicitly rounded)
+	opMulSub  // a*b - c  (intermediate product explicitly rounded)
+	opSubMul  // (a-b) * c (intermediate difference explicitly rounded)
+	opAbsDiff // abs(a - b)
+	opCmpSel  // cmp(a,b) ? c : d — comparison op stored in attr
+	opAnd3    // a && b && c
+	opOr3     // a || b || c
+	opAnd4    // a && b && c && d
+	opOr4     // a || b || c || d
 )
 
 // instr is one SSA instruction: every instruction writes a fresh register.
@@ -91,6 +104,20 @@ type Prog struct {
 	out     int
 	needIDs bool
 	fxUsed  []int
+
+	// Optimized execution plan, built once at compile time (world build).
+	// inv holds the batch-invariant instructions (opConst/opBcast) that are
+	// materialized once per Run instead of once per batch; batch holds the
+	// per-batch instructions in SSA order. chain, when non-nil, is the
+	// closure-chain specialized executor for short straight-line programs.
+	// outBatch records whether the output register is produced per batch
+	// (false: the whole program is batch-invariant).
+	inv      []instr
+	batch    []instr
+	chain    []batchFn
+	outBatch bool
+	fused    int
+	opt      bool
 }
 
 // Env binds a Prog to one class extent for execution. All slices are
@@ -125,9 +152,27 @@ type Env struct {
 // Machine holds the scratch registers for running programs. A zero Machine
 // is ready to use; it grows to the largest program it has run.
 type Machine struct {
+	regs [][]float64
+	// states caches one carved scratch slab per program, so programs that
+	// alternate on one machine — join sites cycle value/key/residual
+	// kernels per candidate batch — keep their constants materialized
+	// instead of re-carving and refilling on every switch. No kernel ever
+	// writes another program's registers, so a cached slab stays valid.
+	states map[*Prog]*machState
+	// lastProg tracks which program's register table m.regs currently
+	// aliases; back-to-back runs of one program skip prepare entirely.
+	lastProg *Prog
+}
+
+type machState struct {
 	regs    [][]float64
 	scratch []float64
 }
+
+// maxMachStates bounds the per-machine slab cache; engine worlds compile a
+// bounded program set at build, so eviction only triggers in synthetic
+// many-program loads (fuzzers), where dropping the cache is harmless.
+const maxMachStates = 64
 
 // NeedIDs reports whether Env.IDs must be populated.
 func (p *Prog) NeedIDs() bool { return p.needIDs }
@@ -135,27 +180,78 @@ func (p *Prog) NeedIDs() bool { return p.needIDs }
 // FxUsed returns the effect-attribute indices the program reads.
 func (p *Prog) FxUsed() []int { return p.fxUsed }
 
-// Kernels returns the number of batch operators the program executes per
-// batch — the work unit of the plan cost model.
-func (p *Prog) Kernels() int { return len(p.ins) }
+// Kernels returns the number of per-batch operators the program executes —
+// the work unit of the plan cost model. Fusion and invariant hoisting shrink
+// this count, which is how ChooseExec/ChooseJoin learn the fused fast path's
+// true cost without new tuning constants.
+func (p *Prog) Kernels() int { return len(p.batch) }
+
+// FusedOps returns the number of instructions eliminated by superinstruction
+// fusion — the build-time gauge behind the engine's FusedOps counter.
+func (p *Prog) FusedOps() int { return p.fused }
+
+// Specialized reports whether the program runs through the closure-chain
+// specialized executor instead of the generic instruction loop.
+func (p *Prog) Specialized() bool { return p.chain != nil }
+
+// Dict interns strings to dense float64 codes so string predicates compile
+// to numeric kernels; table.Dict satisfies it. Code is only called at
+// compile time (world build, single-threaded), never during kernel runs.
+type Dict interface {
+	Code(s string) float64
+}
+
+// Opts tunes compilation. The zero Opts reproduces Compile's behavior.
+type Opts struct {
+	// SlotOK reports which let-bound frame slots have vectorized values.
+	SlotOK func(slot int) bool
+	// Dict, when non-nil, enables dictionary-encoded string lanes: string
+	// literals compile to code constants, and string ==/!= compiles to
+	// numeric comparison over code columns (same dict ⇒ equal codes iff
+	// equal strings). Ordered string comparisons still bail — codes are
+	// interned in first-use order, not lexicographically.
+	Dict Dict
+	// NoOpt disables the post-compile fusion/hoisting/specialization passes,
+	// leaving the naive one-op-per-batch interpreter. Benchmark arms use it
+	// to measure the optimization delta; production callers never set it.
+	NoOpt bool
+}
 
 // Compile translates a type-checked expression into a batch program. The
 // second result is false when the expression touches strings, sets,
 // iteration variables or class extents; callers then use the scalar
 // closure path of package expr.
-func Compile(e ast.Expr) (*Prog, bool) { return CompileWithSlots(e, nil) }
+func Compile(e ast.Expr) (*Prog, bool) { return CompileOpts(e, Opts{}) }
 
 // CompileWithSlots is Compile for expressions that may read let-bound frame
 // slots; slotOK reports which slots have vectorized values available.
 func CompileWithSlots(e ast.Expr, slotOK func(slot int) bool) (*Prog, bool) {
-	c := &compiler{slotOK: slotOK, iterSlot: -1}
+	return CompileOpts(e, Opts{SlotOK: slotOK})
+}
+
+// CompileOpts is the general compilation entry point.
+func CompileOpts(e ast.Expr, o Opts) (*Prog, bool) {
+	c := &compiler{slotOK: o.SlotOK, dict: o.Dict, iterSlot: -1}
 	out := c.compile(e)
 	if c.fail || out < 0 {
 		return nil, false
 	}
+	return c.finish(out, o), true
+}
+
+// finish seals the SSA program and, unless disabled, runs the optimization
+// pipeline: superinstruction fusion, invariant hoisting, specialization.
+func (c *compiler) finish(out int, o Opts) *Prog {
 	c.p.out = out
 	c.p.nRegs = len(c.p.ins)
-	return &c.p, true
+	p := &c.p
+	if o.NoOpt {
+		p.batch = p.ins
+		p.outBatch = true
+		return p
+	}
+	p.optimize()
+	return p
 }
 
 // payloadKind reports whether a kind shares the float64 column payload.
@@ -164,6 +260,8 @@ func payloadKind(k value.Kind) bool {
 }
 
 // zeroPayload is the float64 payload of value.Zero(k) for payload kinds.
+// For dictionary-encoded strings the zero payload is 0: every Dict interns
+// "" as code 0, matching value.Zero(KindString).
 func zeroPayload(k value.Kind) float64 {
 	if k == value.KindRef {
 		return float64(value.NullID)
@@ -171,9 +269,17 @@ func zeroPayload(k value.Kind) float64 {
 	return 0
 }
 
+// payloadOK reports whether values of kind k have a float64 lane under this
+// compilation: payload kinds always, strings only when a dictionary supplies
+// code lanes.
+func (c *compiler) payloadOK(k value.Kind) bool {
+	return payloadKind(k) || (c.dict != nil && k == value.KindString)
+}
+
 type compiler struct {
 	p      Prog
 	slotOK func(int) bool
+	dict   Dict
 	fail   bool
 
 	// Accum-gather mode (CompileAccum): iterSlot >= 0 flips lane meaning —
@@ -212,11 +318,14 @@ func (c *compiler) compile(e ast.Expr) int {
 	case *ast.NullLit:
 		return c.emit(instr{op: opConst, imm: float64(value.NullID)})
 	case *ast.StrLit:
-		return c.bail()
+		if c.dict == nil {
+			return c.bail()
+		}
+		return c.emit(instr{op: opConst, imm: c.dict.Code(e.V)})
 	case *ast.Ident:
 		return c.compileIdent(e)
 	case *ast.FieldExpr:
-		if !payloadKind(e.Ty.Kind) {
+		if !c.payloadOK(e.Ty.Kind) {
 			return c.bail()
 		}
 		if c.iterSlot >= 0 && isIterIdent(e.X, c.iterSlot) {
@@ -245,7 +354,7 @@ func (c *compiler) compile(e ast.Expr) int {
 	case *ast.BinaryExpr:
 		return c.compileBinary(e)
 	case *ast.CondExpr:
-		if !payloadKind(e.Ty.Kind) {
+		if !c.payloadOK(e.Ty.Kind) {
 			return c.bail()
 		}
 		cc, t, f := c.compile(e.C), c.compile(e.T), c.compile(e.F)
@@ -266,12 +375,12 @@ func (c *compiler) compileIdent(e *ast.Ident) int {
 	}
 	switch e.Bind.Kind {
 	case ast.BindStateAttr:
-		if !payloadKind(e.Ty.Kind) {
+		if !c.payloadOK(e.Ty.Kind) {
 			return c.bail()
 		}
 		return c.emit(instr{op: opLoadCol, attr: e.Bind.AttrIdx})
 	case ast.BindLocal:
-		if c.slotOK == nil || !c.slotOK(e.Bind.Slot) || !payloadKind(e.Ty.Kind) {
+		if c.slotOK == nil || !c.slotOK(e.Bind.Slot) || !c.payloadOK(e.Ty.Kind) {
 			return c.bail()
 		}
 		return c.emit(instr{op: opLoadSlot, attr: e.Bind.Slot})
@@ -290,10 +399,21 @@ func (c *compiler) compileIdent(e *ast.Ident) int {
 }
 
 func (c *compiler) compileBinary(e *ast.BinaryExpr) int {
-	// String comparisons have no columnar payload; everything else shares
-	// float64 ordering with value.Compare/Equal.
-	if !payloadKind(e.X.Type().Kind) || !payloadKind(e.Y.Type().Kind) {
-		return c.bail()
+	xk, yk := e.X.Type().Kind, e.Y.Type().Kind
+	switch e.Op {
+	case token.EQ, token.NEQ:
+		// Equality extends to dictionary-encoded strings: with a shared
+		// dict, codes are equal iff the strings are.
+		if !c.payloadOK(xk) || !c.payloadOK(yk) {
+			return c.bail()
+		}
+	default:
+		// Ordered string comparisons have no columnar payload (codes are not
+		// lexicographic); everything else shares float64 ordering with
+		// value.Compare/Equal.
+		if !payloadKind(xk) || !payloadKind(yk) {
+			return c.bail()
+		}
 	}
 	x, y := c.compile(e.X), c.compile(e.Y)
 	if x < 0 || y < 0 {
@@ -374,9 +494,17 @@ func (c *compiler) compileCall(e *ast.CallExpr) int {
 
 // prepare sizes the machine's registers for p. Alias ops (loads) get their
 // register rebound per batch; compute ops own a batch-sized scratch slice.
-func (m *Machine) prepare(p *Prog) {
-	if len(m.regs) < p.nRegs {
-		m.regs = append(m.regs, make([][]float64, p.nRegs-len(m.regs))...)
+// It reports whether the machine switched programs: a machine that just ran
+// the same program keeps its register carving (and the constants already
+// materialized in scratch — no other program's kernels touched them).
+func (m *Machine) prepare(p *Prog) (fresh bool) {
+	if m.lastProg == p {
+		return false
+	}
+	m.lastProg = p
+	if st, ok := m.states[p]; ok {
+		m.regs = st.regs
+		return false
 	}
 	need := 0
 	for _, in := range p.ins {
@@ -384,17 +512,25 @@ func (m *Machine) prepare(p *Prog) {
 			need += batchSize
 		}
 	}
-	if cap(m.scratch) < need {
-		m.scratch = make([]float64, need)
+	st := &machState{
+		regs:    make([][]float64, p.nRegs),
+		scratch: make([]float64, need),
 	}
-	m.scratch = m.scratch[:0]
 	off := 0
 	for _, in := range p.ins {
 		if !aliasOp(in.op) {
-			m.regs[in.dst] = m.scratch[off : off+batchSize][:batchSize]
+			st.regs[in.dst] = st.scratch[off : off+batchSize][:batchSize]
 			off += batchSize
 		}
 	}
+	if m.states == nil {
+		m.states = make(map[*Prog]*machState, 8)
+	} else if len(m.states) >= maxMachStates {
+		clear(m.states)
+	}
+	m.states[p] = st
+	m.regs = st.regs
+	return true
 }
 
 func aliasOp(o op) bool {
@@ -410,20 +546,77 @@ func aliasOp(o op) bool {
 // be evaluated (their results are ignored by callers), which is safe
 // because SGL expressions are total.
 func (p *Prog) Run(m *Machine, env *Env, lo, hi int, out []float64) {
-	m.prepare(p)
+	fresh := m.prepare(p)
+	if !p.opt {
+		// Unoptimized (NoOpt) programs interpret the full instruction list,
+		// re-materializing constants and broadcasts every batch.
+		for start := lo; start < hi; start += batchSize {
+			end := start + batchSize
+			if end > hi {
+				end = hi
+			}
+			p.runSeq(p.batch, m, env, start, end)
+			copy(out[start:end], m.regs[p.out][:end-start])
+		}
+		return
+	}
+	n := hi - lo
+	if n > batchSize {
+		n = batchSize
+	}
+	p.fillInv(m, env, fresh, n)
 	for start := lo; start < hi; start += batchSize {
 		end := start + batchSize
 		if end > hi {
 			end = hi
 		}
-		p.runBatch(m, env, start, end)
-		copy(out[start:end], m.regs[p.out][:end-start])
+		n := end - start
+		switch {
+		case !p.outBatch:
+			// The whole program is batch-invariant (a literal or a pure
+			// broadcast): fillInv already produced the answer.
+			copy(out[start:end], m.regs[p.out][:n])
+		case p.chain != nil:
+			for _, fn := range p.chain {
+				fn(m, env, start, end, n, out[start:end])
+			}
+		default:
+			p.runSeq(p.batch, m, env, start, end)
+			copy(out[start:end], m.regs[p.out][:n])
+		}
 	}
 }
 
-func (p *Prog) runBatch(m *Machine, env *Env, lo, hi int) {
+// fillInv materializes the batch-invariant registers once per Run instead of
+// once per batch. Constants fill all batchSize lanes, but only when this
+// machine has never carved this program (their cached slab persists across
+// program switches). Broadcasts refill every Run (Env.Bcast varies), but
+// only the n lanes this Run's batches can read — join residuals rebroadcast
+// the probe row's bindings per candidate batch, where n is often a handful
+// of rows, and filling 1024 lanes per Run would dominate the kernel.
+func (p *Prog) fillInv(m *Machine, env *Env, fresh bool, n int) {
+	for _, in := range p.inv {
+		if in.op == opBcast {
+			dst := m.regs[in.dst][:n]
+			v := env.Bcast[in.attr]
+			for i := range dst {
+				dst[i] = v
+			}
+		} else if fresh {
+			dst := m.regs[in.dst][:batchSize]
+			v := in.imm
+			for i := range dst {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// runSeq interprets one instruction sequence over rows [lo, hi) — the full
+// program for NoOpt runs, the per-batch partition for optimized runs.
+func (p *Prog) runSeq(ins []instr, m *Machine, env *Env, lo, hi int) {
 	n := hi - lo
-	for _, in := range p.ins {
+	for _, in := range ins {
 		switch in.op {
 		case opConst:
 			dst := m.regs[in.dst][:n]
@@ -573,6 +766,108 @@ func (p *Prog) runBatch(m *Machine, env *Env, lo, hi int) {
 			dst, x1, y1, x2, y2 := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n], m.regs[in.d][:n]
 			for i := range dst {
 				dst[i] = math.Hypot(x1[i]-x2[i], y1[i]-y2[i])
+			}
+		case opMulAdd:
+			// The float64 conversion forbids FMA contraction (Go spec):
+			// the product must round separately to stay bitwise identical
+			// to the unfused two-instruction sequence and the closures.
+			dst, a, b, cc := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				dst[i] = float64(a[i]*b[i]) + cc[i]
+			}
+		case opMulSub:
+			dst, a, b, cc := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				dst[i] = float64(a[i]*b[i]) - cc[i]
+			}
+		case opSubMul:
+			dst, a, b, cc := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				dst[i] = float64(a[i]-b[i]) * cc[i]
+			}
+		case opAbsDiff:
+			dst, a, b := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n]
+			for i := range dst {
+				dst[i] = math.Abs(a[i] - b[i])
+			}
+		case opCmpSel:
+			dst, a, b, tv, fv := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n], m.regs[in.d][:n]
+			cmpSel(op(in.attr), dst, a, b, tv, fv)
+		case opAnd3:
+			dst, a, b, cc := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != 0 && b[i] != 0 && cc[i] != 0)
+			}
+		case opOr3:
+			dst, a, b, cc := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != 0 || b[i] != 0 || cc[i] != 0)
+			}
+		case opAnd4:
+			dst, a, b, cc, dd := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n], m.regs[in.d][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != 0 && b[i] != 0 && cc[i] != 0 && dd[i] != 0)
+			}
+		case opOr4:
+			dst, a, b, cc, dd := m.regs[in.dst][:n], m.regs[in.a][:n], m.regs[in.b][:n], m.regs[in.c][:n], m.regs[in.d][:n]
+			for i := range dst {
+				dst[i] = b2f(a[i] != 0 || b[i] != 0 || cc[i] != 0 || dd[i] != 0)
+			}
+		}
+	}
+}
+
+// cmpSel is the fused compare+select loop: comparisons yield exactly 0 or 1,
+// so branching on the comparison directly is bitwise identical to opSel over
+// a materialized mask.
+func cmpSel(cmp op, dst, a, b, tv, fv []float64) {
+	switch cmp {
+	case opLT:
+		for i := range dst {
+			if a[i] < b[i] {
+				dst[i] = tv[i]
+			} else {
+				dst[i] = fv[i]
+			}
+		}
+	case opLE:
+		for i := range dst {
+			if a[i] <= b[i] {
+				dst[i] = tv[i]
+			} else {
+				dst[i] = fv[i]
+			}
+		}
+	case opGT:
+		for i := range dst {
+			if a[i] > b[i] {
+				dst[i] = tv[i]
+			} else {
+				dst[i] = fv[i]
+			}
+		}
+	case opGE:
+		for i := range dst {
+			if a[i] >= b[i] {
+				dst[i] = tv[i]
+			} else {
+				dst[i] = fv[i]
+			}
+		}
+	case opEQ:
+		for i := range dst {
+			if a[i] == b[i] {
+				dst[i] = tv[i]
+			} else {
+				dst[i] = fv[i]
+			}
+		}
+	case opNEQ:
+		for i := range dst {
+			if a[i] != b[i] {
+				dst[i] = tv[i]
+			} else {
+				dst[i] = fv[i]
 			}
 		}
 	}
