@@ -7,6 +7,7 @@ package sgl_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	sgl "repro"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/physics"
 	"repro/internal/plan"
+	"repro/internal/server"
 	"repro/internal/value"
 	"repro/internal/workload"
 )
@@ -494,6 +496,54 @@ func BenchmarkE20_TxnAdmission(b *testing.B) {
 			b.ReportMetric(float64(st.TxnCrossPart)/float64(b.N), "cross/tick")
 		})
 	}
+}
+
+// E19 — §4.12: the many-world server. One scheduling round over a fleet
+// of small worlds sharing a compiled plan and arena pool, vs the engine's
+// internal sharding over one monolithic world of the same total size.
+func BenchmarkE19_ManyWorldServer(b *testing.B) {
+	const worlds, objects = 200, 500
+	b.Run("many-world", func(b *testing.B) {
+		srv := server.New(server.Config{})
+		for i := 0; i < worlds; i++ {
+			h, err := srv.AddWorld(fmt.Sprintf("w%03d", i), core.SrcVehicles, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := h.Engine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.PopulateVehicles(eng, workload.Uniform(objects, 4000, 4000, int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := srv.RunRounds(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		c := srv.Counters()
+		b.ReportMetric(float64(c.PlanCacheHits)/float64(c.PlanCacheHits+c.PlanCacheMisses), "plan-hit-rate")
+	})
+	b.Run("one-world", func(b *testing.B) {
+		sc := core.MustLoad("vehicles", core.SrcVehicles)
+		w, err := sc.NewWorld(engine.Options{Workers: runtime.NumCPU()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.PopulateVehicles(w, workload.Uniform(worlds*objects, 4000, 4000, 42)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.RunTick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Ablation — DESIGN.md: per-tick index rebuild cost in isolation, the

@@ -59,6 +59,7 @@ func main() {
 	e15Ticks := 5
 	e16V, e16Parts, e16Ticks := 50000, []int{1, 2, 4, 8}, 3
 	e17N, e17Parts, e17Ticks := 50000, 8, 60
+	e19Worlds, e19Objects, e19Rounds := 2000, 500, 20
 	e20Pairs, e20Ticks := 10000, 24
 	if *quick {
 		sizes = []int{500, 1000, 2000}
@@ -74,6 +75,7 @@ func main() {
 		e15Ticks = 2
 		e16V, e16Parts, e16Ticks = 10000, []int{1, 2, 4}, 2
 		e17N, e17Parts, e17Ticks = 10000, 4, 25
+		e19Worlds, e19Objects, e19Rounds = 200, 200, 10
 		e20Pairs, e20Ticks = 2000, 9
 	}
 
@@ -151,6 +153,9 @@ func main() {
 	}
 	if sel("E17") {
 		emit(experiments.E17(e17N, e17Parts, e17Ticks))
+	}
+	if sel("E19") {
+		emit(experiments.E19(e19Worlds, e19Objects, e19Rounds))
 	}
 	if sel("E20") {
 		emit(experiments.E20(e20Pairs, e20Ticks))

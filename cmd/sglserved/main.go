@@ -1,0 +1,92 @@
+// Command sglserved runs the many-world server (DESIGN.md §4.12) over a
+// fleet of SrcVehicles worlds and reports scheduler and plan-cache
+// counters. It is the operational face of the server package: the same
+// shared worker pool, compiled-plan cache, pooled arenas and hibernation
+// machinery the E19 experiment measures, driven from flags.
+//
+// Usage:
+//
+//	sglserved -worlds 2000 -objects 500 -rounds 50
+//	sglserved -worlds 200 -objects 500 -realtime -hz 20 -duration 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	worlds := flag.Int("worlds", 2000, "number of hosted worlds")
+	objects := flag.Int("objects", 500, "vehicles per world")
+	rounds := flag.Int("rounds", 50, "batch scheduling rounds (ignored with -realtime)")
+	workers := flag.Int("workers", 0, "shared pool size (0 = NumCPU)")
+	hibernateAfter := flag.Int("hibernate-after", 0, "idle ticks before hibernation (0 = off)")
+	every := flag.Int("every", 1, "tick-rate divisor: each world ticks every Nth round/period")
+	hz := flag.Float64("hz", 20, "base tick rate for -realtime (ticks/s for every=1 worlds)")
+	realtime := flag.Bool("realtime", false, "serve with the EDF real-time scheduler instead of batch rounds")
+	duration := flag.Duration("duration", 5*time.Second, "how long to serve with -realtime")
+	flag.Parse()
+
+	cfg := server.Config{Workers: *workers, HibernateAfter: *hibernateAfter}
+	if *hz > 0 {
+		cfg.TickPeriod = time.Duration(float64(time.Second) / *hz)
+	}
+	srv := server.New(cfg)
+
+	for i := 0; i < *worlds; i++ {
+		h, err := srv.AddWorld(fmt.Sprintf("world-%04d", i), core.SrcVehicles, *every)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := h.Engine()
+		if err != nil {
+			fatal(err)
+		}
+		ps := workload.Uniform(*objects, 4000, 4000, int64(1000+i))
+		if _, err := core.PopulateVehicles(eng, ps); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if *realtime {
+		ctx, cancel := context.WithTimeout(context.Background(), *duration)
+		defer cancel()
+		if err := srv.Serve(ctx); err != nil && err != context.DeadlineExceeded {
+			fatal(err)
+		}
+	} else {
+		if err := srv.RunRounds(*rounds); err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	c := srv.Counters()
+	fmt.Printf("worlds          %d (%d objects each)\n", *worlds, *objects)
+	fmt.Printf("elapsed         %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("ticks run       %d (%.0f world-ticks/s, %.2fM obj-ticks/s)\n",
+		c.TicksRun, float64(c.TicksRun)/elapsed.Seconds(),
+		float64(c.TicksRun)*float64(*objects)/elapsed.Seconds()/1e6)
+	fmt.Printf("plan cache      %d hits / %d misses (%.4f hit rate)\n",
+		c.PlanCacheHits, c.PlanCacheMisses,
+		float64(c.PlanCacheHits)/float64(c.PlanCacheHits+c.PlanCacheMisses))
+	fmt.Printf("worlds active   %d, hibernated %d (%d hibernations, %d restores)\n",
+		c.WorldsActive, c.WorldsHibernated, c.Hibernations, c.Restores)
+	if *realtime {
+		fmt.Printf("deadline misses %d (lag %s)\n",
+			c.TickDeadlineMisses, time.Duration(c.TickLagNanos).Round(time.Microsecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/compile"
@@ -360,11 +361,36 @@ class Guard {
 }
 `
 
-// Scenario bundles a loaded program with its spawn recipe.
+// Scenario bundles a loaded program with its spawn recipe. It also caches
+// the engine-compiled plan (kernels, analysis, site batches) so that many
+// worlds instantiated from one scenario share a single compilation — the
+// many-world server's plan cache builds on this.
 type Scenario struct {
 	Name string
 	Info *sem.Info
 	Prog *compile.Program
+
+	mu       sync.Mutex
+	compiled [2]*engine.Compiled // [0] fused, [1] unfused
+}
+
+// Compiled returns the engine compilation for this scenario, compiling on
+// first use and caching per fusion mode thereafter.
+func (s *Scenario) Compiled(unfused bool) *engine.Compiled {
+	i := 0
+	if unfused {
+		i = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compiled[i] == nil {
+		if unfused {
+			s.compiled[i] = engine.CompileUnfused(s.Prog)
+		} else {
+			s.compiled[i] = engine.Compile(s.Prog)
+		}
+	}
+	return s.compiled[i]
 }
 
 // LoadScenario parses, checks and compiles one of the canonical sources.
@@ -394,9 +420,10 @@ func MustLoad(name, src string) *Scenario {
 	return s
 }
 
-// NewWorld instantiates the engine for the scenario.
+// NewWorld instantiates the engine for the scenario, reusing the cached
+// compilation so repeated instantiation pays only per-world state.
 func (s *Scenario) NewWorld(opts engine.Options) (*engine.World, error) {
-	return engine.New(s.Prog, opts)
+	return engine.NewFromCompiled(s.Compiled(opts.Unfused), opts)
 }
 
 // NewBaseline instantiates the object-at-a-time interpreter.

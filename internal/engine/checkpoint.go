@@ -7,14 +7,23 @@ import (
 	"repro/internal/value"
 )
 
+// CheckpointVersion is the current checkpoint layout version. Version 2
+// carries columnar table snapshots (table.SnapshotVersion 2); earlier
+// row-oriented checkpoints are rejected with a clear error rather than
+// silently misread.
+const CheckpointVersion = 2
+
 // Checkpoint is a resumable snapshot of world state at a tick boundary
 // (§3.3). Effects are transient and not captured: handler-armed effects for
 // the next tick are reconstructed on Restore by re-running the (pure)
-// handlers against the restored state.
+// handlers against the restored state. The many-world server also uses
+// checkpoints as the hibernation format — a hibernated world is exactly a
+// Checkpoint with its World discarded.
 type Checkpoint struct {
-	Tick   int64                     `json:"tick"`
-	NextID value.ID                  `json:"nextId"`
-	Tables map[string]table.Snapshot `json:"tables"`
+	Version int                       `json:"version"`
+	Tick    int64                     `json:"tick"`
+	NextID  value.ID                  `json:"nextId"`
+	Tables  map[string]table.Snapshot `json:"tables"`
 }
 
 // Checkpoint captures the world between ticks.
@@ -23,9 +32,10 @@ func (w *World) Checkpoint() (*Checkpoint, error) {
 		return nil, fmt.Errorf("engine: checkpoint is only valid at tick boundaries")
 	}
 	c := &Checkpoint{
-		Tick:   w.tick,
-		NextID: w.nextID,
-		Tables: make(map[string]table.Snapshot, len(w.order)),
+		Version: CheckpointVersion,
+		Tick:    w.tick,
+		NextID:  w.nextID,
+		Tables:  make(map[string]table.Snapshot, len(w.order)),
 	}
 	for _, rt := range w.order {
 		c.Tables[rt.name] = rt.tab.Snapshot()
@@ -34,14 +44,27 @@ func (w *World) Checkpoint() (*Checkpoint, error) {
 }
 
 // Restore replaces the world state with a checkpoint and re-arms reactive
-// handlers, resuming execution exactly where the checkpoint was taken.
+// handlers, resuming execution exactly where the checkpoint was taken. The
+// checkpoint is validated — version, class membership, per-table snapshot
+// shape — before any world state is touched, so a corrupt or truncated
+// checkpoint leaves the world unchanged.
 func (w *World) Restore(c *Checkpoint) error {
 	if w.inTick {
 		return fmt.Errorf("engine: restore is only valid at tick boundaries")
 	}
+	if c.Version != CheckpointVersion {
+		return fmt.Errorf("engine: unsupported checkpoint version %d (want %d)", c.Version, CheckpointVersion)
+	}
 	for name := range c.Tables { //sglvet:allow maprange: membership validation only, no state mutated
 		if _, ok := w.classes[name]; !ok {
 			return fmt.Errorf("engine: checkpoint has unknown class %q", name)
+		}
+	}
+	for _, rt := range w.order {
+		if snap, ok := c.Tables[rt.name]; ok {
+			if err := rt.tab.Validate(snap); err != nil {
+				return fmt.Errorf("engine: checkpoint class %s: %w", rt.name, err)
+			}
 		}
 	}
 	for _, rt := range w.order {
@@ -50,7 +73,9 @@ func (w *World) Restore(c *Checkpoint) error {
 			rt.tab.Clear()
 			continue
 		}
-		rt.tab.Restore(snap)
+		if err := rt.tab.Restore(snap); err != nil {
+			return fmt.Errorf("engine: checkpoint class %s: %w", rt.name, err)
+		}
 		for i := range rt.fx {
 			rt.fx[i].acc = rt.fx[i].acc[:0]
 			rt.fx[i].touched = rt.fx[i].touched[:0]
@@ -63,7 +88,10 @@ func (w *World) Restore(c *Checkpoint) error {
 	w.pendingKill = w.pendingKill[:0]
 	w.txns = w.txns[:0]
 	// Handlers are pure functions of post-update state; re-running them
-	// reconstructs the effects that were armed for the next tick.
+	// reconstructs the effects that were armed for the next tick. They may
+	// probe accum sites, so the replay holds a tick arena like RunTick.
+	w.acquireArena()
 	w.runHandlers()
+	w.releaseArena()
 	return nil
 }

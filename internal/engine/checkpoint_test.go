@@ -1,0 +1,140 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func checkpointWorld(t *testing.T) *engine.World {
+	t.Helper()
+	sc, err := core.LoadScenario("vehicles", core.SrcVehicles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.NewWorld(engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.PopulateVehicles(w, workload.Uniform(50, 4000, 4000, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// worldSig fingerprints the world so tests can assert "unchanged".
+func worldSig(w *engine.World) []float64 {
+	var sig []float64
+	for _, id := range w.IDs("Vehicle") {
+		for _, attr := range []string{"x", "y", "fuel", "odo"} {
+			v, _ := w.Get("Vehicle", id, attr)
+			sig = append(sig, v.AsNumber())
+		}
+	}
+	return sig
+}
+
+func sigEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckpointRejectsBadVersion pins the validate-before-mutate
+// contract: a checkpoint with an unknown layout version is rejected with a
+// clear error and the world is left byte-for-byte untouched.
+func TestCheckpointRejectsBadVersion(t *testing.T) {
+	w := checkpointWorld(t)
+	before := worldSig(w)
+	cp, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Version = engine.CheckpointVersion + 7
+	err = w.Restore(cp)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("Restore(bad version) = %v, want version error", err)
+	}
+	if !sigEqual(worldSig(w), before) {
+		t.Fatal("failed restore mutated the world")
+	}
+}
+
+// TestCheckpointRejectsUnknownClass rejects checkpoints mentioning classes
+// this program does not declare.
+func TestCheckpointRejectsUnknownClass(t *testing.T) {
+	w := checkpointWorld(t)
+	cp, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Tables["Ghost"] = cp.Tables["Vehicle"]
+	err = w.Restore(cp)
+	if err == nil || !strings.Contains(err.Error(), "unknown class") {
+		t.Fatalf("Restore(unknown class) = %v, want unknown-class error", err)
+	}
+}
+
+// TestCheckpointRejectsTruncatedTable pins per-table validation: a
+// truncated column slab fails before any table is restored, naming the
+// class, and the world stays unchanged.
+func TestCheckpointRejectsTruncatedTable(t *testing.T) {
+	w := checkpointWorld(t)
+	before := worldSig(w)
+	cp, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := cp.Tables["Vehicle"]
+	snap.Cols[0].Nums = snap.Cols[0].Nums[:len(snap.Cols[0].Nums)-1]
+	cp.Tables["Vehicle"] = snap
+	err = w.Restore(cp)
+	if err == nil || !strings.Contains(err.Error(), "Vehicle") || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("Restore(truncated) = %v, want truncated-column error naming the class", err)
+	}
+	if !sigEqual(worldSig(w), before) {
+		t.Fatal("failed restore mutated the world")
+	}
+}
+
+// TestCheckpointSnapshotIsolation pins that checkpoints are deep copies:
+// ticking the world after Checkpoint must not disturb the captured
+// snapshot, and restoring replays it exactly.
+func TestCheckpointSnapshotIsolation(t *testing.T) {
+	w := checkpointWorld(t)
+	cp, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := worldSig(w)
+	if err := w.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if sigEqual(worldSig(w), at) {
+		t.Fatal("world did not advance")
+	}
+	if err := w.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if !sigEqual(worldSig(w), at) {
+		t.Fatal("restore did not reproduce checkpoint state")
+	}
+	var _ table.Snapshot = cp.Tables["Vehicle"]
+	if cp.Tables["Vehicle"].Version != table.SnapshotVersion {
+		t.Fatalf("checkpoint carries snapshot version %d, want %d",
+			cp.Tables["Vehicle"].Version, table.SnapshotVersion)
+	}
+}

@@ -83,6 +83,9 @@ func (u *UpdateCtx) Stage(class string, id value.ID, attr string, v value.Value)
 	if v.Kind() != rt.cls.State[i].Kind {
 		return fmt.Errorf("engine: staging %s into %s.%s (%s)", v.Kind(), class, attr, rt.cls.State[i].Kind)
 	}
+	if rt.staged == nil {
+		rt.staged = make(map[int]map[value.ID]value.Value)
+	}
 	m := rt.staged[i]
 	if m == nil {
 		m = make(map[value.ID]value.Value)
@@ -95,6 +98,9 @@ func (u *UpdateCtx) Stage(class string, id value.ID, attr string, v value.Value)
 // stageRule is the internal unchecked staging used by the expression-rule
 // evaluator for attributes that have rules (never owned ones).
 func (u *UpdateCtx) stageRule(rt *classRT, attrIdx int, id value.ID, v value.Value) {
+	if rt.staged == nil {
+		rt.staged = make(map[int]map[value.ID]value.Value)
+	}
 	m := rt.staged[attrIdx]
 	if m == nil {
 		m = make(map[value.ID]value.Value)

@@ -114,6 +114,22 @@ type World struct {
 	classes map[string]*classRT
 	order   []*classRT
 
+	// compiled is the immutable compilation this world was instantiated
+	// from — possibly shared with many sibling worlds (the many-world
+	// server's plan cache).
+	compiled *Compiled
+
+	// arena is the per-tick execution arena (kernel machine + index build
+	// arenas): owned when arenaPool is nil, otherwise checked out of the
+	// shared pool at tick start and returned at tick end. See arena.go.
+	arena     *Arena
+	arenaPool *ArenaPool
+
+	// xctx/uctx are the pooled serial execution and update contexts,
+	// re-armed per class pass so steady-state ticks allocate nothing.
+	xctx *execCtx
+	uctx *UpdateCtx
+
 	// ai is the program's unified static analysis (internal/analysis):
 	// read/write sets, fold classification, structural vectorizability,
 	// constraint stability and join partitionability. Every build-time
@@ -173,6 +189,10 @@ type World struct {
 
 	// scratch evaluation context reused across rows in serial execution
 	ctx expr.Ctx
+
+	// gatherFn is the pre-bound gatherState method value; binding it once
+	// keeps per-tick kernel environment setup allocation-free.
+	gatherFn func(class string, attrIdx int, refs, out []float64, zero float64)
 }
 
 type pendingSpawn struct {
@@ -305,54 +325,59 @@ func (f *fxColumn) addPayloadLogged(row int, p, key float64, log *[]int) {
 	f.acc[row].AddPayload(p, key)
 }
 
-// New builds a World for a compiled program.
+// New builds a World for a compiled program: a one-world convenience that
+// compiles and instantiates in one step. Many-world callers Compile once and
+// call NewFromCompiled per world.
 func New(prog *compile.Program, opts Options) (*World, error) {
+	return NewFromCompiled(compileProgram(prog, opts.Unfused), opts)
+}
+
+// NewFromCompiled instantiates a World over a shared compilation. Only the
+// mutable half is built here — tables, effect accumulators, per-world site
+// and scratch state; kernels, plans and analyses come from c by reference.
+// Safe to call concurrently on the same Compiled.
+func NewFromCompiled(c *Compiled, opts Options) (*World, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	if opts.Unfused != c.unfused {
+		return nil, fmt.Errorf("engine: Options.Unfused=%v does not match the compiled plan (unfused=%v)", opts.Unfused, c.unfused)
+	}
 	w := &World{
-		prog:       prog,
-		ai:         analysis.Analyze(prog),
+		prog:       c.prog,
+		compiled:   c,
+		ai:         c.ai,
 		classes:    make(map[string]*classRT),
 		compByName: make(map[string]UpdateComponent),
 		siteIndex:  make(map[*compile.AccumStep]*siteRT),
 		opts:       opts,
 		execCosts:  plan.DefaultCosts(),
 		nextID:     1,
-		dict:       table.NewDict(),
+		dict:       c.dict,
 	}
-	for _, cls := range prog.Info.Schema.Classes() {
-		cp := prog.Classes[cls.Name]
-		cols := make([]table.Column, 0, len(cls.State)+1)
-		for _, a := range cls.State {
-			cols = append(cols, table.Column{Name: a.Name, Kind: a.Kind})
-		}
-		cols = append(cols, table.Column{Name: "$pc", Kind: value.KindNumber})
+	w.gatherFn = w.gatherState
+	if !opts.DisableStats {
+		w.execStats.FusedOps = c.fusedOps
+	}
+	for _, cc := range c.order {
 		rt := &classRT{
-			name:    cls.Name,
-			cls:     cls,
-			plan:    cp,
-			tab:     table.NewWithDict(cls.Name, cols, w.dict),
-			pcCol:   len(cls.State),
-			ai:      w.ai.Class(cls.Name),
-			hasRule: make([]bool, len(cls.State)),
-			staged:  make(map[int]map[value.ID]value.Value),
+			name:        cc.name,
+			cls:         cc.cls,
+			plan:        cc.plan,
+			tab:         table.NewWithDict(cc.name, cc.cols, c.dict),
+			pcCol:       len(cc.cls.State),
+			ai:          cc.ai,
+			hasRule:     cc.hasRule,
+			phaseCost:   cc.phaseCost,
+			handlerCost: cc.handlerCost,
 		}
-		for _, u := range cp.Updates {
-			rt.hasRule[u.AttrIdx] = true
-		}
-		for _, e := range cls.Effects {
+		for _, e := range cc.cls.Effects {
 			rt.fx = append(rt.fx, fxColumn{comb: e.Comb, kind: e.Kind})
 		}
-		rt.phaseCost = make([]float64, len(cp.Phases))
-		for p, steps := range cp.Phases {
-			rt.phaseCost[p] = stepsCost(steps)
+		if cc.vec != nil {
+			rt.vec = &vecClassPlan{vecClassProgs: cc.vec}
 		}
-		for _, h := range cp.Handlers {
-			rt.handlerCost += 1 + stepsCost(h.Body)
-		}
-		rt.vec = buildVecPlan(w, rt)
-		w.classes[cls.Name] = rt
+		w.classes[cc.name] = rt
 		w.order = append(w.order, rt)
 	}
 	// Register the implicit expression-rule component and validate the
@@ -769,9 +794,15 @@ type sitePart struct {
 	hash *index.RowHash
 	dims []int // range-dim attr indices
 
-	// Retained build state: the arena all builds draw from, plus the
-	// versions that tell whether last tick's index is still valid.
-	builder       index.Builder
+	// Retained build state: the arena all builds draw from (attached from
+	// the world's per-tick Arena; nil between ticks when pooling), plus the
+	// versions that tell whether last tick's index is still valid. An index
+	// is only reusable while the builder it was built from is still
+	// attached AND has not been rebuilt by another holder — builderValid
+	// checks the recorded (builder, generation) pair.
+	builder       *index.Builder
+	builtBuilder  *index.Builder
+	builtGen      uint64
 	builtOK       bool
 	builtStrategy plan.Strategy
 	builtStruct   uint64
@@ -787,6 +818,13 @@ type sitePart struct {
 	// and the site's builtReach (cleared whenever a shared pass overwrites
 	// the view with the full extent).
 	memberViewOK bool
+}
+
+// builderValid reports whether the indexes recorded at the last build still
+// alias live builder memory: the same builder is attached and nobody else
+// has built with it since.
+func (pp *sitePart) builderValid() bool {
+	return pp.builder != nil && pp.builder == pp.builtBuilder && pp.builder.Gen() == pp.builtGen
 }
 
 // boxProber is a spatial index answering closed-box probes by id (scalar
@@ -820,9 +858,8 @@ func (w *World) collectSites() {
 					}
 					site.candidates = candidatesFor(s)
 					site.selector = plan.NewSelector(site.candidates[0])
-					site.batch = newSiteBatch(w, s)
+					site.batch = w.compiled.batches[s]
 					site.parts = make([]sitePart, 1)
-					w.resolveEqKinds(site)
 					if j := s.Join; j != nil {
 						for _, r := range j.Ranges {
 							site.srcAttrs = append(site.srcAttrs, r.AttrIdx)

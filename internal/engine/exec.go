@@ -73,7 +73,12 @@ type execCtx struct {
 	resBuf2  []float64
 	bcastBuf []float64
 	accEnv   vexpr.Env
-	machine  vexpr.Machine
+	machine  *vexpr.Machine
+
+	// accSlab backs the accumulators runAccum arms, one cell per frame
+	// slot, so arming an accum loop never heap-allocates. Sized once at
+	// context arming and never regrown mid-run (accum[slot] aliases cells).
+	accSlab []combinator.Accumulator
 
 	// probe accounting, flushed into World.execStats when the ctx retires
 	probeSeq    int64
@@ -83,16 +88,68 @@ type execCtx struct {
 	dictLookups int64
 }
 
-func newExecCtx(w *World, sink emitSink, slots int) *execCtx {
+// newExecCtx builds a fresh context for concurrent executors (shard and
+// partition workers). m is the kernel machine the context's batched joins
+// run on; nil allocates a private one. The serial paths use the pooled
+// World.serialExecCtx instead.
+func newExecCtx(w *World, sink emitSink, slots int, m *vexpr.Machine) *execCtx {
+	if m == nil {
+		m = new(vexpr.Machine)
+	}
 	x := &execCtx{
-		w:     w,
-		frame: make([]value.Value, slots),
-		accum: make([]*combinator.Accumulator, slots),
-		sink:  sink,
+		w:       w,
+		frame:   make([]value.Value, slots),
+		accum:   make([]*combinator.Accumulator, slots),
+		accSlab: make([]combinator.Accumulator, slots),
+		sink:    sink,
+		machine: m,
 	}
 	x.ctx.W = w
 	x.ctx.Frame = x.frame
 	return x
+}
+
+// serialExecCtx re-arms the world's pooled serial context, resetting every
+// piece of per-pass state a fresh newExecCtx would zero — frame contents
+// (runAtomic copies the whole frame into Txn.Frame), accumulator bindings,
+// row bindings, probe sequencing — so pooling is invisible to execution.
+// Valid only while the tick's arena is held.
+func (w *World) serialExecCtx(sink emitSink, slots int) *execCtx {
+	x := w.xctx
+	if x == nil {
+		x = &execCtx{w: w}
+		x.ctx.W = w
+		w.xctx = x
+	}
+	if cap(x.accSlab) < slots {
+		x.frame = make([]value.Value, slots)
+		x.accum = make([]*combinator.Accumulator, slots)
+		x.accSlab = make([]combinator.Accumulator, slots)
+	}
+	x.frame = x.frame[:slots]
+	x.accum = x.accum[:slots]
+	x.accSlab = x.accSlab[:slots]
+	for i := range x.frame {
+		x.frame[i] = value.Value{}
+		x.accum[i] = nil
+	}
+	x.ctx.Frame = x.frame
+	x.sink = sink
+	x.machine = w.arenaMachine()
+	x.rt, x.row, x.id = nil, 0, 0
+	x.ctx.Class, x.ctx.SelfID, x.ctx.Self = "", 0, nil
+	x.part, x.curTxn, x.probeSeq = 0, nil, 0
+	return x
+}
+
+// updateCtx re-arms the world's pooled update context for one component (or
+// the expression-rule step, owner "").
+func (w *World) updateCtx(owner string) *UpdateCtx {
+	if w.uctx == nil {
+		w.uctx = &UpdateCtx{w: w}
+	}
+	w.uctx.owner = owner
+	return w.uctx
 }
 
 // bindRow points the context at one executing object.
@@ -200,8 +257,11 @@ func (x *execCtx) runAtomic(s *compile.AtomicStep) {
 
 func (x *execCtx) runAccum(s *compile.AccumStep) {
 	site := x.w.siteIndex[s]
-	acc := combinator.New(s.Comb, s.ValKind)
-	x.accum[s.Slot] = &acc
+	// Arm the accumulator in the slot-indexed slab (nested accums occupy
+	// distinct slots), so arming never heap-allocates.
+	x.accSlab[s.Slot] = combinator.New(s.Comb, s.ValKind)
+	acc := &x.accSlab[s.Slot]
+	x.accum[s.Slot] = acc
 
 	srcRT := x.w.classes[s.SourceClass]
 	iterSlot := s.IterSlot
@@ -537,7 +597,7 @@ func (w *World) buildSitesParallel(rebuild []*siteRT) {
 // mask, which would smuggle non-member rows into a partition-local grid.
 func (w *World) siteMaint(site *siteRT, pp *sitePart, srcRT *classRT, syncOK bool) plan.Maint {
 	tab := srcRT.tab
-	if !pp.builtOK || pp.builtStrategy != site.strategy {
+	if !pp.builtOK || pp.builtStrategy != site.strategy || !pp.builderValid() {
 		return plan.MaintRebuild
 	}
 	if site.strategy == plan.GridIndex && w.gridCell(site, pp) != pp.builtCell {
@@ -591,8 +651,14 @@ func (w *World) gridCell(site *siteRT, pp *sitePart) float64 {
 	return cell
 }
 
-// noteBuilt records the source versions an up-to-date index reflects.
+// noteBuilt records the source versions an up-to-date index reflects, plus
+// the (builder, generation) identity that keeps reuse sound under pooling.
 func (pp *sitePart) noteBuilt(site *siteRT, tab *table.Table) {
+	pp.builtBuilder = pp.builder
+	pp.builtGen = 0
+	if pp.builder != nil {
+		pp.builtGen = pp.builder.Gen()
+	}
 	pp.builtStruct = tab.StructVersion()
 	pp.builtVers = pp.builtVers[:0]
 	for _, a := range site.srcAttrs {

@@ -337,7 +337,7 @@ type oldConsAnalysis struct {
 }
 
 func (w *World) oldAnalyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
-	site := &txnSite{rt: rt, step: step, analyzable: true}
+	site := &txnSite{rt: rt, step: step, txnProgs: &txnProgs{analyzable: true}}
 	colSeen := make(map[int]bool)
 	slotSeen := make(map[int]bool)
 	viewSeen := make(map[txnViewKey]bool)
@@ -368,7 +368,7 @@ func (w *World) oldAnalyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSit
 					}
 				}
 				for _, va := range a.views {
-					k := txnViewKey{rt: va.rt, attr: va.attr}
+					k := txnViewKey{class: va.rt.name, attr: va.attr}
 					if !viewSeen[k] {
 						viewSeen[k] = true
 						site.views = append(site.views, va)

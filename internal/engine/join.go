@@ -62,12 +62,13 @@ type siteBatch struct {
 // need per-contribution decode — but residual predicates compile through
 // the dictionary, so string conjuncts like `u.player != player` run as mask
 // kernels over code lanes instead of bailing the probe to the scalar loop.
-func newSiteBatch(w *World, s *compile.AccumStep) *siteBatch {
+// The result is immutable and shared by every world on this compilation.
+func newSiteBatch(c *Compiled, s *compile.AccumStep) *siteBatch {
 	j := s.Join
 	if j == nil {
 		return nil
 	}
-	o := w.kernelOpts(nil)
+	o := c.kernelOpts(nil)
 	b := &siteBatch{}
 	for range j.Eqs {
 		b.eqKinds = append(b.eqKinds, value.KindInvalid)
@@ -94,8 +95,8 @@ func newSiteBatch(w *World, s *compile.AccumStep) *siteBatch {
 				b.keyProg, b.keyBcast = keyProg, keyBc
 				b.cols = mergeCols(valCols, keyCols)
 				b.needIDs = valProg.NeedIDs() || (keyProg != nil && keyProg.NeedIDs())
-				w.addFusedOps(valProg)
-				w.addFusedOps(keyProg)
+				c.addFusedOps(valProg)
+				c.addFusedOps(keyProg)
 			}
 		}
 	}
@@ -120,8 +121,15 @@ func newSiteBatch(w *World, s *compile.AccumStep) *siteBatch {
 			b.resProgs, b.resBcast = progs, bcs
 			b.resCols, b.resNeedIDs = cols, needIDs
 			for _, p := range progs {
-				w.addFusedOps(p)
+				c.addFusedOps(p)
 			}
+		}
+	}
+	// Record the source-class kinds of the equality attrs; the batch plan is
+	// shared by all worlds and workers and must be immutable afterwards.
+	if srcCls, ok := c.prog.Info.Schema.Class(s.SourceClass); ok {
+		for i, eq := range j.Eqs {
+			b.eqKinds[i] = srcCls.State[eq.AttrIdx].Kind
 		}
 	}
 	return b
@@ -146,23 +154,6 @@ func mergeCols(a, b []int) []int {
 		}
 	}
 	return out
-}
-
-// resolveEqKinds records the source-class kinds of the equality attrs.
-// Called once at world construction (collectSites) — the batch plan is
-// shared by all effect-phase workers and must be immutable afterwards.
-func (w *World) resolveEqKinds(site *siteRT) {
-	b := site.batch
-	if b == nil {
-		return
-	}
-	srcCls, ok := w.prog.Info.Schema.Class(site.step.SourceClass)
-	if !ok {
-		return
-	}
-	for i, eq := range site.step.Join.Eqs {
-		b.eqKinds[i] = srcCls.State[eq.AttrIdx].Kind
-	}
 }
 
 // runAccumBatched executes one probe of an analyzed accum join through the
@@ -345,12 +336,12 @@ func (x *execCtx) filterResidualVec(b *siteBatch, srcRT *classRT, rows []int32) 
 	for pi, prog := range b.resProgs {
 		env.Bcast = x.fillBcast(b.resBcast[pi])
 		if pi == 0 {
-			prog.Run(&x.machine, env, 0, k, mask)
+			prog.Run(x.machine, env, 0, k, mask)
 			continue
 		}
 		tmp := growFloats(x.resBuf2, k)
 		x.resBuf2 = tmp
-		prog.Run(&x.machine, env, 0, k, tmp)
+		prog.Run(x.machine, env, 0, k, tmp)
 		for i, v := range tmp[:k] {
 			if v == 0 {
 				mask[i] = 0
@@ -385,7 +376,7 @@ func (x *execCtx) gatherLanes(srcRT *classRT, cols []int, needIDs bool, rows []i
 	}
 	env := &x.accEnv
 	env.Cols = x.lanes
-	env.Gather = x.w.gatherState
+	env.Gather = x.w.gatherFn
 	if needIDs {
 		idLane := growFloats(x.idLane, k)
 		x.idLane = idLane
@@ -406,12 +397,12 @@ func (x *execCtx) foldVec(s *compile.AccumStep, b *siteBatch, srcRT *classRT, ro
 	env := &x.accEnv
 	x.valBuf = growFloats(x.valBuf, k)
 	env.Bcast = x.fillBcast(b.valBcast)
-	b.valProg.Run(&x.machine, env, 0, k, x.valBuf)
+	b.valProg.Run(x.machine, env, 0, k, x.valBuf)
 	var keys []float64
 	if b.keyProg != nil {
 		x.keyBuf = growFloats(x.keyBuf, k)
 		env.Bcast = x.fillBcast(b.keyBcast)
-		b.keyProg.Run(&x.machine, env, 0, k, x.keyBuf)
+		b.keyProg.Run(x.machine, env, 0, k, x.keyBuf)
 		keys = x.keyBuf
 	}
 	x.accum[s.Slot].AddPayloads(x.valBuf[:k], keys)

@@ -292,7 +292,7 @@ func (w *World) runEffectShard(rt *classRT, vecSel []bool, lo, hi int, sc *shard
 			}
 		}
 	}
-	x := newExecCtx(w, sink, rt.plan.NumSlots)
+	x := newExecCtx(w, sink, rt.plan.NumSlots, &sc.machine)
 	tab := rt.tab
 	for r := lo; r < hi; r++ {
 		if !tab.Alive(r) {
@@ -428,7 +428,8 @@ func (w *World) runHandlers() {
 		if len(shards) > 1 {
 			w.runShards(shards, func(si int, sh shard) {
 				sc := w.shardCtxs[si]
-				sc.handlerRows += w.runHandlerRange(rt, sh.lo, sh.hi, w.workerSinks[si])
+				x := newExecCtx(w, w.workerSinks[si], rt.plan.NumSlots, &sc.machine)
+				sc.handlerRows += w.runHandlerRange(x, rt, sh.lo, sh.hi)
 			})
 			w.foldShardCtxs(rt, len(shards), true)
 			continue
@@ -437,7 +438,8 @@ func (w *World) runHandlers() {
 		if par {
 			sink = w.workerSinks[0]
 		}
-		rows := w.runHandlerRange(rt, 0, rt.tab.Cap(), sink)
+		x := w.serialExecCtx(sink, rt.plan.NumSlots)
+		rows := w.runHandlerRange(x, rt, 0, rt.tab.Cap())
 		if !w.opts.DisableStats {
 			w.execStats.HandlerRows += rows
 		}
@@ -449,9 +451,9 @@ func (w *World) runHandlers() {
 	}
 }
 
-// runHandlerRange evaluates every handler for the live rows in [lo, hi).
-func (w *World) runHandlerRange(rt *classRT, lo, hi int, sink emitSink) int64 {
-	x := newExecCtx(w, sink, rt.plan.NumSlots)
+// runHandlerRange evaluates every handler for the live rows in [lo, hi)
+// through the caller-armed context.
+func (w *World) runHandlerRange(x *execCtx, rt *classRT, lo, hi int) int64 {
 	tab := rt.tab
 	rows := int64(0)
 	for r := lo; r < hi; r++ {

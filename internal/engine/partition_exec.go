@@ -141,7 +141,7 @@ func (w *World) runEffectPhasePartitioned() {
 			sink := pw.sinks[p]
 			lo, hi := pc.span(p, capRows)
 			if vecSel != nil {
-				sc, m := &rt.vec.sc, &rt.vec.machine
+				sc, m := &rt.vec.sc, w.arenaMachine()
 				if fanout {
 					wc := w.shardCtxs[slot]
 					if wc.pvecGen != w.partPrepGen {
@@ -165,7 +165,9 @@ func (w *World) runEffectPhasePartitioned() {
 			if lo >= hi {
 				return
 			}
-			x := newExecCtx(w, sink, rt.plan.NumSlots)
+			// Partition closures can run concurrently across the pool, so
+			// each gets a private machine (nil), never the arena's.
+			x := newExecCtx(w, sink, rt.plan.NumSlots, nil)
 			x.part = int32(p)
 			tab := rt.tab
 			scalarRows := int64(0)
@@ -327,7 +329,7 @@ func (w *World) runHandlersPartitioned() {
 			if lo >= hi {
 				return
 			}
-			x := newExecCtx(w, sink, rt.plan.NumSlots)
+			x := newExecCtx(w, sink, rt.plan.NumSlots, nil)
 			x.part = int32(p)
 			rows := int64(0)
 			for r := lo; r < hi; r++ {

@@ -200,8 +200,13 @@ func (w *World) chargeGhosts(site *siteRT, ghosts int64) {
 func (w *World) prepareSpatialSite(site *siteRT, srcRT *classRT, track bool) {
 	pw := w.parts
 	tab := srcRT.tab
-	for len(site.parts) < pw.n {
-		site.parts = append(site.parts, sitePart{})
+	if len(site.parts) < pw.n {
+		for len(site.parts) < pw.n {
+			site.parts = append(site.parts, sitePart{})
+		}
+		// Growth re-slots the arena builders. Sites prepare and build in
+		// site order, so only ordinals of later, not-yet-built sites move.
+		w.attachBuilders()
 	}
 
 	fresh := site.builtReachOK && reachEqual(site.reach, site.builtReach)
@@ -214,7 +219,7 @@ func (w *World) prepareSpatialSite(site *siteRT, srcRT *classRT, track bool) {
 				break
 			}
 			if site.strategy != plan.NestedLoop &&
-				(!pp.builtOK || pp.builtStrategy != site.strategy || !pp.builtMembers) {
+				(!pp.builtOK || pp.builtStrategy != site.strategy || !pp.builtMembers || !pp.builderValid()) {
 				fresh = false
 				break
 			}
@@ -283,7 +288,7 @@ func (w *World) prepareSpatialSite(site *siteRT, srcRT *classRT, track bool) {
 // drifted, or the churn blew the budget.
 func (w *World) syncMemberGrid(site *siteRT, pp *sitePart, srcRT *classRT) bool {
 	if site.strategy != plan.GridIndex || !pp.builtOK ||
-		pp.builtStrategy != plan.GridIndex || !pp.builtMembers {
+		pp.builtStrategy != plan.GridIndex || !pp.builtMembers || !pp.builderValid() {
 		return false
 	}
 	g := pp.builder.Grid()

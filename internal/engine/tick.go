@@ -24,6 +24,8 @@ func (w *World) RunTick() error {
 	if missing := w.MissingOwners(); len(missing) > 0 {
 		return fmt.Errorf("engine: unregistered owner components: %v", missing)
 	}
+	w.acquireArena()
+	defer w.releaseArena()
 	w.inTick = true
 	for _, ins := range w.inspectors {
 		ins.TickStart(w, w.tick)
@@ -118,7 +120,7 @@ func (w *World) runEffectPhaseSerial() {
 				vecRows := int64(0)
 				for p, on := range vecRun {
 					if on {
-						vecRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], 0, rt.tab.Cap(), &rt.vec.sc, &rt.vec.machine, nil))
+						vecRows += int64(w.vecPhaseRange(rt, p, rt.vec.phases[p], 0, rt.tab.Cap(), &rt.vec.sc, w.arenaMachine(), nil))
 					}
 				}
 				if !w.opts.DisableStats {
@@ -126,7 +128,7 @@ func (w *World) runEffectPhaseSerial() {
 				}
 			}
 		}
-		x := newExecCtx(w, sink, rt.plan.NumSlots)
+		x := w.serialExecCtx(sink, rt.plan.NumSlots)
 		tab := rt.tab
 		scalarRows := int64(0)
 		for r := 0; r < tab.Cap(); r++ {
@@ -155,7 +157,7 @@ func (w *World) runEffectPhaseSerial() {
 // admitTxns delegates to the registered transaction policy, or the built-in
 // greedy arrival-order policy.
 func (w *World) admitTxns() error {
-	uctx := &UpdateCtx{w: w}
+	uctx := w.updateCtx("")
 	if w.txnPolicy != nil {
 		return w.txnPolicy.Admit(uctx, w.txns)
 	}
@@ -172,7 +174,7 @@ func (w *World) runUpdateStep() error {
 	// columns when the cost model (or Options.Exec) picks the vectorized
 	// path; the rest interpret closures row-at-a-time. Both stage their
 	// results, applied together in (c).
-	ruleCtx := &UpdateCtx{w: w}
+	ruleCtx := w.updateCtx("")
 	// Discard any dense staging left over from a tick that errored out
 	// before the apply step; stale vectors must never apply later.
 	for _, rt := range w.order {
@@ -197,7 +199,7 @@ func (w *World) runUpdateStep() error {
 	}
 	// (b) Owner components.
 	for _, c := range w.comps {
-		uctx := &UpdateCtx{w: w, owner: c.Name()}
+		uctx := w.updateCtx(c.Name())
 		if err := c.Update(uctx); err != nil {
 			return fmt.Errorf("component %q: %w", c.Name(), err)
 		}

@@ -129,7 +129,7 @@ func (s *txnRuntime) init(w *World) {
 	s.ectx.Self = s.baseRead
 	s.tctx.W = &s.tw
 	s.tctx.Self = s.tentRead
-	s.gatherCommitted = w.gatherState
+	s.gatherCommitted = w.gatherFn
 	s.gatherTent = func(class string, attrIdx int, refs, out []float64, zero float64) {
 		rt := w.classes[class]
 		col := rt.tab.NumColumn(attrIdx)

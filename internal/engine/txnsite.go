@@ -53,19 +53,25 @@ type txnBase struct {
 
 // txnViewAttr names one (class, attr) column of the tentative post-update
 // view a site's kernels read, with the attr's vectorized update rule.
+// Resolved per world (it holds the world's classRT) from the compile-time
+// txnViewRef.
 type txnViewAttr struct {
 	rt   *classRT
 	attr int
 	prog *vexpr.Prog
 }
 
-// txnSite is the admission runtime of one atomic block: the build-time
-// analysis plus retained per-admission lane scratch for the batched
-// validator.
-type txnSite struct {
-	rt   *classRT
-	step *compile.AtomicStep
+// txnViewRef is the shareable form of txnViewAttr: the class by name
+// instead of by per-world runtime.
+type txnViewRef struct {
+	class string
+	attr  int
+	prog  *vexpr.Prog
+}
 
+// txnProgs is the immutable build-time analysis of one atomic block,
+// computed once per Compiled and shared by every world.
+type txnProgs struct {
 	// analyzable is false when any constraint's read set cannot be bounded
 	// at build time; such sites always admit through the serial loop.
 	analyzable bool
@@ -74,10 +80,22 @@ type txnSite struct {
 	bases []txnBase
 
 	// Kernel evaluation requirements, unioned over kernel constraints.
-	cols    []int // self state attrs loaded by kernels
-	slots   []int // frame slots loaded by kernels
-	needIDs bool
-	views   []txnViewAttr
+	cols     []int // self state attrs loaded by kernels
+	slots    []int // frame slots loaded by kernels
+	needIDs  bool
+	viewRefs []txnViewRef
+}
+
+// txnSite is the admission runtime of one atomic block: the shared
+// build-time analysis (embedded) plus this world's resolved view columns
+// and retained per-admission lane scratch for the batched validator.
+type txnSite struct {
+	rt   *classRT
+	step *compile.AtomicStep
+
+	*txnProgs
+
+	views []txnViewAttr
 
 	// Per-admission lane state (txnbatch.go), generation-stamped.
 	gen      uint64
@@ -92,34 +110,21 @@ type txnSite struct {
 	env      vexpr.Env
 }
 
-// collectTxnSites walks all compiled plans and analyzes every atomic block.
+// collectTxnSites registers the per-world admission runtime for every
+// atomic block, resolving the shared analysis's view refs against this
+// world's class runtimes.
 func (w *World) collectTxnSites() {
 	w.txnSites = make(map[*compile.AtomicStep]*txnSite)
 	for _, rt := range w.order {
-		var walk func(steps []compile.Step)
-		walk = func(steps []compile.Step) {
-			for _, s := range steps {
-				switch s := s.(type) {
-				case *compile.IfStep:
-					walk(s.Then)
-					walk(s.Else)
-				case *compile.AccumStep:
-					walk(s.Body)
-					if s.Join != nil {
-						walk(s.Join.Inner)
-					}
-				case *compile.AtomicStep:
-					w.txnSites[s] = w.analyzeTxnSite(rt, s)
-					walk(s.Body)
+		forEachStep(rt.plan, func(s compile.Step) {
+			if step, ok := s.(*compile.AtomicStep); ok {
+				site := &txnSite{rt: rt, step: step, txnProgs: w.compiled.txns[step]}
+				for _, ref := range site.viewRefs {
+					site.views = append(site.views, txnViewAttr{rt: w.classes[ref.class], attr: ref.attr, prog: ref.prog})
 				}
+				w.txnSites[step] = site
 			}
-		}
-		for _, steps := range rt.plan.Phases {
-			walk(steps)
-		}
-		for _, h := range rt.plan.Handlers {
-			walk(h.Body)
-		}
+		})
 	}
 }
 
@@ -129,7 +134,14 @@ func vecRuleProg(rt *classRT, attr int) *vexpr.Prog {
 	if rt.vec == nil {
 		return nil
 	}
-	for _, u := range rt.vec.updates {
+	return vecRuleProgOf(rt.vec.vecClassProgs, attr)
+}
+
+func vecRuleProgOf(v *vecClassProgs, attr int) *vexpr.Prog {
+	if v == nil {
+		return nil
+	}
+	for _, u := range v.updates {
 		if u.attrIdx == attr {
 			return u.prog
 		}
@@ -137,18 +149,18 @@ func vecRuleProg(rt *classRT, attr int) *vexpr.Prog {
 	return nil
 }
 
-func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
-	site := &txnSite{rt: rt, step: step, analyzable: true}
-	ai := w.ai.Atomic(step)
+func (c *Compiled) analyzeTxnProgs(step *compile.AtomicStep) *txnProgs {
+	site := &txnProgs{analyzable: true}
+	ai := c.ai.Atomic(step)
 	colSeen := make(map[int]bool)
 	slotSeen := make(map[int]bool)
 	viewSeen := make(map[txnViewKey]bool)
 	for ci, src := range step.Srcs {
-		c := txnConstraint{fn: step.Constraints[ci]}
+		cons := txnConstraint{fn: step.Constraints[ci]}
 		ca := ai.Constraints[ci]
 		if !ca.Stable {
 			site.analyzable = false
-			site.cons = append(site.cons, c)
+			site.cons = append(site.cons, cons)
 			continue
 		}
 		// Resolve the constraint's rule-updated reads against the compiled
@@ -157,23 +169,23 @@ func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
 		// their stable base in the conflict read set. Conflict read sets
 		// feed grouping for kernel and closure constraints alike.
 		kernelOK := true
-		var views []txnViewAttr
+		var views []txnViewRef
 		for _, rr := range ca.RuleReads {
-			trt := w.classes[rr.Class]
+			tcc := c.classes[rr.Class]
 			if rr.Base != nil {
 				site.bases = append(site.bases, txnBase{fn: expr.Compile(rr.Base), class: rr.Class})
 			}
-			prog := vecRuleProg(trt, rr.Attr)
+			prog := vecRuleProgOf(tcc.vec, rr.Attr)
 			if prog == nil {
 				kernelOK = false
 				continue
 			}
-			views = append(views, txnViewAttr{rt: trt, attr: rr.Attr, prog: prog})
+			views = append(views, txnViewRef{class: rr.Class, attr: rr.Attr, prog: prog})
 		}
 		if kernelOK {
-			if prog, ok := vexpr.CompileOpts(src, w.kernelOpts(func(int) bool { return true })); ok {
-				w.addFusedOps(prog)
-				c.prog = prog
+			if prog, ok := vexpr.CompileOpts(src, c.kernelOpts(func(int) bool { return true })); ok {
+				c.addFusedOps(prog)
+				cons.prog = prog
 				site.needIDs = site.needIDs || ca.NeedIDs || prog.NeedIDs()
 				for _, col := range ca.Cols {
 					if !colSeen[col] {
@@ -188,20 +200,20 @@ func (w *World) analyzeTxnSite(rt *classRT, step *compile.AtomicStep) *txnSite {
 					}
 				}
 				for _, va := range views {
-					k := txnViewKey{rt: va.rt, attr: va.attr}
+					k := txnViewKey{class: va.class, attr: va.attr}
 					if !viewSeen[k] {
 						viewSeen[k] = true
-						site.views = append(site.views, va)
+						site.viewRefs = append(site.viewRefs, va)
 					}
 				}
 			}
 		}
-		site.cons = append(site.cons, c)
+		site.cons = append(site.cons, cons)
 	}
 	return site
 }
 
 type txnViewKey struct {
-	rt   *classRT
-	attr int
+	class string
+	attr  int
 }

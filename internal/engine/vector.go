@@ -102,11 +102,11 @@ type vecScratch struct {
 	masks    [][]bool    // selection masks by if-nesting depth
 }
 
-// vecClassPlan carries a class's compiled batch kernels plus the shared
-// scratch reused across ticks. Only the embedded machine is
-// serial-path-only; sharded runs use the per-worker machines in
-// World.shardCtxs.
-type vecClassPlan struct {
+// vecClassProgs is the immutable, compile-time half of a class's batch
+// plan: the kernels themselves plus their structural metadata. It lives on
+// compiledClass and is shared read-only by every world instantiated from
+// the same Compiled.
+type vecClassProgs struct {
 	updates       []vecUpdateRule
 	scalarUpdates []compile.UpdatePlan // rules that stay on the closure path
 	updateKernels int
@@ -115,9 +115,15 @@ type vecClassPlan struct {
 
 	phases    []*vecPhase // indexed by phase; nil = scalar only
 	hasPhases bool        // any phase compiled (guards the per-tick scan)
+}
 
-	// Shared scratch, sized to the table capacity on demand.
-	machine vexpr.Machine
+// vecClassPlan is the per-world half: the shared kernels (embedded by
+// pointer) plus this world's scratch, sized to its table capacity on
+// demand. Serial kernel runs use the world's arena machine; sharded runs
+// use the per-worker machines in World.shardCtxs.
+type vecClassPlan struct {
+	*vecClassProgs
+
 	sc      vecScratch
 	fxVecs  [][]float64 // indexed by effect attr; nil when unused
 	fxStale [][]int     // rows of fxVecs[ai] that may hold non-zero payloads
@@ -183,25 +189,25 @@ func (w *World) chooseEffectExec(rt *classRT, counts []int) (vecSel []bool, work
 	return vecSel, work
 }
 
-// buildVecPlan compiles everything vectorizable about a class. Structural
+// buildVecProgs compiles everything vectorizable about a class. Structural
 // eligibility — payload kinds, step shapes, the cross-self-emission hazard
 // — comes from the unified analysis (internal/analysis); this function
 // adds the expression-compilability half by lowering eligible rules and
 // phases through the vexpr compiler. Returns nil when nothing compiled,
 // which keeps the scalar fast path branch-free.
-func buildVecPlan(w *World, rt *classRT) *vecClassPlan {
-	v := &vecClassPlan{}
+func buildVecProgs(c *Compiled, cc *compiledClass) *vecClassProgs {
+	v := &vecClassProgs{}
 	fxSeen := make(map[int]bool)
-	for i, u := range rt.plan.Updates {
-		prog, ok := vexpr.CompileOpts(u.Src.Expr, w.kernelOpts(nil))
-		if !ok || !rt.ai.Updates[i].VecKind {
+	for i, u := range cc.plan.Updates {
+		prog, ok := vexpr.CompileOpts(u.Src.Expr, c.kernelOpts(nil))
+		if !ok || !cc.ai.Updates[i].VecKind {
 			v.scalarUpdates = append(v.scalarUpdates, u)
 			continue
 		}
 		v.updates = append(v.updates, vecUpdateRule{attrIdx: u.AttrIdx, prog: prog})
 		v.updateKernels += prog.Kernels()
 		v.updateNeedIDs = v.updateNeedIDs || prog.NeedIDs()
-		w.addFusedOps(prog)
+		c.addFusedOps(prog)
 		for _, ai := range prog.FxUsed() {
 			if !fxSeen[ai] {
 				fxSeen[ai] = true
@@ -209,7 +215,7 @@ func buildVecPlan(w *World, rt *classRT) *vecClassPlan {
 			}
 		}
 	}
-	v.phases = make([]*vecPhase, len(rt.plan.Phases))
+	v.phases = make([]*vecPhase, len(cc.plan.Phases))
 	any := len(v.updates) > 0
 	// A scalar phase that cross-emits into this same class could interleave
 	// with a vectorized phase's self-emissions in a different order than
@@ -219,12 +225,12 @@ func buildVecPlan(w *World, rt *classRT) *vecClassPlan {
 	// the hazard exists exactly when any phase emits into the own class via
 	// a target expression — analysis.Class.CrossSelfEmit; in that case no
 	// phase of the class vectorizes.
-	if !rt.ai.CrossSelfEmit {
-		for p, steps := range rt.plan.Phases {
-			if !rt.ai.Phases[p].Vectorizable {
+	if !cc.ai.CrossSelfEmit {
+		for p, steps := range cc.plan.Phases {
+			if !cc.ai.Phases[p].Vectorizable {
 				continue
 			}
-			if vp := compileVecPhase(w, rt, steps); vp != nil {
+			if vp := compileVecPhase(c, cc, steps); vp != nil {
 				v.phases[p] = vp
 				v.hasPhases = true
 				any = true
@@ -239,10 +245,10 @@ func buildVecPlan(w *World, rt *classRT) *vecClassPlan {
 
 // compileVecPhase lowers one structurally eligible phase's step list to
 // batch form, or nil when any expression falls outside the vexpr subset.
-func compileVecPhase(w *World, rt *classRT, steps []compile.Step) *vecPhase {
+func compileVecPhase(c *Compiled, cc *compiledClass, steps []compile.Step) *vecPhase {
 	vp := &vecPhase{maxSlot: -1}
 	defined := make(map[int]bool)
-	out, ok := compileVecSteps(w, rt, steps, defined, 0, vp)
+	out, ok := compileVecSteps(c, cc, steps, defined, 0, vp)
 	if !ok {
 		return nil
 	}
@@ -250,18 +256,18 @@ func compileVecPhase(w *World, rt *classRT, steps []compile.Step) *vecPhase {
 	return vp
 }
 
-func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[int]bool, depth int, vp *vecPhase) ([]vecStep, bool) {
+func compileVecSteps(c *Compiled, cc *compiledClass, steps []compile.Step, defined map[int]bool, depth int, vp *vecPhase) ([]vecStep, bool) {
 	slotOK := func(slot int) bool { return defined[slot] }
 	kc := func(prog *vexpr.Prog) {
 		vp.kernels += prog.Kernels()
 		vp.needIDs = vp.needIDs || prog.NeedIDs()
-		w.addFusedOps(prog)
+		c.addFusedOps(prog)
 	}
 	var out []vecStep
 	for _, s := range steps {
 		switch s := s.(type) {
 		case *compile.LetStep:
-			prog, ok := vexpr.CompileOpts(s.Src, w.kernelOpts(slotOK))
+			prog, ok := vexpr.CompileOpts(s.Src, c.kernelOpts(slotOK))
 			if !ok {
 				return nil, false
 			}
@@ -272,7 +278,7 @@ func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[in
 			kc(prog)
 			out = append(out, &vecLet{slot: s.Slot, prog: prog})
 		case *compile.IfStep:
-			cond, ok := vexpr.CompileOpts(s.CondSrc, w.kernelOpts(slotOK))
+			cond, ok := vexpr.CompileOpts(s.CondSrc, c.kernelOpts(slotOK))
 			if !ok {
 				return nil, false
 			}
@@ -281,10 +287,10 @@ func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[in
 			if depth+1 > vp.maxDepth {
 				vp.maxDepth = depth + 1
 			}
-			if st.then, ok = compileVecSteps(w, rt, s.Then, defined, depth+1, vp); !ok {
+			if st.then, ok = compileVecSteps(c, cc, s.Then, defined, depth+1, vp); !ok {
 				return nil, false
 			}
-			if st.els, ok = compileVecSteps(w, rt, s.Else, defined, depth+1, vp); !ok {
+			if st.els, ok = compileVecSteps(c, cc, s.Else, defined, depth+1, vp); !ok {
 				return nil, false
 			}
 			out = append(out, st)
@@ -295,14 +301,14 @@ func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[in
 			// certified by analysis.Script.Vectorizable before this runs.
 			// String-valued payloads ride the dictionary: the kernel emits
 			// codes, decoded back at the accumulator boundary below.
-			kind := rt.cls.Effects[s.AttrIdx].Kind
-			val, ok := vexpr.CompileOpts(s.ValSrc, w.kernelOpts(slotOK))
+			kind := cc.cls.Effects[s.AttrIdx].Kind
+			val, ok := vexpr.CompileOpts(s.ValSrc, c.kernelOpts(slotOK))
 			if !ok {
 				return nil, false
 			}
 			st := &vecEmit{
 				attrIdx: s.AttrIdx, kind: kind, val: val, valBuf: vp.newBuf(), keyBuf: -1,
-				fold: !w.opts.Unfused && kind != value.KindString,
+				fold: !c.unfused && kind != value.KindString,
 			}
 			kc(val)
 			if s.KeyFn != nil {
@@ -312,7 +318,7 @@ func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[in
 				if s.KeySrc.Type().Kind == value.KindString {
 					return nil, false
 				}
-				key, ok := vexpr.CompileOpts(s.KeySrc, w.kernelOpts(slotOK))
+				key, ok := vexpr.CompileOpts(s.KeySrc, c.kernelOpts(slotOK))
 				if !ok {
 					return nil, false
 				}
@@ -325,24 +331,6 @@ func compileVecSteps(w *World, rt *classRT, steps []compile.Step, defined map[in
 		}
 	}
 	return out, true
-}
-
-// kernelOpts is the world's standard vexpr compilation configuration: the
-// caller's slot gate, the shared string dictionary (string EQ/NEQ and
-// string-valued payloads compile to code-lane kernels), and the Unfused
-// benchmark switch.
-func (w *World) kernelOpts(slotOK func(int) bool) vexpr.Opts {
-	return vexpr.Opts{SlotOK: slotOK, Dict: w.dict, NoOpt: w.opts.Unfused}
-}
-
-// addFusedOps folds a freshly compiled kernel's superinstruction count into
-// the build-time FusedOps gauge. Compilation is serial (world build), so no
-// atomics are needed.
-func (w *World) addFusedOps(p *vexpr.Prog) {
-	if w.opts.DisableStats || p == nil {
-		return
-	}
-	w.execStats.FusedOps += int64(p.FusedOps())
 }
 
 // newBuf reserves one scratch output vector for an emit or if condition.
@@ -432,7 +420,7 @@ func (s *vecScratch) fillIDs(rt *classRT, n int) {
 // columns.
 func (s *vecScratch) bindEnv(w *World, rt *classRT) {
 	s.env.Cols = rt.tab.NumColumns()
-	s.env.Gather = w.gatherState
+	s.env.Gather = w.gatherFn
 }
 
 // prepareVecPhases readies the class's shared scratch for every selected
@@ -641,8 +629,9 @@ func (w *World) runVecUpdates(rt *classRT) {
 	}
 	shards := w.updateShards(rt)
 	if len(shards) <= 1 {
+		m := w.arenaMachine()
 		for i, u := range v.updates {
-			u.prog.Run(&v.machine, &v.sc.env, 0, n, v.outVecs[i])
+			u.prog.Run(m, &v.sc.env, 0, n, v.outVecs[i])
 		}
 	} else {
 		w.runShards(shards, func(si int, sh shard) {

@@ -1,5 +1,7 @@
 package index
 
+import "sync"
+
 // Builder is a per-site build arena. The engine rebuilds accum-join indexes
 // every tick (§4.1: a large fraction of game state changes per tick), which
 // with naive construction means one fresh allocation storm per site per
@@ -11,8 +13,14 @@ package index
 //
 // A Builder is not safe for concurrent use, and the indexes it returns alias
 // its memory: a tree, grid or hash obtained from a Builder is valid only
-// until that Builder's next build of the same kind.
+// until that Builder's next build of the same kind. When builders are pooled
+// across worlds the alias can also be invalidated by *another* holder's
+// build; Gen distinguishes the two cases — every build bumps the generation,
+// so an index is valid exactly while (builder, generation) both match what
+// the holder recorded when it built.
 type Builder struct {
+	gen uint64
+
 	entries []Entry
 	coords  []float64
 
@@ -31,6 +39,46 @@ type Builder struct {
 
 	grid *Grid
 	hash *RowHash
+}
+
+// Gen returns the builder's build generation. It increments on every
+// BuildRangeTree/BuildGrid/RowHash call (incremental Sync of an existing
+// grid keeps the generation: contents still belong to the same build
+// owner), so a holder that recorded (builder, gen) at build time can detect
+// that a pooled builder has since been rebuilt by someone else.
+func (b *Builder) Gen() uint64 { return b.gen }
+
+// BuilderPool is a free list of build arenas shared by many worlds. Checking
+// a builder out per tick instead of owning one per site keeps N idle worlds
+// from pinning N copies of the slab working set; the generation counter
+// (Gen) keeps reuse of the indexes built from pooled builders sound.
+type BuilderPool struct {
+	mu   sync.Mutex
+	free []*Builder
+}
+
+// Get returns a builder from the pool, or a fresh one. LIFO order maximizes
+// the chance a world gets back the builder (and therefore the still-valid
+// indexes) it used last tick.
+func (p *BuilderPool) Get() *Builder {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return new(Builder)
+}
+
+// Put returns a builder to the pool.
+func (p *BuilderPool) Put(b *Builder) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
 }
 
 // Entries returns the builder's reusable entry slab resized to n.
@@ -66,6 +114,7 @@ func (b *Builder) BuildRangeTree(dims int, entries []Entry) *RangeTree {
 	}
 	b.treeN, b.nodeN, b.repN = 0, 0, 0
 	b.needTrees, b.needNodes, b.needReps = 0, 0, 0
+	b.gen++
 	return buildRangeTree(b, dims, entries)
 }
 
@@ -77,6 +126,7 @@ func (b *Builder) BuildGrid(cellSize float64, entries []Entry) *Grid {
 	if b.grid == nil {
 		b.grid = newTrackedGrid()
 	}
+	b.gen++
 	b.grid.rebuild(cellSize, entries)
 	return b.grid
 }
@@ -90,6 +140,7 @@ func (b *Builder) RowHash() *RowHash {
 	if b.hash == nil {
 		b.hash = NewRowHash()
 	}
+	b.gen++
 	b.hash.Reset()
 	return b.hash
 }

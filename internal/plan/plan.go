@@ -212,6 +212,14 @@ type Costs struct {
 	MigrateRow       float64
 	RelayoutRow      float64
 	RebalanceHorizon float64
+
+	// Hibernation (many-world server): the per-tick cost of keeping an idle
+	// world resident (its share of arena/scratch memory pressure, in row
+	// visits) and the per-row cost of one checkpoint + restore round trip.
+	// Their ratio sets the idle horizon past which parking the world pays.
+	// See HibernateHorizon.
+	IdleTickCost float64
+	HibernateRow float64
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -246,7 +254,26 @@ func DefaultCosts() Costs {
 		MigrateRow:       2.0,
 		RelayoutRow:      3.0,
 		RebalanceHorizon: 30,
+
+		IdleTickCost: 32,
+		HibernateRow: 0.5,
 	}
+}
+
+// HibernateHorizon returns the number of consecutive idle ticks after which
+// hibernating a world of the given row count pays: the checkpoint+restore
+// round trip (2·HibernateRow·rows) amortized against the per-tick residency
+// cost of keeping it warm. Small worlds park quickly; large worlds need a
+// longer quiet spell before the round trip is worth it.
+func (c Costs) HibernateHorizon(rows int) int {
+	if c.IdleTickCost <= 0 {
+		return 1
+	}
+	h := int(math.Ceil(2 * c.HibernateRow * float64(rows) / c.IdleTickCost))
+	if h < 1 {
+		h = 1
+	}
+	return h
 }
 
 // ChooseJoin resolves the join-execution mode for one accum site this tick:

@@ -244,6 +244,32 @@ type ExecCounters struct {
 	PartLoadSum int64
 }
 
+// ServerCounters tallies many-world server activity: scheduling outcomes,
+// plan-cache effectiveness and the hibernation lifecycle. WorldsActive and
+// WorldsHibernated are gauges (current occupancy); everything else is a
+// monotonic counter since server start.
+type ServerCounters struct {
+	// WorldsActive is the number of resident (non-hibernated) worlds.
+	WorldsActive int64
+	// WorldsHibernated is the number of worlds currently checkpointed out.
+	WorldsHibernated int64
+	// TicksRun counts world-ticks executed by the shared pool.
+	TicksRun int64
+	// TickDeadlineMisses counts scheduled ticks that started after their
+	// deadline under real-time serving; TickLagNanos accumulates how late.
+	TickDeadlineMisses int64
+	TickLagNanos       int64
+	// PlanCacheHits / PlanCacheMisses count AddWorld script-hash lookups
+	// that reused / compiled a plan. With N worlds of one script the hit
+	// rate is (N-1)/N.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	// Hibernations / Restores count checkpoint-out and transparent
+	// wake-on-access events.
+	Hibernations int64
+	Restores     int64
+}
+
 // PartMessages returns the total cross-partition messages per the §4.2
 // accounting: ghost refreshes plus foreign effects plus migrations.
 func (c ExecCounters) PartMessages() int64 {

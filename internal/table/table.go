@@ -414,44 +414,233 @@ func (t *Table) Clear() {
 	t.n = 0
 }
 
+// SnapshotVersion is the current snapshot wire-format version. Version 1
+// (never tagged on the wire) was the boxed row-at-a-time format; version 2
+// is columnar: one compacted payload slab per column, deep-copied directly
+// from table storage.
+const SnapshotVersion = 2
+
 // Snapshot captures a deep copy of the table contents for checkpointing
-// (paper §3.3: logging with resumable checkpoints).
+// (paper §3.3: logging with resumable checkpoints). The layout is columnar —
+// live rows compact to indexes 0..len(IDs)-1 and each column carries one
+// payload slab in that row order — so taking and restoring a snapshot is a
+// handful of slab copies, not a boxed value.Value per cell. Restore
+// validates Version and the full column layout before touching the table.
 type Snapshot struct {
-	IDs  []value.ID
-	Rows [][]value.Value
+	Version int           `json:"version"`
+	IDs     []value.ID    `json:"ids"`
+	Cols    []ColSnapshot `json:"cols"`
 }
 
-// Snapshot returns a deep copy of all live rows.
+// ColSnapshot is the deep-copied payload slab of one column, compacted to
+// live rows. Exactly one of Nums/Strs/Sets is populated, matching Kind:
+// number, bool and ref columns copy their raw float64 lane (bools as 0/1,
+// refs as float-widened ids), string columns copy the string slice (the
+// dictionary code lane is re-derived against the restoring table's Dict, so
+// a snapshot restores exactly under any dictionary), and set columns carry
+// cloned set values.
+type ColSnapshot struct {
+	Name string        `json:"name"`
+	Kind string        `json:"kind"`
+	Nums []float64     `json:"nums,omitempty"`
+	Strs []string      `json:"strs,omitempty"`
+	Sets []value.Value `json:"sets,omitempty"`
+}
+
+// kindName gives the stable wire name of a column kind (independent of the
+// value.Kind enum ordering, which is not a serialization contract).
+func kindName(k value.Kind) string {
+	switch k {
+	case value.KindNumber:
+		return "num"
+	case value.KindBool:
+		return "bool"
+	case value.KindRef:
+		return "ref"
+	case value.KindString:
+		return "str"
+	case value.KindSet:
+		return "set"
+	}
+	return "invalid"
+}
+
+// Snapshot returns a deep columnar copy of all live rows.
 func (t *Table) Snapshot() Snapshot {
 	s := Snapshot{
-		IDs:  make([]value.ID, 0, t.n),
-		Rows: make([][]value.Value, 0, t.n),
+		Version: SnapshotVersion,
+		IDs:     make([]value.ID, 0, t.n),
+		Cols:    make([]ColSnapshot, len(t.cols)),
 	}
-	t.ForEach(func(row int, id value.ID) {
-		vals := t.RowValues(row)
-		for i, c := range t.cols {
-			if c.Kind == value.KindSet {
-				vals[i] = value.SetVal(vals[i].AsSet().Clone())
+	full := t.n == len(t.ids) // no dead slots: slabs copy whole
+	s.IDs = append(s.IDs, t.ids...)
+	if !full {
+		s.IDs = s.IDs[:0]
+		for r, ok := range t.alive {
+			if ok {
+				s.IDs = append(s.IDs, t.ids[r])
 			}
 		}
-		s.IDs = append(s.IDs, id)
-		s.Rows = append(s.Rows, vals)
-	})
+	}
+	for i, c := range t.cols {
+		cs := ColSnapshot{Name: c.Name, Kind: kindName(c.Kind)}
+		switch c.Kind {
+		case value.KindString:
+			if full {
+				cs.Strs = append([]string(nil), t.strs[i]...)
+			} else {
+				cs.Strs = make([]string, 0, t.n)
+				for r, ok := range t.alive {
+					if ok {
+						cs.Strs = append(cs.Strs, t.strs[i][r])
+					}
+				}
+			}
+		case value.KindSet:
+			cs.Sets = make([]value.Value, 0, t.n)
+			for r, ok := range t.alive {
+				if ok {
+					set := t.sets[i][r]
+					if set == nil {
+						set = value.NewSet()
+					}
+					cs.Sets = append(cs.Sets, value.SetVal(set.Clone()))
+				}
+			}
+		default:
+			if full {
+				cs.Nums = append([]float64(nil), t.nums[i]...)
+			} else {
+				cs.Nums = make([]float64, 0, t.n)
+				for r, ok := range t.alive {
+					if ok {
+						cs.Nums = append(cs.Nums, t.nums[i][r])
+					}
+				}
+			}
+		}
+		s.Cols[i] = cs
+	}
 	return s
 }
 
-// Restore replaces the table contents with a snapshot.
-func (t *Table) Restore(s Snapshot) {
-	t.Clear()
-	for i, id := range s.IDs {
-		vals := s.Rows[i]
-		cp := make([]value.Value, len(vals))
-		copy(cp, vals)
-		for j, c := range t.cols {
-			if c.Kind == value.KindSet {
-				cp[j] = value.SetVal(vals[j].AsSet().Clone())
+// validateSnapshot checks version, column layout and payload arity before
+// any table state is touched, so a corrupt, truncated or mismatched snapshot
+// is rejected with a clear error and the table left intact.
+func (t *Table) validateSnapshot(s Snapshot) error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("table %s: unsupported snapshot version %d (want %d)", t.name, s.Version, SnapshotVersion)
+	}
+	if len(s.Cols) != len(t.cols) {
+		return fmt.Errorf("table %s: snapshot has %d columns, want %d", t.name, len(s.Cols), len(t.cols))
+	}
+	n := len(s.IDs)
+	for i, c := range t.cols {
+		cs := s.Cols[i]
+		if cs.Name != c.Name || cs.Kind != kindName(c.Kind) {
+			return fmt.Errorf("table %s: snapshot column %d is %s %s, want %s %s",
+				t.name, i, cs.Kind, cs.Name, kindName(c.Kind), c.Name)
+		}
+		got := len(cs.Nums)
+		switch c.Kind {
+		case value.KindString:
+			got = len(cs.Strs)
+		case value.KindSet:
+			got = len(cs.Sets)
+			for r, v := range cs.Sets {
+				if v.Kind() != value.KindSet {
+					return fmt.Errorf("table %s: snapshot column %s row %d holds %s, want set", t.name, c.Name, r, v.Kind())
+				}
 			}
 		}
-		t.Insert(id, cp)
+		if got != n {
+			return fmt.Errorf("table %s: snapshot column %s is truncated: %d payloads for %d rows", t.name, c.Name, got, n)
+		}
 	}
+	seen := make(map[value.ID]struct{}, n)
+	for _, id := range s.IDs {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("table %s: snapshot has duplicate id %d", t.name, id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+// Validate checks a snapshot's version, column layout and payload arity
+// against this table's schema without touching any table state — the
+// engine's checkpoint restore validates every table before mutating any.
+func (t *Table) Validate(s Snapshot) error { return t.validateSnapshot(s) }
+
+// growTo extends the physical slot arrays to at least n rows (all dead).
+func (t *Table) growTo(n int) {
+	for len(t.ids) < n {
+		t.ids = append(t.ids, 0)
+		t.alive = append(t.alive, false)
+		for i, c := range t.cols {
+			switch c.Kind {
+			case value.KindString:
+				t.strs[i] = append(t.strs[i], "")
+				if t.dict != nil {
+					t.nums[i] = append(t.nums[i], 0) // dict code of ""
+				}
+			case value.KindSet:
+				t.sets[i] = append(t.sets[i], nil)
+			default:
+				t.nums[i] = append(t.nums[i], 0)
+			}
+		}
+	}
+}
+
+// Restore replaces the table contents with a snapshot, validating the
+// format first. Payload slabs copy columnar into rows 0..len(IDs)-1; string
+// columns re-derive their dictionary code lane against the table's own
+// Dict, and sets deep-copy out of the snapshot so it stays reusable.
+func (t *Table) Restore(s Snapshot) error {
+	if err := t.validateSnapshot(s); err != nil {
+		return err
+	}
+	t.Clear()
+	n := len(s.IDs)
+	t.growTo(n)
+	for r := 0; r < n; r++ {
+		id := s.IDs[r]
+		t.ids[r] = id
+		t.alive[r] = true
+		t.idToRow[id] = r
+	}
+	t.free = t.free[:0]
+	for r := n; r < len(t.ids); r++ {
+		t.free = append(t.free, r)
+	}
+	t.n = n
+	for i, c := range t.cols {
+		t.colVer[i]++
+		cs := s.Cols[i]
+		switch c.Kind {
+		case value.KindString:
+			copy(t.strs[i], cs.Strs)
+			if t.dict != nil {
+				for r, str := range cs.Strs {
+					t.nums[i][r] = t.dict.Code(str)
+				}
+			}
+		case value.KindSet:
+			for r, v := range cs.Sets {
+				t.sets[i][r] = v.AsSet().Clone()
+			}
+		case value.KindBool:
+			for r, f := range cs.Nums {
+				if f != 0 {
+					t.nums[i][r] = 1
+				} else {
+					t.nums[i][r] = 0
+				}
+			}
+		default:
+			copy(t.nums[i], cs.Nums)
+		}
+	}
+	return nil
 }

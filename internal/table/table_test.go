@@ -2,6 +2,7 @@ package table
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -159,6 +160,61 @@ func TestSnapshotRestore(t *testing.T) {
 	tab.Restore(snap)
 	if v2, _ := tab.Get(1, "items"); v2.AsSet().Contains(value.Num(123)) {
 		t.Error("restore aliased the snapshot's sets")
+	}
+}
+
+// TestSnapshotValidateErrors pins the validate-before-mutate contract:
+// corrupt, truncated and mismatched snapshots are rejected with errors that
+// name the problem, and the table is left exactly as it was.
+func TestSnapshotValidateErrors(t *testing.T) {
+	tab := New("Unit", unitCols())
+	tab.Insert(1, row(1, true, "a", 2, value.NewSet(value.Num(5))))
+	tab.Insert(2, row(2, false, "b", value.NullID, value.NewSet()))
+
+	corrupt := func(name string, mutate func(*Snapshot), wantSub string) {
+		t.Helper()
+		s := tab.Snapshot()
+		mutate(&s)
+		err := tab.Validate(s)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: Validate = %v, want error containing %q", name, err, wantSub)
+		}
+		if err := tab.Restore(s); err == nil {
+			t.Errorf("%s: Restore accepted an invalid snapshot", name)
+		}
+		if tab.Len() != 2 || !tab.Has(1) || !tab.Has(2) {
+			t.Fatalf("%s: failed restore mutated the table", name)
+		}
+		if v, _ := tab.Get(1, "x"); v.AsNumber() != 1 {
+			t.Fatalf("%s: failed restore clobbered values", name)
+		}
+	}
+
+	corrupt("bad version", func(s *Snapshot) { s.Version = SnapshotVersion + 1 }, "version")
+	corrupt("truncated column", func(s *Snapshot) { s.Cols[0].Nums = s.Cols[0].Nums[:1] }, "truncated")
+	corrupt("missing column", func(s *Snapshot) { s.Cols = s.Cols[:len(s.Cols)-1] }, "columns")
+	corrupt("renamed column", func(s *Snapshot) { s.Cols[0].Name = "xx" }, "column 0")
+	corrupt("kind mismatch", func(s *Snapshot) {
+		s.Cols[0].Kind = "str"
+		s.Cols[0].Nums = nil
+		s.Cols[0].Strs = []string{"a", "b"}
+	}, "column 0")
+	corrupt("duplicate id", func(s *Snapshot) { s.IDs[1] = s.IDs[0] }, "duplicate id")
+	corrupt("non-set payload", func(s *Snapshot) {
+		for i := range s.Cols {
+			if s.Cols[i].Kind == "set" {
+				s.Cols[i].Sets[0] = value.Num(3)
+			}
+		}
+	}, "want set")
+
+	// A valid snapshot still round-trips after all the rejected attempts.
+	good := tab.Snapshot()
+	if err := tab.Validate(good); err != nil {
+		t.Fatalf("Validate(good) = %v", err)
+	}
+	if err := tab.Restore(good); err != nil {
+		t.Fatalf("Restore(good) = %v", err)
 	}
 }
 

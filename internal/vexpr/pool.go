@@ -1,0 +1,50 @@
+package vexpr
+
+import "sync"
+
+// Reset drops the machine's register table and cached per-program slabs,
+// returning it to the zero state. A many-world server hibernating a world
+// calls this (directly or via the engine's arena pool) so an idle machine
+// stops pinning the slab cache of every program it ever ran; the next run
+// simply re-carves.
+func (m *Machine) Reset() {
+	m.regs = nil
+	m.states = nil
+	m.lastProg = nil
+}
+
+// MachinePool is a free list of kernel machines shared by many worlds.
+// Machines carry the per-program constant/scratch slab cache, which is the
+// expensive part to warm: because same-script worlds share *Prog pointers
+// (compiled plans are cached per script), a machine checked out from the
+// pool usually still holds hot slabs for exactly the programs the next
+// world is about to run. Get/Put are safe for concurrent use; the machines
+// themselves are not.
+type MachinePool struct {
+	mu   sync.Mutex
+	free []*Machine
+}
+
+// Get returns a machine from the pool, or a fresh zero machine. LIFO order
+// keeps slab caches warm across consecutive ticks of the same world set.
+func (p *MachinePool) Get() *Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return new(Machine)
+}
+
+// Put returns a machine to the pool. The cached slabs are kept (that is the
+// point of pooling); call Reset first to discard them instead.
+func (p *MachinePool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, m)
+	p.mu.Unlock()
+}
