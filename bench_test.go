@@ -18,6 +18,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/value"
+	"repro/internal/views"
 	"repro/internal/workload"
 )
 
@@ -724,6 +725,85 @@ func BenchmarkE15_BatchedJoinRTS(b *testing.B) {
 	for _, mode := range []plan.JoinMode{plan.JoinScalar, plan.JoinBatched} {
 		b.Run(fmt.Sprintf("%s/n=%d", mode, 5000), func(b *testing.B) {
 			benchTicks(b, rtsWorld(b, 5000, engine.Options{Join: mode}))
+		})
+	}
+}
+
+// E21 — §4.13: incremental subscription views. Steady-state maintenance
+// cost for a pool of spectator subscriptions over the battle-royale arena
+// (~7% of rows touched per tick), delta-driven vs rescan-per-sub. Both
+// arms emit bit-identical delta streams; only the maintenance work differs.
+func BenchmarkE21_SubscriptionViews(b *testing.B) {
+	const objects, subs = 4000, 2000
+	for _, cfg := range []struct {
+		name string
+		mode plan.ViewMode
+	}{
+		{"rescan", plan.ViewRescan},
+		{"delta", plan.ViewAuto},
+	} {
+		b.Run(fmt.Sprintf("%s/subs=%d", cfg.name, subs), func(b *testing.B) {
+			sc := core.MustLoad("arena", core.SrcArena)
+			w, err := sc.NewWorld(engine.Options{Workers: runtime.NumCPU()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ph := physics.New2D(physics.Config{
+				Class: "Fighter", XAttr: "x", YAttr: "y",
+				VXEffect: "vx", VYEffect: "vy", MaxSpeed: 4,
+			})
+			if err := w.Register(ph); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.PopulateArena(w, objects, 0.02, 0.05, 17); err != nil {
+				b.Fatal(err)
+			}
+			r := views.New(w, plan.DefaultCosts())
+			side := core.ArenaSide(objects)
+			for i := 0; i < subs; i++ {
+				var def views.Def
+				if i%10 < 8 {
+					cx := float64(i%37) / 37 * side
+					cy := float64(i%53) / 53 * side
+					pred, err := views.InterestPred([]string{"x", "y"}, []float64{cx, cy}, 40)
+					if err != nil {
+						b.Fatal(err)
+					}
+					def = views.Def{Class: "Fighter", Pred: pred,
+						Payload: []string{"x", "y", "health"}, Mode: cfg.mode}
+				} else {
+					def = views.Def{Class: "Fighter",
+						Pred:    fmt.Sprintf("health < %d", 20+i%60),
+						Payload: []string{"health"}, Mode: cfg.mode}
+				}
+				if _, err := r.Subscribe(def); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var rows int64
+			for i := 0; i < 3; i++ {
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+				r.Apply(nil)
+			}
+			baseRescans := w.ExecStats().ViewRescans
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := w.RunTick(); err != nil {
+					b.Fatal(err)
+				}
+				before := w.ExecStats().ViewDeltaRows
+				b.StartTimer()
+				r.Apply(nil)
+				b.StopTimer()
+				rows += w.ExecStats().ViewDeltaRows - before
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rows)/float64(b.N), "deltarows/tick")
+			b.ReportMetric(float64(w.ExecStats().ViewRescans-baseRescans)/float64(b.N), "rescans/tick")
 		})
 	}
 }

@@ -61,6 +61,7 @@ func main() {
 	e17N, e17Parts, e17Ticks := 50000, 8, 60
 	e19Worlds, e19Objects, e19Rounds := 2000, 500, 20
 	e20Pairs, e20Ticks := 10000, 24
+	e21Objects, e21Subs, e21Ticks := 20000, []int{10000, 30000, 100000}, 5
 	if *quick {
 		sizes = []int{500, 1000, 2000}
 		e1Ticks, e2Ticks = 3, 3
@@ -77,6 +78,7 @@ func main() {
 		e17N, e17Parts, e17Ticks = 10000, 4, 25
 		e19Worlds, e19Objects, e19Rounds = 200, 200, 10
 		e20Pairs, e20Ticks = 2000, 9
+		e21Objects, e21Subs, e21Ticks = 4000, []int{2000, 10000}, 3
 	}
 
 	want := map[string]bool{}
@@ -159,6 +161,9 @@ func main() {
 	}
 	if sel("E20") {
 		emit(experiments.E20(e20Pairs, e20Ticks))
+	}
+	if sel("E21") {
+		emit(experiments.E21(e21Objects, e21Subs, e21Ticks))
 	}
 	fmt.Fprintf(os.Stderr, "total %s\n", experiments.ElapsedString(time.Since(start)))
 }

@@ -81,6 +81,7 @@ func runVet(args []string) int {
 		}
 		r := analysis.Analyze(prog)
 		diags := analysis.VetResult(r)
+		diags = append(diags, analysis.VetViews(prog, string(data))...)
 		if *perf {
 			diags = append(diags, analysis.VetPerfResult(r)...)
 		}

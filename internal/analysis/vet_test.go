@@ -54,11 +54,22 @@ func vetPerfLines(t *testing.T, name, src string) string {
 	return b.String()
 }
 
+func vetViewLines(t *testing.T, name, src string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range analysis.VetViews(compileSrc(t, name, src), src) {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // TestVetCorpusGoldens pins every diagnostic's position, code and message
 // on the testdata/vet corpus — one script per check, each triggering
 // exactly one finding. Files named scalar_fallback* exercise the opt-in
-// perf check (VetPerf) instead of the default set, and must vet clean
-// under plain Vet.
+// perf check (VetPerf) and files named view_* the //view directive check
+// (VetViews) instead of the default set; both must vet clean under plain
+// Vet.
 func TestVetCorpusGoldens(t *testing.T) {
 	files, err := filepath.Glob("../../testdata/vet/*.sgl")
 	if err != nil || len(files) == 0 {
@@ -72,12 +83,18 @@ func TestVetCorpusGoldens(t *testing.T) {
 				t.Fatal(err)
 			}
 			var got string
-			if strings.HasPrefix(name, "scalar_fallback") {
+			switch {
+			case strings.HasPrefix(name, "scalar_fallback"):
 				if out := vetLines(t, name, string(src)); out != "" {
 					t.Errorf("%s: perf corpus file must be clean under plain Vet, got:\n%s", name, out)
 				}
 				got = vetPerfLines(t, name, string(src))
-			} else {
+			case strings.HasPrefix(name, "view_"):
+				if out := vetLines(t, name, string(src)); out != "" {
+					t.Errorf("%s: view corpus file must be clean under plain Vet, got:\n%s", name, out)
+				}
+				got = vetViewLines(t, name, string(src))
+			default:
 				got = vetLines(t, name, string(src))
 			}
 			if n := strings.Count(got, "\n"); n != 1 {
@@ -116,6 +133,7 @@ func TestShippedScenariosVetClean(t *testing.T) {
 		"flock":         core.SrcFlock,
 		"swarm":         core.SrcSwarm,
 		"guard":         core.SrcGuard,
+		"arena":         core.SrcArena,
 	}
 	scripts, err := filepath.Glob("../../testdata/*.sgl")
 	if err != nil {

@@ -1,0 +1,171 @@
+package analysis
+
+// Subscription-predicate stability for incremental view maintenance
+// (internal/views). A subscription's predicate is evaluated per row of the
+// subscribed class; delta maintenance re-evaluates it only for rows the
+// engine changefeed marked. That is sound exactly when every read the
+// predicate performs is visible through the subscriber's own row: own-row
+// state attributes, literals, self identity and pure builtins. Any read
+// that escapes the row — a cross-object ref chase, a class extent, a
+// combined-effect read — can change value without the subscriber's row
+// entering the feed, so the views registry pins such subscriptions to the
+// rescan path every tick. `sglc vet` surfaces the same fact to authors via
+// //view directives (VetViews) so the per-tick cost is visible before a
+// subscription ships.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/sgl/ast"
+	"repro/internal/sgl/parser"
+	"repro/internal/sgl/token"
+)
+
+// DiagViewRescan is the code for subscription predicates that cannot be
+// delta-maintained from the changefeed.
+const DiagViewRescan = "view-rescan"
+
+// ViewPred is the delta-maintainability analysis of one subscription
+// predicate over a class extent.
+type ViewPred struct {
+	Class string
+
+	// Reads lists the own-row state attributes the predicate touches, in
+	// first-seen order. The views registry unions these with the payload
+	// columns for its column-version skip check.
+	Reads []int
+
+	// Stable reports that delta maintenance is sound: every read resolves
+	// through the subscriber's own row, so any value change marks the row
+	// in the changefeed.
+	Stable bool
+
+	// Reasons names each construct that breaks stability (empty when
+	// Stable). These are the why-reasons behind a view-rescan diagnostic.
+	Reasons []string
+}
+
+// AnalyzeViewPred classifies a resolved (sem-annotated) predicate
+// expression for the views layer. The expression must have been checked by
+// sem.Info.AnalyzeExpr (or canonicalized from one that was): bindings are
+// trusted, not re-resolved. BindLocal slots are stable — the views
+// compiler rebinds literal constants to retained frame slots so that
+// same-shape predicates share one kernel.
+func AnalyzeViewPred(class string, e ast.Expr) ViewPred {
+	w := &viewWalk{pred: ViewPred{Class: class, Stable: true}, seen: map[int]bool{}}
+	w.walk(e)
+	return w.pred
+}
+
+type viewWalk struct {
+	pred ViewPred
+	seen map[int]bool
+}
+
+func (w *viewWalk) read(attr int) {
+	if !w.seen[attr] {
+		w.seen[attr] = true
+		w.pred.Reads = append(w.pred.Reads, attr)
+	}
+}
+
+func (w *viewWalk) unstable(reason string) {
+	w.pred.Stable = false
+	w.pred.Reasons = append(w.pred.Reasons, reason)
+}
+
+func (w *viewWalk) walk(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.NumLit, *ast.BoolLit, *ast.StrLit, *ast.NullLit:
+	case *ast.Ident:
+		switch e.Bind.Kind {
+		case ast.BindStateAttr:
+			w.read(e.Bind.AttrIdx)
+		case ast.BindLocal:
+			// Views-compiler constant slot: fixed for the subscription's
+			// lifetime.
+		case ast.BindSelf:
+		case ast.BindExtent:
+			w.unstable(fmt.Sprintf("iterates the %s extent — rows can enter or leave the result without the subscriber's own row ever changing", e.Bind.Class))
+		case ast.BindEffectAttr:
+			w.unstable(fmt.Sprintf("reads combined effect %q — effects are transient within a tick and never reach the changefeed", e.Name))
+		default:
+			w.unstable(fmt.Sprintf("reads %q, which has no own-row binding", e.Name))
+		}
+	case *ast.FieldExpr:
+		w.unstable(fmt.Sprintf("reads %s.%s through a ref — writes to the target row (or its death) never mark the subscriber's row in the changefeed", e.Class, e.Name))
+		// The base still contributes own-row reads (e.g. the ref attribute
+		// itself); record them so the read set stays complete.
+		w.walk(e.X)
+	case *ast.UnaryExpr:
+		w.walk(e.X)
+	case *ast.BinaryExpr:
+		w.walk(e.X)
+		w.walk(e.Y)
+	case *ast.CondExpr:
+		w.walk(e.C)
+		w.walk(e.T)
+		w.walk(e.F)
+	case *ast.CallExpr:
+		// Every SGL builtin is a pure function of its arguments.
+		for _, a := range e.Args {
+			w.walk(a)
+		}
+	default:
+		w.unstable("contains an expression form outside the predicate subset")
+	}
+}
+
+// viewDirective is the comment form VetViews scans for:
+//
+//	//view Class: expr
+//
+// declaring that clients will subscribe to Class rows matching expr. The
+// directive costs nothing at runtime; it exists so vet can price the
+// subscription before it ships.
+const viewDirective = "//view "
+
+// VetViews scans src for //view directives and diagnoses each one whose
+// predicate the views registry would pin to a full rescan every tick,
+// with the why-reasons from the stability walk. Directives that fail to
+// parse or type-check are also reported (the subscription could never be
+// registered as written).
+func VetViews(prog *compile.Program, src string) []Diagnostic {
+	var diags []Diagnostic
+	for lineNo, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, viewDirective)
+		if idx < 0 {
+			continue
+		}
+		pos := token.Pos{Line: lineNo + 1, Col: idx + 1}
+		rest := line[idx+len(viewDirective):]
+		class, predSrc, ok := strings.Cut(rest, ":")
+		class = strings.TrimSpace(class)
+		if !ok || class == "" || strings.TrimSpace(predSrc) == "" {
+			diags = append(diags, Diagnostic{Pos: pos, Class: class, Code: DiagViewRescan,
+				Msg: "malformed //view directive: want `//view Class: expr`"})
+			continue
+		}
+		e, err := parser.ParseExpr(predSrc)
+		if err != nil {
+			diags = append(diags, Diagnostic{Pos: pos, Class: class, Code: DiagViewRescan,
+				Msg: fmt.Sprintf("view predicate does not parse: %v", err)})
+			continue
+		}
+		if _, err := prog.Info.AnalyzeExpr(class, e); err != nil {
+			diags = append(diags, Diagnostic{Pos: pos, Class: class, Code: DiagViewRescan,
+				Msg: fmt.Sprintf("view predicate does not check against %s: %v", class, err)})
+			continue
+		}
+		vp := AnalyzeViewPred(class, e)
+		if vp.Stable {
+			continue
+		}
+		diags = append(diags, Diagnostic{Pos: pos, Class: class, Code: DiagViewRescan,
+			Msg: fmt.Sprintf("subscription predicate forces a full %s rescan every tick: %s",
+				class, strings.Join(vp.Reasons, "; "))})
+	}
+	return diags
+}

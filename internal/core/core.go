@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -361,6 +362,51 @@ class Guard {
 }
 `
 
+// SrcArena is the battle-royale spectator workload behind the
+// subscription-view experiments (internal/views, experiment E21): two teams
+// brawl in a hotspot (pressure-scaled damage, the Figure 2 accum shape),
+// movers walk long diagonals through physics-integrated velocity effects,
+// and the camping majority neither moves nor fights — so the per-tick
+// changefeed covers the combatants and movers, a small fraction of the
+// extent, which is exactly the asymmetry incremental view maintenance
+// exploits.
+const SrcArena = `
+class Fighter {
+  state:
+    number team = 0;
+    number x = 0 by physics;
+    number y = 0 by physics;
+    number tx = 0;
+    number ty = 0;
+    number range = 8;
+    number attack = 0.5;
+    number health = 100;
+  effects:
+    number vx : avg;
+    number vy : avg;
+    number dmg : sum;
+  update:
+    health = health - dmg;
+  run {
+    accum number pressure with sum over Fighter u from Fighter {
+      if (u.team != team &&
+          u.x >= x - range && u.x <= x + range &&
+          u.y >= y - range && u.y <= y + range) {
+        pressure <- 1;
+      }
+    } in {
+      if (pressure > 0) {
+        dmg <- pressure * attack;
+      }
+      if ((tx - x) * (tx - x) + (ty - y) * (ty - y) > 1) {
+        vx <- (tx - x) * 0.05;
+        vy <- (ty - y) * 0.05;
+      }
+    }
+  }
+}
+`
+
 // Scenario bundles a loaded program with its spawn recipe. It also caches
 // the engine-compiled plan (kernels, analysis, site batches) so that many
 // worlds instantiated from one scenario share a single compilation — the
@@ -630,6 +676,61 @@ func PopulateVehicles(w Spawner, ps []workload.Pos) ([]value.ID, error) {
 			"speed": value.Num(2 + float64(i%5)),
 			"fuel":  value.Num(500 + float64(i%997)),
 		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// ArenaSide is the battle-royale map edge length for n fighters: density
+// stays fixed as n scales, so the camping majority keeps enough spacing
+// that no enemy ever enters weapons range outside the hotspot.
+func ArenaSide(n int) float64 { return math.Sqrt(float64(n)) * 40 }
+
+// PopulateArena spawns a battle-royale population: hot·n hotspot fighters
+// (alternating teams, standing their ground in a tight square at the map
+// center), movers·n travelers walking the long diagonal through the
+// center, and the rest campers — team 0, waypoint at their own feet, far
+// enough apart that nothing touches them. Deterministic in (n, fractions,
+// seed).
+func PopulateArena(w Spawner, n int, hot, movers float64, seed int64) ([]value.ID, error) {
+	side := ArenaSide(n)
+	rng := rand.New(rand.NewSource(seed))
+	nHot := int(float64(n) * hot)
+	nMov := int(float64(n) * movers)
+	ids := make([]value.ID, 0, n)
+	for i := 0; i < n; i++ {
+		var init map[string]value.Value
+		switch {
+		case i < nHot:
+			// Hotspot: both teams packed into a 40×40 square at the center.
+			x := side/2 + (rng.Float64()-0.5)*40
+			y := side/2 + (rng.Float64()-0.5)*40
+			init = map[string]value.Value{
+				"team": value.Num(float64(i % 2)),
+				"x":    value.Num(x), "y": value.Num(y),
+				"tx": value.Num(x), "ty": value.Num(y),
+			}
+		case i < nHot+nMov:
+			// Movers: spawn anywhere, walk toward the mirrored corner.
+			x := rng.Float64() * side
+			y := rng.Float64() * side
+			init = map[string]value.Value{
+				"x": value.Num(x), "y": value.Num(y),
+				"tx": value.Num(side - x), "ty": value.Num(side - y),
+			}
+		default:
+			// Campers: scattered, stationary, all on one team.
+			x := rng.Float64() * side
+			y := rng.Float64() * side
+			init = map[string]value.Value{
+				"x": value.Num(x), "y": value.Num(y),
+				"tx": value.Num(x), "ty": value.Num(y),
+			}
+		}
+		id, err := w.Spawn("Fighter", init)
 		if err != nil {
 			return nil, err
 		}

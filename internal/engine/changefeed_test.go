@@ -1,0 +1,213 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// feedString serializes one drained changefeed into a canonical textual
+// form for differential comparison.
+func feedString(w *engine.World) string {
+	var b strings.Builder
+	w.DrainChangeFeed(func(d engine.ClassDelta) {
+		fmt.Fprintf(&b, "%s resync=%v rows=%v killed=%v\n", d.Class, d.Resync, d.Rows, d.Killed)
+	})
+	return b.String()
+}
+
+// TestChangeFeedValueDiff pins the feed's core economy: rows whose state
+// bits actually changed are in, rows merely touched by an update rule that
+// rewrote the same payload are out.
+func TestChangeFeedValueDiff(t *testing.T) {
+	sc := core.MustLoad("fig2", core.SrcFig2)
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five crowded units suffer crowding damage; one isolated unit counts
+	// only itself, takes no damage, and health - 0 leaves the bits alone.
+	var crowded []value.ID
+	for i := 0; i < 5; i++ {
+		id, err := w.Spawn("Unit", map[string]value.Value{
+			"x": value.Num(float64(i)), "y": value.Num(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		crowded = append(crowded, id)
+	}
+	loner, err := w.Spawn("Unit", map[string]value.Value{
+		"x": value.Num(5000), "y": value.Num(5000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableChangeFeed()
+	if !w.ChangeFeedEnabled() {
+		t.Fatal("feed not enabled")
+	}
+	if err := w.RunTick(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[value.ID]bool{}
+	w.DrainChangeFeed(func(d engine.ClassDelta) {
+		if d.Resync {
+			t.Fatalf("unexpected resync: %+v", d)
+		}
+		tab := w.ClassTable(d.Class)
+		for _, row := range d.Rows {
+			got[tab.RawIDs()[row]] = true
+		}
+		if len(d.Killed) != 0 {
+			t.Fatalf("unexpected kills: %v", d.Killed)
+		}
+	})
+	for _, id := range crowded {
+		if !got[id] {
+			t.Errorf("crowded unit %d missing from feed", id)
+		}
+	}
+	if got[loner] {
+		t.Errorf("isolated unit %d marked despite unchanged state", loner)
+	}
+	// A drain with no intervening writes is empty.
+	w.DrainChangeFeed(func(d engine.ClassDelta) {
+		if d.Resync || len(d.Rows) != 0 || len(d.Killed) != 0 {
+			t.Fatalf("second drain not empty: %+v", d)
+		}
+	})
+}
+
+// TestChangeFeedSpawnKillSetState covers the out-of-tick mutation sites:
+// spawns surface as changed rows, kills as ids, SetState as a mark, and a
+// checkpoint restore as a resync.
+func TestChangeFeedSpawnKillSetState(t *testing.T) {
+	sc := core.MustLoad("fig2", core.SrcFig2)
+	w, err := sc.NewWorld(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableChangeFeed()
+	a, err := w.Spawn("Unit", map[string]value.Value{"x": value.Num(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Spawn("Unit", map[string]value.Value{"x": value.Num(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	w.DrainChangeFeed(func(d engine.ClassDelta) {
+		if d.Resync {
+			t.Fatal("spawn must not resync the feed")
+		}
+		rows += len(d.Rows)
+	})
+	if rows != 2 {
+		t.Fatalf("want 2 spawned rows in feed, got %d", rows)
+	}
+
+	if err := w.SetState("Unit", a, "health", value.Num(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Kill("Unit", b); err != nil {
+		t.Fatal(err)
+	}
+	w.DrainChangeFeed(func(d engine.ClassDelta) {
+		if d.Resync {
+			t.Fatal("SetState/Kill must not resync the feed")
+		}
+		tab := w.ClassTable(d.Class)
+		if len(d.Rows) != 1 || tab.RawIDs()[d.Rows[0]] != a {
+			t.Fatalf("want the SetState row, got rows=%v", d.Rows)
+		}
+		if len(d.Killed) != 1 || d.Killed[0] != b {
+			t.Fatalf("want kill of %d, got %v", b, d.Killed)
+		}
+	})
+
+	cp, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	resynced := false
+	w.DrainChangeFeed(func(d engine.ClassDelta) { resynced = resynced || d.Resync })
+	if !resynced {
+		t.Fatal("checkpoint restore must resync the feed")
+	}
+}
+
+// TestChangeFeedConfigInvariance is the feed's differential wall: under
+// spawn/kill churn the drained stream — row lists, kill lists, class order —
+// is bit-identical across Workers, Partitions, Exec and DisableStats. The
+// DisableStats arms are the regression guard for the stats-never-feed-
+// execution rule: the feed is driven by the writes, not by the counters.
+func TestChangeFeedConfigInvariance(t *testing.T) {
+	type cfg struct {
+		name string
+		opts engine.Options
+	}
+	cfgs := []cfg{
+		{"w1-scalar", engine.Options{Workers: 1, Exec: plan.ExecScalar}},
+		{"w4-vec", engine.Options{Workers: 4, Exec: plan.ExecVectorized}},
+		{"w4-p4", engine.Options{Workers: 4, Partitions: 4}},
+		{"w1-scalar-nostats", engine.Options{Workers: 1, Exec: plan.ExecScalar, DisableStats: true}},
+		{"w4-p4-vec-nostats", engine.Options{Workers: 4, Partitions: 4, Exec: plan.ExecVectorized, DisableStats: true}},
+	}
+	run := func(opts engine.Options) string {
+		sc := core.MustLoad("fig2", core.SrcFig2)
+		w, err := sc.NewWorld(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.PopulateUnits(w, workload.Uniform(300, 120, 120, 7), 10); err != nil {
+			t.Fatal(err)
+		}
+		w.EnableChangeFeed()
+		rng := rand.New(rand.NewSource(11))
+		var b strings.Builder
+		for tick := 0; tick < 8; tick++ {
+			if err := w.RunTick(); err != nil {
+				t.Fatal(err)
+			}
+			// Churn between ticks: spawns and kills chosen by a fixed rng
+			// over deterministic live-id state.
+			for i := 0; i < 3; i++ {
+				if _, err := w.Spawn("Unit", map[string]value.Value{
+					"x": value.Num(rng.Float64() * 120),
+					"y": value.Num(rng.Float64() * 120),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ids := w.IDs("Unit")
+			for i := 0; i < 2 && len(ids) > 0; i++ {
+				victim := ids[rng.Intn(len(ids))]
+				if err := w.Kill("Unit", victim); err != nil {
+					t.Fatal(err)
+				}
+				ids = w.IDs("Unit")
+			}
+			fmt.Fprintf(&b, "tick %d:\n%s", tick, feedString(w))
+		}
+		return b.String()
+	}
+	want := run(cfgs[0].opts)
+	for _, c := range cfgs[1:] {
+		if got := run(c.opts); got != want {
+			t.Errorf("%s: changefeed diverged from %s baseline\nbaseline:\n%s\ngot:\n%s",
+				c.name, cfgs[0].name, want, got)
+		}
+	}
+}

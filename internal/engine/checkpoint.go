@@ -87,6 +87,10 @@ func (w *World) Restore(c *Checkpoint) error {
 	w.pendingSpawn = w.pendingSpawn[:0]
 	w.pendingKill = w.pendingKill[:0]
 	w.txns = w.txns[:0]
+	// Every row's payload may have changed and physical rows were
+	// compacted: the changefeed cannot express that as a delta, so flag
+	// subscription views for a full resync.
+	w.markResync()
 	// Handlers are pure functions of post-update state; re-running them
 	// reconstructs the effects that were armed for the next tick. They may
 	// probe accum sites, so the replay holds a tick arena like RunTick.

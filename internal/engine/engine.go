@@ -269,6 +269,10 @@ type classRT struct {
 	txnFxGen    []uint64
 	// staged new-state values for the update step.
 	staged map[int]map[value.ID]value.Value // attrIdx -> id -> value
+
+	// vlog accumulates the class's state changes for the subscription-view
+	// changefeed (nil until EnableChangeFeed; see changefeed.go).
+	vlog *changeLog
 }
 
 // fxColumn is the per-tick effect accumulation for one effect attribute,
@@ -538,7 +542,10 @@ func (w *World) doSpawn(rt *classRT, id value.ID, init map[string]value.Value) {
 		vals[i] = v
 	}
 	vals[rt.pcCol] = value.Num(0)
-	rt.tab.Insert(id, vals)
+	row := rt.tab.Insert(id, vals)
+	if rt.vlog != nil {
+		rt.vlog.noteSpawn(row, rt.tab.StructVersion())
+	}
 	for i := range rt.fx {
 		rt.fx[i].ensure(rt.tab.Cap())
 	}
@@ -555,7 +562,9 @@ func (w *World) Kill(class string, id value.ID) error {
 		w.pendingKill = append(w.pendingKill, pendingKill{class: class, id: id})
 		return nil
 	}
-	rt.tab.Delete(id)
+	if rt.tab.Delete(id) && rt.vlog != nil {
+		rt.vlog.noteKill(id, rt.tab.StructVersion())
+	}
 	return nil
 }
 
@@ -602,6 +611,11 @@ func (w *World) SetState(class string, id value.ID, attr string, v value.Value) 
 	rt, ok := w.classes[class]
 	if !ok {
 		return fmt.Errorf("engine: unknown class %q", class)
+	}
+	if rt.vlog != nil {
+		if row := rt.tab.Row(id); row >= 0 {
+			rt.vlog.mark(row)
+		}
 	}
 	if !rt.tab.Set(id, attr, v) {
 		return fmt.Errorf("engine: no %s.%s for id %d", class, attr, id)

@@ -214,6 +214,12 @@ func (w *World) runUpdateStep() error {
 				if row < 0 {
 					continue // object died this tick
 				}
+				// Changefeed marks diff on raw bits so rows rewritten to the
+				// same payload stay out of the feed; marks are a set, so the
+				// map-iteration order here cannot leak into the drained feed.
+				if rt.vlog != nil && changedValue(rt.tab.At(row, attrIdx), v) {
+					rt.vlog.mark(row)
+				}
 				rt.tab.SetAt(row, attrIdx, v)
 			}
 			delete(rt.staged, attrIdx)
@@ -258,7 +264,10 @@ func (w *World) advancePCs() {
 
 func (w *World) applyPending() {
 	for _, p := range w.pendingKill {
-		w.classes[p.class].tab.Delete(p.id)
+		rt := w.classes[p.class]
+		if rt.tab.Delete(p.id) && rt.vlog != nil {
+			rt.vlog.noteKill(p.id, rt.tab.StructVersion())
+		}
 	}
 	w.pendingKill = w.pendingKill[:0]
 	for _, p := range w.pendingSpawn {

@@ -129,6 +129,7 @@ type vecClassPlan struct {
 	fxStale [][]int     // rows of fxVecs[ai] that may hold non-zero payloads
 	outVecs [][]float64 // staged update-rule results, one per vec rule
 	staged  bool        // outVecs hold this tick's results
+	diffBuf []int32     // changefeed write-back diff scratch, reused
 }
 
 // phaseCounts returns the number of live rows at each script phase — the
@@ -709,6 +710,17 @@ func (rt *classRT) applyVecUpdates() {
 		return
 	}
 	alive := rt.tab.AliveMask()
+	if l := rt.vlog; l != nil {
+		// Changefeed on: diff during write-back so only rows whose payload
+		// bits actually changed enter the feed (a whole-column kernel write
+		// is NOT a whole-column change).
+		for i, u := range v.updates {
+			v.diffBuf = rt.tab.SetNumColumnDiff(u.attrIdx, v.outVecs[i], alive, v.diffBuf[:0])
+			l.markDirtyRows(v.diffBuf)
+		}
+		v.staged = false
+		return
+	}
 	for i, u := range v.updates {
 		rt.tab.SetNumColumn(u.attrIdx, v.outVecs[i], alive)
 	}

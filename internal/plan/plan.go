@@ -136,6 +136,36 @@ func (m TxnMode) String() string {
 	}
 }
 
+// ViewMode selects how a client subscription view (internal/views) is
+// brought up to date for one tick: by filtering the tick's changed-row
+// candidates through the subscription's mask kernel (delta maintenance), or
+// by re-evaluating the predicate over the whole class extent (rescan).
+type ViewMode uint8
+
+const (
+	// ViewAuto lets the cost model pick per subscription and tick (the
+	// default).
+	ViewAuto ViewMode = iota
+	// ViewDelta forces incremental maintenance from the changefeed.
+	ViewDelta
+	// ViewRescan forces a full-extent re-evaluation every tick — the naive
+	// per-client path and the differential reference for delta maintenance.
+	ViewRescan
+)
+
+func (m ViewMode) String() string {
+	switch m {
+	case ViewAuto:
+		return "auto"
+	case ViewDelta:
+		return "delta"
+	case ViewRescan:
+		return "rescan"
+	default:
+		return fmt.Sprintf("view(%d)", uint8(m))
+	}
+}
+
 // Maint names a per-tick index maintenance decision for one accum site.
 type Maint uint8
 
@@ -213,6 +243,19 @@ type Costs struct {
 	RelayoutRow      float64
 	RebalanceHorizon float64
 
+	// Subscription views (internal/views): the per-kernel-op cost of
+	// filtering one changed-row candidate through a subscription's mask
+	// kernel (gather + compact-lane eval + membership merge) versus
+	// streaming one extent row through the same kernel on a full rescan,
+	// plus the fixed per-subscription cost of arming either path for a
+	// tick. Delta maintenance pays more per row (candidate gather and the
+	// sorted-member merge) but visits only the rows the changefeed names;
+	// the ratio sets the churn fraction above which rescanning wins. See
+	// ChooseView.
+	ViewDeltaRow float64
+	ViewScanRow  float64
+	ViewSetup    float64
+
 	// Hibernation (many-world server): the per-tick cost of keeping an idle
 	// world resident (its share of arena/scratch memory pressure, in row
 	// visits) and the per-row cost of one checkpoint + restore round trip.
@@ -255,9 +298,37 @@ func DefaultCosts() Costs {
 		RelayoutRow:      3.0,
 		RebalanceHorizon: 30,
 
+		ViewDeltaRow: 2.0,
+		ViewScanRow:  1.0,
+		ViewSetup:    16,
+
 		IdleTickCost: 32,
 		HibernateRow: 0.5,
 	}
+}
+
+// ChooseView resolves the maintenance mode for one subscription this tick:
+// forced modes pass through; ViewAuto compares the modeled cost of pushing
+// the tick's candidate rows through the delta path (per-candidate gather,
+// kernel lane, membership merge) against re-evaluating the whole live
+// extent. Quiet ticks keep delta maintenance; churn approaching the extent
+// size — mass migration, a battle-royale collapse — tips into rescan, which
+// touches each row once with no merge bookkeeping. Both paths are pinned
+// bit-identical, so the decision is pure cost.
+func (c Costs) ChooseView(mode ViewMode, live, candidates, kernels int) ViewMode {
+	if mode != ViewAuto {
+		return mode
+	}
+	k := float64(kernels)
+	if k < 1 {
+		k = 1
+	}
+	delta := c.ViewSetup + c.ViewDeltaRow*k*float64(candidates)
+	scan := c.ViewSetup + c.ViewScanRow*k*float64(live)
+	if delta <= scan {
+		return ViewDelta
+	}
+	return ViewRescan
 }
 
 // HibernateHorizon returns the number of consecutive idle ticks after which

@@ -31,6 +31,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/stats"
+	"repro/internal/views"
 )
 
 // Config tunes the server. The zero value serves with NumCPU workers, no
@@ -92,6 +93,13 @@ type World struct {
 	eng  *engine.World      // nil while hibernated
 	hib  *engine.Checkpoint // non-nil while hibernated
 	idle int                // ticks since last client Touch/Engine access
+
+	// views is the world's subscription registry (lazily created), and
+	// sink the per-delta spectator callback invoked after every tick.
+	// Subscriptions survive hibernation: the registry detaches with the
+	// engine and resyncs every client after the restore.
+	views *views.Registry
+	sink  func(*views.Delta)
 
 	// Real-time serving state (owned by Serve's scheduler loop). A tick
 	// is released at `release` (becomes eligible to run) and must start
@@ -237,6 +245,32 @@ func (h *World) Stats() (misses int64, lag time.Duration) {
 	return h.misses, h.lag
 }
 
+// Views returns the world's subscription registry, creating it on first
+// use (waking a hibernated world: subscribing needs the schema and
+// tables). Subscribe/Unsubscribe between ticks only — the registry shares
+// the engine's single-driver discipline.
+func (h *World) Views() (*views.Registry, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.idle = 0
+	if err := h.wakeLocked(); err != nil {
+		return nil, err
+	}
+	if h.views == nil {
+		h.views = views.New(h.eng, h.srv.cfg.costs())
+	}
+	return h.views, nil
+}
+
+// SetViewSink installs the callback that receives every subscription delta
+// after each tick (nil silences delivery; subscription state is maintained
+// regardless). Deltas alias registry buffers — copy to retain.
+func (h *World) SetViewSink(fn func(*views.Delta)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sink = fn
+}
+
 // Hibernate forces the world out now (no-op when already hibernated).
 func (h *World) Hibernate() error {
 	h.mu.Lock()
@@ -253,6 +287,9 @@ func (h *World) hibernateLocked() error {
 		return fmt.Errorf("server: hibernate %s: %w", h.ID, err)
 	}
 	h.hib = c
+	if h.views != nil {
+		h.views.Detach()
+	}
 	h.eng = nil
 	s := h.srv
 	s.mu.Lock()
@@ -277,6 +314,11 @@ func (h *World) wakeLocked() error {
 	}
 	h.eng = eng
 	h.hib = nil
+	if h.views != nil {
+		// The restored world's tables (and dictionary codes) are fresh
+		// objects: rebind, recompile kernels, resync every subscription.
+		h.views.Attach(eng)
+	}
 	s := h.srv
 	s.mu.Lock()
 	s.counters.Restores++
@@ -307,6 +349,9 @@ func (h *World) tick() error {
 	}
 	if err := h.eng.RunTick(); err != nil {
 		return fmt.Errorf("server: tick %s: %w", h.ID, err)
+	}
+	if h.views != nil {
+		h.views.Apply(h.sink)
 	}
 	s := h.srv
 	s.mu.Lock()

@@ -6,9 +6,13 @@ import (
 	"testing"
 	"time"
 
+	"slices"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/value"
+	"repro/internal/views"
 	"repro/internal/workload"
 )
 
@@ -255,5 +259,105 @@ func TestServeRealtime(t *testing.T) {
 		if d := diffVehicles(eng, ref); d != "" {
 			t.Fatalf("world %d diverged under real-time serving: %s", i, d)
 		}
+	}
+}
+
+// TestViewsSurviveHibernation is the hibernate→restore leg of the
+// subscription-view differential wall: a world with live Select/Count/TopK
+// subscriptions hibernates, wakes, resyncs every client from the restored
+// state, and keeps maintaining deltas that match brute-force recomputation.
+func TestViewsSurviveHibernation(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2})
+	h, err := srv.AddWorld("royale", core.SrcFig2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := h.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.PopulateUnits(eng, workload.Uniform(200, 120, 120, 9), 10); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := h.Views()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := vr.Subscribe(views.Def{Class: "Unit", Pred: "health < 99", Payload: []string{"health"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := vr.Subscribe(views.Def{Class: "Unit", Pred: "health < 99", Kind: views.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas, resyncs int
+	h.SetViewSink(func(d *views.Delta) {
+		deltas++
+		if d.Resync {
+			resyncs++
+		}
+	})
+
+	check := func(when string) {
+		t.Helper()
+		e, err := h.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []value.ID
+		for _, id := range e.IDs("Unit") {
+			if e.MustGet("Unit", id, "health").AsNumber() < 99 {
+				want = append(want, id)
+			}
+		}
+		slices.Sort(want)
+		got := sel.Members()
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: select members %v, brute %v", when, got, want)
+		}
+		if int(cnt.Agg()) != len(want) {
+			t.Fatalf("%s: count %v, brute %d", when, cnt.Agg(), len(want))
+		}
+	}
+
+	if err := srv.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	check("before hibernation")
+	if deltas == 0 || resyncs != 2 {
+		t.Fatalf("before hibernation: deltas=%d resyncs=%d, want >0 and 2 initial resyncs", deltas, resyncs)
+	}
+
+	if err := h.Hibernate(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Hibernated() || vr.Attached() {
+		t.Fatalf("hibernated=%v attached=%v, want true/false", h.Hibernated(), vr.Attached())
+	}
+	// Frozen worlds are skipped entirely: no ticks, no deltas.
+	before := deltas
+	if err := srv.RunRounds(3); err != nil {
+		t.Fatal(err)
+	}
+	if deltas != before {
+		t.Fatalf("hibernated world delivered %d deltas", deltas-before)
+	}
+
+	// Transparent wake: the next ticks must resync both subscriptions once
+	// and then resume incremental maintenance.
+	if _, err := h.Engine(); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Attached() {
+		t.Fatal("registry not re-attached on wake")
+	}
+	resyncs = 0
+	if err := srv.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	check("after restore")
+	if resyncs != 2 {
+		t.Fatalf("after restore: resyncs=%d, want exactly 2 (one per subscription)", resyncs)
 	}
 }

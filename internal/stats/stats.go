@@ -236,6 +236,18 @@ type ExecCounters struct {
 	FusedOps    int64
 	DictLookups int64
 
+	// Subscription-view accounting (internal/views). ViewSubs is a gauge of
+	// live subscriptions registered against this world; ViewDeltaRows counts
+	// delta rows emitted across all subscriptions (adds + updates +
+	// removes); ViewRescans counts subscription-ticks that fell back to a
+	// full-extent rescan (unstable predicate, structure-version mismatch, or
+	// the cost model deciding churn outweighed the delta path);
+	// ViewMaintNanos is wall time spent maintaining all subscriptions.
+	ViewSubs       int64
+	ViewDeltaRows  int64
+	ViewRescans    int64
+	ViewMaintNanos int64
+
 	// Load balance: per tick the effect-phase row visits (scalar rows,
 	// vectorized rows, join candidates) are tallied per partition;
 	// PartLoadMax accumulates the busiest partition's tally and PartLoadSum

@@ -6,6 +6,7 @@ package table
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/value"
 )
@@ -316,6 +317,42 @@ func (t *Table) SetNumColumn(ci int, vals []float64, alive []bool) {
 			col[r] = vals[r]
 		}
 	}
+}
+
+// SetNumColumnDiff is SetNumColumn for worlds with a change feed attached:
+// it additionally appends to dirty the live rows whose stored payload bits
+// actually changed, and returns the extended slice. Comparison is on raw
+// float64 bits (math.Float64bits), not float equality, so -0↔+0 flips count
+// as changes and NaN→same-NaN does not — the change feed must never miss a
+// write that could flip a predicate downstream.
+func (t *Table) SetNumColumnDiff(ci int, vals []float64, alive []bool, dirty []int32) []int32 {
+	t.colVer[ci]++
+	switch t.cols[ci].Kind {
+	case value.KindNumber, value.KindBool, value.KindRef:
+	default:
+		panic(fmt.Sprintf("table %s: SetNumColumnDiff on %s column %s", t.name, t.cols[ci].Kind, t.cols[ci].Name))
+	}
+	col := t.nums[ci]
+	if t.n == len(t.ids) {
+		for r := range col {
+			v := vals[r]
+			if math.Float64bits(col[r]) != math.Float64bits(v) {
+				col[r] = v
+				dirty = append(dirty, int32(r))
+			}
+		}
+		return dirty
+	}
+	for r, ok := range alive {
+		if ok {
+			v := vals[r]
+			if math.Float64bits(col[r]) != math.Float64bits(v) {
+				col[r] = v
+				dirty = append(dirty, int32(r))
+			}
+		}
+	}
+	return dirty
 }
 
 // ForEach invokes fn for every live row in physical order.

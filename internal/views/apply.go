@@ -1,0 +1,641 @@
+package views
+
+// Per-tick maintenance. Apply drains the engine changefeed once, then
+// maintains each subscription in ascending SubID order — a pure function of
+// committed state, so the emitted delta stream is bit-identical across
+// Workers/Partitions/Exec configurations (the feed itself is) and across
+// maintenance modes (delta and rescan compute membership from the same
+// kernels; updates are defined as member ∩ candidate ∩ pass in both).
+//
+// The per-subscription fast paths, cheapest first:
+//
+//  1. version skip: the class structure version and every watched column
+//     version are unchanged since this subscription last ran — nothing it
+//     can observe moved, skip without evaluating anything;
+//  2. delta maintain: run the mask kernel over the gathered candidate
+//     lanes (the feed's rows), adjust membership by binary search against
+//     the sorted member set;
+//  3. rescan: run the kernel over the whole extent and diff memberships —
+//     chosen by plan.Costs.ChooseView when candidates approach the live
+//     count, forced by unstable predicates, resyncs and fresh
+//     subscriptions.
+
+import (
+	"math"
+	"slices"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/table"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// Apply consumes the tick's changefeed and maintains every subscription,
+// invoking fn (when non-nil) with each subscription's delta. Deltas alias
+// registry buffers: copy to retain. Call between ticks, after
+// engine.RunTick; a detached registry is a no-op.
+func (r *Registry) Apply(fn func(*Delta)) {
+	if r.eng == nil {
+		return
+	}
+	start := time.Now()
+	r.deltaRows, r.rescans, r.deltaBytes = 0, 0, 0
+	for _, cs := range r.classList {
+		cs.drained = false
+		cs.lanesBuilt = false
+		cs.idsBuilt = false
+		cs.rows = cs.rows[:0]
+		cs.killed = cs.killed[:0]
+		cs.resync = false
+	}
+	r.eng.DrainChangeFeed(r.drainFn)
+	r.slotSub = nil
+	tick := r.eng.Tick()
+	for _, s := range r.subs {
+		s.d.reset(s.id, s.cs.name, tick)
+		if !r.maintain(s) {
+			continue
+		}
+		if s.d.changed {
+			r.deltaBytes += s.d.Bytes()
+			if fn != nil {
+				fn(&s.d)
+			}
+		}
+	}
+	r.eng.NoteViewStats(int64(len(r.subs)), r.deltaRows, r.rescans,
+		time.Since(start).Nanoseconds())
+}
+
+// DeltaBytes reports the total Delta.Bytes emitted by the last Apply.
+func (r *Registry) DeltaBytes() int64 { return r.deltaBytes }
+
+// Rescans reports how many subscriptions took the rescan path in the last
+// Apply.
+func (r *Registry) Rescans() int64 { return r.rescans }
+
+// copyFeed is the DrainChangeFeed callback: the engine's slices are scratch
+// valid only during the callback, so the per-class state copies them out.
+func (r *Registry) copyFeed(d engine.ClassDelta) {
+	cs := r.classes[d.Class]
+	if cs == nil || len(cs.subs) == 0 {
+		return
+	}
+	cs.rows = append(cs.rows[:0], d.Rows...)
+	cs.killed = append(cs.killed[:0], d.Killed...)
+	cs.resync = d.Resync
+	cs.drained = true
+}
+
+// maintain runs one subscription; false reports the version skip (no
+// evaluation happened, cached versions still hold).
+func (r *Registry) maintain(s *Sub) bool {
+	cs := s.cs
+	resync := cs.resync || s.fresh
+	if !resync && s.versionsUnchanged(cs) {
+		return false
+	}
+	mode := plan.ViewRescan
+	if !resync && s.stable {
+		kernels := 16
+		if s.pp != nil {
+			kernels = s.pp.prog.Kernels()
+		}
+		mode = r.costs.ChooseView(s.def.Mode, cs.tab.Len(), len(cs.rows), kernels)
+	}
+	if mode == plan.ViewDelta {
+		r.applyDelta(s, cs)
+	} else {
+		r.applyRescan(s, cs, resync)
+		r.rescans++
+	}
+	s.fresh = false
+	s.storeVersions(cs)
+	r.deltaRows += int64(len(s.d.AddIDs) + len(s.d.UpdIDs) + len(s.d.RemIDs))
+	return true
+}
+
+func (s *Sub) versionsUnchanged(cs *classState) bool {
+	if !s.versValid || cs.tab.StructVersion() != s.lastStruct {
+		return false
+	}
+	for i, c := range s.cols {
+		if cs.tab.ColVersion(c) != s.lastCols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sub) storeVersions(cs *classState) {
+	s.lastStruct = cs.tab.StructVersion()
+	for i, c := range s.cols {
+		s.lastCols[i] = cs.tab.ColVersion(c)
+	}
+	s.versValid = true
+}
+
+// buildCandIDs fills the candidate id lane and id list for the drained rows.
+func (cs *classState) buildCandIDs() {
+	if cs.idsBuilt {
+		return
+	}
+	cs.idsBuilt = true
+	raw := cs.tab.RawIDs()
+	cs.candIDs = cs.candIDs[:0]
+	cs.idLane = growFloats(cs.idLane, len(cs.rows))
+	for i, row := range cs.rows {
+		id := raw[row]
+		cs.candIDs = append(cs.candIDs, id)
+		cs.idLane[i] = float64(id)
+	}
+}
+
+// buildLanes gathers the watched columns into dense candidate lanes shared
+// by every subscription on the class this Apply.
+func (cs *classState) buildLanes() {
+	if cs.lanesBuilt {
+		return
+	}
+	cs.lanesBuilt = true
+	cs.buildCandIDs()
+	k := len(cs.rows)
+	for len(cs.lanes) < len(cs.cls.State) {
+		cs.lanes = append(cs.lanes, nil)
+	}
+	for _, a := range cs.gatherCols {
+		src := cs.tab.NumColumn(a)
+		lane := growFloats(cs.lanes[a], k)
+		cs.lanes[a] = lane
+		for i, row := range cs.rows {
+			lane[i] = src[row]
+		}
+	}
+}
+
+// fillSlots materializes the subscription's constants across n lanes of the
+// shared slot vectors (skipped when they already hold them).
+func (r *Registry) fillSlots(s *Sub, n int) {
+	if r.slotSub == s && r.slotLen >= n {
+		return
+	}
+	for len(r.slotLanes) < len(s.consts) {
+		r.slotLanes = append(r.slotLanes, nil)
+	}
+	for i, v := range s.consts {
+		lane := growFloats(r.slotLanes[i], n)
+		r.slotLanes[i] = lane
+		for j := 0; j < n; j++ {
+			lane[j] = v
+		}
+	}
+	r.slotSub = s
+	r.slotLen = n
+}
+
+// evalCandidates produces the pass mask over the class's candidate lanes.
+func (r *Registry) evalCandidates(s *Sub, cs *classState) []float64 {
+	k := len(cs.rows)
+	mask := growFloats(r.mask, k)
+	r.mask = mask
+	if k == 0 {
+		return mask
+	}
+	if s.pp != nil {
+		cs.buildLanes()
+		r.fillSlots(s, k)
+		r.env = vexpr.Env{Cols: cs.lanes, IDs: cs.idLane, Slots: r.slotLanes}
+		s.pp.prog.Run(&r.mach, &r.env, 0, k, mask)
+		return mask
+	}
+	cs.buildCandIDs()
+	ctx := expr.Ctx{W: r.eng, Class: cs.name, Frame: s.frame}
+	for i, row := range cs.rows {
+		ctx.SelfID = cs.candIDs[i]
+		ctx.Self = tabRow{cs.tab, int(row)}
+		if s.scalarFn(&ctx).AsBool() {
+			mask[i] = 1
+		} else {
+			mask[i] = 0
+		}
+	}
+	return mask
+}
+
+// tabRow adapts a physical table row to expr.RowReader.
+type tabRow struct {
+	tab *table.Table
+	row int
+}
+
+func (t tabRow) Attr(attrIdx int) value.Value { return t.tab.At(t.row, attrIdx) }
+
+// applyDelta maintains membership from the feed's candidates only.
+func (r *Registry) applyDelta(s *Sub, cs *classState) {
+	cs.buildCandIDs()
+	mask := r.evalCandidates(s, cs)
+	d := &s.d
+	r.addPairs = r.addPairs[:0]
+	r.updPairs = r.updPairs[:0]
+	for i, row := range cs.rows {
+		id := cs.candIDs[i]
+		_, in := slices.BinarySearch(s.members, id)
+		if mask[i] != 0 {
+			if in {
+				r.updPairs = append(r.updPairs, idRow{id, row})
+			} else {
+				r.addPairs = append(r.addPairs, idRow{id, row})
+			}
+		} else if in {
+			d.RemIDs = append(d.RemIDs, id)
+		}
+	}
+	for _, id := range cs.killed {
+		if _, in := slices.BinarySearch(s.members, id); in {
+			d.RemIDs = append(d.RemIDs, id)
+		}
+	}
+	sortPairs(r.addPairs)
+	sortPairs(r.updPairs)
+	slices.Sort(d.RemIDs)
+	r.finishRowDelta(s, cs)
+}
+
+// applyRescan recomputes membership from the full extent and diffs.
+func (r *Registry) applyRescan(s *Sub, cs *classState, resync bool) {
+	newPairs := r.evalFull(s, cs) // ascending id
+	d := &s.d
+	r.addPairs = r.addPairs[:0]
+	r.updPairs = r.updPairs[:0]
+	if resync {
+		// Full refresh: the whole result ships as adds and the client
+		// replaces its state, so prior membership is irrelevant.
+		d.Resync = true
+		r.addPairs = append(r.addPairs, newPairs...)
+		s.memScratch = s.memScratch[:0]
+		for _, p := range newPairs {
+			s.memScratch = append(s.memScratch, p.id)
+		}
+		s.members, s.memScratch = s.memScratch, s.members
+		if s.def.Kind == Select {
+			d.changed = true
+		}
+		r.recomputeAgg(s, cs, true)
+		r.emitRows(s, cs)
+		return
+	}
+	// Diff old vs new membership.
+	old := s.members
+	i, j := 0, 0
+	for i < len(old) || j < len(newPairs) {
+		switch {
+		case j == len(newPairs) || (i < len(old) && old[i] < newPairs[j].id):
+			d.RemIDs = append(d.RemIDs, old[i])
+			i++
+		case i == len(old) || newPairs[j].id < old[i]:
+			r.addPairs = append(r.addPairs, newPairs[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	// Updates are member ∩ candidate ∩ pass — the same set the delta path
+	// derives, so both modes emit identical streams.
+	cs.buildCandIDs()
+	for i, row := range cs.rows {
+		id := cs.candIDs[i]
+		if _, in := slices.BinarySearch(old, id); !in {
+			continue
+		}
+		if pairsContain(newPairs, id) {
+			r.updPairs = append(r.updPairs, idRow{id, row})
+		}
+	}
+	sortPairs(r.updPairs)
+	s.memScratch = s.memScratch[:0]
+	for _, p := range newPairs {
+		s.memScratch = append(s.memScratch, p.id)
+	}
+	s.members, s.memScratch = s.memScratch, s.members
+	r.finishAfterMembership(s, cs)
+}
+
+// finishRowDelta merges membership and emits, shared by the delta path.
+func (r *Registry) finishRowDelta(s *Sub, cs *classState) {
+	d := &s.d
+	if len(r.addPairs) > 0 || len(d.RemIDs) > 0 {
+		out := s.memScratch[:0]
+		old := s.members
+		i, j, k := 0, 0, 0
+		for i < len(old) || j < len(r.addPairs) {
+			if j == len(r.addPairs) || (i < len(old) && old[i] < r.addPairs[j].id) {
+				id := old[i]
+				i++
+				if k < len(d.RemIDs) && d.RemIDs[k] == id {
+					k++
+					continue
+				}
+				out = append(out, id)
+			} else {
+				out = append(out, r.addPairs[j].id)
+				j++
+			}
+		}
+		s.members, s.memScratch = out, s.members
+	}
+	r.finishAfterMembership(s, cs)
+}
+
+// finishAfterMembership emits rows or aggregates once s.members is final.
+// The aggregate fold runs before emitRows: it consults the remove list,
+// which emitRows clears for aggregate kinds.
+func (r *Registry) finishAfterMembership(s *Sub, cs *classState) {
+	d := &s.d
+	if s.def.Kind == Select &&
+		(len(r.addPairs) > 0 || len(r.updPairs) > 0 || len(d.RemIDs) > 0) {
+		d.changed = true
+	}
+	r.recomputeAgg(s, cs, false)
+	r.emitRows(s, cs)
+}
+
+// emitRows fills the delta's id lists and payload columns (Select only;
+// aggregates deliver Agg/Top instead of rows).
+func (r *Registry) emitRows(s *Sub, cs *classState) {
+	d := &s.d
+	for _, p := range r.addPairs {
+		d.AddIDs = append(d.AddIDs, p.id)
+	}
+	if s.def.Kind != Select {
+		// Aggregate clients consume Agg/Top; drop the row lists the
+		// maintenance pass derived (membership is registry-internal).
+		d.AddIDs = d.AddIDs[:0]
+		d.UpdIDs = d.UpdIDs[:0]
+		d.RemIDs = d.RemIDs[:0]
+		return
+	}
+	for _, p := range r.updPairs {
+		d.UpdIDs = append(d.UpdIDs, p.id)
+	}
+	for j, a := range s.payload {
+		col := cs.tab.NumColumn(a)
+		for _, p := range r.addPairs {
+			d.AddCols[j] = append(d.AddCols[j], col[p.row])
+		}
+		for _, p := range r.updPairs {
+			d.UpdCols[j] = append(d.UpdCols[j], col[p.row])
+		}
+	}
+}
+
+// recomputeAgg folds the aggregate kinds after membership settles. Sum
+// refolds over members in ascending-id order — the same fold a fresh
+// rescan performs, so the bits match by construction. TopK merges
+// candidates against the current kth key and falls back to a full
+// recompute when a ranked row retracts (leaves, or changes key).
+func (r *Registry) recomputeAgg(s *Sub, cs *classState, force bool) {
+	d := &s.d
+	membersTouched := len(r.addPairs) > 0 || len(d.RemIDs) > 0 || d.Resync
+	switch s.def.Kind {
+	case Select:
+		return
+	case Count:
+		agg := float64(len(s.members))
+		if force || !sameBits(agg, s.agg) {
+			s.agg = agg
+			d.AggChanged = true
+			d.Agg = agg
+			d.changed = true
+		}
+	case Sum:
+		if !force && !membersTouched && len(r.updPairs) == 0 {
+			return
+		}
+		col := cs.tab.NumColumn(s.aggAttr)
+		agg := 0.0
+		for _, id := range s.members {
+			agg += col[cs.tab.Row(id)]
+		}
+		if force || !sameBits(agg, s.agg) {
+			s.agg = agg
+			d.AggChanged = true
+			d.Agg = agg
+			d.changed = true
+		}
+	case TopK:
+		if !force && !membersTouched && len(r.updPairs) == 0 {
+			return
+		}
+		r.maintainTopK(s, cs, force)
+	}
+}
+
+func (r *Registry) maintainTopK(s *Sub, cs *classState, force bool) {
+	d := &s.d
+	col := cs.tab.NumColumn(s.aggAttr)
+	retract := force || d.Resync
+	if !retract {
+		// A ranked row leaving, or changing key, can promote an arbitrary
+		// unranked member: recompute from the full membership.
+		for _, id := range d.RemIDs {
+			if topContains(s.top, id) {
+				retract = true
+				break
+			}
+		}
+	}
+	if !retract {
+		for _, p := range r.updPairs {
+			if i := topIndex(s.top, p.id); i >= 0 && !sameBits(s.top[i].Key, col[p.row]) {
+				retract = true
+				break
+			}
+		}
+	}
+	if retract {
+		r.topCand = r.topCand[:0]
+		for _, id := range s.members {
+			r.topCand = append(r.topCand, TopEntry{ID: id, Key: col[cs.tab.Row(id)]})
+		}
+		sortTop(r.topCand)
+		if len(r.topCand) > s.def.K {
+			r.topCand = r.topCand[:s.def.K]
+		}
+		r.commitTop(s, force)
+		return
+	}
+	// Incremental: merge adds (and non-ranked updates) that beat the kth
+	// key into the ranking.
+	merged := false
+	consider := func(id value.ID, row int32) {
+		key := col[row]
+		if topIndex(s.top, id) >= 0 {
+			return
+		}
+		if len(s.top) < s.def.K || beats(key, id, s.top[len(s.top)-1]) {
+			s.top = append(s.top, TopEntry{ID: id, Key: key})
+			merged = true
+		}
+	}
+	for _, p := range r.addPairs {
+		consider(p.id, p.row)
+	}
+	for _, p := range r.updPairs {
+		consider(p.id, p.row)
+	}
+	if merged {
+		sortTop(s.top)
+		if len(s.top) > s.def.K {
+			s.top = s.top[:s.def.K]
+		}
+		d.Top = append(d.Top[:0], s.top...)
+		d.AggChanged = true
+		d.changed = true
+	}
+}
+
+// commitTop installs a recomputed ranking, emitting only on change.
+func (r *Registry) commitTop(s *Sub, force bool) {
+	d := &s.d
+	changed := force || len(r.topCand) != len(s.top)
+	if !changed {
+		for i, e := range r.topCand {
+			if e.ID != s.top[i].ID || !sameBits(e.Key, s.top[i].Key) {
+				changed = true
+				break
+			}
+		}
+	}
+	s.top = append(s.top[:0], r.topCand...)
+	if changed {
+		d.Top = append(d.Top[:0], s.top...)
+		d.AggChanged = true
+		d.changed = true
+	}
+}
+
+// evalFull evaluates the predicate over the whole extent, returning the
+// passing live rows as (id, row) pairs sorted by ascending id.
+func (r *Registry) evalFull(s *Sub, cs *classState) []idRow {
+	tab := cs.tab
+	n := tab.Cap()
+	pairs := r.fullPairs[:0]
+	if s.pp != nil {
+		mask := growFloats(r.mask, n)
+		r.mask = mask
+		if n > 0 {
+			r.fillSlots(s, n)
+			r.env = vexpr.Env{Cols: tab.NumColumns(), Slots: r.slotLanes}
+			if s.pp.prog.NeedIDs() {
+				lane := growFloats(cs.fullIDLane, n)
+				cs.fullIDLane = lane
+				raw := tab.RawIDs()
+				for i := 0; i < n; i++ {
+					lane[i] = float64(raw[i])
+				}
+				r.env.IDs = lane
+			}
+			s.pp.prog.Run(&r.mach, &r.env, 0, n, mask)
+		}
+		raw := tab.RawIDs()
+		for row := 0; row < n; row++ {
+			if mask[row] != 0 && tab.Alive(row) {
+				pairs = append(pairs, idRow{raw[row], int32(row)})
+			}
+		}
+	} else {
+		ctx := expr.Ctx{W: r.eng, Class: cs.name, Frame: s.frame}
+		raw := tab.RawIDs()
+		for row := 0; row < n; row++ {
+			if !tab.Alive(row) {
+				continue
+			}
+			ctx.SelfID = raw[row]
+			ctx.Self = tabRow{tab, row}
+			if s.scalarFn(&ctx).AsBool() {
+				pairs = append(pairs, idRow{raw[row], int32(row)})
+			}
+		}
+	}
+	sortPairs(pairs)
+	r.fullPairs = pairs
+	return pairs
+}
+
+func sortPairs(p []idRow) {
+	slices.SortFunc(p, func(a, b idRow) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+func pairsContain(pairs []idRow, id value.ID) bool {
+	_, ok := slices.BinarySearchFunc(pairs, id, func(p idRow, id value.ID) int {
+		switch {
+		case p.id < id:
+			return -1
+		case p.id > id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return ok
+}
+
+// sortTop orders a ranking by key descending, id ascending — the total
+// order that makes TopK deterministic under key ties.
+func sortTop(t []TopEntry) {
+	slices.SortFunc(t, func(a, b TopEntry) int {
+		switch {
+		case a.Key > b.Key:
+			return -1
+		case a.Key < b.Key:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+func topContains(t []TopEntry, id value.ID) bool { return topIndex(t, id) >= 0 }
+
+func topIndex(t []TopEntry, id value.ID) int {
+	for i, e := range t {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// beats reports (key, id) outranking the entry under the TopK total order.
+func beats(key float64, id value.ID, e TopEntry) bool {
+	if key != e.Key {
+		return key > e.Key
+	}
+	return id < e.ID
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,169 @@
+package views
+
+// Predicate compilation. Ten thousand subscriptions that differ only in
+// thresholds ("hp < 20", "hp < 35", ...) must not cost ten thousand vexpr
+// programs: the per-machine register-slab cache is bounded (64 programs),
+// so distinct programs per subscription would re-carve slabs — and
+// allocate — on every tick. Canonicalization rewrites every numeric
+// literal into a frame-slot read (ast.BindLocal) and keys the compiled
+// kernel on the predicate's structural shape; same-shape subscriptions
+// share one program and feed their constants through Env.Slots lanes the
+// registry fills per subscription. String/bool/null literals stay inline
+// (string codes are compile-time dictionary lookups, so they key by
+// value).
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/expr"
+	"repro/internal/sgl/ast"
+	"repro/internal/value"
+	"repro/internal/vexpr"
+)
+
+// compilePred canonicalizes, classifies and compiles a sem-checked
+// predicate into the subscription.
+func (s *Sub) compilePred(class string, e ast.Expr) {
+	c := &canonicalizer{}
+	c.key.WriteString(class)
+	c.key.WriteByte('|')
+	s.pred = c.rewrite(e)
+	s.consts = c.consts
+	s.frame = make([]value.Value, len(c.consts))
+	for i, v := range c.consts {
+		s.frame[i] = value.Num(v)
+	}
+	vp := analysis.AnalyzeViewPred(class, s.pred)
+	s.reads = vp.Reads
+	s.stable = vp.Stable
+	s.reasons = vp.Reasons
+	s.key = c.key.String()
+}
+
+// recompileKernel (re)compiles the shared kernel for the subscription's
+// canonical shape — on Subscribe, and again on Attach (a restored world
+// interns dictionary codes afresh, so cached programs are stale).
+func (s *Sub) recompileKernel(r *Registry) {
+	s.pp = nil
+	s.scalarFn = nil
+	if !s.stable {
+		// Unstable predicates rescan through the scalar closure: its
+		// cross-object reads resolve through the engine (expr.World),
+		// which a gathered kernel cannot do from outside the engine.
+		s.scalarFn = expr.Compile(s.pred)
+		return
+	}
+	if pp, ok := r.progCache[s.key]; ok {
+		s.pp = pp
+		if pp == nil {
+			s.scalarFn = expr.Compile(s.pred)
+		}
+		return
+	}
+	var dict vexpr.Dict
+	if d := s.cs.tab.Dict(); d != nil {
+		dict = d
+	}
+	prog, ok := vexpr.CompileOpts(s.pred, vexpr.Opts{
+		SlotOK: func(int) bool { return true },
+		Dict:   dict,
+	})
+	if !ok {
+		// Outside the kernel subset (ordered string compares, set probes):
+		// cache the miss and fall back to the scalar closure per candidate.
+		r.progCache[s.key] = nil
+		s.scalarFn = expr.Compile(s.pred)
+		return
+	}
+	pp := &predProg{prog: prog, nConsts: len(s.consts)}
+	r.progCache[s.key] = pp
+	s.pp = pp
+}
+
+// canonicalizer deep-copies an expression, replacing numeric literals with
+// frame-slot reads and accumulating both the constant vector and the
+// structural cache key.
+type canonicalizer struct {
+	consts []float64
+	key    strings.Builder
+}
+
+func (c *canonicalizer) rewrite(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.NumLit:
+		slot := len(c.consts)
+		c.consts = append(c.consts, e.V)
+		c.key.WriteByte('$')
+		return &ast.Ident{
+			Pos:  e.Pos,
+			Name: fmt.Sprintf("$const%d", slot),
+			Bind: ast.Binding{Kind: ast.BindLocal, Slot: slot},
+			Ty:   ast.NumberT,
+		}
+	case *ast.BoolLit:
+		fmt.Fprintf(&c.key, "B%v", e.V)
+		return e
+	case *ast.StrLit:
+		fmt.Fprintf(&c.key, "S%q", e.V)
+		return e
+	case *ast.NullLit:
+		c.key.WriteByte('N')
+		return e
+	case *ast.Ident:
+		fmt.Fprintf(&c.key, "i%d.%d.%d;", e.Bind.Kind, e.Bind.AttrIdx, e.Bind.Slot)
+		return e
+	case *ast.FieldExpr:
+		fmt.Fprintf(&c.key, "f%s.%d(", e.Class, e.AttrIdx)
+		x := c.rewrite(e.X)
+		c.key.WriteByte(')')
+		cp := *e
+		cp.X = x
+		return &cp
+	case *ast.UnaryExpr:
+		fmt.Fprintf(&c.key, "u%d(", e.Op)
+		x := c.rewrite(e.X)
+		c.key.WriteByte(')')
+		cp := *e
+		cp.X = x
+		return &cp
+	case *ast.BinaryExpr:
+		fmt.Fprintf(&c.key, "b%d(", e.Op)
+		x := c.rewrite(e.X)
+		c.key.WriteByte(',')
+		y := c.rewrite(e.Y)
+		c.key.WriteByte(')')
+		cp := *e
+		cp.X, cp.Y = x, y
+		return &cp
+	case *ast.CondExpr:
+		c.key.WriteString("c(")
+		cond := c.rewrite(e.C)
+		c.key.WriteByte(',')
+		t := c.rewrite(e.T)
+		c.key.WriteByte(',')
+		f := c.rewrite(e.F)
+		c.key.WriteByte(')')
+		cp := *e
+		cp.C, cp.T, cp.F = cond, t, f
+		return &cp
+	case *ast.CallExpr:
+		fmt.Fprintf(&c.key, "k%d(", e.Builtin)
+		cp := *e
+		cp.Args = make([]ast.Expr, len(e.Args))
+		for i, a := range e.Args {
+			if i > 0 {
+				c.key.WriteByte(',')
+			}
+			cp.Args[i] = c.rewrite(a)
+		}
+		c.key.WriteByte(')')
+		return &cp
+	default:
+		// Unknown node: key by pointer identity so the shape never falsely
+		// unifies; the kernel compiler will bail on it anyway.
+		fmt.Fprintf(&c.key, "?%p", e)
+		return e
+	}
+}

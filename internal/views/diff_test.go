@@ -1,0 +1,175 @@
+package views_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/value"
+	"repro/internal/views"
+)
+
+// wallDefs is the subscription mix the differential wall maintains: row
+// selects (threshold and spatial box), every aggregate kind, and a
+// match-everything select. Mode is stamped per arm.
+func wallDefs(t *testing.T, mode plan.ViewMode) []views.Def {
+	t.Helper()
+	box, err := views.InterestPred([]string{"x", "y"}, []float64{60, 60}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []views.Def{
+		{Class: "Unit", Pred: "health < 99", Payload: []string{"health", "x"}, Mode: mode},
+		{Class: "Unit", Pred: box, Payload: []string{"x", "y"}, Mode: mode},
+		{Class: "Unit", Pred: "health < 99 && x >= 30", Kind: views.Count, Mode: mode},
+		{Class: "Unit", Pred: "health < 99", Kind: views.Sum, Attr: "health", Mode: mode},
+		{Class: "Unit", Pred: "true", Kind: views.TopK, Attr: "health", K: 7, Mode: mode},
+		{Class: "Unit", Payload: []string{"health"}, Mode: mode},
+	}
+}
+
+// wallStream runs the crowding scenario under one engine configuration and
+// maintenance mode — T ticks with spawn/kill churn and a mid-run
+// checkpoint→restore — and serializes every emitted delta plus the final
+// per-subscription state.
+func wallStream(t *testing.T, opts engine.Options, mode plan.ViewMode) string {
+	t.Helper()
+	w := unitWorld(t, 400, opts)
+	r := views.New(w, plan.DefaultCosts())
+	var subs []*views.Sub
+	for _, def := range wallDefs(t, mode) {
+		subs = append(subs, mustSub(t, r, def))
+	}
+	var b strings.Builder
+	emit := func(d *views.Delta) {
+		fmt.Fprintf(&b, "  sub=%d tick=%d resync=%v add=%v/%v upd=%v/%v rem=%v agg=%v/%x top=%v\n",
+			d.Sub, d.Tick, d.Resync, d.AddIDs, d.AddCols, d.UpdIDs, d.UpdCols,
+			d.RemIDs, d.AggChanged, d.Agg, d.Top)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for tick := 0; tick < 12; tick++ {
+		if err := w.RunTick(); err != nil {
+			t.Fatal(err)
+		}
+		// Churn: spawns land inside and outside the interest box, kills hit
+		// arbitrary live rows (freeing physical rows for id-reuse hazards).
+		for i := 0; i < 4; i++ {
+			if _, err := w.Spawn("Unit", map[string]value.Value{
+				"x":      value.Num(rng.Float64() * 120),
+				"y":      value.Num(rng.Float64() * 120),
+				"health": value.Num(40 + rng.Float64()*60),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			ids := w.IDs("Unit")
+			if err := w.Kill("Unit", ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tick == 6 {
+			// Mid-run snapshot round-trip: the feed cannot express the
+			// compaction, so every subscription must resync identically.
+			cp, err := w.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Restore(cp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fmt.Fprintf(&b, "tick %d:\n", tick)
+		r.Apply(emit)
+	}
+	for _, s := range subs {
+		fmt.Fprintf(&b, "final sub=%d members=%v agg=%x top=%v\n",
+			s.ID(), s.Members(), s.Agg(), s.Top())
+	}
+	return b.String()
+}
+
+// TestViewDifferentialWall is the acceptance guard for incremental
+// maintenance: across {Workers 1,4} × {Partitions 1,4} × {Exec scalar,
+// vectorized}, and across maintenance modes (cost-model auto, forced
+// delta, forced every-tick rescan), the emitted delta stream and final
+// subscription state are bit-identical — under spawn/kill churn, physical
+// row reuse and a mid-run checkpoint→restore resync.
+func TestViewDifferentialWall(t *testing.T) {
+	type cfg struct {
+		name string
+		opts engine.Options
+	}
+	var cfgs []cfg
+	for _, wk := range []int{1, 4} {
+		for _, parts := range []int{1, 4} {
+			for _, ex := range []struct {
+				name string
+				mode plan.ExecMode
+			}{{"scalar", plan.ExecScalar}, {"vec", plan.ExecVectorized}} {
+				cfgs = append(cfgs, cfg{
+					name: fmt.Sprintf("w%d-p%d-%s", wk, parts, ex.name),
+					opts: engine.Options{Workers: wk, Partitions: parts, Exec: ex.mode},
+				})
+			}
+		}
+	}
+	want := wallStream(t, cfgs[0].opts, plan.ViewRescan)
+	for _, c := range cfgs {
+		for _, m := range []struct {
+			name string
+			mode plan.ViewMode
+		}{{"auto", plan.ViewAuto}, {"delta", plan.ViewDelta}, {"rescan", plan.ViewRescan}} {
+			if c.name == cfgs[0].name && m.mode == plan.ViewRescan {
+				continue // the baseline itself
+			}
+			t.Run(c.name+"-"+m.name, func(t *testing.T) {
+				if got := wallStream(t, c.opts, m.mode); got != want {
+					t.Errorf("delta stream diverged from %s-rescan baseline\nbaseline:\n%s\ngot:\n%s",
+						cfgs[0].name, want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestViewStatsCounters checks the ExecCounters plumbing and that the
+// counters stay silent under DisableStats while maintenance itself is
+// unaffected (the stream above already proves value-identity; this pins the
+// counter side).
+func TestViewStatsCounters(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		w := unitWorld(t, 200, engine.Options{DisableStats: disable})
+		r := views.New(w, plan.DefaultCosts())
+		mustSub(t, r, views.Def{Class: "Unit", Pred: "health < 99", Kind: views.Count})
+		mustSub(t, r, views.Def{Class: "Unit", Pred: "health < 99", Mode: plan.ViewRescan})
+		for i := 0; i < 3; i++ {
+			if err := w.RunTick(); err != nil {
+				t.Fatal(err)
+			}
+			r.Apply(nil)
+		}
+		st := w.ExecStats()
+		if disable {
+			if st.ViewSubs != 0 || st.ViewDeltaRows != 0 || st.ViewRescans != 0 || st.ViewMaintNanos != 0 {
+				t.Fatalf("DisableStats: view counters must stay zero, got %+v", st)
+			}
+			continue
+		}
+		if st.ViewSubs != 2 {
+			t.Errorf("ViewSubs = %d, want 2", st.ViewSubs)
+		}
+		if st.ViewRescans < 3 {
+			t.Errorf("ViewRescans = %d, want >= 3 (one forced rescan per tick plus resyncs)", st.ViewRescans)
+		}
+		if st.ViewDeltaRows == 0 {
+			t.Error("ViewDeltaRows stayed zero across crowding damage ticks")
+		}
+		if st.ViewMaintNanos <= 0 {
+			t.Error("ViewMaintNanos not accumulated")
+		}
+	}
+}
